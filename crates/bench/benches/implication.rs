@@ -1,0 +1,54 @@
+//! Cost of the backward-implication engine: frame construction, single
+//! assertions (the unit of Section 3.1's collection sweep), and the
+//! round-count ablation (the paper's two passes vs a fixed-point iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use moa_circuits::iscas::s27;
+use moa_circuits::synth::{generate, SynthSpec};
+use moa_core::imply::FrameContext;
+use moa_logic::V3;
+
+fn bench_frame_context(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_context_new");
+    let circuit = generate(&SynthSpec::new("mid", 10, 5, 12, 200, 5));
+    let pattern: Vec<V3> = (0..circuit.num_inputs())
+        .map(|i| V3::from_bool(i % 2 == 0))
+        .collect();
+    let state = vec![V3::X; circuit.num_flip_flops()];
+    group.bench_function("synth200", |b| {
+        b.iter(|| black_box(FrameContext::new(&circuit, &pattern, &state, None)))
+    });
+    group.finish();
+}
+
+fn bench_assertions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("imply_assertion");
+
+    let small = s27();
+    let pattern: Vec<V3> = moa_logic::parse_word("1011").expect("valid word");
+    let state = vec![V3::X; 3];
+    let ctx = FrameContext::new(&small, &pattern, &state, None);
+    let g11 = small.find_net("G11").expect("s27 net");
+    group.bench_function("s27_one_round", |b| {
+        b.iter(|| black_box(ctx.imply(&[(g11, V3::One)], 1)))
+    });
+
+    let mid = generate(&SynthSpec::new("mid", 10, 5, 12, 200, 5));
+    let pattern: Vec<V3> = (0..mid.num_inputs())
+        .map(|i| V3::from_bool(i % 3 == 0))
+        .collect();
+    let state = vec![V3::X; mid.num_flip_flops()];
+    let ctx = FrameContext::new(&mid, &pattern, &state, None);
+    let d0 = mid.flip_flops()[0].d();
+    for rounds in [1usize, 2, 4] {
+        group.bench_function(format!("synth200_rounds{rounds}"), |b| {
+            b.iter(|| black_box(ctx.imply(&[(d0, V3::One)], rounds)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame_context, bench_assertions);
+criterion_main!(benches);

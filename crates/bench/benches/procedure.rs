@@ -1,0 +1,56 @@
+//! Per-fault cost of Procedure 1, split by outcome class: a conventionally
+//! detected fault (cheap), a condition-C skip, and a fault that exercises the
+//! full collection + expansion + resimulation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use moa_circuits::teaching::resettable_toggle;
+use moa_core::{simulate_fault, FaultStatus, MoaOptions};
+use moa_netlist::Fault;
+use moa_sim::{simulate, TestSequence};
+
+fn bench_per_fault(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_fault");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let circuit = resettable_toggle();
+    let seq = TestSequence::from_words(&["0", "0", "0", "0"]).expect("valid words");
+    let good = simulate(&circuit, &seq, None);
+    let opts = MoaOptions::default();
+
+    let conventional = Fault::stem(circuit.find_net("z").expect("net"), true);
+    assert!(matches!(
+        simulate_fault(&circuit, &seq, &good, &conventional, &opts).status,
+        FaultStatus::DetectedConventional(_)
+    ));
+    group.bench_function("conventional_detection", |b| {
+        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &conventional, &opts)))
+    });
+
+    let skipped = Fault::stem(circuit.find_net("d").expect("net"), false);
+    assert!(matches!(
+        simulate_fault(&circuit, &seq, &good, &skipped, &opts).status,
+        FaultStatus::SkippedConditionC
+    ));
+    group.bench_function("condition_c_skip", |b| {
+        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &skipped, &opts)))
+    });
+
+    let expansion = Fault::stem(circuit.find_net("r").expect("net"), true);
+    assert!(simulate_fault(&circuit, &seq, &good, &expansion, &opts)
+        .status
+        .is_extra_detected());
+    group.bench_function("full_pipeline_extra_detection", |b| {
+        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &expansion, &opts)))
+    });
+
+    let baseline = MoaOptions::baseline();
+    group.bench_function("full_pipeline_baseline", |b| {
+        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &expansion, &baseline)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_fault);
+criterion_main!(benches);

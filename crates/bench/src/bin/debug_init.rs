@@ -1,0 +1,22 @@
+//! Debug: good-machine initialization profile of suite stand-ins.
+use moa_circuits::suite::entry;
+use moa_sim::simulate;
+use moa_tpg::random_sequence;
+
+fn main() {
+    for name in std::env::args().skip(1) {
+        let e = entry(&name).unwrap();
+        let c = e.build();
+        let seq = random_sequence(&c, e.sequence_length, e.spec.seed);
+        let t = simulate(&c, &seq, None);
+        let l = seq.len();
+        let unspec_end = t.num_unspecified_state_vars(l);
+        let spec_outs: usize = t.outputs.iter().flatten().filter(|v| v.is_specified()).count();
+        let total_outs = l * c.num_outputs();
+        println!(
+            "{name}: FF={} unspecified-at-end={} good-specified-outputs={}/{} ({:.0}%)",
+            c.num_flip_flops(), unspec_end, spec_outs, total_outs,
+            100.0 * spec_outs as f64 / total_outs as f64
+        );
+    }
+}

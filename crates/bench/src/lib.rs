@@ -1,0 +1,162 @@
+//! Experiment harnesses regenerating the paper's tables and figures.
+//!
+//! The binaries (`table2`, `table3`, `hitec`, `figures`) print the paper's
+//! published numbers next to the numbers measured on the synthetic stand-in
+//! suite; the Criterion benches under `benches/` measure the runtime of the
+//! pipeline stages and the ablation knobs. See EXPERIMENTS.md for the
+//! recorded outputs and the shape comparison.
+
+use moa_circuits::suite::SuiteEntry;
+use moa_core::{run_campaign, CampaignOptions, CampaignResult, MoaOptions};
+use moa_netlist::{collapse_faults, full_fault_list, Circuit, Fault};
+use moa_sim::TestSequence;
+use moa_tpg::random_sequence;
+
+/// The collapsed stuck-at fault list used by every experiment (the paper
+/// reports collapsed fault counts).
+pub fn suite_faults(circuit: &Circuit) -> Vec<Fault> {
+    let full = full_fault_list(circuit);
+    collapse_faults(circuit, &full).representatives().to_vec()
+}
+
+/// One measured row of Table 2: the baseline (\[4]) and proposed campaigns on
+/// the same circuit and sequence.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Circuit name.
+    pub name: String,
+    /// Collapsed fault count.
+    pub total_faults: usize,
+    /// Conventional detections.
+    pub conventional: usize,
+    /// Baseline (\[4]) campaign result.
+    pub baseline: CampaignResult,
+    /// Proposed (backward implications) campaign result.
+    pub proposed: CampaignResult,
+    /// Sequence length used.
+    pub sequence_length: usize,
+}
+
+/// Runs the two campaigns of one Table-2 row on `circuit` under `seq`.
+pub fn run_table2_row(circuit: &Circuit, seq: &TestSequence) -> Table2Row {
+    let faults = suite_faults(circuit);
+    let baseline = run_campaign(circuit, seq, &faults, &CampaignOptions::baseline());
+    let proposed = run_campaign(circuit, seq, &faults, &CampaignOptions::new());
+    debug_assert_eq!(baseline.conventional, proposed.conventional);
+    Table2Row {
+        name: circuit.name().to_owned(),
+        total_faults: faults.len(),
+        conventional: proposed.conventional,
+        baseline,
+        proposed,
+        sequence_length: seq.len(),
+    }
+}
+
+/// Runs one suite entry with its configured random sequence.
+pub fn run_suite_entry(entry: &SuiteEntry) -> Table2Row {
+    let circuit = entry.build();
+    let seq = random_sequence(&circuit, entry.sequence_length, entry.spec.seed);
+    run_table2_row(&circuit, &seq)
+}
+
+/// Formats the measured-vs-paper Table 2 (markdown-ish fixed-width text).
+pub fn format_table2(rows: &[(Table2Row, &SuiteEntry)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "circuit    | total | conv. | [4] tot | [4] extra | prop tot | prop extra \
+         || paper: total | conv. | [4] tot/extra | prop tot/extra\n",
+    );
+    out.push_str(&"-".repeat(120));
+    out.push('\n');
+    for (row, entry) in rows {
+        let p = &entry.paper;
+        let paper_base = match p.baseline {
+            Some((t, e)) => format!("{t}/{e}"),
+            None => "NA".to_owned(),
+        };
+        out.push_str(&format!(
+            "{:<10} | {:>5} | {:>5} | {:>7} | {:>9} | {:>8} | {:>10} || {:>12} | {:>5} | {:>13} | {:>9}/{}\n",
+            row.name,
+            row.total_faults,
+            row.conventional,
+            row.baseline.detected_total(),
+            row.baseline.extra,
+            row.proposed.detected_total(),
+            row.proposed.extra,
+            p.total_faults,
+            p.conventional,
+            paper_base,
+            p.proposed.0,
+            p.proposed.1,
+        ));
+    }
+    out
+}
+
+/// Formats the measured-vs-paper Table 3.
+pub fn format_table3(rows: &[(Table2Row, &SuiteEntry)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "circuit    |   detect |     conf |    extra || paper:  detect |     conf |    extra\n",
+    );
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    for (row, entry) in rows {
+        let avg = row.proposed.counter_averages();
+        let (pd, pc, pe) = entry.paper.table3;
+        out.push_str(&format!(
+            "{:<10} | {:>8.2} | {:>8.2} | {:>8.2} || {:>14.2} | {:>8.2} | {:>8.2}\n",
+            row.name, avg.det, avg.conf, avg.extra, pd, pc, pe,
+        ));
+    }
+    out
+}
+
+/// Convenience: runs a proposed-options campaign with explicit `MoaOptions`
+/// (used by the ablation benches).
+pub fn run_with_options(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    faults: &[Fault],
+    moa: MoaOptions,
+) -> CampaignResult {
+    run_campaign(
+        circuit,
+        seq,
+        faults,
+        &CampaignOptions {
+            moa,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_circuits::teaching::resettable_toggle;
+
+    #[test]
+    fn table2_row_on_toggle() {
+        let c = resettable_toggle();
+        let seq = TestSequence::from_words(&["0", "0", "0", "1"]).unwrap();
+        let row = run_table2_row(&c, &seq);
+        assert!(row.total_faults > 0);
+        assert!(row.proposed.detected_total() >= row.baseline.detected_total());
+        assert_eq!(row.conventional, row.baseline.conventional);
+    }
+
+    #[test]
+    fn table_formatting_contains_names() {
+        let entries = moa_circuits::suite::suite();
+        let entry = &entries[0];
+        let c = resettable_toggle();
+        let seq = TestSequence::from_words(&["0", "1"]).unwrap();
+        let row = run_table2_row(&c, &seq);
+        let t2 = format_table2(&[(row.clone(), entry)]);
+        assert!(t2.contains("toggle"));
+        let t3 = format_table3(&[(row, entry)]);
+        assert!(t3.contains("toggle"));
+    }
+}

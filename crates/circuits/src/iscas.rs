@@ -1,0 +1,106 @@
+//! Embedded ISCAS-89 benchmark circuits.
+//!
+//! Only `s27` is embedded: it is small enough to reproduce exactly and it is
+//! the running example of the paper's Section 2. The larger ISCAS-89 /
+//! Rudnick-thesis circuits of the paper's Table 2 are replaced by synthetic
+//! stand-ins (see [`crate::suite`] and DESIGN.md §5).
+
+use moa_netlist::{parse_bench, Circuit};
+
+/// The ISCAS-89 `s27` netlist in `.bench` format: 4 primary inputs, 1 primary
+/// output, 3 D flip-flops and 10 gates.
+pub const S27_BENCH: &str = "\
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+/// Builds the `s27` circuit.
+///
+/// Flip-flop order is declaration order: `G5` (the paper's state variable 5),
+/// `G6` (6), `G7` (7) — so state-variable index 0 is the paper's line 5, etc.
+///
+/// # Panics
+///
+/// Never panics: the embedded netlist is valid (covered by tests).
+///
+/// # Example
+///
+/// ```
+/// use moa_circuits::iscas::s27;
+///
+/// let c = s27();
+/// assert_eq!(c.name(), "s27");
+/// assert_eq!(c.num_gates(), 10);
+/// ```
+pub fn s27() -> Circuit {
+    parse_bench(S27_BENCH).expect("embedded s27 netlist is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::V3;
+    use moa_netlist::{CircuitStats, Driver};
+    use moa_sim::compute_frame;
+
+    #[test]
+    fn interface_counts() {
+        let c = s27();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_flip_flops(), 3);
+        assert_eq!(c.num_gates(), 10);
+        assert_eq!(c.num_nets(), 17);
+        let stats = CircuitStats::of(&c);
+        assert_eq!(stats.kind_histogram["NOR"], 3);
+        assert_eq!(stats.kind_histogram["NAND"], 2);
+        assert_eq!(stats.kind_histogram["NOT"], 2);
+    }
+
+    #[test]
+    fn flip_flop_wiring() {
+        let c = s27();
+        let names: Vec<(&str, &str)> = c
+            .flip_flops()
+            .iter()
+            .map(|ff| (c.net_name(ff.q()), c.net_name(ff.d())))
+            .collect();
+        assert_eq!(names, vec![("G5", "G10"), ("G6", "G11"), ("G7", "G13")]);
+        let g17 = c.outputs()[0];
+        assert_eq!(c.net_name(g17), "G17");
+        assert!(matches!(c.driver(g17), Driver::Gate(_)));
+    }
+
+    /// The paper's Figure 1: under the all-unspecified state and the pattern
+    /// that leaves the circuit uninitialized, all next-state variables and
+    /// the primary output are X. (The paper writes the pattern as (1001) in
+    /// its own line numbering; in the G0–G3 input order of the standard
+    /// netlist the equivalent pattern is 1011.)
+    #[test]
+    fn figure_1_all_unspecified() {
+        let c = s27();
+        let pattern = [V3::One, V3::Zero, V3::One, V3::One];
+        let state = [V3::X, V3::X, V3::X];
+        let frame = compute_frame(&c, &pattern, &state, None);
+        for name in ["G10", "G11", "G13", "G17"] {
+            assert_eq!(frame[c.find_net(name).unwrap()], V3::X, "{name}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmark circuits for the multiple-observation-time fault simulator.
+//!
+//! Three families:
+//!
+//! - [`iscas`] — the ISCAS-89 benchmark `s27`, embedded exactly. It is the
+//!   circuit of the paper's Figures 1–3, and the walkthrough example
+//!   reproduces those figures' specified-value counts on it.
+//! - [`teaching`] — small hand-built circuits illustrating specific
+//!   phenomena: the Figure-4 conflict circuit, the resettable toggle whose
+//!   reset-line fault needs the multiple observation time approach, a
+//!   Table-1-style expansion demo, shift registers and counters.
+//! - [`synth`] / [`suite`] — a seeded synthetic sequential-circuit generator
+//!   and the paper's Table-2 circuit list as synthetic stand-ins (the
+//!   original netlists beyond s27 are not redistributable; see DESIGN.md §5
+//!   for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use moa_circuits::iscas::s27;
+//!
+//! let c = s27();
+//! assert_eq!(c.num_inputs(), 4);
+//! assert_eq!(c.num_flip_flops(), 3);
+//! assert_eq!(c.num_outputs(), 1);
+//! ```
+
+pub mod iscas;
+pub mod suite;
+pub mod synth;
+pub mod teaching;

@@ -1,0 +1,475 @@
+//! Seeded synthetic sequential-circuit generation.
+//!
+//! The generator produces ISCAS-like circuits: NAND/NOR-heavy combinational
+//! logic with reconvergent fan-out, cross-coupled flip-flop feedback and a
+//! small XOR fraction. Each flip-flop gets a dedicated next-state gate; most
+//! of them include a *direct primary-input* pin, so random patterns
+//! initialize the good machine the way the ISCAS-89 circuits initialize
+//! (partial reset / load paths), while stuck-at faults on those pins produce
+//! exactly the phenomenon the paper studies: a faulty machine that never
+//! initializes and escapes conventional three-valued simulation, yet
+//! mismatches the fault-free response from every initial state. A
+//! configurable fraction of flip-flops has no input-controlled update at all
+//! and stays unknown, as in the hard-to-initialize ISCAS machines
+//! (see DESIGN.md §5).
+
+use moa_logic::GateKind;
+use moa_netlist::{Circuit, CircuitBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of one synthetic circuit.
+///
+/// # Example
+///
+/// ```
+/// use moa_circuits::synth::{generate, SynthSpec};
+///
+/// let spec = SynthSpec::new("demo", 4, 2, 3, 30, 7);
+/// let c = generate(&spec);
+/// assert_eq!(c.num_inputs(), 4);
+/// assert_eq!(c.num_flip_flops(), 3);
+/// assert_eq!(c.num_gates(), 30);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthSpec {
+    /// Circuit name.
+    pub name: String,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Flip-flops.
+    pub flip_flops: usize,
+    /// Combinational gates.
+    pub gates: usize,
+    /// RNG seed — the same spec always yields the same circuit.
+    pub seed: u64,
+    /// Per-mille probability that a body gate is an XOR/XNOR (default 40‰).
+    /// Higher values make initialization harder.
+    pub xor_permille: u32,
+    /// Per-mille probability that a gate input taps a flip-flop output
+    /// (default 250‰) — feedback density.
+    pub feedback_permille: u32,
+    /// Per-mille probability that a flip-flop's next-state gate includes a
+    /// direct primary-input pin (default 750‰). Such flip-flops initialize
+    /// under random patterns; the rest stay unknown.
+    pub init_permille: u32,
+}
+
+impl SynthSpec {
+    /// Creates a spec with the default XOR/feedback densities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `inputs`, `outputs` or `gates` is zero, or if
+    /// `gates < outputs` (outputs are chosen among gate outputs).
+    pub fn new(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        flip_flops: usize,
+        gates: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(inputs > 0, "at least one primary input");
+        assert!(outputs > 0, "at least one primary output");
+        assert!(
+            gates > flip_flops + outputs,
+            "each flip-flop and each output needs a dedicated gate plus body logic"
+        );
+        SynthSpec {
+            name: name.into(),
+            inputs,
+            outputs,
+            flip_flops,
+            gates,
+            seed,
+            xor_permille: 40,
+            feedback_permille: 250,
+            init_permille: 750,
+        }
+    }
+
+    /// Number of body gates (gates that are neither dedicated next-state
+    /// gates nor dedicated observation gates).
+    pub fn body_gates(&self) -> usize {
+        self.gates - self.flip_flops - self.outputs
+    }
+}
+
+/// Generates the circuit described by `spec` (deterministically per seed).
+pub fn generate(spec: &SynthSpec) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x6d6f_615f_7379_6e74);
+    let mut b = CircuitBuilder::new(spec.name.clone());
+
+    let mut pis: Vec<String> = Vec::new();
+    for i in 0..spec.inputs {
+        let name = format!("i{i}");
+        b.add_input(&name).expect("unique input names");
+        pis.push(name);
+    }
+    let mut sources: Vec<String> = pis.clone(); // PIs + flip-flop outputs
+    for f in 0..spec.flip_flops {
+        // Flip-flop f's next state is the dedicated gate after the body.
+        b.add_flip_flop(&format!("q{f}"), &format!("g{}", spec.body_gates() + f))
+            .expect("unique flip-flop names");
+        sources.push(format!("q{f}"));
+    }
+
+    // Body gates. `used[g]` tracks whether gate g's output is read by later
+    // logic; unused outputs are preferred as inputs and as primary outputs so
+    // that every fault site is observable.
+    let mut gates = Gates {
+        names: Vec::with_capacity(spec.gates),
+        used: Vec::with_capacity(spec.gates),
+    };
+    let mut read_signals: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for g in 0..spec.body_gates() {
+        let name = format!("g{g}");
+        let kind = pick_kind(&mut rng, spec);
+        let arity = if kind.is_unary() {
+            1
+        } else {
+            // Mostly 2-input, some 3- and 4-input gates.
+            match rng.random_range(0..10) {
+                0..=6 => 2,
+                7 | 8 => 3,
+                _ => 4,
+            }
+        };
+        let inputs = pick_inputs(&mut rng, spec, &sources, &mut gates, arity);
+        read_signals.extend(inputs.iter().cloned());
+        let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        b.add_gate(kind, &name, &refs).expect("unique gate names");
+        gates.names.push(name);
+        gates.used.push(false);
+    }
+
+    // Primary inputs nothing reads yet: distributed over the dedicated gates
+    // below so every input is observable.
+    let mut unread_pis: Vec<String> = pis
+        .iter()
+        .filter(|p| !read_signals.contains(*p))
+        .cloned()
+        .collect();
+
+    // Dedicated next-state gates: AND/NAND/OR/NOR so a controlling input can
+    // force the flip-flop; most get a direct primary-input pin (an
+    // initialization path under random patterns). Inverting kinds dominate:
+    // a faulty machine whose initialization is broken must *toggle* (not
+    // hold) to mismatch the good response from every initial state, and
+    // NAND/NOR feedback toggles.
+    for f in 0..spec.flip_flops {
+        let name = format!("g{}", spec.body_gates() + f);
+        let kind = match rng.random_range(0..10) {
+            0..=3 => GateKind::Nand,
+            4..=7 => GateKind::Nor,
+            8 => GateKind::And,
+            _ => GateKind::Or,
+        };
+        let mut inputs: Vec<String> = Vec::new();
+        if rng.random_range(0..1000) < spec.init_permille {
+            inputs.push(pis[rng.random_range(0..pis.len())].clone());
+        }
+        // Feedback: state gates read a state bit directly about half the
+        // time — the ring neighbour (a structural path toward the observed
+        // flip-flops) or themselves (a toggle loop under an inverting kind).
+        // Unconditional ring feedback would spread `X` between flip-flops so
+        // aggressively that conventional coverage collapses; the probabilistic
+        // ring keeps the fault-free machine crisp while still leaving
+        // hard-to-initialize islands for the multiple observation time
+        // approach to recover (isolated state islands are reported by the
+        // observability analysis and mirror the never-initialized portions of
+        // the real ISCAS-89 machines).
+        if rng.random_range(0..1000) < 550 {
+            let q = if rng.random::<bool>() {
+                format!("q{f}")
+            } else {
+                format!("q{}", (f + 1) % spec.flip_flops)
+            };
+            if !inputs.contains(&q) {
+                inputs.push(q);
+            }
+        }
+        let extra = 1 + rng.random_range(0..2);
+        for _ in 0..extra {
+            let picked = pick_unused_or_any(&mut rng, spec, &sources, &mut gates);
+            if !inputs.contains(&picked) {
+                inputs.push(picked);
+            }
+        }
+        // Absorber quota: spread the still-unused gate outputs and unread
+        // inputs over the remaining dedicated gates so nothing dangles
+        // unobservably.
+        let remaining = spec.flip_flops + spec.outputs - f;
+        absorb_quota(&mut rng, &mut gates, &mut inputs, remaining);
+        absorb_pis(&mut rng, &mut unread_pis, &mut inputs, remaining);
+        let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        b.add_gate(kind, &name, &refs).expect("unique gate names");
+        gates.names.push(name);
+        gates.used.push(true); // read by the flip-flop
+    }
+
+    // Dedicated observation gates: each primary output observes a fresh gate
+    // that aggregates state bits and deep (preferably otherwise-unused) body
+    // logic, so faults reaching the state are observable even on circuits
+    // with a single output.
+    for o in 0..spec.outputs {
+        let name = format!("g{}", spec.body_gates() + spec.flip_flops + o);
+        let kind = match rng.random_range(0..4) {
+            0 => GateKind::And,
+            1 => GateKind::Nand,
+            2 => GateKind::Or,
+            _ => GateKind::Nor,
+        };
+        let mut inputs: Vec<String> = Vec::new();
+        if spec.flip_flops > 0 {
+            // Cycle through the flip-flops so every state ring is observed.
+            inputs.push(format!("q{}", o % spec.flip_flops));
+        }
+        for _ in 0..2 {
+            let picked = pick_unused_or_any(&mut rng, spec, &sources, &mut gates);
+            if !inputs.contains(&picked) {
+                inputs.push(picked);
+            }
+        }
+        absorb_quota(&mut rng, &mut gates, &mut inputs, spec.outputs - o);
+        absorb_pis(&mut rng, &mut unread_pis, &mut inputs, spec.outputs - o);
+        let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        b.add_gate(kind, &name, &refs).expect("unique gate names");
+        b.add_output(&name);
+        gates.names.push(name);
+        gates.used.push(true);
+    }
+
+    b.finish().expect("generated circuits are valid by construction")
+}
+
+/// Generated gates plus their is-read-by-anything flags.
+struct Gates {
+    names: Vec<String>,
+    used: Vec<bool>,
+}
+
+/// Picks up to `arity` distinct input signals for a new gate, marking chosen
+/// gates as used.
+fn pick_inputs(
+    rng: &mut StdRng,
+    spec: &SynthSpec,
+    sources: &[String],
+    gates: &mut Gates,
+    arity: usize,
+) -> Vec<String> {
+    let mut inputs: Vec<String> = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        for _attempt in 0..8 {
+            let candidate = pick_signal(rng, spec, sources, gates);
+            if !inputs.contains(&gates_name(gates, sources, &candidate)) {
+                if let Picked::Gate(g) = candidate {
+                    gates.used[g] = true;
+                }
+                inputs.push(gates_name(gates, sources, &candidate));
+                break;
+            }
+        }
+        // After 8 collisions just accept a duplicate-free prefix.
+    }
+    if inputs.is_empty() {
+        inputs.push(sources[rng.random_range(0..sources.len())].clone());
+    }
+    inputs
+}
+
+/// Appends `ceil(unused / remaining_absorbers)` still-unused gate outputs to
+/// `inputs`, marking them used. Dedicated state/observation gates call this
+/// so that, by the time the last one is built, no gate output dangles.
+fn absorb_quota(
+    rng: &mut StdRng,
+    gates: &mut Gates,
+    inputs: &mut Vec<String>,
+    remaining_absorbers: usize,
+) {
+    let mut unused: Vec<usize> = (0..gates.names.len()).filter(|&g| !gates.used[g]).collect();
+    let quota = unused.len().div_ceil(remaining_absorbers.max(1));
+    for _ in 0..quota {
+        if unused.is_empty() {
+            break;
+        }
+        let k = rng.random_range(0..unused.len());
+        let g = unused.swap_remove(k);
+        gates.used[g] = true;
+        let name = gates.names[g].clone();
+        if !inputs.contains(&name) {
+            inputs.push(name);
+        }
+    }
+}
+
+/// Like [`absorb_quota`], for primary inputs no body gate read.
+fn absorb_pis(
+    rng: &mut StdRng,
+    unread: &mut Vec<String>,
+    inputs: &mut Vec<String>,
+    remaining_absorbers: usize,
+) {
+    let quota = unread.len().div_ceil(remaining_absorbers.max(1));
+    for _ in 0..quota {
+        if unread.is_empty() {
+            break;
+        }
+        let k = rng.random_range(0..unread.len());
+        let pi = unread.swap_remove(k);
+        if !inputs.contains(&pi) {
+            inputs.push(pi);
+        }
+    }
+}
+
+/// Picks a globally-unused body gate if one exists (absorbing dangling
+/// logic into the state/observation gates), otherwise any signal.
+fn pick_unused_or_any(
+    rng: &mut StdRng,
+    spec: &SynthSpec,
+    sources: &[String],
+    gates: &mut Gates,
+) -> String {
+    let unused: Vec<usize> = (0..gates.names.len()).filter(|&g| !gates.used[g]).collect();
+    if !unused.is_empty() {
+        let g = unused[rng.random_range(0..unused.len())];
+        gates.used[g] = true;
+        return gates.names[g].clone();
+    }
+    let picked = pick_signal(rng, spec, sources, gates);
+    if let Picked::Gate(g) = picked {
+        gates.used[g] = true;
+    }
+    gates_name(gates, sources, &picked)
+}
+
+enum Picked {
+    Source(usize),
+    Gate(usize),
+}
+
+fn gates_name(gates: &Gates, sources: &[String], picked: &Picked) -> String {
+    match picked {
+        Picked::Source(i) => sources[*i].clone(),
+        Picked::Gate(g) => gates.names[*g].clone(),
+    }
+}
+
+fn pick_kind(rng: &mut StdRng, spec: &SynthSpec) -> GateKind {
+    if rng.random_range(0..1000) < spec.xor_permille {
+        return if rng.random::<bool>() {
+            GateKind::Xor
+        } else {
+            GateKind::Xnor
+        };
+    }
+    match rng.random_range(0..100) {
+        0..=29 => GateKind::Nand,
+        30..=59 => GateKind::Nor,
+        60..=74 => GateKind::And,
+        75..=89 => GateKind::Or,
+        90..=95 => GateKind::Not,
+        _ => GateKind::Buf,
+    }
+}
+
+/// Chooses an input signal for the gate currently being created.
+///
+/// Locality bias: recent gates are preferred (depth), with some probability
+/// of a flip-flop output (feedback), a primary input, or a uniformly random
+/// earlier gate (long-range reconvergence). Within the recent window, unused
+/// gate outputs are taken first so little logic dangles unobservably.
+fn pick_signal(rng: &mut StdRng, spec: &SynthSpec, sources: &[String], gates: &Gates) -> Picked {
+    if gates.names.is_empty() || rng.random_range(0..1000) < spec.feedback_permille {
+        return Picked::Source(rng.random_range(0..sources.len()));
+    }
+    let r = rng.random_range(0..100);
+    if r < 60 {
+        // Recent window of up to 12 gates; unused outputs first.
+        let window = gates.names.len().min(12);
+        let base = gates.names.len() - window;
+        let unused: Vec<usize> = (base..gates.names.len()).filter(|&g| !gates.used[g]).collect();
+        if !unused.is_empty() {
+            Picked::Gate(unused[rng.random_range(0..unused.len())])
+        } else {
+            Picked::Gate(base + rng.random_range(0..window))
+        }
+    } else if r < 80 {
+        Picked::Gate(rng.random_range(0..gates.names.len()))
+    } else {
+        Picked::Source(rng.random_range(0..sources.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_netlist::CircuitStats;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = SynthSpec::new("t", 5, 3, 4, 40, 11);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert!(moa_netlist::structurally_equal(&a, &b));
+        let spec2 = SynthSpec {
+            seed: 12,
+            ..spec.clone()
+        };
+        let c = generate(&spec2);
+        assert!(!moa_netlist::structurally_equal(&a, &c), "seeds differ");
+    }
+
+    #[test]
+    fn respects_interface_counts() {
+        for seed in 0..5 {
+            let spec = SynthSpec::new("t", 7, 4, 6, 80, seed);
+            let c = generate(&spec);
+            assert_eq!(c.num_inputs(), 7);
+            assert_eq!(c.num_outputs(), 4);
+            assert_eq!(c.num_flip_flops(), 6);
+            assert_eq!(c.num_gates(), 80);
+        }
+    }
+
+    #[test]
+    fn has_depth_and_feedback() {
+        let spec = SynthSpec::new("t", 6, 3, 8, 120, 3);
+        let c = generate(&spec);
+        let stats = CircuitStats::of(&c);
+        assert!(stats.depth >= 4, "locality bias produces depth, got {}", stats.depth);
+        assert!(stats.max_fanout >= 2, "reconvergent fan-out exists");
+        // At least one flip-flop output is actually read by logic.
+        let fed_back = c
+            .flip_flops()
+            .iter()
+            .any(|ff| c.fanout_count(ff.q()) > 0);
+        assert!(fed_back);
+    }
+
+    #[test]
+    fn tiny_specs_work() {
+        let spec = SynthSpec::new("tiny", 1, 1, 1, 3, 0);
+        let c = generate(&spec);
+        assert_eq!(c.num_gates(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one primary input")]
+    fn zero_inputs_panics() {
+        SynthSpec::new("bad", 0, 1, 1, 4, 0);
+    }
+
+    #[test]
+    fn bench_round_trip() {
+        let spec = SynthSpec::new("rt", 4, 2, 3, 25, 9);
+        let c = generate(&spec);
+        let text = moa_netlist::write_bench(&c);
+        let c2 = moa_netlist::parse_bench(&text).unwrap();
+        assert!(moa_netlist::structurally_equal(&c, &c2));
+    }
+}

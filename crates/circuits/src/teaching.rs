@@ -1,0 +1,283 @@
+//! Hand-built circuits illustrating the paper's phenomena.
+
+use moa_logic::GateKind;
+use moa_netlist::{Circuit, CircuitBuilder};
+
+/// The conflict circuit of the paper's Figure 4.
+///
+/// One primary input (line 1), one state variable (line 2), fan-out branches
+/// of the input (lines 3, 4), `5 = OR(2, 3)`, `6 = OR(2, 4)` and next-state
+/// `11 = AND(5, NOT 6)`. Under the input combination `(0)`, backward
+/// implication of the present-state variable at time 1 sets line 11 to
+/// `(0, 1)` at time 0; the value 1 forces line 5 to 1 (hence line 2 to 1)
+/// *and* line 6 to 0 (hence line 2 to 0) — a conflict, proving the state
+/// variable can only be 0 at time 1.
+///
+/// # Example
+///
+/// ```
+/// use moa_circuits::teaching::figure4;
+///
+/// let c = figure4();
+/// assert_eq!(c.num_flip_flops(), 1);
+/// ```
+pub fn figure4() -> Circuit {
+    let mut b = CircuitBuilder::new("figure4");
+    b.add_input("l1").expect("fresh builder");
+    b.add_flip_flop("l2", "l11").expect("fresh net");
+    b.add_gate(GateKind::Buf, "l3", &["l1"]).expect("valid gate");
+    b.add_gate(GateKind::Buf, "l4", &["l1"]).expect("valid gate");
+    b.add_gate(GateKind::Or, "l5", &["l2", "l3"]).expect("valid gate");
+    b.add_gate(GateKind::Or, "l6", &["l2", "l4"]).expect("valid gate");
+    b.add_gate(GateKind::Not, "l7", &["l6"]).expect("valid gate");
+    b.add_gate(GateKind::And, "l11", &["l5", "l7"]).expect("valid gate");
+    b.add_output("l11");
+    b.finish().expect("figure4 is a valid circuit")
+}
+
+/// A resettable toggle: `r = 0` resets the flip-flop, `r = 1` makes it
+/// toggle, and the output observes it.
+///
+/// This is the canonical multiple-observation-time example (the shape of the
+/// paper's introduction): with `r` stuck-at-1 the faulty machine toggles
+/// forever from an unknown initial state, so conventional simulation reports
+/// only `X`, yet every faulty initial state mismatches the reset response —
+/// either on even or on odd time units.
+pub fn resettable_toggle() -> Circuit {
+    let mut b = CircuitBuilder::new("toggle");
+    b.add_input("r").expect("fresh builder");
+    b.add_flip_flop("q", "d").expect("fresh net");
+    b.add_gate(GateKind::Not, "nq", &["q"]).expect("valid gate");
+    b.add_gate(GateKind::And, "d", &["r", "nq"]).expect("valid gate");
+    b.add_gate(GateKind::Buf, "z", &["q"]).expect("valid gate");
+    b.add_output("z");
+    b.finish().expect("toggle is a valid circuit")
+}
+
+/// A Table-1-style expansion demo: two cross-coupled state variables and
+/// three outputs, where expanding one state variable specifies additional
+/// outputs and state values at later time units.
+///
+/// - `d0 = NOR(a, q1)`, `d1 = NOR(b, q0)` (a NOR-latch-like pair),
+/// - outputs `z0 = AND(a, q0)`, `z1 = NOR(q0, q1)`, `z2 = OR(b, q1)`.
+pub fn expansion_demo() -> Circuit {
+    let mut b = CircuitBuilder::new("expansion-demo");
+    b.add_input("a").expect("fresh builder");
+    b.add_input("b").expect("fresh builder");
+    b.add_flip_flop("q0", "d0").expect("fresh net");
+    b.add_flip_flop("q1", "d1").expect("fresh net");
+    b.add_gate(GateKind::Nor, "d0", &["a", "q1"]).expect("valid gate");
+    b.add_gate(GateKind::Nor, "d1", &["b", "q0"]).expect("valid gate");
+    b.add_gate(GateKind::And, "z0", &["a", "q0"]).expect("valid gate");
+    b.add_gate(GateKind::Nor, "z1", &["q0", "q1"]).expect("valid gate");
+    b.add_gate(GateKind::Or, "z2", &["b", "q1"]).expect("valid gate");
+    b.add_output("z0");
+    b.add_output("z1");
+    b.add_output("z2");
+    b.finish().expect("expansion demo is a valid circuit")
+}
+
+/// An `n`-stage shift register: `q0 ← in`, `q_{k+1} ← q_k`, output `q_{n-1}`.
+///
+/// Shift registers initialize in `n` cycles; they exercise long backward
+/// implication chains across time (and the single-time-unit restriction of
+/// the paper's engine).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn shift_register(n: usize) -> Circuit {
+    assert!(n > 0, "a shift register needs at least one stage");
+    let mut b = CircuitBuilder::new(format!("shift{n}"));
+    b.add_input("in").expect("fresh builder");
+    for k in 0..n {
+        let q = format!("q{k}");
+        let d = if k == 0 {
+            "in".to_owned()
+        } else {
+            format!("q{}", k - 1)
+        };
+        // A DFF whose d is the previous stage's q (or the input).
+        b.add_flip_flop(&q, &d).expect("fresh net");
+    }
+    b.add_gate(GateKind::Buf, "z", &[&format!("q{}", n - 1)])
+        .expect("valid gate");
+    b.add_output("z");
+    b.finish().expect("shift register is a valid circuit")
+}
+
+/// An `n`-bit synchronous binary up-counter with synchronous clear.
+///
+/// `clr = 1` clears all bits; otherwise the counter increments. Counters are
+/// classic hard-to-initialize-partially circuits: without a clear, no bit is
+/// ever specified.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn counter(n: usize) -> Circuit {
+    assert!(n > 0, "a counter needs at least one bit");
+    let mut b = CircuitBuilder::new(format!("counter{n}"));
+    b.add_input("clr").expect("fresh builder");
+    b.add_gate(GateKind::Not, "en", &["clr"]).expect("valid gate");
+    // carry0 = 1 (increment always); carry_{k+1} = AND(carry_k, q_k).
+    for k in 0..n {
+        let q = format!("q{k}");
+        let d = format!("d{k}");
+        b.add_flip_flop(&q, &d).expect("fresh net");
+        let carry: String = if k == 0 {
+            "en".to_owned() // carry-in is 1 when counting (not clearing)
+        } else {
+            let c = format!("c{k}");
+            let prev_c = if k == 1 {
+                "en".to_owned()
+            } else {
+                format!("c{}", k - 1)
+            };
+            b.add_gate(GateKind::And, &c, &[&prev_c, &format!("q{}", k - 1)])
+                .expect("valid gate");
+            c
+        };
+        // next bit = (q XOR carry) AND en  — clearing forces 0.
+        let t = format!("t{k}");
+        b.add_gate(GateKind::Xor, &t, &[&q, &carry]).expect("valid gate");
+        b.add_gate(GateKind::And, &d, &[&t, "en"]).expect("valid gate");
+    }
+    b.add_gate(GateKind::Buf, "z", &[&format!("q{}", n - 1)])
+        .expect("valid gate");
+    b.add_output("z");
+    b.finish().expect("counter is a valid circuit")
+}
+
+/// An `n`-stage Johnson (twisted-ring) counter with synchronous clear:
+/// `q_0 ← AND(en, NOT q_{n-1})`, `q_{k+1} ← AND(en, q_k)`, with
+/// `en = NOT(clr)` — so `clr = 1` clears every stage.
+///
+/// Without the clear a Johnson counter never initializes under three-valued
+/// simulation (every next state copies an unknown), and faults on the clear
+/// path are classic multiple-observation-time detections.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn johnson_counter(n: usize) -> Circuit {
+    assert!(n > 0, "a Johnson counter needs at least one stage");
+    let mut b = CircuitBuilder::new(format!("johnson{n}"));
+    b.add_input("clr").expect("fresh builder");
+    b.add_gate(GateKind::Not, "en", &["clr"]).expect("valid gate");
+    b.add_gate(GateKind::Not, "tw", &[&format!("q{}", n - 1)])
+        .expect("valid gate");
+    for k in 0..n {
+        let q = format!("q{k}");
+        let d = format!("d{k}");
+        b.add_flip_flop(&q, &d).expect("fresh net");
+        let src = if k == 0 {
+            "tw".to_owned()
+        } else {
+            format!("q{}", k - 1)
+        };
+        b.add_gate(GateKind::And, &d, &["en", &src]).expect("valid gate");
+    }
+    b.add_gate(GateKind::Buf, "z", &[&format!("q{}", n - 1)])
+        .expect("valid gate");
+    b.add_output("z");
+    b.finish().expect("johnson counter is a valid circuit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::V3;
+    use moa_sim::{simulate, TestSequence};
+
+    #[test]
+    fn figure4_structure() {
+        let c = figure4();
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.num_flip_flops(), 1);
+        assert_eq!(c.num_gates(), 6);
+    }
+
+    #[test]
+    fn toggle_good_machine_resets() {
+        let c = resettable_toggle();
+        let seq = TestSequence::from_words(&["0", "1", "1"]).unwrap();
+        let t = simulate(&c, &seq, None);
+        // r=0 clears q; then r=1 toggles: q = x,0,1.
+        assert_eq!(t.states[1], vec![V3::Zero]);
+        assert_eq!(t.states[2], vec![V3::One]);
+        assert_eq!(t.states[3], vec![V3::Zero]);
+    }
+
+    #[test]
+    fn shift_register_initializes_in_n_cycles() {
+        let n = 4;
+        let c = shift_register(n);
+        let seq = TestSequence::from_words(&["1", "0", "1", "0", "1"]).unwrap();
+        let t = simulate(&c, &seq, None);
+        // After k patterns, the first k stages are specified.
+        for k in 0..=n {
+            assert_eq!(
+                t.states[k].iter().filter(|v| v.is_specified()).count(),
+                k,
+                "after {k} cycles"
+            );
+        }
+        // The last output equals the input delayed by n.
+        assert_eq!(t.outputs[4], vec![V3::One]);
+    }
+
+    #[test]
+    fn counter_counts_after_clear() {
+        let c = counter(3);
+        let seq =
+            TestSequence::from_words(&["1", "0", "0", "0", "0"]).unwrap();
+        let t = simulate(&c, &seq, None);
+        // After the clear, states count 0,1,2,3 (LSB first).
+        assert_eq!(t.states[1], vec![V3::Zero, V3::Zero, V3::Zero]);
+        assert_eq!(t.states[2], vec![V3::One, V3::Zero, V3::Zero]);
+        assert_eq!(t.states[3], vec![V3::Zero, V3::One, V3::Zero]);
+        assert_eq!(t.states[4], vec![V3::One, V3::One, V3::Zero]);
+    }
+
+    #[test]
+    fn counter_never_initializes_without_clear() {
+        let c = counter(3);
+        let seq = TestSequence::from_words(&["0", "0", "0"]).unwrap();
+        let t = simulate(&c, &seq, None);
+        assert_eq!(t.num_unspecified_state_vars(3), 3);
+    }
+
+    #[test]
+    fn expansion_demo_shape() {
+        let c = expansion_demo();
+        assert_eq!(c.num_outputs(), 3);
+        assert_eq!(c.num_flip_flops(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_shift_register_panics() {
+        shift_register(0);
+    }
+
+    #[test]
+    fn johnson_counter_cycles_after_clear() {
+        let c = johnson_counter(3);
+        // clear, then run: 000 -> 100 -> 110 -> 111 -> 011 -> 001 -> 000 ...
+        let seq = TestSequence::from_words(&["1", "0", "0", "0", "0"]).unwrap();
+        let t = simulate(&c, &seq, None);
+        assert_eq!(t.states[1], vec![V3::Zero, V3::Zero, V3::Zero]);
+        assert_eq!(t.states[2], vec![V3::One, V3::Zero, V3::Zero]);
+        assert_eq!(t.states[3], vec![V3::One, V3::One, V3::Zero]);
+        assert_eq!(t.states[4], vec![V3::One, V3::One, V3::One]);
+    }
+
+    #[test]
+    fn johnson_counter_never_initializes_without_clear() {
+        let c = johnson_counter(3);
+        let seq = TestSequence::from_words(&["0", "0", "0", "0"]).unwrap();
+        let t = simulate(&c, &seq, None);
+        assert_eq!(t.num_unspecified_state_vars(4), 3);
+    }
+}

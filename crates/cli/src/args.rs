@@ -1,0 +1,147 @@
+//! A small flag parser (the workspace keeps its dependency set minimal, so
+//! no external argument-parsing crate is used).
+
+use std::collections::HashMap;
+
+use crate::CliError;
+
+/// Parses `positional... [--flag value]... [--switch]...` style argument
+/// lists against a declared set of flags and switches.
+#[derive(Debug)]
+pub struct ArgParser {
+    usage: &'static str,
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl ArgParser {
+    /// Parses `args`. `value_flags` are flags expecting a value (`--seed 7`);
+    /// `switches` are boolean (`--verbose`). Unknown flags are usage errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on unknown flags or a flag missing its value.
+    pub fn parse(
+        args: &[String],
+        usage: &'static str,
+        value_flags: &[&str],
+        switches: &[&str],
+    ) -> Result<Self, CliError> {
+        let mut parser = ArgParser {
+            usage,
+            positional: Vec::new(),
+            flags: HashMap::new(),
+            switches: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--").or_else(|| arg.strip_prefix('-')) {
+                if switches.contains(&name) {
+                    parser.switches.push(name.to_owned());
+                } else if value_flags.contains(&name) {
+                    let value = it.next().ok_or_else(|| {
+                        CliError::Usage(format!("flag --{name} needs a value\n\n{usage}"))
+                    })?;
+                    parser.flags.insert(name.to_owned(), value.clone());
+                } else {
+                    return Err(CliError::Usage(format!(
+                        "unknown flag `{arg}`\n\n{usage}"
+                    )));
+                }
+            } else {
+                parser.positional.push(arg.clone());
+            }
+        }
+        Ok(parser)
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The single required positional argument at `index`.
+    pub fn required(&self, index: usize, what: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing {what}\n\n{}", self.usage)))
+    }
+
+    /// A value flag, if present.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A parsed numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                CliError::Usage(format!("--{name} expects a number, got `{v}`"))
+            }),
+        }
+    }
+
+    /// Whether a switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positional_flags_and_switches() {
+        let p = ArgParser::parse(
+            &strs(&["file.bench", "--seed", "7", "--verbose"]),
+            "usage",
+            &["seed"],
+            &["verbose"],
+        )
+        .unwrap();
+        assert_eq!(p.required(0, "bench file").unwrap(), "file.bench");
+        assert_eq!(p.num("seed", 0u64).unwrap(), 7);
+        assert!(p.switch("verbose"));
+        assert!(!p.switch("quiet"));
+        assert_eq!(p.flag("seed"), Some("7"));
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        let e = ArgParser::parse(&strs(&["--nope"]), "usage", &[], &[]).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let e = ArgParser::parse(&strs(&["--seed"]), "usage", &["seed"], &[]).unwrap_err();
+        assert!(e.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let p = ArgParser::parse(&strs(&["--seed", "abc"]), "usage", &["seed"], &[]).unwrap();
+        assert!(p.num("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn missing_positional_errors() {
+        let p = ArgParser::parse(&[], "usage", &[], &[]).unwrap();
+        assert!(p.required(0, "bench file").is_err());
+        assert!(p.positional().is_empty());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = ArgParser::parse(&[], "usage", &["seed"], &[]).unwrap();
+        assert_eq!(p.num("seed", 42u64).unwrap(), 42);
+    }
+}

@@ -1,0 +1,176 @@
+//! `moa campaign <bench> …` — whole-fault-list fault simulation, comparing
+//! conventional, the expansion-only baseline and the proposed procedure.
+
+use std::io::Write;
+use std::time::Instant;
+
+use moa_core::{run_campaign, CampaignOptions, CampaignResult, MoaOptions};
+use moa_netlist::{collapse_faults, full_fault_list, Circuit};
+use moa_sim::TestSequence;
+
+use crate::commands::sequence_from_args;
+use crate::{load_circuit, ArgParser, CliError};
+
+const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random L [--seed S]] \
+[--baseline | --proposed | --both] [--n-states N] [--depth K] [--rounds R] [--budget B] \
+[--threads T] [--no-collapse] [--packed] [--differential] [--verbose]";
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parser = ArgParser::parse(
+        args,
+        USAGE,
+        &[
+            "words", "random", "seed", "seq-file", "n-states", "depth", "rounds", "budget",
+            "threads",
+        ],
+        &["baseline", "proposed", "both", "no-collapse", "packed", "differential", "verbose"],
+    )?;
+    let circuit = load_circuit(parser.required(0, "bench file")?)?;
+    let seq = sequence_from_args(&parser, &circuit, 64)?;
+
+    let full = full_fault_list(&circuit);
+    let faults = if parser.switch("no-collapse") {
+        full
+    } else {
+        collapse_faults(&circuit, &full).representatives().to_vec()
+    };
+
+    let mut moa = MoaOptions::default()
+        .with_n_states(parser.num("n-states", 64)?)
+        .with_backward_time_units(parser.num("depth", 1)?)
+        .with_implication_rounds(parser.num("rounds", 1)?)
+        .with_max_implication_runs(parser.num("budget", 4096)?);
+    moa.packed_resimulation = parser.switch("packed");
+    let threads = parser.num("threads", 0usize)?;
+
+    writeln!(
+        out,
+        "campaign on `{}`: {} faults, sequence length {}",
+        circuit.name(),
+        faults.len(),
+        seq.len()
+    )?;
+
+    let run_baseline = parser.switch("baseline") || parser.switch("both") || !parser.switch("proposed");
+    let run_proposed = parser.switch("proposed") || parser.switch("both") || !parser.switch("baseline");
+
+    let differential = parser.switch("differential");
+    if run_baseline {
+        let opts = CampaignOptions {
+            moa: MoaOptions {
+                backward_implications: false,
+                ..moa.clone()
+            },
+            threads,
+            differential,
+        };
+        report(out, "baseline [4] (expansion only)", &circuit, &seq, &faults, &opts, &parser)?;
+    }
+    if run_proposed {
+        let opts = CampaignOptions {
+            moa,
+            threads,
+            differential,
+        };
+        report(out, "proposed (backward implications)", &circuit, &seq, &faults, &opts, &parser)?;
+    }
+    Ok(())
+}
+
+fn report(
+    out: &mut dyn Write,
+    label: &str,
+    circuit: &Circuit,
+    seq: &TestSequence,
+    faults: &[moa_netlist::Fault],
+    opts: &CampaignOptions,
+    parser: &ArgParser,
+) -> Result<(), CliError> {
+    let start = Instant::now();
+    let result = run_campaign(circuit, seq, faults, opts);
+    writeln!(out, "\n{label} ({:.2?}):", start.elapsed())?;
+    print_summary(out, &result)?;
+    if parser.switch("verbose") {
+        for (fault, status) in faults.iter().zip(&result.statuses) {
+            if status.is_extra_detected() {
+                writeln!(out, "    extra: {} — {:?}", fault.describe(circuit), status)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_summary(out: &mut dyn Write, r: &CampaignResult) -> Result<(), CliError> {
+    writeln!(out, "  detected total      : {}", r.detected_total())?;
+    writeln!(out, "    conventional      : {}", r.conventional)?;
+    writeln!(out, "    beyond conventional: {}", r.extra)?;
+    writeln!(out, "  condition-C skips   : {}", r.skipped_condition_c)?;
+    writeln!(out, "  budget-truncated    : {}", r.truncated)?;
+    let avg = r.counter_averages();
+    if avg.faults > 0 {
+        writeln!(
+            out,
+            "  counters (avg over {} extra faults): N_det {:.2}, N_conf {:.2}, N_extra {:.2}",
+            avg.faults, avg.det, avg.conf, avg.extra
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle_path() -> String {
+        let dir = std::env::temp_dir().join("moa-cli-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toggle.bench");
+        let text = moa_netlist::write_bench(&moa_circuits::teaching::resettable_toggle());
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn both_campaigns_run_and_report() {
+        let mut out = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--both".into(),
+                "--verbose".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("baseline [4]"));
+        assert!(text.contains("proposed (backward implications)"));
+        assert!(text.contains("beyond conventional: 1"), "{text}");
+        assert!(text.contains("extra: r stuck-at-1"));
+    }
+
+    #[test]
+    fn packed_and_depth_flags_are_accepted() {
+        let mut out = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--packed".into(),
+                "--depth".into(),
+                "2".into(),
+                "--n-states".into(),
+                "16".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("detected total"));
+        assert!(!text.contains("baseline [4]"));
+    }
+}

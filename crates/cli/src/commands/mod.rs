@@ -1,0 +1,62 @@
+//! One module per subcommand.
+
+pub mod campaign;
+pub mod exact;
+pub mod explain;
+pub mod extract;
+pub mod faults;
+pub mod gen;
+pub mod sim;
+pub mod stats;
+pub mod suite;
+pub mod tpg;
+
+use moa_netlist::Circuit;
+use moa_sim::TestSequence;
+
+use crate::{ArgParser, CliError};
+
+/// Builds the test sequence shared by several commands: `--seq-file FILE`
+/// (one pattern per line), `--words p,p,...` (explicit patterns) or
+/// `--random L` with `--seed S`.
+pub(crate) fn sequence_from_args(
+    parser: &ArgParser,
+    circuit: &Circuit,
+    default_len: usize,
+) -> Result<TestSequence, CliError> {
+    if let Some(path) = parser.flag("seq-file") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failed(format!("cannot read `{path}`: {e}")))?;
+        let seq = TestSequence::parse_text(&text)
+            .map_err(|e| CliError::Failed(format!("bad sequence file `{path}`: {e}")))?;
+        return if seq.num_inputs() == circuit.num_inputs() {
+            Ok(seq)
+        } else {
+            Err(CliError::Failed(format!(
+                "`{path}` patterns have {} bits but the circuit has {} inputs",
+                seq.num_inputs(),
+                circuit.num_inputs()
+            )))
+        };
+    }
+    if let Some(words) = parser.flag("words") {
+        let parts: Vec<&str> = words.split(',').collect();
+        TestSequence::from_words(&parts)
+            .map_err(|e| CliError::Usage(format!("bad --words: {e}")))
+            .and_then(|seq| {
+                if seq.num_inputs() == circuit.num_inputs() {
+                    Ok(seq)
+                } else {
+                    Err(CliError::Usage(format!(
+                        "patterns have {} bits but the circuit has {} inputs",
+                        seq.num_inputs(),
+                        circuit.num_inputs()
+                    )))
+                }
+            })
+    } else {
+        let len = parser.num("random", default_len)?;
+        let seed = parser.num("seed", 0u64)?;
+        Ok(moa_tpg::random_sequence(circuit, len, seed))
+    }
+}

@@ -1,0 +1,78 @@
+//! `moa suite [NAME…]` — the paper's Table-2 stand-in suite.
+
+use std::io::Write;
+use std::time::Instant;
+
+use moa_circuits::suite::suite;
+use moa_core::{run_campaign, CampaignOptions};
+use moa_netlist::{collapse_faults, full_fault_list};
+use moa_tpg::random_sequence;
+
+use crate::{ArgParser, CliError};
+
+const USAGE: &str = "usage: moa suite [NAME...] [--baseline-too]";
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parser = ArgParser::parse(args, USAGE, &[], &["baseline-too"])?;
+    let filter = parser.positional();
+    let entries: Vec<_> = suite()
+        .into_iter()
+        .filter(|e| filter.is_empty() || filter.iter().any(|f| f == e.name))
+        .collect();
+    if entries.is_empty() {
+        return Err(CliError::Usage(format!(
+            "no suite circuit matches {filter:?}\n\n{USAGE}"
+        )));
+    }
+
+    writeln!(
+        out,
+        "{:<10} {:>7} {:>7} {:>7} {:>7}  paper(prop tot/extra)",
+        "circuit", "faults", "conv", "tot", "extra"
+    )?;
+    for e in entries {
+        let circuit = e.build();
+        let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
+        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+            .representatives()
+            .to_vec();
+        let start = Instant::now();
+        let proposed = run_campaign(&circuit, &seq, &faults, &CampaignOptions::new());
+        let mut line = format!(
+            "{:<10} {:>7} {:>7} {:>7} {:>7}  {}/{}",
+            e.name,
+            faults.len(),
+            proposed.conventional,
+            proposed.detected_total(),
+            proposed.extra,
+            e.paper.proposed.0,
+            e.paper.proposed.1,
+        );
+        if parser.switch("baseline-too") {
+            let baseline = run_campaign(&circuit, &seq, &faults, &CampaignOptions::baseline());
+            line.push_str(&format!("  [4]: {}+{}", baseline.detected_total(), baseline.extra));
+        }
+        writeln!(out, "{line}  ({:.1?})", start.elapsed())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_one_small_entry() {
+        let mut out = Vec::new();
+        run(&["s208".into()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("s208"));
+        assert!(text.contains("86/13"), "paper reference column present");
+    }
+
+    #[test]
+    fn unknown_name_is_usage_error() {
+        let mut out = Vec::new();
+        assert!(run(&["s9999".into()], &mut out).is_err());
+    }
+}

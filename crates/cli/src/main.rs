@@ -1,0 +1,14 @@
+//! The `moa` binary: a thin wrapper over [`moa_cli::run`].
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(err) = moa_cli::run(&args, &mut out) {
+        let _ = out.flush();
+        eprintln!("{err}");
+        std::process::exit(err.exit_code());
+    }
+}

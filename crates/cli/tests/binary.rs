@@ -1,0 +1,66 @@
+//! Process-level tests of the `moa` binary (exit codes, stdout/stderr
+//! separation) — the library-level command tests cover the logic; these
+//! cover the executable contract.
+
+use std::process::Command;
+
+fn moa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_moa"))
+}
+
+fn s27_path() -> String {
+    let dir = std::env::temp_dir().join("moa-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s27.bench");
+    std::fs::write(&path, moa_circuits::iscas::S27_BENCH).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = moa().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_two() {
+    let out = moa().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_file_exits_one() {
+    let out = moa().args(["stats", "/no/such/file.bench"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn stats_pipeline_works_end_to_end() {
+    let out = moa().args(["stats", &s27_path()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("circuit : s27"));
+    assert!(out.stderr.is_empty(), "reports go to stdout");
+}
+
+#[test]
+fn campaign_on_s27_detects_faults() {
+    let out = moa()
+        .args([
+            "campaign",
+            &s27_path(),
+            "--random",
+            "32",
+            "--seed",
+            "7",
+            "--proposed",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("detected total"));
+}

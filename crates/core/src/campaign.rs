@@ -1,0 +1,285 @@
+//! Whole-fault-list campaigns — the driver behind the paper's Table 2 and
+//! Table 3.
+
+use moa_netlist::{Circuit, Fault};
+use moa_sim::{simulate, GoodFrames, SimTrace, TestSequence};
+
+use crate::counters::{CounterAverages, Counters};
+use crate::procedure::{simulate_fault_with, FaultResult, FaultStatus};
+use crate::MoaOptions;
+
+/// Options for [`run_campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Per-fault procedure options.
+    pub moa: MoaOptions,
+    /// Worker threads; `0` uses the machine's available parallelism. Results
+    /// are deterministic regardless of the thread count (faults are
+    /// independent and results are stored by index).
+    pub threads: usize,
+    /// Run the conventional stage as deltas from cached fault-free frames
+    /// (event-driven differential simulation). Identical results, less work
+    /// per fault on large circuits.
+    pub differential: bool,
+}
+
+impl CampaignOptions {
+    /// Campaign with the paper's per-fault defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Campaign running the expansion-only baseline of reference \[4].
+    pub fn baseline() -> Self {
+        CampaignOptions {
+            moa: MoaOptions::baseline(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Aggregate results of simulating a fault list — one row of Table 2 (and,
+/// via [`CampaignResult::counter_averages`], one row of Table 3).
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The circuit's name.
+    pub circuit: String,
+    /// Faults simulated.
+    pub total_faults: usize,
+    /// Faults detected by conventional simulation.
+    pub conventional: usize,
+    /// Faults detected beyond conventional simulation (the "extra" column).
+    pub extra: usize,
+    /// Faults dropped by the necessary condition (C).
+    pub skipped_condition_c: usize,
+    /// Faults whose collection sweep hit the implication budget.
+    pub truncated: usize,
+    /// Undetected faults for which at least one expanded sequence was
+    /// dropped: the fault is detected for *some* faulty initial states — the
+    /// "potential detection" notion studied by the paper's reference \[7].
+    pub partially_covered: usize,
+    /// Undetected faults whose expansion was *aborted* at the `N_STATES`
+    /// limit with eligible pairs remaining (the paper's abort notion).
+    pub aborted: usize,
+    /// Per-fault statuses, in fault-list order.
+    pub statuses: Vec<FaultStatus>,
+    /// Table-3 counters of the faults detected beyond conventional
+    /// simulation, in fault-list order.
+    pub expansion_counters: Vec<Counters>,
+}
+
+impl CampaignResult {
+    /// Total detected (`conventional + extra`) — Table 2's "tot" column.
+    pub fn detected_total(&self) -> usize {
+        self.conventional + self.extra
+    }
+
+    /// Averages of the Table-3 counters over the extra-detected faults.
+    pub fn counter_averages(&self) -> CounterAverages {
+        CounterAverages::of(&self.expansion_counters)
+    }
+}
+
+/// Simulates every fault of `faults` under `seq` and aggregates the results.
+///
+/// The fault-free trace is computed once; faults are processed independently
+/// (optionally in parallel) with [`simulate_fault`](crate::simulate_fault).
+///
+/// # Example
+///
+/// ```
+/// use moa_core::{run_campaign, CampaignOptions};
+/// use moa_netlist::{full_fault_list, parse_bench};
+/// use moa_sim::TestSequence;
+///
+/// let c = parse_bench(
+///     "INPUT(r)\nOUTPUT(z)\nq = DFF(d)\nnq = NOT(q)\nd = AND(r, nq)\nz = BUFF(q)\n",
+/// )?;
+/// let faults = full_fault_list(&c);
+/// let seq = TestSequence::from_words(&["0", "0", "0"])?;
+/// let result = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+/// assert_eq!(result.total_faults, faults.len());
+/// assert!(result.extra >= 1, "the reset-line fault needs expansion");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_campaign(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    faults: &[Fault],
+    options: &CampaignOptions,
+) -> CampaignResult {
+    let frames = options.differential.then(|| GoodFrames::compute(circuit, seq));
+    let good = match &frames {
+        Some(f) => f.to_trace(),
+        None => simulate(circuit, seq, None),
+    };
+    let results = run_all(circuit, seq, &good, faults, options, frames.as_ref());
+
+    let mut campaign = CampaignResult {
+        circuit: circuit.name().to_owned(),
+        total_faults: faults.len(),
+        conventional: 0,
+        extra: 0,
+        skipped_condition_c: 0,
+        truncated: 0,
+        partially_covered: 0,
+        aborted: 0,
+        statuses: Vec::with_capacity(results.len()),
+        expansion_counters: Vec::new(),
+    };
+    for r in results {
+        match &r.status {
+            FaultStatus::DetectedConventional(_) => campaign.conventional += 1,
+            FaultStatus::SkippedConditionC => campaign.skipped_condition_c += 1,
+            FaultStatus::NotDetected {
+                truncated,
+                undecided,
+                sequences,
+                aborted,
+            } => {
+                if *truncated {
+                    campaign.truncated += 1;
+                }
+                if undecided < sequences {
+                    campaign.partially_covered += 1;
+                }
+                if *aborted {
+                    campaign.aborted += 1;
+                }
+            }
+            _ => {}
+        }
+        if r.status.is_extra_detected() {
+            campaign.extra += 1;
+            campaign.expansion_counters.push(r.counters);
+        }
+        campaign.statuses.push(r.status);
+    }
+    campaign
+}
+
+fn run_all(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    faults: &[Fault],
+    options: &CampaignOptions,
+    frames: Option<&GoodFrames>,
+) -> Vec<FaultResult> {
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        options.threads
+    };
+    let threads = threads.min(faults.len().max(1));
+
+    if threads <= 1 || faults.len() < 2 {
+        return faults
+            .iter()
+            .map(|f| simulate_fault_with(circuit, seq, good, f, &options.moa, frames))
+            .collect();
+    }
+
+    let mut results: Vec<Option<FaultResult>> = vec![None; faults.len()];
+    let chunk = faults.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (fault_chunk, result_chunk) in faults.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (f, slot) in fault_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(simulate_fault_with(circuit, seq, good, f, &options.moa, frames));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every fault simulated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::GateKind;
+    use moa_netlist::{full_fault_list, CircuitBuilder};
+
+    fn toggle() -> (Circuit, TestSequence) {
+        let mut b = CircuitBuilder::new("toggle");
+        b.add_input("r").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Not, "nq", &["q"]).unwrap();
+        b.add_gate(GateKind::And, "d", &["r", "nq"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["0", "0", "0"]).unwrap();
+        (c, seq)
+    }
+
+    #[test]
+    fn campaign_aggregates_statuses() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let result = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        assert_eq!(result.total_faults, faults.len());
+        assert_eq!(result.statuses.len(), faults.len());
+        assert_eq!(
+            result.expansion_counters.len(),
+            result.extra,
+            "one counter record per extra-detected fault"
+        );
+        assert!(result.conventional > 0);
+        assert!(result.extra >= 1);
+        assert_eq!(
+            result.detected_total(),
+            result.conventional + result.extra
+        );
+    }
+
+    #[test]
+    fn single_and_multi_thread_agree() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let serial = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.statuses, parallel.statuses);
+        assert_eq!(serial.extra, parallel.extra);
+    }
+
+    #[test]
+    fn proposed_detects_at_least_as_many_as_baseline() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let baseline = run_campaign(&c, &seq, &faults, &CampaignOptions::baseline());
+        let proposed = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        assert_eq!(baseline.conventional, proposed.conventional);
+        assert!(proposed.detected_total() >= baseline.detected_total());
+    }
+
+    #[test]
+    fn empty_fault_list() {
+        let (c, seq) = toggle();
+        let result = run_campaign(&c, &seq, &[], &CampaignOptions::new());
+        assert_eq!(result.total_faults, 0);
+        assert_eq!(result.detected_total(), 0);
+        assert_eq!(result.counter_averages().faults, 0);
+    }
+}

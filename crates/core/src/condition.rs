@@ -1,0 +1,88 @@
+//! The quantities `N_sv(u)`, `N_out(u)` and the necessary condition (C).
+
+use moa_sim::SimTrace;
+
+/// Computes the paper's `N_sv(u)` for all `0 <= u <= L`: the number of
+/// unspecified state variables of the faulty circuit at each time unit.
+pub fn n_sv_profile(faulty: &SimTrace) -> Vec<usize> {
+    (0..faulty.states.len())
+        .map(|u| faulty.num_unspecified_state_vars(u))
+        .collect()
+}
+
+/// Computes the paper's `N_out(u)` for all `0 <= u <= L`: the number of pairs
+/// `(u', o)` with `u' >= u` such that output `o` at time `u'` is specified in
+/// the fault-free circuit and unspecified in the faulty circuit.
+///
+/// Entry `L` is always 0 (there are no outputs at or after time `L`), which
+/// matches the convention used by the paper's example (`N_out(3) = 0` for
+/// Table 1's length-4 sequences… the table indexes times 0–3, so `N_out` of
+/// one past the last observed time unit vanishes).
+pub fn n_out_profile(good: &SimTrace, faulty: &SimTrace) -> Vec<usize> {
+    let l = good.outputs.len();
+    debug_assert_eq!(l, faulty.outputs.len());
+    let mut profile = vec![0usize; l + 1];
+    for u in (0..l).rev() {
+        let here = good.outputs[u]
+            .iter()
+            .zip(&faulty.outputs[u])
+            .filter(|(g, f)| g.is_specified() && !f.is_specified())
+            .count();
+        profile[u] = profile[u + 1] + here;
+    }
+    profile
+}
+
+/// The necessary condition (C) of Section 3: there must exist a time unit `u`
+/// with `N_sv(u) > 0` and `N_out(u) > 0` for the fault to be detectable under
+/// the restricted multiple observation time approach with state expansion in
+/// the faulty circuit only. Faults failing it are dropped before collection.
+pub fn condition_c_holds(n_sv: &[usize], n_out: &[usize]) -> bool {
+    debug_assert_eq!(n_sv.len(), n_out.len());
+    n_sv.iter().zip(n_out).any(|(&sv, &out)| sv > 0 && out > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::parse_word;
+    use moa_sim::SimTrace;
+
+    fn trace(states: &[&str], outputs: &[&str]) -> SimTrace {
+        SimTrace {
+            states: states.iter().map(|w| parse_word(w).unwrap()).collect(),
+            outputs: outputs.iter().map(|w| parse_word(w).unwrap()).collect(),
+        }
+    }
+
+    /// The exact numbers of the paper's Table 1(a): `N_out(0) = 4`,
+    /// `N_out(1) = 3`, `N_out(2) = 1`, `N_out(3) = 0`.
+    #[test]
+    fn n_out_matches_table_1() {
+        let good = trace(
+            &["xx", "x0", "1x", "00", "00"],
+            &["xx0", "0x1", "111", "011"],
+        );
+        let faulty = trace(
+            &["xx", "xx", "0x", "x1", "x1"],
+            &["x0x", "xxx", "1x1", "011"],
+        );
+        let n_out = n_out_profile(&good, &faulty);
+        assert_eq!(n_out, vec![4, 3, 1, 0, 0]);
+    }
+
+    #[test]
+    fn n_sv_counts_unspecified_state_vars() {
+        let faulty = trace(&["xx", "x1", "00"], &["x", "x"]);
+        assert_eq!(n_sv_profile(&faulty), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn condition_c() {
+        // sv>0 and out>0 never coincide → fails.
+        assert!(!condition_c_holds(&[0, 1, 1], &[2, 0, 0]));
+        // coincide at u=1 → holds.
+        assert!(condition_c_holds(&[0, 1, 1], &[2, 2, 0]));
+        assert!(!condition_c_holds(&[0, 0], &[5, 5]));
+    }
+}

@@ -1,0 +1,153 @@
+//! The per-fault effectiveness counters of the paper's Table 3.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Per-fault counters `N_det(f)`, `N_conf(f)` and `N_extra(f)`.
+///
+/// They are incremented per pair `(u, i)` selected for expansion, following
+/// Section 4 of the paper:
+///
+/// - a value `α` whose backward implication detected the fault increments
+///   `n_det` and adds `N_extra(u, i, ᾱ)` to `n_extra`,
+/// - a value `α` whose backward implication conflicted increments `n_conf`
+///   and adds `N_extra(u, i, ᾱ)` to `n_extra`,
+/// - otherwise (a genuine two-way expansion) `n_extra` grows by
+///   `N_extra(u, i, 0) + N_extra(u, i, 1)`.
+///
+/// Without backward implications `n_det = n_conf = 0` and each expansion
+/// contributes exactly 2, so with at most 6 expansions (the 64-sequence
+/// limit), `n_extra <= 12` — the yardstick the paper compares against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Number of one-sided detections discovered during selection.
+    pub n_det: u64,
+    /// Number of one-sided conflicts discovered during selection.
+    pub n_conf: u64,
+    /// Total state-variable values specified through selected pairs.
+    pub n_extra: u64,
+}
+
+impl Counters {
+    /// The all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        self.n_det += rhs.n_det;
+        self.n_conf += rhs.n_conf;
+        self.n_extra += rhs.n_extra;
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "det={} conf={} extra={}",
+            self.n_det, self.n_conf, self.n_extra
+        )
+    }
+}
+
+/// Averages of the counters over a set of faults — one row of Table 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CounterAverages {
+    /// Number of faults averaged over.
+    pub faults: usize,
+    /// Average `N_det(f)`.
+    pub det: f64,
+    /// Average `N_conf(f)`.
+    pub conf: f64,
+    /// Average `N_extra(f)`.
+    pub extra: f64,
+}
+
+impl CounterAverages {
+    /// Averages `counters` over its length; all-zero for an empty slice.
+    pub fn of(counters: &[Counters]) -> Self {
+        if counters.is_empty() {
+            return Self::default();
+        }
+        let n = counters.len() as f64;
+        let mut sum = Counters::new();
+        for &c in counters {
+            sum += c;
+        }
+        CounterAverages {
+            faults: counters.len(),
+            det: sum.n_det as f64 / n,
+            conf: sum.n_conf as f64 / n,
+            extra: sum.n_extra as f64 / n,
+        }
+    }
+}
+
+impl fmt::Display for CounterAverages {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>8.2} {:>8.2} {:>8.2}",
+            self.det, self.conf, self.extra
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Counters::new();
+        a += Counters {
+            n_det: 1,
+            n_conf: 2,
+            n_extra: 3,
+        };
+        a += Counters {
+            n_det: 10,
+            n_conf: 20,
+            n_extra: 30,
+        };
+        assert_eq!(
+            a,
+            Counters {
+                n_det: 11,
+                n_conf: 22,
+                n_extra: 33
+            }
+        );
+        assert_eq!(a.to_string(), "det=11 conf=22 extra=33");
+    }
+
+    #[test]
+    fn averages() {
+        let avg = CounterAverages::of(&[
+            Counters {
+                n_det: 2,
+                n_conf: 0,
+                n_extra: 10,
+            },
+            Counters {
+                n_det: 4,
+                n_conf: 2,
+                n_extra: 20,
+            },
+        ]);
+        assert_eq!(avg.faults, 2);
+        assert_eq!(avg.det, 3.0);
+        assert_eq!(avg.conf, 1.0);
+        assert_eq!(avg.extra, 15.0);
+    }
+
+    #[test]
+    fn empty_averages_are_zero() {
+        let avg = CounterAverages::of(&[]);
+        assert_eq!(avg.faults, 0);
+        assert_eq!(avg.det, 0.0);
+    }
+}

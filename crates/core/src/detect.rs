@@ -1,0 +1,84 @@
+//! Section 3.2 — identifying faults detected by implications alone.
+
+use crate::collect::{Collection, PairKey};
+
+/// Finds a pair proving detection directly from the collected information:
+/// some `(u, i)` where `detect(u, i, ᾱ) = 1` and (`conf(u, i, α) = 1` or
+/// `detect(u, i, α) = 1`).
+///
+/// Setting `Y_i` to either value at `u - 1` then yields a conflict (the value
+/// is impossible) or a detection, so the fault is detected for every feasible
+/// behaviour — no state expansion is needed.
+pub fn detection_from_collection(collection: &Collection) -> Option<PairKey> {
+    for (key, info) in &collection.pairs {
+        for a in 0..2 {
+            if info.detect[a] && (info.conf[1 - a] || info.detect[1 - a]) {
+                return Some(*key);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::PairInfo;
+
+    fn pair(conf: [bool; 2], detect: [bool; 2]) -> (PairKey, PairInfo) {
+        (
+            PairKey { u: 1, i: 0 },
+            PairInfo {
+                conf,
+                detect,
+                extra: Default::default(),
+            },
+        )
+    }
+
+    #[test]
+    fn detect_plus_conflict_is_detected() {
+        let coll = Collection {
+            pairs: vec![pair([true, false], [false, true])],
+            ..Default::default()
+        };
+        assert_eq!(
+            detection_from_collection(&coll),
+            Some(PairKey { u: 1, i: 0 })
+        );
+    }
+
+    #[test]
+    fn detect_plus_detect_is_detected() {
+        let coll = Collection {
+            pairs: vec![pair([false, false], [true, true])],
+            ..Default::default()
+        };
+        assert!(detection_from_collection(&coll).is_some());
+    }
+
+    #[test]
+    fn conflict_alone_is_not_detection() {
+        let coll = Collection {
+            pairs: vec![pair([true, false], [false, false])],
+            ..Default::default()
+        };
+        assert_eq!(detection_from_collection(&coll), None);
+    }
+
+    #[test]
+    fn single_sided_detect_is_not_enough() {
+        // detect(α) with the other side open: the fault may escape when
+        // y_i = ᾱ, so nothing is proven.
+        let coll = Collection {
+            pairs: vec![pair([false, false], [false, true])],
+            ..Default::default()
+        };
+        assert_eq!(detection_from_collection(&coll), None);
+    }
+
+    #[test]
+    fn empty_collection() {
+        assert_eq!(detection_from_collection(&Collection::default()), None);
+    }
+}

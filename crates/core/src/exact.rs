@@ -1,0 +1,232 @@
+//! Exhaustive ground truth for the restricted multiple observation time
+//! approach.
+//!
+//! For a circuit with `k` flip-flops and a binary test sequence, a fault is
+//! detected under the restricted MOA iff *every* one of the `2^k` binary
+//! initial states of the faulty machine produces an output sequence that
+//! conflicts with the (three-valued) fault-free response at some position
+//! where the fault-free value is specified. This module enumerates all
+//! initial states, 64 at a time, with the bit-parallel simulator — feasible
+//! for small `k` and used by the test suites to validate that the paper's
+//! procedure is *sound* (it never claims detection the exact check refutes).
+
+use moa_netlist::{Circuit, Fault};
+use moa_sim::{packed_next_state, packed_outputs, run_packed_frame, SimTrace, TestSequence};
+
+/// The exact verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactOutcome {
+    /// Every initial state of the faulty machine conflicts with the
+    /// fault-free response: the fault is detected under the restricted MOA.
+    Detected,
+    /// At least one initial state of the faulty machine reproduces the
+    /// fault-free response at every specified position.
+    NotDetected {
+        /// One surviving initial state (flip-flop values in index order).
+        surviving_state: Vec<bool>,
+    },
+}
+
+impl ExactOutcome {
+    /// `true` for [`ExactOutcome::Detected`].
+    pub fn is_detected(&self) -> bool {
+        matches!(self, ExactOutcome::Detected)
+    }
+}
+
+/// Exhaustively decides restricted-MOA detection of `fault` under `seq`.
+///
+/// Returns `None` when the check is infeasible: more than `max_flip_flops`
+/// state variables, or a test sequence containing `X` values.
+///
+/// `good` must be the fault-free trace of `seq`.
+///
+/// # Panics
+///
+/// Panics if `max_flip_flops >= 28` (the enumeration would be astronomically
+/// large; the guard keeps accidental misuse from hanging).
+///
+/// # Example
+///
+/// ```
+/// use moa_core::{exact_moa_check, ExactOutcome};
+/// use moa_netlist::{parse_bench, Fault};
+/// use moa_sim::{simulate, TestSequence};
+///
+/// let c = parse_bench(
+///     "INPUT(r)\nOUTPUT(z)\nq = DFF(d)\nnq = NOT(q)\nd = AND(r, nq)\nz = BUFF(q)\n",
+/// )?;
+/// let seq = TestSequence::from_words(&["0", "0", "0"])?;
+/// let good = simulate(&c, &seq, None);
+/// let fault = Fault::stem(c.find_net("r").unwrap(), true);
+/// let outcome = exact_moa_check(&c, &seq, &good, &fault, 16).unwrap();
+/// assert!(outcome.is_detected());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn exact_moa_check(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    max_flip_flops: usize,
+) -> Option<ExactOutcome> {
+    assert!(max_flip_flops < 28, "exact enumeration bound is too large");
+    let k = circuit.num_flip_flops();
+    if k > max_flip_flops || !seq.is_fully_specified() {
+        return None;
+    }
+
+    let patterns: Vec<Vec<bool>> = seq
+        .iter()
+        .map(|p| p.iter().map(|v| v.to_bool().expect("binary")).collect())
+        .collect();
+
+    let total: u64 = 1u64 << k;
+    let mut base = 0u64;
+    while base < total {
+        let batch = (total - base).min(64) as u32;
+        let valid: u64 = if batch == 64 { u64::MAX } else { (1u64 << batch) - 1 };
+        // Slot s encodes initial state index base + s.
+        let mut state: Vec<u64> = (0..k)
+            .map(|i| {
+                let mut word = 0u64;
+                for s in 0..batch as u64 {
+                    if (base + s) >> i & 1 == 1 {
+                        word |= 1 << s;
+                    }
+                }
+                word
+            })
+            .collect();
+
+        let mut mismatched = 0u64;
+        for (u, pattern) in patterns.iter().enumerate() {
+            let frame = run_packed_frame(circuit, pattern, &state, Some(fault));
+            let outs = packed_outputs(circuit, &frame);
+            for (o, &word) in outs.iter().enumerate() {
+                match good.outputs[u][o].to_bool() {
+                    Some(true) => mismatched |= !word,
+                    Some(false) => mismatched |= word,
+                    None => {}
+                }
+            }
+            state = packed_next_state(circuit, &frame, Some(fault));
+        }
+
+        let surviving = valid & !mismatched;
+        if surviving != 0 {
+            let slot = surviving.trailing_zeros() as u64;
+            let index = base + slot;
+            let surviving_state = (0..k).map(|i| index >> i & 1 == 1).collect();
+            return Some(ExactOutcome::NotDetected { surviving_state });
+        }
+        base += 64;
+    }
+    Some(ExactOutcome::Detected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::GateKind;
+    use moa_netlist::CircuitBuilder;
+    use moa_sim::simulate;
+
+    fn toggle() -> (Circuit, TestSequence, SimTrace) {
+        let mut b = CircuitBuilder::new("toggle");
+        b.add_input("r").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Not, "nq", &["q"]).unwrap();
+        b.add_gate(GateKind::And, "d", &["r", "nq"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["0", "0", "0"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        (c, seq, good)
+    }
+
+    #[test]
+    fn detects_the_reset_fault() {
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        assert_eq!(
+            exact_moa_check(&c, &seq, &good, &fault, 16),
+            Some(ExactOutcome::Detected)
+        );
+    }
+
+    #[test]
+    fn reports_a_surviving_state() {
+        // nq stuck-at-1 → d = r = 0 = good d: behaviourally equivalent under
+        // this sequence, so every initial state survives.
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("nq").unwrap(), true);
+        match exact_moa_check(&c, &seq, &good, &fault, 16) {
+            Some(ExactOutcome::NotDetected { surviving_state }) => {
+                assert_eq!(surviving_state.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partially_detected_fault_is_not_moa_detected() {
+        // z = OR(a, q), d = BUF(q), a stuck-at-0: starting at q=1 the faulty
+        // machine matches forever → not detected.
+        let mut b = CircuitBuilder::new("or");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Or, "z", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Buf, "d", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["1", "1"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let fault = Fault::stem(c.find_net("a").unwrap(), false);
+        match exact_moa_check(&c, &seq, &good, &fault, 16) {
+            Some(ExactOutcome::NotDetected { surviving_state }) => {
+                assert_eq!(surviving_state, vec![true]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_flip_flops_returns_none() {
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        assert_eq!(exact_moa_check(&c, &seq, &good, &fault, 0), None);
+    }
+
+    #[test]
+    fn multi_ff_enumeration_crosses_batches() {
+        // 7 flip-flops → 128 initial states → two 64-slot batches.
+        let mut b = CircuitBuilder::new("wide");
+        b.add_input("r").unwrap();
+        let mut or_terms = Vec::new();
+        for i in 0..7 {
+            let q = format!("q{i}");
+            let d = format!("d{i}");
+            b.add_flip_flop(&q, &d).unwrap();
+            b.add_gate(GateKind::And, &d, &[&"r".to_string(), &q]).unwrap();
+            or_terms.push(q);
+        }
+        let refs: Vec<&str> = or_terms.iter().map(String::as_str).collect();
+        b.add_gate(GateKind::Or, "z", &refs).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        // r=0 clears every flip-flop: good z = x,0.
+        let seq = TestSequence::from_words(&["0", "0"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        // r stuck-at-1 holds the state: any nonzero initial state keeps z=1
+        // (mismatch), but the all-zero state matches → not detected.
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        match exact_moa_check(&c, &seq, &good, &fault, 16) {
+            Some(ExactOutcome::NotDetected { surviving_state }) => {
+                assert!(surviving_state.iter().all(|&b| !b));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Section 3.3 / Procedure 2 — selecting pairs and expanding states.
+
+use std::collections::BTreeSet;
+
+use moa_sim::SimTrace;
+
+use crate::collect::{Collection, PairKey};
+use crate::counters::Counters;
+use crate::stateseq::StateSequence;
+use crate::MoaOptions;
+
+/// The result of the expansion phase.
+#[derive(Debug, Clone)]
+pub enum ExpandOutcome {
+    /// The forced assignments of phase 1 contradicted each other. Every
+    /// forced value is implied for all behaviours not already covered by a
+    /// detection, so a contradiction proves every behaviour detected.
+    DetectedByForcedAssignments {
+        /// Counters accumulated up to the contradiction.
+        counters: Counters,
+    },
+    /// The set `S` of state sequences to resimulate.
+    Expanded {
+        /// The expanded sequences (at most [`MoaOptions::n_states`]).
+        sequences: Vec<StateSequence>,
+        /// Pairs chosen in phase 2, in selection order.
+        selected: Vec<PairKey>,
+        /// Table-3 counters for this fault.
+        counters: Counters,
+        /// `true` when expansion stopped at the `N_STATES` limit while
+        /// eligible pairs remained — the paper's *aborted* condition (its
+        /// Section 4 notes that every fault the proposed procedure recovered
+        /// on s5378 had been aborted by \[4] at the 64-state limit).
+        aborted: bool,
+    },
+}
+
+/// Runs Procedure 2.
+///
+/// Phase 1 applies every *forced* pair — a pair whose backward implication
+/// conflicted or detected for one value `α`, so that `y_i` must be `ᾱ` (up to
+/// already-detected behaviours) — by writing `extra(u, i, ᾱ)` into the base
+/// sequence `S_0`. Phase 2 repeatedly selects a two-way pair by the paper's
+/// four criteria and splits every sequence, applying `extra(u, i, 0)` to one
+/// copy and `extra(u, i, 1)` to the other, until `N_STATES` sequences exist
+/// or no pair is eligible.
+///
+/// `n_out` / `n_sv` are the static profiles of the conventional traces
+/// (criteria 1 and 2 rank time units by them).
+pub fn expand(
+    collection: &Collection,
+    faulty: &SimTrace,
+    n_out: &[usize],
+    n_sv: &[usize],
+    options: &MoaOptions,
+) -> ExpandOutcome {
+    let mut counters = Counters::new();
+    let mut base = StateSequence::from_trace(faulty);
+
+    // Phase 1: forced assignments.
+    for (key, info) in &collection.pairs {
+        if info.both_forced() {
+            // Every value of Y_i leads to a conflict or a detection. (The
+            // detect+detect and detect+conf cases are normally consumed by
+            // the Section 3.2 check before expansion; conf+conf cannot occur
+            // for a sound implication engine.)
+            counters.n_det += info.detect.iter().filter(|&&d| d).count() as u64;
+            counters.n_conf += info.conf.iter().filter(|&&c| c).count() as u64;
+            return ExpandOutcome::DetectedByForcedAssignments { counters };
+        }
+        let Some(alpha) = info.forced_side() else {
+            continue;
+        };
+        let keep = 1 - alpha;
+        if info.detect[alpha] {
+            counters.n_det += 1;
+        } else {
+            counters.n_conf += 1;
+        }
+        counters.n_extra += info.extra[keep].len() as u64;
+        for &(j, beta) in &info.extra[keep] {
+            if !base.assign(key.u, j, beta) {
+                // Two forced implications contradict: all remaining
+                // behaviours were covered by detections.
+                return ExpandOutcome::DetectedByForcedAssignments { counters };
+            }
+        }
+    }
+
+    // Phase 2: two-way expansion.
+    let mut sequences = vec![base];
+    let mut selected = Vec::new();
+    let mut exhausted = false;
+    while sequences.len() * 2 <= options.n_states {
+        let Some(choice) = select_pair(collection, &sequences, n_out, n_sv) else {
+            exhausted = true;
+            break;
+        };
+        let (key, info) = choice;
+        selected.push(key);
+        counters.n_extra += (info.extra[0].len() + info.extra[1].len()) as u64;
+
+        let mut next = Vec::with_capacity(sequences.len() * 2);
+        for seq in sequences {
+            let mut zero_copy = seq.clone();
+            let mut one_copy = seq;
+            for &(j, beta) in &info.extra[0] {
+                let ok = zero_copy.assign(key.u, j, beta);
+                debug_assert!(ok, "selection constraint guarantees unspecified targets");
+            }
+            for &(j, beta) in &info.extra[1] {
+                let ok = one_copy.assign(key.u, j, beta);
+                debug_assert!(ok, "selection constraint guarantees unspecified targets");
+            }
+            next.push(zero_copy);
+            next.push(one_copy);
+        }
+        sequences = next;
+    }
+
+    let aborted = !exhausted && select_pair(collection, &sequences, n_out, n_sv).is_some();
+    ExpandOutcome::Expanded {
+        sequences,
+        selected,
+        counters,
+        aborted,
+    }
+}
+
+/// Applies Procedure 2's steps 3–7: builds the eligible set `E` and shrinks
+/// it by the four criteria, returning one surviving pair.
+fn select_pair<'a>(
+    collection: &'a Collection,
+    sequences: &[StateSequence],
+    n_out: &[usize],
+    n_sv: &[usize],
+) -> Option<(PairKey, &'a crate::collect::PairInfo)> {
+    // Step 3 — E: two-way pairs whose sv(u, i) is unspecified at u in every
+    // sequence; criteria gate on N_out(u) > 0 and N_sv(u) > 0.
+    let mut eligible: Vec<(PairKey, &crate::collect::PairInfo)> = collection
+        .pairs
+        .iter()
+        .filter(|(key, info)| {
+            info.is_two_way()
+                && n_out[key.u] > 0
+                && n_sv[key.u] > 0
+                && sv_set(info)
+                    .iter()
+                    .all(|&j| sequences.iter().all(|s| !s.value(key.u, j).is_specified()))
+        })
+        .map(|(key, info)| (*key, info))
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+
+    // Step 4 — keep maximal N_out(u).
+    let best = eligible.iter().map(|(k, _)| n_out[k.u]).max().unwrap();
+    eligible.retain(|(k, _)| n_out[k.u] == best);
+    // Step 5 — keep minimal N_sv(u).
+    let best = eligible.iter().map(|(k, _)| n_sv[k.u]).min().unwrap();
+    eligible.retain(|(k, _)| n_sv[k.u] == best);
+    // Step 6a — keep maximal min(N_extra(·,0), N_extra(·,1)).
+    let best = eligible
+        .iter()
+        .map(|(_, i)| i.n_extra(0).min(i.n_extra(1)))
+        .max()
+        .unwrap();
+    eligible.retain(|(_, i)| i.n_extra(0).min(i.n_extra(1)) == best);
+    // Step 6b — keep maximal max(N_extra(·,0), N_extra(·,1)).
+    let best = eligible
+        .iter()
+        .map(|(_, i)| i.n_extra(0).max(i.n_extra(1)))
+        .max()
+        .unwrap();
+    eligible.retain(|(_, i)| i.n_extra(0).max(i.n_extra(1)) == best);
+    // Step 7 — any survivor; take the first (collection order) for
+    // determinism.
+    eligible.into_iter().next()
+}
+
+/// The paper's `sv(u, i)`: state variables whose value at `u` is determined
+/// by either expansion value.
+fn sv_set(info: &crate::collect::PairInfo) -> BTreeSet<usize> {
+    info.extra[0]
+        .iter()
+        .chain(&info.extra[1])
+        .map(|&(j, _)| j)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::PairInfo;
+    use moa_logic::V3;
+
+    fn x_trace(ffs: usize, len: usize) -> SimTrace {
+        SimTrace {
+            states: vec![vec![V3::X; ffs]; len + 1],
+            outputs: vec![vec![V3::X]; len],
+        }
+    }
+
+    fn two_way(u: usize, i: usize, extra0: &[(usize, V3)], extra1: &[(usize, V3)]) -> (PairKey, PairInfo) {
+        (
+            PairKey { u, i },
+            PairInfo {
+                conf: [false; 2],
+                detect: [false; 2],
+                extra: [extra0.to_vec(), extra1.to_vec()],
+            },
+        )
+    }
+
+    #[test]
+    fn forced_pair_updates_base_without_splitting() {
+        let mut info = PairInfo {
+            conf: [false, true], // Y=1 conflicts → y must be 0
+            detect: [false, false],
+            extra: [vec![(0, V3::Zero), (1, V3::One)], Vec::new()],
+        };
+        info.extra[1].clear();
+        let coll = Collection {
+            pairs: vec![(PairKey { u: 1, i: 0 }, info)],
+            ..Default::default()
+        };
+        let trace = x_trace(2, 2);
+        let opts = MoaOptions::default();
+        match expand(&coll, &trace, &[1, 1, 0], &[2, 2, 2], &opts) {
+            ExpandOutcome::Expanded {
+                sequences,
+                selected,
+                counters,
+                ..
+            } => {
+                assert_eq!(sequences.len(), 1, "no split for a forced pair");
+                assert!(selected.is_empty());
+                assert_eq!(sequences[0].value(1, 0), V3::Zero);
+                assert_eq!(sequences[0].value(1, 1), V3::One);
+                assert_eq!(counters.n_conf, 1);
+                assert_eq!(counters.n_det, 0);
+                assert_eq!(counters.n_extra, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_forced_pairs_prove_detection() {
+        let p1 = (
+            PairKey { u: 1, i: 0 },
+            PairInfo {
+                conf: [false, true],
+                detect: [false, false],
+                extra: [vec![(0, V3::Zero), (1, V3::Zero)], Vec::new()],
+            },
+        );
+        let p2 = (
+            PairKey { u: 1, i: 1 },
+            PairInfo {
+                conf: [true, false],
+                detect: [false, false],
+                extra: [Vec::new(), vec![(1, V3::One)]],
+            },
+        );
+        let coll = Collection {
+            pairs: vec![p1, p2],
+            ..Default::default()
+        };
+        let trace = x_trace(2, 2);
+        match expand(&coll, &trace, &[1, 1, 0], &[2, 2, 2], &MoaOptions::default()) {
+            ExpandOutcome::DetectedByForcedAssignments { counters } => {
+                assert_eq!(counters.n_conf, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_way_expansion_doubles_until_limit() {
+        // Three independent pairs; N_STATES = 4 allows two selections.
+        let coll = Collection {
+            pairs: vec![
+                two_way(1, 0, &[(0, V3::Zero)], &[(0, V3::One)]),
+                two_way(1, 1, &[(1, V3::Zero)], &[(1, V3::One)]),
+                two_way(1, 2, &[(2, V3::Zero)], &[(2, V3::One)]),
+            ],
+            ..Default::default()
+        };
+        let trace = x_trace(3, 2);
+        let opts = MoaOptions::default().with_n_states(4);
+        match expand(&coll, &trace, &[2, 1, 0], &[3, 3, 3], &opts) {
+            ExpandOutcome::Expanded {
+                sequences,
+                selected,
+                counters,
+                aborted,
+            } => {
+                assert!(aborted, "a third eligible pair remained at the limit");
+                assert_eq!(sequences.len(), 4);
+                assert_eq!(selected.len(), 2);
+                assert_eq!(counters.n_extra, 4);
+                // All four combinations of the two selected variables exist.
+                let mut combos: Vec<(V3, V3)> = sequences
+                    .iter()
+                    .map(|s| (s.value(1, 0), s.value(1, 1)))
+                    .collect();
+                combos.sort_by_key(|&(a, b)| (a as u8, b as u8));
+                combos.dedup();
+                assert_eq!(combos.len(), 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selection_prefers_higher_n_out_then_lower_n_sv_then_extras() {
+        // Pair A at u=1 (N_out=5), pair B at u=2 (N_out=3): A wins by
+        // criterion 1 even though B has bigger extras.
+        let coll = Collection {
+            pairs: vec![
+                two_way(2, 1, &[(1, V3::Zero), (2, V3::Zero)], &[(1, V3::One), (2, V3::One)]),
+                two_way(1, 0, &[(0, V3::Zero)], &[(0, V3::One)]),
+            ],
+            ..Default::default()
+        };
+        let trace = x_trace(3, 3);
+        let opts = MoaOptions::default().with_n_states(2);
+        match expand(&coll, &trace, &[6, 5, 3, 0], &[3, 3, 3, 3], &opts) {
+            ExpandOutcome::Expanded { selected, .. } => {
+                assert_eq!(selected, vec![PairKey { u: 1, i: 0 }]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // With equal N_out and N_sv, the larger min-extra wins.
+        let coll = Collection {
+            pairs: vec![
+                two_way(1, 0, &[(0, V3::Zero)], &[(0, V3::One)]),
+                two_way(1, 1, &[(1, V3::Zero), (2, V3::Zero)], &[(1, V3::One), (2, V3::One)]),
+            ],
+            ..Default::default()
+        };
+        match expand(&coll, &trace, &[5, 5, 0, 0], &[3, 3, 3, 3], &opts) {
+            ExpandOutcome::Expanded { selected, .. } => {
+                assert_eq!(selected, vec![PairKey { u: 1, i: 1 }]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sv_constraint_excludes_overlapping_pairs() {
+        // Pair B's sv includes variable 0, which pair A specifies: after
+        // selecting A, B is ineligible, so only one split happens.
+        let coll = Collection {
+            pairs: vec![
+                two_way(1, 0, &[(0, V3::Zero)], &[(0, V3::One)]),
+                two_way(1, 1, &[(1, V3::Zero), (0, V3::Zero)], &[(1, V3::One)]),
+            ],
+            ..Default::default()
+        };
+        let trace = x_trace(2, 2);
+        let opts = MoaOptions::default().with_n_states(64);
+        match expand(&coll, &trace, &[2, 1, 0], &[2, 2, 2], &opts) {
+            ExpandOutcome::Expanded {
+                sequences,
+                selected,
+                ..
+            } => {
+                assert_eq!(selected.len(), 1);
+                assert_eq!(sequences.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_candidates_returns_single_base() {
+        let coll = Collection::default();
+        let trace = x_trace(2, 2);
+        match expand(&coll, &trace, &[1, 1, 0], &[2, 2, 2], &MoaOptions::default()) {
+            ExpandOutcome::Expanded { sequences, .. } => assert_eq!(sequences.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

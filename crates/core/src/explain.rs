@@ -1,0 +1,267 @@
+//! Per-fault explanation: a structured trace of how Procedure 1 reached its
+//! verdict, for debugging and teaching.
+//!
+//! [`explain_fault`] runs the same pipeline as
+//! [`simulate_fault`](crate::simulate_fault) but records what each stage saw:
+//! the conventional-trace comparison, the `N_sv`/`N_out` profiles and
+//! condition (C), the collected conflict/detection/extra records, the pairs
+//! chosen for expansion, and the per-sequence resimulation outcomes. The
+//! [`Display`](std::fmt::Display) rendering is what `moa explain` prints.
+
+use std::fmt;
+
+use moa_logic::format_word;
+use moa_netlist::{Circuit, Fault};
+use moa_sim::{conventional_detection, simulate, SimTrace, TestSequence};
+
+use crate::collect::{collect_pairs, Collection, PairKey};
+use crate::condition::{condition_c_holds, n_out_profile, n_sv_profile};
+use crate::detect::detection_from_collection;
+use crate::expand::{expand, ExpandOutcome};
+use crate::procedure::FaultStatus;
+use crate::resim::{resimulate, SequenceOutcome};
+use crate::MoaOptions;
+
+/// Everything the pipeline observed for one fault.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The explained fault, rendered with net names.
+    pub fault: String,
+    /// The final verdict (same as [`crate::simulate_fault`] would return).
+    pub status: FaultStatus,
+    /// Fault-free output sequence, one word per time unit.
+    pub good_outputs: Vec<String>,
+    /// Faulty output sequence under conventional simulation.
+    pub faulty_outputs: Vec<String>,
+    /// Faulty state sequence under conventional simulation.
+    pub faulty_states: Vec<String>,
+    /// `N_sv(u)` profile.
+    pub n_sv: Vec<usize>,
+    /// `N_out(u)` profile.
+    pub n_out: Vec<usize>,
+    /// Whether the necessary condition (C) held.
+    pub condition_c: bool,
+    /// Per-pair collection summary lines (only interesting pairs: conflicts,
+    /// detections, or extras beyond the trivial one).
+    pub collection_highlights: Vec<String>,
+    /// Pairs selected in Procedure 2's phase 2 (two-way expansions).
+    pub selected_pairs: Vec<PairKey>,
+    /// Number of sequences after expansion.
+    pub sequences: usize,
+    /// Per-sequence resimulation outcomes, rendered.
+    pub sequence_outcomes: Vec<String>,
+}
+
+/// Runs the pipeline for `fault`, recording each stage (see the module docs).
+pub fn explain_fault(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+) -> Explanation {
+    let faulty = simulate(circuit, seq, Some(fault));
+    let n_sv = n_sv_profile(&faulty);
+    let n_out = n_out_profile(good, &faulty);
+    let condition_c = condition_c_holds(&n_sv[..n_out.len()], &n_out);
+
+    let mut explanation = Explanation {
+        fault: fault.describe(circuit),
+        status: FaultStatus::SkippedConditionC, // refined below
+        good_outputs: good.outputs.iter().map(|o| format_word(o)).collect(),
+        faulty_outputs: faulty.outputs.iter().map(|o| format_word(o)).collect(),
+        faulty_states: faulty.states.iter().map(|s| format_word(s)).collect(),
+        n_sv: n_sv.clone(),
+        n_out: n_out.clone(),
+        condition_c,
+        collection_highlights: Vec::new(),
+        selected_pairs: Vec::new(),
+        sequences: 0,
+        sequence_outcomes: Vec::new(),
+    };
+
+    if let Some(det) = conventional_detection(good, &faulty) {
+        explanation.status = FaultStatus::DetectedConventional(det);
+        return explanation;
+    }
+    if options.check_condition_c && !condition_c {
+        return explanation;
+    }
+
+    let collection = collect_pairs(circuit, seq, good, &faulty, Some(fault), &n_out, options);
+    explanation.collection_highlights = highlights(&collection);
+
+    if let Some(key) = detection_from_collection(&collection) {
+        explanation.status = FaultStatus::DetectedByImplications(key);
+        return explanation;
+    }
+
+    let (sequences, aborted) = match expand(&collection, &faulty, &n_out, &n_sv, options) {
+        ExpandOutcome::DetectedByForcedAssignments { .. } => {
+            explanation.status = FaultStatus::DetectedByForcedAssignments;
+            return explanation;
+        }
+        ExpandOutcome::Expanded {
+            sequences,
+            selected,
+            aborted,
+            ..
+        } => {
+            explanation.selected_pairs = selected;
+            (sequences, aborted)
+        }
+    };
+    explanation.sequences = sequences.len();
+
+    let verdict = resimulate(circuit, seq, good, Some(fault), sequences);
+    explanation.sequence_outcomes = verdict
+        .outcomes
+        .iter()
+        .map(|o| match o {
+            SequenceOutcome::Detected(d) => {
+                format!("detected at time {} on output {}", d.time, d.output)
+            }
+            SequenceOutcome::Infeasible { time } => format!("infeasible at time {time}"),
+            SequenceOutcome::Undecided => "undecided".to_owned(),
+        })
+        .collect();
+    explanation.status = if verdict.detected() {
+        FaultStatus::DetectedByExpansion {
+            sequences: explanation.sequences,
+        }
+    } else {
+        FaultStatus::NotDetected {
+            undecided: verdict.undecided(),
+            sequences: explanation.sequences,
+            truncated: collection.truncated,
+            aborted,
+        }
+    };
+    explanation
+}
+
+fn highlights(collection: &Collection) -> Vec<String> {
+    collection
+        .pairs
+        .iter()
+        .filter(|(key, info)| {
+            key.u > 0
+                && (info.conf.iter().any(|&c| c)
+                    || info.detect.iter().any(|&d| d)
+                    || info.n_extra(0).max(info.n_extra(1)) > 1)
+        })
+        .map(|(key, info)| {
+            let mut parts = Vec::new();
+            for (a, alpha) in ["0", "1"].iter().enumerate() {
+                if info.conf[a] {
+                    parts.push(format!("Y={alpha} conflicts"));
+                } else if info.detect[a] {
+                    parts.push(format!("Y={alpha} detects"));
+                } else if info.n_extra(a) > 1 {
+                    parts.push(format!("Y={alpha} specifies {} extra", info.n_extra(a)));
+                }
+            }
+            format!("(u={}, y_{}): {}", key.u, key.i, parts.join(", "))
+        })
+        .collect()
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fault: {}", self.fault)?;
+        writeln!(f, "verdict: {:?}", self.status)?;
+        writeln!(f, "good outputs   : {}", self.good_outputs.join(" "))?;
+        writeln!(f, "faulty outputs : {}", self.faulty_outputs.join(" "))?;
+        writeln!(f, "faulty states  : {}", self.faulty_states.join(" "))?;
+        writeln!(f, "N_sv profile   : {:?}", self.n_sv)?;
+        writeln!(f, "N_out profile  : {:?}", self.n_out)?;
+        writeln!(f, "condition (C)  : {}", self.condition_c)?;
+        if !self.collection_highlights.is_empty() {
+            writeln!(f, "backward implications:")?;
+            for h in &self.collection_highlights {
+                writeln!(f, "  {h}")?;
+            }
+        }
+        if !self.selected_pairs.is_empty() {
+            let pairs: Vec<String> = self
+                .selected_pairs
+                .iter()
+                .map(|k| format!("(u={}, y_{})", k.u, k.i))
+                .collect();
+            writeln!(f, "expanded pairs : {}", pairs.join(", "))?;
+        }
+        if self.sequences > 0 {
+            writeln!(f, "sequences      : {}", self.sequences)?;
+            for (k, o) in self.sequence_outcomes.iter().enumerate() {
+                writeln!(f, "  S{}: {o}", k + 1)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::GateKind;
+    use moa_netlist::CircuitBuilder;
+
+    fn toggle() -> (Circuit, TestSequence, SimTrace) {
+        let mut b = CircuitBuilder::new("toggle");
+        b.add_input("r").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Not, "nq", &["q"]).unwrap();
+        b.add_gate(GateKind::And, "d", &["r", "nq"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["0", "0", "0"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        (c, seq, good)
+    }
+
+    #[test]
+    fn explains_an_expansion_detection() {
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        let e = explain_fault(&c, &seq, &good, &fault, &MoaOptions::default());
+        assert!(matches!(e.status, FaultStatus::DetectedByExpansion { .. }));
+        assert!(e.condition_c);
+        assert!(!e.collection_highlights.is_empty());
+        assert!(e.sequences >= 2);
+        let text = e.to_string();
+        assert!(text.contains("r stuck-at-1"));
+        assert!(text.contains("condition (C)  : true"));
+        assert!(text.contains("S1:"));
+    }
+
+    #[test]
+    fn explains_a_conventional_detection() {
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("z").unwrap(), true);
+        let e = explain_fault(&c, &seq, &good, &fault, &MoaOptions::default());
+        assert!(matches!(e.status, FaultStatus::DetectedConventional(_)));
+        assert!(e.sequence_outcomes.is_empty());
+    }
+
+    #[test]
+    fn explains_a_condition_c_skip() {
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("d").unwrap(), false);
+        let e = explain_fault(&c, &seq, &good, &fault, &MoaOptions::default());
+        assert_eq!(e.status, FaultStatus::SkippedConditionC);
+        assert!(!e.condition_c);
+    }
+
+    /// The explanation's verdict must always match `simulate_fault`.
+    #[test]
+    fn verdicts_agree_with_simulate_fault() {
+        let (c, seq, good) = toggle();
+        let opts = MoaOptions::default();
+        for fault in moa_netlist::full_fault_list(&c) {
+            let e = explain_fault(&c, &seq, &good, &fault, &opts);
+            let r = crate::simulate_fault(&c, &seq, &good, &fault, &opts);
+            assert_eq!(e.status, r.status, "{}", fault.describe(&c));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Fault simulation under the restricted multiple observation time approach
+//! using state expansion and **backward implications**.
+//!
+//! This crate implements the core contribution of
+//!
+//! > I. Pomeranz and S. M. Reddy, *"Fault Simulation under the Multiple
+//! > Observation Time Approach using Backward Implications"*, DAC 1997,
+//!
+//! on top of the [`moa_netlist`] / [`moa_sim`] substrates:
+//!
+//! - [`imply::FrameContext`] — the single-time-frame implication engine
+//!   (one outputs→inputs justification pass, one inputs→outputs propagation
+//!   pass, with stuck-at fault injection),
+//! - [`collect_pairs`] — Section 3.1: per `(u, i, α)` records of conflicts,
+//!   detections and extra specified state variables,
+//! - [`detection_from_collection`] — Section 3.2: faults proven detected by
+//!   implications alone,
+//! - [`expand`] — Section 3.3 / Procedure 2: forced assignments plus limited
+//!   state expansion under the `N_out`/`N_sv`/`N_extra` selection criteria,
+//! - [`resimulate`] — Section 3.4: marked-time-unit resimulation dropping
+//!   each expanded sequence on detection or infeasibility,
+//! - [`simulate_fault`] — Procedure 1, tying the steps together,
+//! - [`run_campaign`] — whole-fault-list driver (with the necessary
+//!   condition (C) filter, Table-3 counters and optional multithreading),
+//! - [`exact_moa_check`] — an exhaustive ground-truth checker for circuits
+//!   with few flip-flops, used to validate soundness in tests.
+//!
+//! The expansion-only baseline of the paper's reference \[4] is the same
+//! pipeline with [`MoaOptions::baseline`] (backward implications disabled).
+//!
+//! # Example
+//!
+//! ```
+//! use moa_core::{simulate_fault, FaultStatus, MoaOptions};
+//! use moa_netlist::{parse_bench, Fault};
+//! use moa_sim::{simulate, TestSequence};
+//!
+//! // r=0 resets q, so the good machine outputs x,0,0. With r stuck-at-1 the
+//! // faulty machine toggles forever from an unknown state: conventional
+//! // simulation sees only X, yet *every* faulty initial state mismatches the
+//! // reset response somewhere — a multiple-observation-time detection.
+//! let c = parse_bench(
+//!     "INPUT(r)\nOUTPUT(z)\nq = DFF(d)\nnq = NOT(q)\nd = AND(r, nq)\nz = BUFF(q)\n",
+//! )?;
+//! let seq = TestSequence::from_words(&["0", "0", "0"])?;
+//! let good = simulate(&c, &seq, None);
+//! let fault = Fault::stem(c.find_net("r").unwrap(), true);
+//! let result = simulate_fault(&c, &seq, &good, &fault, &MoaOptions::default());
+//! assert!(result.status.is_extra_detected());
+//! assert!(!matches!(result.status, FaultStatus::DetectedConventional(_)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod campaign;
+mod chain;
+mod collect;
+mod condition;
+mod counters;
+mod detect;
+mod exact;
+mod expand;
+mod explain;
+pub mod imply;
+mod options;
+mod procedure;
+mod resim;
+mod resim_packed;
+mod stateseq;
+
+pub use campaign::{run_campaign, CampaignOptions, CampaignResult};
+pub use collect::{collect_pairs, Collection, PairInfo, PairKey};
+pub use condition::{condition_c_holds, n_out_profile, n_sv_profile};
+pub use counters::{CounterAverages, Counters};
+pub use detect::detection_from_collection;
+pub use exact::{exact_moa_check, ExactOutcome};
+pub use expand::{expand, ExpandOutcome};
+pub use explain::{explain_fault, Explanation};
+pub use options::MoaOptions;
+pub use procedure::{simulate_fault, simulate_fault_with, FaultResult, FaultStatus};
+pub use resim::{resimulate, ResimVerdict, SequenceOutcome};
+pub use resim_packed::resimulate_packed;
+pub use stateseq::StateSequence;

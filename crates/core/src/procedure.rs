@@ -1,0 +1,296 @@
+//! Procedure 1 — the per-fault simulation flow.
+
+use moa_netlist::{Circuit, Fault};
+use moa_sim::{
+    conventional_detection, simulate, simulate_differential, Detection, GoodFrames, SimTrace,
+    TestSequence,
+};
+
+use crate::collect::{collect_pairs, PairKey};
+use crate::condition::{condition_c_holds, n_out_profile, n_sv_profile};
+use crate::counters::Counters;
+use crate::detect::detection_from_collection;
+use crate::expand::{expand, ExpandOutcome};
+use crate::resim::resimulate;
+use crate::resim_packed::resimulate_packed;
+use crate::MoaOptions;
+
+/// How (or whether) a fault was identified as detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultStatus {
+    /// Detected by conventional three-valued simulation (single observation
+    /// time); the expansion machinery never ran.
+    DetectedConventional(Detection),
+    /// Dropped by the necessary condition (C): no time unit has both
+    /// unspecified state variables and recoverable output values, so the
+    /// restricted multiple observation time approach cannot detect it.
+    SkippedConditionC,
+    /// Detected by the Section 3.2 check: for pair `(u, i)`, both values of
+    /// `Y_i` at `u - 1` lead to a conflict or a detection.
+    DetectedByImplications(PairKey),
+    /// Detected because the forced assignments of Procedure 2's first phase
+    /// contradicted each other.
+    DetectedByForcedAssignments,
+    /// Detected after expansion: every one of the expanded state sequences
+    /// was dropped by a detection or proven infeasible during resimulation.
+    DetectedByExpansion {
+        /// Number of state sequences that were resimulated.
+        sequences: usize,
+    },
+    /// Not identified as detected.
+    NotDetected {
+        /// Sequences that survived resimulation undecided.
+        undecided: usize,
+        /// Total sequences after expansion.
+        sequences: usize,
+        /// `true` if the collection sweep hit its budget — the verdict might
+        /// improve with a larger [`MoaOptions::max_implication_runs`].
+        truncated: bool,
+        /// `true` if expansion hit the `N_STATES` limit with eligible pairs
+        /// remaining — the paper's *aborted* faults, the ones a larger limit
+        /// (or backward implications) might still detect.
+        aborted: bool,
+    },
+}
+
+impl FaultStatus {
+    /// `true` for any of the detected variants.
+    pub fn is_detected(&self) -> bool {
+        matches!(
+            self,
+            FaultStatus::DetectedConventional(_)
+                | FaultStatus::DetectedByImplications(_)
+                | FaultStatus::DetectedByForcedAssignments
+                | FaultStatus::DetectedByExpansion { .. }
+        )
+    }
+
+    /// `true` for detections beyond conventional simulation — the paper's
+    /// "extra" column.
+    pub fn is_extra_detected(&self) -> bool {
+        self.is_detected() && !matches!(self, FaultStatus::DetectedConventional(_))
+    }
+}
+
+/// The per-fault result of [`simulate_fault`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultResult {
+    /// The verdict.
+    pub status: FaultStatus,
+    /// Table-3 effectiveness counters (nonzero only when the expansion
+    /// machinery ran).
+    pub counters: Counters,
+    /// Implication-engine invocations spent on this fault.
+    pub runs: usize,
+}
+
+/// Runs the full per-fault procedure:
+///
+/// 1. conventional fault simulation (drop if detected),
+/// 2. the necessary condition (C) filter,
+/// 3. collection of backward implications (Section 3.1),
+/// 4. the direct detection check (Section 3.2),
+/// 5. selection and state expansion (Section 3.3, Procedure 2),
+/// 6. resimulation of the expanded sequences (Section 3.4).
+///
+/// `good` must be the fault-free trace of `seq` (compute it once with
+/// [`moa_sim::simulate`] and share it across faults).
+///
+/// # Example
+///
+/// ```
+/// use moa_core::{simulate_fault, FaultStatus, MoaOptions};
+/// use moa_netlist::{parse_bench, Fault};
+/// use moa_sim::{simulate, TestSequence};
+///
+/// // r=0 resets q; with r stuck-at-1 the faulty machine toggles forever
+/// // from an unknown state. Conventional simulation sees only X, but every
+/// // faulty initial state mismatches the reset response somewhere.
+/// let c = parse_bench(
+///     "INPUT(r)\nOUTPUT(z)\nq = DFF(d)\nnq = NOT(q)\nd = AND(r, nq)\nz = BUFF(q)\n",
+/// )?;
+/// let seq = TestSequence::from_words(&["0", "0", "0"])?;
+/// let good = simulate(&c, &seq, None);
+/// let fault = Fault::stem(c.find_net("r").unwrap(), true);
+/// let result = simulate_fault(&c, &seq, &good, &fault, &MoaOptions::default());
+/// assert!(result.status.is_extra_detected());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate_fault(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+) -> FaultResult {
+    simulate_fault_with(circuit, seq, good, fault, options, None)
+}
+
+/// Like [`simulate_fault`], with the conventional stage optionally running as
+/// a delta from cached fault-free frames ([`moa_sim::simulate_differential`])
+/// — the whole-campaign speedup for large circuits. Results are identical
+/// either way.
+pub fn simulate_fault_with(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+    good_frames: Option<&GoodFrames>,
+) -> FaultResult {
+    // Step 0: conventional simulation.
+    let faulty = match good_frames {
+        Some(frames) => simulate_differential(circuit, seq, frames, fault),
+        None => simulate(circuit, seq, Some(fault)),
+    };
+    if let Some(det) = conventional_detection(good, &faulty) {
+        return FaultResult {
+            status: FaultStatus::DetectedConventional(det),
+            counters: Counters::new(),
+            runs: 0,
+        };
+    }
+
+    // Necessary condition (C).
+    let n_sv = n_sv_profile(&faulty);
+    let n_out = n_out_profile(good, &faulty);
+    if options.check_condition_c && !condition_c_holds(&n_sv[..n_out.len()], &n_out) {
+        return FaultResult {
+            status: FaultStatus::SkippedConditionC,
+            counters: Counters::new(),
+            runs: 0,
+        };
+    }
+
+    // Step 1: collection.
+    let collection = collect_pairs(circuit, seq, good, &faulty, Some(fault), &n_out, options);
+
+    // Step 2: direct detection from the collected information.
+    if let Some(key) = detection_from_collection(&collection) {
+        return FaultResult {
+            status: FaultStatus::DetectedByImplications(key),
+            counters: Counters::new(),
+            runs: collection.runs,
+        };
+    }
+
+    // Step 3: selection + expansion.
+    let (sequences, counters, aborted) = match expand(&collection, &faulty, &n_out, &n_sv, options)
+    {
+        ExpandOutcome::DetectedByForcedAssignments { counters } => {
+            return FaultResult {
+                status: FaultStatus::DetectedByForcedAssignments,
+                counters,
+                runs: collection.runs,
+            }
+        }
+        ExpandOutcome::Expanded {
+            sequences,
+            counters,
+            aborted,
+            ..
+        } => (sequences, counters, aborted),
+    };
+
+    // Step 4: resimulation.
+    let total = sequences.len();
+    let verdict = if options.packed_resimulation {
+        resimulate_packed(circuit, seq, good, Some(fault), sequences)
+    } else {
+        resimulate(circuit, seq, good, Some(fault), sequences)
+    };
+    let status = if verdict.detected() {
+        FaultStatus::DetectedByExpansion { sequences: total }
+    } else {
+        FaultStatus::NotDetected {
+            undecided: verdict.undecided(),
+            sequences: total,
+            truncated: collection.truncated,
+            aborted,
+        }
+    };
+    FaultResult {
+        status,
+        counters,
+        runs: collection.runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::GateKind;
+    use moa_netlist::CircuitBuilder;
+
+    /// The resettable toggle circuit of the module example.
+    fn toggle() -> (Circuit, TestSequence, SimTrace) {
+        let mut b = CircuitBuilder::new("toggle");
+        b.add_input("r").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Not, "nq", &["q"]).unwrap();
+        b.add_gate(GateKind::And, "d", &["r", "nq"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["0", "0", "0"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        (c, seq, good)
+    }
+
+    #[test]
+    fn reset_line_fault_is_extra_detected() {
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        let result = simulate_fault(&c, &seq, &good, &fault, &MoaOptions::default());
+        assert!(result.status.is_extra_detected(), "{:?}", result.status);
+        assert!(result.runs > 0, "backward implications ran");
+    }
+
+    #[test]
+    fn conventional_detection_short_circuits() {
+        let (c, seq, good) = toggle();
+        // z stuck-at-1: good z = x,0,0 → conventional detection at time 1.
+        let fault = Fault::stem(c.find_net("z").unwrap(), true);
+        let result = simulate_fault(&c, &seq, &good, &fault, &MoaOptions::default());
+        assert!(matches!(
+            result.status,
+            FaultStatus::DetectedConventional(Detection { time: 1, output: 0 })
+        ));
+        assert_eq!(result.runs, 0);
+    }
+
+    #[test]
+    fn condition_c_skips_undetectable_faults() {
+        // A fault whose faulty outputs are all specified cannot gain from
+        // expansion: d stuck-at-0 keeps the good behaviour (good d is always
+        // 0 under r=0), so traces match and N_out = 0.
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("d").unwrap(), false);
+        let result = simulate_fault(&c, &seq, &good, &fault, &MoaOptions::default());
+        assert_eq!(result.status, FaultStatus::SkippedConditionC);
+    }
+
+    #[test]
+    fn baseline_also_detects_the_toggle_fault() {
+        // This particular fault only needs plain expansion (both branches of
+        // q at time 1 detect), so the reference-[4] baseline finds it too.
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        let result = simulate_fault(&c, &seq, &good, &fault, &MoaOptions::baseline());
+        assert!(result.status.is_extra_detected(), "{:?}", result.status);
+        assert_eq!(result.runs, 0, "baseline never runs the engine");
+        assert_eq!(result.counters.n_det, 0);
+        assert_eq!(result.counters.n_conf, 0);
+    }
+
+    #[test]
+    fn undetectable_fault_reports_not_detected_or_skip() {
+        // q branch into nq stuck at 0 … pick a fault that changes behaviour
+        // invisibly: nq stuck-at-1 makes d = r; under r = 0 the faulty d is
+        // 0 — same as good → equivalent under this sequence.
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("nq").unwrap(), true);
+        let result = simulate_fault(&c, &seq, &good, &fault, &MoaOptions::default());
+        assert!(!result.status.is_detected(), "{:?}", result.status);
+    }
+}

@@ -1,0 +1,224 @@
+//! Bit-parallel resimulation of expanded state sequences.
+//!
+//! The paper's `N_STATES = 64` limit matches the machine word: all expanded
+//! sequences of one fault fit the 64 slots of the dual-rail packed simulator
+//! ([`moa_sim::run_packed3_frame`]), so one pass over the test sequence
+//! resimulates every sequence at once.
+//!
+//! Equivalence with the scalar [`resimulate`](crate::resimulate): the scalar
+//! procedure skips unmarked time units, but an unmarked frame's state equals
+//! the conventional trace's state there, so recomputing it reproduces the
+//! conventional values exactly — no detection (the fault survived
+//! conventional simulation) and no new state values. Simulating *every* time
+//! unit therefore yields identical per-sequence outcomes; the campaign-level
+//! equivalence is asserted in the integration tests.
+
+use moa_netlist::{Circuit, Fault};
+use moa_sim::{
+    packed3_next_state, packed3_outputs, run_packed3_frame, Detection, Packed3, SimTrace,
+    TestSequence,
+};
+
+use crate::resim::{ResimVerdict, SequenceOutcome};
+use crate::stateseq::StateSequence;
+
+/// Resimulates expanded sequences 64 at a time (see the module docs); a
+/// drop-in replacement for [`resimulate`](crate::resimulate).
+pub fn resimulate_packed(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: Option<&Fault>,
+    sequences: Vec<StateSequence>,
+) -> ResimVerdict {
+    let mut outcomes = Vec::with_capacity(sequences.len());
+    for chunk in sequences.chunks(64) {
+        outcomes.extend(resimulate_chunk(circuit, seq, good, fault, chunk));
+    }
+    ResimVerdict { outcomes }
+}
+
+fn resimulate_chunk(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: Option<&Fault>,
+    chunk: &[StateSequence],
+) -> Vec<SequenceOutcome> {
+    let k = circuit.num_flip_flops();
+    let l = seq.len();
+    let slots = chunk.len() as u32;
+    let valid: u64 = if slots == 64 {
+        u64::MAX
+    } else {
+        (1u64 << slots) - 1
+    };
+
+    // Pack the stored state sequences: states[u][i] across slots.
+    let mut states: Vec<Vec<Packed3>> = (0..=l)
+        .map(|u| {
+            (0..k)
+                .map(|i| {
+                    let mut p = Packed3::ALL_X;
+                    for (slot, s) in chunk.iter().enumerate() {
+                        p.set(slot as u32, s.value(u, i));
+                    }
+                    p
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut outcomes: Vec<SequenceOutcome> = vec![SequenceOutcome::Undecided; chunk.len()];
+    let mut resolved: u64 = 0;
+
+    for u in 0..l {
+        if resolved == valid {
+            break;
+        }
+        let frame = run_packed3_frame(circuit, seq.pattern(u), &states[u], fault);
+
+        // Detections first (scalar order), outputs in index order.
+        for (o, out) in packed3_outputs(circuit, &frame).into_iter().enumerate() {
+            let mismatch = match good.outputs[u][o].to_bool() {
+                Some(true) => out.zeros,
+                Some(false) => out.ones,
+                None => 0,
+            };
+            let newly = mismatch & valid & !resolved;
+            if newly != 0 {
+                for slot in iter_bits(newly) {
+                    outcomes[slot] = SequenceOutcome::Detected(Detection { time: u, output: o });
+                }
+                resolved |= newly;
+            }
+        }
+
+        // Next-state merge: conflicts prove infeasibility; newly specified
+        // values are adopted into the stored state at u + 1.
+        let next = packed3_next_state(circuit, &frame, fault);
+        let mut infeasible = 0u64;
+        for (i, n) in next.iter().enumerate() {
+            let stored = states[u + 1][i];
+            infeasible |= (n.ones & stored.zeros) | (n.zeros & stored.ones);
+        }
+        let newly = infeasible & valid & !resolved;
+        if newly != 0 {
+            for slot in iter_bits(newly) {
+                outcomes[slot] = SequenceOutcome::Infeasible { time: u };
+            }
+            resolved |= newly;
+        }
+        for (i, n) in next.iter().enumerate() {
+            let stored = &mut states[u + 1][i];
+            let open = !stored.specified();
+            stored.ones |= n.ones & open;
+            stored.zeros |= n.zeros & open;
+        }
+    }
+    outcomes
+}
+
+fn iter_bits(mut word: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if word == 0 {
+            None
+        } else {
+            let bit = word.trailing_zeros() as usize;
+            word &= word - 1;
+            Some(bit)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resim::resimulate;
+    use moa_logic::{GateKind, V3};
+    use moa_netlist::CircuitBuilder;
+    use moa_sim::simulate;
+
+    fn toggle() -> (Circuit, TestSequence, SimTrace, Fault) {
+        let mut b = CircuitBuilder::new("toggle");
+        b.add_input("r").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Not, "nq", &["q"]).unwrap();
+        b.add_gate(GateKind::And, "d", &["r", "nq"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["0", "0", "0"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        (c, seq, good, fault)
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_expanded_toggle() {
+        let (c, seq, good, fault) = toggle();
+        let faulty = simulate(&c, &seq, Some(&fault));
+        let base = StateSequence::from_trace(&faulty);
+        let mut s0 = base.clone();
+        assert!(s0.assign(1, 0, V3::Zero));
+        let mut s1 = base;
+        assert!(s1.assign(1, 0, V3::One));
+        let sequences = vec![s0, s1];
+        let scalar = resimulate(&c, &seq, &good, Some(&fault), sequences.clone());
+        let packed = resimulate_packed(&c, &seq, &good, Some(&fault), sequences);
+        assert_eq!(scalar.outcomes, packed.outcomes);
+        assert!(packed.detected());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_verdict() {
+        let (c, seq, good, fault) = toggle();
+        let verdict = resimulate_packed(&c, &seq, &good, Some(&fault), Vec::new());
+        assert!(verdict.outcomes.is_empty());
+        assert!(!verdict.detected());
+    }
+
+    #[test]
+    fn more_than_64_sequences_are_chunked() {
+        let (c, seq, good, fault) = toggle();
+        let faulty = simulate(&c, &seq, Some(&fault));
+        let base = StateSequence::from_trace(&faulty);
+        // 80 copies of the same pair of expansions.
+        let mut sequences = Vec::new();
+        for n in 0..80 {
+            let mut s = base.clone();
+            assert!(s.assign(1, 0, V3::from_bool(n % 2 == 0)));
+            sequences.push(s);
+        }
+        let scalar = resimulate(&c, &seq, &good, Some(&fault), sequences.clone());
+        let packed = resimulate_packed(&c, &seq, &good, Some(&fault), sequences);
+        assert_eq!(scalar.outcomes, packed.outcomes);
+        assert_eq!(packed.outcomes.len(), 80);
+    }
+
+    #[test]
+    fn undecided_sequences_match_scalar() {
+        // The OR-hold circuit: the q=1 branch survives undecided.
+        let mut b = CircuitBuilder::new("or");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Or, "z", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Buf, "d", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["1", "1"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let fault = Fault::stem(c.find_net("a").unwrap(), false);
+        let faulty = simulate(&c, &seq, Some(&fault));
+        let base = StateSequence::from_trace(&faulty);
+        let mut s0 = base.clone();
+        assert!(s0.assign(0, 0, V3::Zero));
+        let mut s1 = base;
+        assert!(s1.assign(0, 0, V3::One));
+        let sequences = vec![s0, s1];
+        let scalar = resimulate(&c, &seq, &good, Some(&fault), sequences.clone());
+        let packed = resimulate_packed(&c, &seq, &good, Some(&fault), sequences);
+        assert_eq!(scalar.outcomes, packed.outcomes);
+        assert_eq!(packed.undecided(), 1);
+    }
+}

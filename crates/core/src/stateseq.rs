@@ -1,0 +1,130 @@
+//! Partially specified state sequences (the paper's `S'`).
+
+use moa_logic::{format_word, V3};
+use moa_sim::SimTrace;
+
+/// One state sequence `S'` of the expansion set `S`, plus the set of time
+/// units marked for resimulation.
+///
+/// `S'[u][i]` (the paper's notation) is [`StateSequence::value`]`(u, i)`: the
+/// value of present-state variable `y_i` at time unit `u`. A sequence for a
+/// length-`L` test holds `L + 1` states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSequence {
+    states: Vec<Vec<V3>>,
+    marked: Vec<bool>,
+}
+
+impl StateSequence {
+    /// Starts from the state sequence a conventional simulation produced
+    /// (Procedure 2's `S_0`). Nothing is marked yet.
+    pub fn from_trace(trace: &SimTrace) -> Self {
+        StateSequence {
+            states: trace.states.clone(),
+            marked: vec![false; trace.states.len()],
+        }
+    }
+
+    /// Number of states (`L + 1`).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the sequence holds no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The paper's `S'[u][i]`.
+    #[inline]
+    pub fn value(&self, u: usize, i: usize) -> V3 {
+        self.states[u][i]
+    }
+
+    /// The full state at time unit `u`.
+    #[inline]
+    pub fn state(&self, u: usize) -> &[V3] {
+        &self.states[u]
+    }
+
+    /// Sets `S'[u][i] = value` and marks `u` for resimulation.
+    ///
+    /// Returns `false` — without modifying anything — when the variable is
+    /// already specified to the opposite binary value (a conflict the caller
+    /// must handle); returns `true` when the value was set or already held.
+    #[must_use]
+    pub fn assign(&mut self, u: usize, i: usize, value: V3) -> bool {
+        match self.states[u][i].merge(value) {
+            Some(v) => {
+                if self.states[u][i] != v {
+                    self.states[u][i] = v;
+                    self.marked[u] = true;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` if time unit `u` is marked for resimulation.
+    #[inline]
+    pub fn is_marked(&self, u: usize) -> bool {
+        self.marked[u]
+    }
+
+    /// Marks time unit `u` for resimulation.
+    pub fn mark(&mut self, u: usize) {
+        self.marked[u] = true;
+    }
+
+    /// Renders the sequence as words, e.g. `["xx", "0x", "01"]` — the rows of
+    /// the paper's Table 1.
+    pub fn to_words(&self) -> Vec<String> {
+        self.states.iter().map(|s| format_word(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq() -> StateSequence {
+        StateSequence::from_trace(&SimTrace {
+            states: vec![vec![V3::X, V3::X], vec![V3::X, V3::One], vec![V3::Zero, V3::One]],
+            outputs: vec![vec![V3::X], vec![V3::X]],
+        })
+    }
+
+    #[test]
+    fn assign_refines_and_marks() {
+        let mut s = seq();
+        assert!(!s.is_marked(0));
+        assert!(s.assign(0, 1, V3::Zero));
+        assert_eq!(s.value(0, 1), V3::Zero);
+        assert!(s.is_marked(0));
+        assert!(!s.is_marked(1));
+    }
+
+    #[test]
+    fn assign_same_value_is_noop() {
+        let mut s = seq();
+        assert!(s.assign(1, 1, V3::One));
+        assert!(!s.is_marked(1), "re-asserting an existing value marks nothing");
+    }
+
+    #[test]
+    fn assign_conflict_returns_false() {
+        let mut s = seq();
+        assert!(!s.assign(2, 0, V3::One));
+        assert_eq!(s.value(2, 0), V3::Zero, "conflicting assign leaves value");
+    }
+
+    #[test]
+    fn words_render() {
+        let s = seq();
+        assert_eq!(s.to_words(), vec!["xx", "x1", "01"]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.state(2), &[V3::Zero, V3::One]);
+    }
+}

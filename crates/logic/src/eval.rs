@@ -1,0 +1,159 @@
+//! Pessimistic forward evaluation of gates over three-valued inputs.
+
+use crate::{GateKind, V3};
+
+/// Evaluates `kind` over `inputs` in three-valued logic.
+///
+/// The evaluation is the standard pessimistic one: an output is `X` unless the
+/// specified inputs force a binary value (a controlling value present, all
+/// inputs specified, …).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or if a unary gate receives more than one
+/// input; the netlist layer validates arities at build time, so this indicates
+/// a programming error.
+///
+/// # Example
+///
+/// ```
+/// use moa_logic::{eval_gate, GateKind, V3};
+///
+/// // One controlling input decides the output even with unknowns present.
+/// assert_eq!(eval_gate(GateKind::Nand, &[V3::Zero, V3::X]), V3::One);
+/// assert_eq!(eval_gate(GateKind::Xor, &[V3::One, V3::X]), V3::X);
+/// ```
+pub fn eval_gate(kind: GateKind, inputs: &[V3]) -> V3 {
+    assert!(
+        kind.accepts_arity(inputs.len()),
+        "gate {kind} evaluated with {} inputs",
+        inputs.len()
+    );
+    match kind {
+        GateKind::Not => !inputs[0],
+        GateKind::Buf => inputs[0],
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = V3::Zero;
+            for &v in inputs {
+                acc = acc ^ v;
+            }
+            acc.invert_if(kind.inverting())
+        }
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let c = V3::from_bool(
+                kind.controlling_value()
+                    .expect("AND/OR family has a controlling value"),
+            );
+            let mut saw_x = false;
+            for &v in inputs {
+                if v == c {
+                    return c.invert_if(kind.inverting());
+                }
+                if v == V3::X {
+                    saw_x = true;
+                }
+            }
+            if saw_x {
+                V3::X
+            } else {
+                (!c).invert_if(kind.inverting())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u8) -> V3 {
+        match v {
+            0 => V3::Zero,
+            1 => V3::One,
+            _ => V3::X,
+        }
+    }
+
+    /// Exhaustively checks a 2-input gate against a reference closure over
+    /// binary inputs, requiring the 3-valued result to be the most specified
+    /// value consistent with all binary completions.
+    fn check_exhaustive(kind: GateKind, reference: impl Fn(bool, bool) -> bool) {
+        for i in 0..3u8 {
+            for j in 0..3u8 {
+                let got = eval_gate(kind, &[b(i), b(j)]);
+                // Enumerate binary completions of the inputs.
+                let mut results = Vec::new();
+                for ci in 0..2u8 {
+                    for cj in 0..2u8 {
+                        if (i < 2 && ci != i) || (j < 2 && cj != j) {
+                            continue;
+                        }
+                        results.push(reference(ci == 1, cj == 1));
+                    }
+                }
+                let all_true = results.iter().all(|&r| r);
+                let all_false = results.iter().all(|&r| !r);
+                // Soundness: a specified output must agree with every completion.
+                match got {
+                    V3::One => assert!(all_true, "{kind} {i}{j}"),
+                    V3::Zero => assert!(all_false, "{kind} {i}{j}"),
+                    V3::X => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_input_gates_are_sound() {
+        check_exhaustive(GateKind::And, |a, b| a && b);
+        check_exhaustive(GateKind::Nand, |a, b| !(a && b));
+        check_exhaustive(GateKind::Or, |a, b| a || b);
+        check_exhaustive(GateKind::Nor, |a, b| !(a || b));
+        check_exhaustive(GateKind::Xor, |a, b| a ^ b);
+        check_exhaustive(GateKind::Xnor, |a, b| !(a ^ b));
+    }
+
+    #[test]
+    fn and_family_is_exact_not_just_sound() {
+        // AND with a controlling 0 is 0 even with X present.
+        assert_eq!(eval_gate(GateKind::And, &[V3::X, V3::Zero, V3::X]), V3::Zero);
+        assert_eq!(eval_gate(GateKind::Nand, &[V3::X, V3::Zero]), V3::One);
+        assert_eq!(eval_gate(GateKind::Or, &[V3::X, V3::One]), V3::One);
+        assert_eq!(eval_gate(GateKind::Nor, &[V3::One, V3::X]), V3::Zero);
+        // No controlling value and an X present → X.
+        assert_eq!(eval_gate(GateKind::And, &[V3::One, V3::X]), V3::X);
+        assert_eq!(eval_gate(GateKind::Nor, &[V3::Zero, V3::X]), V3::X);
+    }
+
+    #[test]
+    fn parity_gates() {
+        assert_eq!(
+            eval_gate(GateKind::Xor, &[V3::One, V3::One, V3::One]),
+            V3::One
+        );
+        assert_eq!(eval_gate(GateKind::Xnor, &[V3::One, V3::One]), V3::One);
+        assert_eq!(eval_gate(GateKind::Xor, &[V3::X, V3::Zero]), V3::X);
+    }
+
+    #[test]
+    fn unary_gates() {
+        assert_eq!(eval_gate(GateKind::Not, &[V3::Zero]), V3::One);
+        assert_eq!(eval_gate(GateKind::Buf, &[V3::X]), V3::X);
+    }
+
+    #[test]
+    fn single_input_and_or_behave_as_buffers() {
+        for v in [V3::Zero, V3::One, V3::X] {
+            assert_eq!(eval_gate(GateKind::And, &[v]), v);
+            assert_eq!(eval_gate(GateKind::Or, &[v]), v);
+            assert_eq!(eval_gate(GateKind::Nand, &[v]), !v);
+            assert_eq!(eval_gate(GateKind::Nor, &[v]), !v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluated with 2 inputs")]
+    fn unary_gate_with_two_inputs_panics() {
+        eval_gate(GateKind::Not, &[V3::Zero, V3::One]);
+    }
+}

@@ -1,0 +1,239 @@
+//! The gate vocabulary shared by the netlist, the simulator and the
+//! implication engine.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::eval::eval_gate;
+use crate::V3;
+
+/// The combinational gate kinds of the ISCAS-89 benchmark netlists.
+///
+/// `Not` and `Buf` take exactly one input; the remaining kinds take one or
+/// more inputs (a one-input AND/OR behaves as a buffer, a one-input NAND/NOR
+/// as an inverter, matching common `.bench` files).
+///
+/// # Example
+///
+/// ```
+/// use moa_logic::{GateKind, V3};
+///
+/// let kind: GateKind = "NAND".parse()?;
+/// assert_eq!(kind.eval(&[V3::One, V3::One]), V3::Zero);
+/// # Ok::<(), moa_logic::ParseGateKindError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Logical AND.
+    And,
+    /// Inverted AND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Inverted OR.
+    Nor,
+    /// Exclusive OR (odd parity).
+    Xor,
+    /// Inverted exclusive OR (even parity).
+    Xnor,
+    /// Inverter.
+    Not,
+    /// Buffer.
+    Buf,
+}
+
+impl GateKind {
+    /// All gate kinds, for exhaustive iteration in tests and generators.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+
+    /// Evaluates the gate over three-valued inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or has length ≠ 1 for [`GateKind::Not`] /
+    /// [`GateKind::Buf`].
+    #[inline]
+    pub fn eval(self, inputs: &[V3]) -> V3 {
+        eval_gate(self, inputs)
+    }
+
+    /// The controlling input value of the gate, if it has one.
+    ///
+    /// An input at the controlling value determines the output regardless of
+    /// the other inputs (`0` for AND/NAND, `1` for OR/NOR). XOR-family gates
+    /// and single-input gates have no controlling value.
+    #[inline]
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Whether the gate inverts: the output produced when *no* input is at
+    /// the controlling value is the inversion flag applied to the
+    /// non-controlled result.
+    #[inline]
+    pub fn inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// `true` for the single-input kinds `Not` and `Buf`.
+    #[inline]
+    pub fn is_unary(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Buf)
+    }
+
+    /// `true` for the parity kinds `Xor` and `Xnor`.
+    #[inline]
+    pub fn is_parity(self) -> bool {
+        matches!(self, GateKind::Xor | GateKind::Xnor)
+    }
+
+    /// Validates an input count for this gate kind.
+    #[inline]
+    pub fn accepts_arity(self, n: usize) -> bool {
+        if self.is_unary() {
+            n == 1
+        } else {
+            n >= 1
+        }
+    }
+
+    /// The canonical upper-case name used in `.bench` files.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown gate-kind name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError {
+    name: String,
+}
+
+impl ParseGateKindError {
+    /// The offending name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            _ => Err(ParseGateKindError { name: s.to_owned() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for kind in GateKind::ALL {
+            assert_eq!(kind.name().parse::<GateKind>().unwrap(), kind);
+            assert_eq!(
+                kind.name().to_lowercase().parse::<GateKind>().unwrap(),
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("INV".parse::<GateKind>().unwrap(), GateKind::Not);
+        assert_eq!("BUF".parse::<GateKind>().unwrap(), GateKind::Buf);
+        assert_eq!("BUFF".parse::<GateKind>().unwrap(), GateKind::Buf);
+    }
+
+    #[test]
+    fn parse_error_keeps_name() {
+        let err = "DFFX".parse::<GateKind>().unwrap_err();
+        assert_eq!(err.name(), "DFFX");
+        assert!(err.to_string().contains("DFFX"));
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Not.controlling_value(), None);
+    }
+
+    #[test]
+    fn inversion_flags() {
+        assert!(GateKind::Nand.inverting());
+        assert!(GateKind::Nor.inverting());
+        assert!(GateKind::Xnor.inverting());
+        assert!(GateKind::Not.inverting());
+        assert!(!GateKind::And.inverting());
+        assert!(!GateKind::Buf.inverting());
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Not.accepts_arity(1));
+        assert!(!GateKind::Not.accepts_arity(2));
+        assert!(GateKind::And.accepts_arity(1));
+        assert!(GateKind::And.accepts_arity(5));
+        assert!(!GateKind::And.accepts_arity(0));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(GateKind::Xnor.to_string(), "XNOR");
+        assert_eq!(GateKind::Buf.to_string(), "BUFF");
+    }
+}

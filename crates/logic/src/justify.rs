@@ -1,0 +1,370 @@
+//! Backward justification: inferring gate-input values from an output value.
+//!
+//! This is the outputs→inputs half of the paper's backward-implication pass.
+//! Given a gate whose output is specified, [`justify`] derives the input
+//! values that are *forced* by the output (and the already-specified inputs),
+//! or reports a conflict when no consistent binary completion exists.
+
+use crate::{GateKind, V3};
+
+/// A single forced input value produced by [`justify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Implication {
+    /// Index of the input pin within the gate's input list.
+    pub input: usize,
+    /// The forced binary value (never `X`).
+    pub value: V3,
+}
+
+/// Result of backward justification of one gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JustifyOutcome {
+    /// The output value is inconsistent with the specified inputs: no binary
+    /// completion of the `X` inputs can produce it.
+    Conflict,
+    /// The (possibly empty) set of input values forced by the output.
+    Implied(Vec<Implication>),
+}
+
+impl JustifyOutcome {
+    /// Returns `true` for [`JustifyOutcome::Conflict`].
+    pub fn is_conflict(&self) -> bool {
+        matches!(self, JustifyOutcome::Conflict)
+    }
+}
+
+/// Derives forced input values of a gate from its output value.
+///
+/// `output` is the current (possibly `X`) value of the gate output; `inputs`
+/// are the current values of its input pins. Only refinements are returned:
+/// implications are produced solely for inputs currently at `X`.
+///
+/// When `output` is `X` nothing can be inferred and the empty implication set
+/// is returned.
+///
+/// # Panics
+///
+/// Panics if the input count is invalid for `kind` (see
+/// [`GateKind::accepts_arity`]).
+///
+/// # Example
+///
+/// ```
+/// use moa_logic::{justify, GateKind, Implication, JustifyOutcome, V3};
+///
+/// // NAND output 0 forces every input to 1.
+/// let out = justify(GateKind::Nand, V3::Zero, &[V3::X, V3::X]);
+/// assert_eq!(
+///     out,
+///     JustifyOutcome::Implied(vec![
+///         Implication { input: 0, value: V3::One },
+///         Implication { input: 1, value: V3::One },
+///     ])
+/// );
+///
+/// // OR output 1 with all other inputs 0 forces the last unknown to 1.
+/// let out = justify(GateKind::Or, V3::One, &[V3::Zero, V3::X]);
+/// assert_eq!(
+///     out,
+///     JustifyOutcome::Implied(vec![Implication { input: 1, value: V3::One }])
+/// );
+/// ```
+pub fn justify(kind: GateKind, output: V3, inputs: &[V3]) -> JustifyOutcome {
+    assert!(
+        kind.accepts_arity(inputs.len()),
+        "gate {kind} justified with {} inputs",
+        inputs.len()
+    );
+    let Some(out) = output.to_bool() else {
+        return JustifyOutcome::Implied(Vec::new());
+    };
+
+    match kind {
+        GateKind::Not | GateKind::Buf => {
+            let want = V3::from_bool(out).invert_if(kind.inverting());
+            match inputs[0] {
+                V3::X => JustifyOutcome::Implied(vec![Implication {
+                    input: 0,
+                    value: want,
+                }]),
+                v if v == want => JustifyOutcome::Implied(Vec::new()),
+                _ => JustifyOutcome::Conflict,
+            }
+        }
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let c = kind.controlling_value().expect("controlling value");
+            let cv = V3::from_bool(c);
+            // Output value produced when *some* input is controlling.
+            let controlled = c ^ kind.inverting();
+            if out == controlled {
+                justify_controlled(cv, inputs)
+            } else {
+                justify_noncontrolled(cv, inputs)
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => justify_parity(kind, out, inputs),
+    }
+}
+
+/// Output equals the controlled value: at least one input must be at the
+/// controlling value `cv`.
+fn justify_controlled(cv: V3, inputs: &[V3]) -> JustifyOutcome {
+    if inputs.iter().any(|&v| v == cv) {
+        return JustifyOutcome::Implied(Vec::new());
+    }
+    let unknowns: Vec<usize> = inputs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v == V3::X)
+        .map(|(i, _)| i)
+        .collect();
+    match unknowns.as_slice() {
+        [] => JustifyOutcome::Conflict,
+        [only] => JustifyOutcome::Implied(vec![Implication {
+            input: *only,
+            value: cv,
+        }]),
+        _ => JustifyOutcome::Implied(Vec::new()),
+    }
+}
+
+/// Output equals the non-controlled value: every input must be at the
+/// non-controlling value `!cv`.
+fn justify_noncontrolled(cv: V3, inputs: &[V3]) -> JustifyOutcome {
+    let mut implied = Vec::new();
+    for (i, &v) in inputs.iter().enumerate() {
+        if v == cv {
+            return JustifyOutcome::Conflict;
+        }
+        if v == V3::X {
+            implied.push(Implication {
+                input: i,
+                value: !cv,
+            });
+        }
+    }
+    JustifyOutcome::Implied(implied)
+}
+
+/// XOR/XNOR: with at most one unknown input the parity pins it down; with all
+/// inputs specified the parity must match.
+fn justify_parity(kind: GateKind, out: bool, inputs: &[V3]) -> JustifyOutcome {
+    let mut parity = kind.inverting() ^ out;
+    let mut unknown = None;
+    for (i, &v) in inputs.iter().enumerate() {
+        match v.to_bool() {
+            Some(b) => parity ^= b,
+            None => {
+                if unknown.replace(i).is_some() {
+                    // Two or more unknowns: nothing is forced.
+                    return JustifyOutcome::Implied(Vec::new());
+                }
+            }
+        }
+    }
+    match unknown {
+        Some(i) => JustifyOutcome::Implied(vec![Implication {
+            input: i,
+            value: V3::from_bool(parity),
+        }]),
+        None if !parity => JustifyOutcome::Implied(Vec::new()),
+        None => JustifyOutcome::Conflict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval_gate;
+
+    fn implied(pairs: &[(usize, V3)]) -> JustifyOutcome {
+        JustifyOutcome::Implied(
+            pairs
+                .iter()
+                .map(|&(input, value)| Implication { input, value })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unknown_output_implies_nothing() {
+        for kind in GateKind::ALL {
+            let inputs = if kind.is_unary() {
+                vec![V3::X]
+            } else {
+                vec![V3::X, V3::One]
+            };
+            assert_eq!(justify(kind, V3::X, &inputs), implied(&[]));
+        }
+    }
+
+    #[test]
+    fn inverter_justification() {
+        assert_eq!(
+            justify(GateKind::Not, V3::One, &[V3::X]),
+            implied(&[(0, V3::Zero)])
+        );
+        assert_eq!(justify(GateKind::Not, V3::One, &[V3::Zero]), implied(&[]));
+        assert!(justify(GateKind::Not, V3::One, &[V3::One]).is_conflict());
+        assert_eq!(
+            justify(GateKind::Buf, V3::Zero, &[V3::X]),
+            implied(&[(0, V3::Zero)])
+        );
+    }
+
+    #[test]
+    fn and_output_one_forces_all_inputs() {
+        assert_eq!(
+            justify(GateKind::And, V3::One, &[V3::X, V3::X, V3::One]),
+            implied(&[(0, V3::One), (1, V3::One)])
+        );
+        assert!(justify(GateKind::And, V3::One, &[V3::Zero, V3::X]).is_conflict());
+    }
+
+    #[test]
+    fn and_output_zero_with_single_candidate() {
+        // All other inputs are non-controlling, one X: it must be 0.
+        assert_eq!(
+            justify(GateKind::And, V3::Zero, &[V3::One, V3::X]),
+            implied(&[(1, V3::Zero)])
+        );
+        // A controlling input already present: nothing further forced.
+        assert_eq!(
+            justify(GateKind::And, V3::Zero, &[V3::Zero, V3::X]),
+            implied(&[])
+        );
+        // Two X inputs: nothing forced.
+        assert_eq!(
+            justify(GateKind::And, V3::Zero, &[V3::X, V3::X]),
+            implied(&[])
+        );
+        // No X and no controlling input: conflict.
+        assert!(justify(GateKind::And, V3::Zero, &[V3::One, V3::One]).is_conflict());
+    }
+
+    #[test]
+    fn nor_output_zero_with_single_candidate() {
+        assert_eq!(
+            justify(GateKind::Nor, V3::Zero, &[V3::Zero, V3::X]),
+            implied(&[(1, V3::One)])
+        );
+        assert_eq!(
+            justify(GateKind::Nor, V3::One, &[V3::X, V3::X]),
+            implied(&[(0, V3::Zero), (1, V3::Zero)])
+        );
+        assert!(justify(GateKind::Nor, V3::One, &[V3::One, V3::X]).is_conflict());
+    }
+
+    #[test]
+    fn xor_with_one_unknown_is_pinned() {
+        assert_eq!(
+            justify(GateKind::Xor, V3::One, &[V3::One, V3::X]),
+            implied(&[(1, V3::Zero)])
+        );
+        assert_eq!(
+            justify(GateKind::Xnor, V3::One, &[V3::One, V3::X]),
+            implied(&[(1, V3::One)])
+        );
+        assert_eq!(
+            justify(GateKind::Xor, V3::One, &[V3::X, V3::X]),
+            implied(&[])
+        );
+        assert!(justify(GateKind::Xor, V3::One, &[V3::One, V3::One]).is_conflict());
+        assert_eq!(
+            justify(GateKind::Xor, V3::Zero, &[V3::One, V3::One]),
+            implied(&[])
+        );
+    }
+
+    /// Justification must be sound: applying the implications and then
+    /// forward-evaluating must be consistent with the requested output, for
+    /// every gate kind and every 3-input value combination.
+    #[test]
+    fn justify_is_sound_against_eval_exhaustively() {
+        let vals = [V3::Zero, V3::One, V3::X];
+        for kind in GateKind::ALL {
+            let arities: &[usize] = if kind.is_unary() { &[1] } else { &[1, 2, 3] };
+            for &n in arities {
+                let mut idx = vec![0usize; n];
+                loop {
+                    let inputs: Vec<V3> = idx.iter().map(|&i| vals[i]).collect();
+                    for out in [V3::Zero, V3::One] {
+                        match justify(kind, out, &inputs) {
+                            JustifyOutcome::Conflict => {
+                                // No binary completion may produce `out`.
+                                assert!(
+                                    !completions(&inputs)
+                                        .iter()
+                                        .any(|c| eval_gate(kind, c) == out),
+                                    "{kind} {inputs:?} -> {out} wrongly conflicted"
+                                );
+                            }
+                            JustifyOutcome::Implied(imps) => {
+                                let mut refined = inputs.clone();
+                                for imp in &imps {
+                                    assert_eq!(refined[imp.input], V3::X);
+                                    refined[imp.input] = imp.value;
+                                }
+                                // Every completion of the refined inputs that
+                                // produces a binary output must produce `out`…
+                                // unless no completion produces `out` at all
+                                // (justify is allowed to be incomplete, not
+                                // unsound): each implication must be forced.
+                                for imp in &imps {
+                                    let mut flipped = inputs.clone();
+                                    flipped[imp.input] = !imp.value;
+                                    assert!(
+                                        !completions(&flipped)
+                                            .iter()
+                                            .any(|c| eval_gate(kind, c) == out),
+                                        "{kind} {inputs:?} -> {out}: implication {imp:?} not forced"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // Advance the odometer.
+                    let mut k = 0;
+                    loop {
+                        if k == n {
+                            break;
+                        }
+                        idx[k] += 1;
+                        if idx[k] < vals.len() {
+                            break;
+                        }
+                        idx[k] = 0;
+                        k += 1;
+                    }
+                    if k == n {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// All binary completions of a partially specified input vector.
+    fn completions(inputs: &[V3]) -> Vec<Vec<V3>> {
+        let mut out = vec![Vec::new()];
+        for &v in inputs {
+            let choices: &[V3] = match v {
+                V3::X => &[V3::Zero, V3::One],
+                other => {
+                    out.iter_mut().for_each(|c| c.push(other));
+                    continue;
+                }
+            };
+            let mut next = Vec::with_capacity(out.len() * 2);
+            for c in &out {
+                for &ch in choices {
+                    let mut c2 = c.clone();
+                    c2.push(ch);
+                    next.push(c2);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}

@@ -1,0 +1,31 @@
+//! Three-valued logic for gate-level fault simulation.
+//!
+//! This crate is the logic substrate of the multiple-observation-time fault
+//! simulator: it defines the three-valued signal domain ([`V3`]), the gate
+//! vocabulary ([`GateKind`]), pessimistic forward evaluation ([`eval_gate`])
+//! and backward justification ([`justify`]) — the two implication directions used
+//! by the paper's backward-implication engine.
+//!
+//! # Example
+//!
+//! ```
+//! use moa_logic::{GateKind, V3};
+//!
+//! // NOR(0, x) = x̄ is pessimistically X in three-valued logic …
+//! assert_eq!(GateKind::Nor.eval(&[V3::Zero, V3::X]), V3::X);
+//! // … but NOR(1, x) = 0 regardless of the unknown.
+//! assert_eq!(GateKind::Nor.eval(&[V3::One, V3::X]), V3::Zero);
+//! ```
+
+mod eval;
+mod gate;
+mod justify;
+mod string;
+mod value;
+
+pub use gate::{GateKind, ParseGateKindError};
+pub use justify::{justify, Implication, JustifyOutcome};
+pub use string::{format_word, parse_word, ParseWordError};
+pub use value::V3;
+
+pub use eval::eval_gate;

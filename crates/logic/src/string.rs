@@ -1,0 +1,104 @@
+//! Parsing and formatting of three-valued words like `"01x"`.
+//!
+//! The paper presents states and output sequences as words over `{0, 1, x}`
+//! (e.g. the state `x0` or the output pattern `0x1` of Table 1); these helpers
+//! are used by the examples, the experiment harnesses and the test suites.
+
+use std::fmt;
+
+use crate::V3;
+
+/// Error returned by [`parse_word`] for characters outside `{0, 1, x, X}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWordError {
+    position: usize,
+    character: char,
+}
+
+impl ParseWordError {
+    /// Byte-position independent character index of the offending character.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The offending character.
+    pub fn character(&self) -> char {
+        self.character
+    }
+}
+
+impl fmt::Display for ParseWordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid three-valued digit `{}` at position {}",
+            self.character, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParseWordError {}
+
+/// Parses a word over `{0, 1, x}` into a vector of values.
+///
+/// # Errors
+///
+/// Returns [`ParseWordError`] if a character is not one of `0`, `1`, `x`, `X`.
+///
+/// # Example
+///
+/// ```
+/// use moa_logic::{parse_word, V3};
+///
+/// assert_eq!(parse_word("0x1")?, vec![V3::Zero, V3::X, V3::One]);
+/// # Ok::<(), moa_logic::ParseWordError>(())
+/// ```
+pub fn parse_word(s: &str) -> Result<Vec<V3>, ParseWordError> {
+    s.chars()
+        .enumerate()
+        .map(|(position, character)| {
+            V3::from_char(character).ok_or(ParseWordError {
+                position,
+                character,
+            })
+        })
+        .collect()
+}
+
+/// Formats a slice of values as a word over `{0, 1, x}`.
+///
+/// # Example
+///
+/// ```
+/// use moa_logic::{format_word, V3};
+///
+/// assert_eq!(format_word(&[V3::One, V3::X, V3::Zero]), "1x0");
+/// ```
+pub fn format_word(values: &[V3]) -> String {
+    values.iter().map(|v| v.as_char()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for word in ["", "0", "1", "x", "01x10", "xxxx"] {
+            assert_eq!(format_word(&parse_word(word).unwrap()), word);
+        }
+    }
+
+    #[test]
+    fn upper_case_x_normalizes() {
+        assert_eq!(format_word(&parse_word("0X1").unwrap()), "0x1");
+    }
+
+    #[test]
+    fn error_reports_position_and_character() {
+        let err = parse_word("01?x").unwrap_err();
+        assert_eq!(err.position(), 2);
+        assert_eq!(err.character(), '?');
+        assert!(err.to_string().contains('?'));
+    }
+}

@@ -1,0 +1,288 @@
+//! The three-valued signal domain.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A three-valued logic value: `0`, `1`, or unknown (`X`).
+///
+/// `X` models the pessimistic "could be either" value used by conventional
+/// three-valued simulation of synchronous sequential circuits. The ordering of
+/// information is the flat lattice `X < {Zero, One}`: an `X` may later be
+/// *refined* to a binary value, but a binary value may never change.
+///
+/// # Example
+///
+/// ```
+/// use moa_logic::V3;
+///
+/// assert_eq!(V3::Zero & V3::X, V3::Zero); // 0 is controlling for AND
+/// assert_eq!(V3::One & V3::X, V3::X);
+/// assert_eq!(!V3::X, V3::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum V3 {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Unknown / unspecified.
+    #[default]
+    X,
+}
+
+impl V3 {
+    /// Returns `true` if the value is binary (`Zero` or `One`).
+    #[inline]
+    pub fn is_specified(self) -> bool {
+        !matches!(self, V3::X)
+    }
+
+    /// Returns the binary value, or `None` for `X`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            V3::Zero => Some(false),
+            V3::One => Some(true),
+            V3::X => None,
+        }
+    }
+
+    /// Converts a binary value into the corresponding `V3`.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+
+    /// Returns `true` if the two values are *compatible*, i.e. not two
+    /// different binary values. `X` is compatible with everything.
+    #[inline]
+    pub fn compatible(self, other: V3) -> bool {
+        self == other || self == V3::X || other == V3::X
+    }
+
+    /// Returns `true` if the two values are specified to *opposite* binary
+    /// values — the condition under which a fault-free / faulty output pair
+    /// constitutes a detection.
+    #[inline]
+    pub fn conflicts(self, other: V3) -> bool {
+        !self.compatible(other)
+    }
+
+    /// Refines `self` with `other` on the information lattice.
+    ///
+    /// Returns the more specified of the two values, or `None` if they are two
+    /// different binary values (a conflict).
+    #[inline]
+    pub fn merge(self, other: V3) -> Option<V3> {
+        match (self, other) {
+            (V3::X, v) | (v, V3::X) => Some(v),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Conditionally inverts a value: `X` stays `X`.
+    #[inline]
+    pub fn invert_if(self, invert: bool) -> V3 {
+        if invert {
+            !self
+        } else {
+            self
+        }
+    }
+
+    /// The single character used in sequence displays: `'0'`, `'1'` or `'x'`.
+    #[inline]
+    pub fn as_char(self) -> char {
+        match self {
+            V3::Zero => '0',
+            V3::One => '1',
+            V3::X => 'x',
+        }
+    }
+
+    /// Parses a single character (`0`, `1`, `x` or `X`).
+    #[inline]
+    pub fn from_char(c: char) -> Option<V3> {
+        match c {
+            '0' => Some(V3::Zero),
+            '1' => Some(V3::One),
+            'x' | 'X' => Some(V3::X),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for V3 {
+    #[inline]
+    fn from(b: bool) -> Self {
+        V3::from_bool(b)
+    }
+}
+
+impl fmt::Display for V3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_char())
+    }
+}
+
+impl Not for V3 {
+    type Output = V3;
+
+    #[inline]
+    fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+}
+
+impl BitAnd for V3 {
+    type Output = V3;
+
+    #[inline]
+    fn bitand(self, rhs: V3) -> V3 {
+        match (self, rhs) {
+            (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
+            (V3::One, V3::One) => V3::One,
+            _ => V3::X,
+        }
+    }
+}
+
+impl BitOr for V3 {
+    type Output = V3;
+
+    #[inline]
+    fn bitor(self, rhs: V3) -> V3 {
+        match (self, rhs) {
+            (V3::One, _) | (_, V3::One) => V3::One,
+            (V3::Zero, V3::Zero) => V3::Zero,
+            _ => V3::X,
+        }
+    }
+}
+
+impl BitXor for V3 {
+    type Output = V3;
+
+    #[inline]
+    fn bitxor(self, rhs: V3) -> V3 {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => V3::from_bool(a ^ b),
+            _ => V3::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [V3; 3] = [V3::Zero, V3::One, V3::X];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(V3::Zero & V3::Zero, V3::Zero);
+        assert_eq!(V3::Zero & V3::One, V3::Zero);
+        assert_eq!(V3::Zero & V3::X, V3::Zero);
+        assert_eq!(V3::One & V3::One, V3::One);
+        assert_eq!(V3::One & V3::X, V3::X);
+        assert_eq!(V3::X & V3::X, V3::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(V3::One | V3::Zero, V3::One);
+        assert_eq!(V3::One | V3::X, V3::One);
+        assert_eq!(V3::Zero | V3::Zero, V3::Zero);
+        assert_eq!(V3::Zero | V3::X, V3::X);
+        assert_eq!(V3::X | V3::X, V3::X);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        assert_eq!(V3::Zero ^ V3::One, V3::One);
+        assert_eq!(V3::One ^ V3::One, V3::Zero);
+        assert_eq!(V3::One ^ V3::X, V3::X);
+        assert_eq!(V3::X ^ V3::X, V3::X);
+    }
+
+    #[test]
+    fn not_is_involutive_on_binary() {
+        for v in ALL {
+            assert_eq!(!!v, v);
+        }
+        assert_eq!(!V3::Zero, V3::One);
+        assert_eq!(!V3::X, V3::X);
+    }
+
+    #[test]
+    fn and_or_de_morgan() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_detects_conflicts() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.merge(b), b.merge(a));
+            }
+        }
+        assert_eq!(V3::Zero.merge(V3::One), None);
+        assert_eq!(V3::X.merge(V3::One), Some(V3::One));
+        assert_eq!(V3::Zero.merge(V3::Zero), Some(V3::Zero));
+    }
+
+    #[test]
+    fn compatible_and_conflicts_are_complements() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.compatible(b), !a.conflicts(b));
+            }
+        }
+        assert!(V3::Zero.conflicts(V3::One));
+        assert!(!V3::X.conflicts(V3::One));
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for v in ALL {
+            assert_eq!(V3::from_char(v.as_char()), Some(v));
+        }
+        assert_eq!(V3::from_char('X'), Some(V3::X));
+        assert_eq!(V3::from_char('?'), None);
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(V3::from(true), V3::One);
+        assert_eq!(V3::from(false), V3::Zero);
+        assert_eq!(V3::One.to_bool(), Some(true));
+        assert_eq!(V3::X.to_bool(), None);
+    }
+
+    #[test]
+    fn invert_if_matches_not() {
+        for v in ALL {
+            assert_eq!(v.invert_if(true), !v);
+            assert_eq!(v.invert_if(false), v);
+        }
+    }
+
+    #[test]
+    fn default_is_unknown() {
+        assert_eq!(V3::default(), V3::X);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the three-valued logic substrate.
+
+use proptest::prelude::*;
+
+use moa_logic::{eval_gate, justify, GateKind, JustifyOutcome, V3};
+
+fn arb_v3() -> impl Strategy<Value = V3> {
+    prop_oneof![Just(V3::Zero), Just(V3::One), Just(V3::X)]
+}
+
+fn arb_kind() -> impl Strategy<Value = GateKind> {
+    prop_oneof![
+        Just(GateKind::And),
+        Just(GateKind::Nand),
+        Just(GateKind::Or),
+        Just(GateKind::Nor),
+        Just(GateKind::Xor),
+        Just(GateKind::Xnor),
+    ]
+}
+
+/// All binary completions of a partially specified vector.
+fn completions(inputs: &[V3]) -> Vec<Vec<V3>> {
+    let mut out = vec![Vec::new()];
+    for &v in inputs {
+        let choices: Vec<V3> = match v {
+            V3::X => vec![V3::Zero, V3::One],
+            other => vec![other],
+        };
+        let mut next = Vec::with_capacity(out.len() * choices.len());
+        for c in &out {
+            for &ch in &choices {
+                let mut c2 = c.clone();
+                c2.push(ch);
+                next.push(c2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+proptest! {
+    /// Monotonicity of evaluation on the information lattice: refining an
+    /// input never *changes* a specified output, only specifies more.
+    #[test]
+    fn eval_is_monotone(
+        kind in arb_kind(),
+        inputs in proptest::collection::vec(arb_v3(), 1..5),
+        position in any::<prop::sample::Index>(),
+        refined in any::<bool>(),
+    ) {
+        let before = eval_gate(kind, &inputs);
+        let mut refined_inputs = inputs.clone();
+        let i = position.index(refined_inputs.len());
+        if refined_inputs[i] == V3::X {
+            refined_inputs[i] = V3::from_bool(refined);
+        }
+        let after = eval_gate(kind, &refined_inputs);
+        if before.is_specified() {
+            prop_assert_eq!(before, after);
+        }
+    }
+
+    /// Evaluation is exactly the consensus of the binary completions: the
+    /// output is binary iff every completion agrees, except where the
+    /// controlling-value shortcut makes three-valued logic *exact* — so we
+    /// assert soundness (specified ⇒ all completions agree) and completeness
+    /// for the AND/OR family (all agree ⇒ specified).
+    #[test]
+    fn eval_matches_completion_consensus(
+        kind in arb_kind(),
+        inputs in proptest::collection::vec(arb_v3(), 1..4),
+    ) {
+        let out = eval_gate(kind, &inputs);
+        let results: Vec<V3> = completions(&inputs)
+            .iter()
+            .map(|c| eval_gate(kind, c))
+            .collect();
+        match out.to_bool() {
+            Some(b) => prop_assert!(results.iter().all(|&r| r == V3::from_bool(b))),
+            None => {
+                // Three-valued logic can be pessimistic only for parity
+                // gates; AND/OR-family evaluation is exact.
+                if !kind.is_parity() {
+                    prop_assert!(
+                        results.iter().any(|&r| r == V3::Zero)
+                            && results.iter().any(|&r| r == V3::One)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Justification never invents: every implication it emits is forced
+    /// (flipping it makes the requested output unreachable), and conflicts
+    /// mean the output is unreachable outright.
+    #[test]
+    fn justify_only_emits_forced_implications(
+        kind in arb_kind(),
+        inputs in proptest::collection::vec(arb_v3(), 1..4),
+        want in any::<bool>(),
+    ) {
+        let out = V3::from_bool(want);
+        match justify(kind, out, &inputs) {
+            JustifyOutcome::Conflict => {
+                prop_assert!(
+                    !completions(&inputs).iter().any(|c| eval_gate(kind, c) == out)
+                );
+            }
+            JustifyOutcome::Implied(imps) => {
+                for imp in imps {
+                    prop_assert_eq!(inputs[imp.input], V3::X, "only X pins are implied");
+                    let mut flipped = inputs.clone();
+                    flipped[imp.input] = !imp.value;
+                    prop_assert!(
+                        !completions(&flipped).iter().any(|c| eval_gate(kind, c) == out),
+                        "implication was not forced"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Merge is the join of the information lattice: commutative, idempotent,
+    /// with X as the identity.
+    #[test]
+    fn merge_lattice_laws(a in arb_v3(), b in arb_v3()) {
+        prop_assert_eq!(a.merge(b), b.merge(a));
+        prop_assert_eq!(a.merge(a), Some(a));
+        prop_assert_eq!(a.merge(V3::X), Some(a));
+    }
+
+    /// De Morgan over the whole domain, any width.
+    #[test]
+    fn de_morgan_any_width(inputs in proptest::collection::vec(arb_v3(), 1..6)) {
+        let nand = eval_gate(GateKind::Nand, &inputs);
+        let negated: Vec<V3> = inputs.iter().map(|&v| !v).collect();
+        let or = eval_gate(GateKind::Or, &negated);
+        prop_assert_eq!(nand, or);
+    }
+}

@@ -1,0 +1,324 @@
+//! The ISCAS-89 `.bench` netlist format.
+//!
+//! The format consists of `INPUT(name)` / `OUTPUT(name)` declarations and
+//! assignments `name = KIND(arg, …)`, where `KIND` is a combinational gate
+//! kind or `DFF`. `#` starts a comment.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, CircuitBuilder, Driver, NetlistError};
+
+/// Parses ISCAS-89 `.bench` source text into a circuit.
+///
+/// The circuit name is taken from a leading `# name` comment when present,
+/// otherwise it is `"bench"`.
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] (with a 1-based line number) on syntax errors, and
+/// any [`CircuitBuilder`] validation error on semantic ones.
+///
+/// # Example
+///
+/// ```
+/// use moa_netlist::parse_bench;
+///
+/// let c = parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// assert_eq!(c.num_inputs(), 1);
+/// # Ok::<(), moa_netlist::NetlistError>(())
+/// ```
+pub fn parse_bench(source: &str) -> Result<Circuit, NetlistError> {
+    let mut name = None;
+    let mut builder: Option<CircuitBuilder> = None;
+    // Deferred so the builder can be created with the name from a comment.
+    let mut statements: Vec<(usize, Statement)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(pos) => {
+                if name.is_none() && statements.is_empty() {
+                    let candidate = raw[pos + 1..].trim();
+                    if !candidate.is_empty() && candidate.split_whitespace().count() == 1 {
+                        name = Some(candidate.to_owned());
+                    }
+                }
+                &raw[..pos]
+            }
+            None => raw,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        statements.push((lineno, parse_statement(lineno, line)?));
+    }
+
+    let mut b = builder
+        .take()
+        .unwrap_or_else(|| CircuitBuilder::new(name.unwrap_or_else(|| "bench".to_owned())));
+    for (_lineno, stmt) in statements {
+        match stmt {
+            Statement::Input(n) => {
+                b.add_input(&n)?;
+            }
+            Statement::Output(n) => {
+                b.add_output(&n);
+            }
+            Statement::Dff { q, d } => {
+                b.add_flip_flop(&q, &d)?;
+            }
+            Statement::Gate { out, kind, inputs } => {
+                let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+                b.add_gate(kind, &out, &refs)?;
+            }
+        }
+    }
+    b.finish()
+}
+
+enum Statement {
+    Input(String),
+    Output(String),
+    Dff { q: String, d: String },
+    Gate {
+        out: String,
+        kind: moa_logic::GateKind,
+        inputs: Vec<String>,
+    },
+}
+
+fn parse_statement(line_number: usize, line: &str) -> Result<Statement, NetlistError> {
+    let err = |message: String| NetlistError::Parse {
+        line: line_number,
+        message,
+    };
+
+    if let Some((lhs, rhs)) = line.split_once('=') {
+        let out = lhs.trim();
+        if out.is_empty() || out.contains(char::is_whitespace) {
+            return Err(err(format!("invalid signal name `{out}`")));
+        }
+        let (kind_name, args) = parse_call(rhs.trim())
+            .ok_or_else(|| err(format!("expected `KIND(args)`, found `{}`", rhs.trim())))?;
+        if kind_name.eq_ignore_ascii_case("DFF") {
+            if args.len() != 1 {
+                return Err(err(format!("DFF takes exactly one input, got {}", args.len())));
+            }
+            return Ok(Statement::Dff {
+                q: out.to_owned(),
+                d: args[0].clone(),
+            });
+        }
+        let kind = kind_name
+            .parse()
+            .map_err(|e: moa_logic::ParseGateKindError| err(e.to_string()))?;
+        if args.is_empty() {
+            return Err(err(format!("gate `{out}` has no inputs")));
+        }
+        return Ok(Statement::Gate {
+            out: out.to_owned(),
+            kind,
+            inputs: args,
+        });
+    }
+
+    let (keyword, args) =
+        parse_call(line).ok_or_else(|| err(format!("unrecognized statement `{line}`")))?;
+    if args.len() != 1 {
+        return Err(err(format!("{keyword} takes exactly one name")));
+    }
+    if keyword.eq_ignore_ascii_case("INPUT") {
+        Ok(Statement::Input(args[0].clone()))
+    } else if keyword.eq_ignore_ascii_case("OUTPUT") {
+        Ok(Statement::Output(args[0].clone()))
+    } else {
+        Err(err(format!("unknown keyword `{keyword}`")))
+    }
+}
+
+/// Parses `NAME(arg, arg, …)`, returning the name and argument list.
+fn parse_call(s: &str) -> Option<(String, Vec<String>)> {
+    let open = s.find('(')?;
+    let close = s.rfind(')')?;
+    if close < open || !s[close + 1..].trim().is_empty() {
+        return None;
+    }
+    let name = s[..open].trim();
+    if name.is_empty() || name.contains(char::is_whitespace) {
+        return None;
+    }
+    let inner = &s[open + 1..close];
+    let args: Vec<String> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(|a| a.trim().to_owned()).collect()
+    };
+    if args.iter().any(|a| a.is_empty() || a.contains(char::is_whitespace)) {
+        return None;
+    }
+    Some((name.to_owned(), args))
+}
+
+/// Serializes a circuit to `.bench` source text.
+///
+/// The output round-trips through [`parse_bench`] to an equivalent circuit
+/// (same nets, gates, flip-flops, inputs and outputs).
+///
+/// # Example
+///
+/// ```
+/// use moa_netlist::{parse_bench, write_bench};
+///
+/// let c = parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let text = write_bench(&c);
+/// let c2 = parse_bench(&text)?;
+/// assert_eq!(c.num_nets(), c2.num_nets());
+/// # Ok::<(), moa_netlist::NetlistError>(())
+/// ```
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for &pi in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.net_name(pi));
+    }
+    for &po in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.net_name(po));
+    }
+    for ff in circuit.flip_flops() {
+        let _ = writeln!(
+            out,
+            "{} = DFF({})",
+            circuit.net_name(ff.q()),
+            circuit.net_name(ff.d())
+        );
+    }
+    for gate in circuit.gates() {
+        let inputs: Vec<&str> = gate
+            .inputs()
+            .iter()
+            .map(|&n| circuit.net_name(n))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            circuit.net_name(gate.output()),
+            gate.kind(),
+            inputs.join(", ")
+        );
+    }
+    out
+}
+
+/// Structural equality helper used by round-trip tests: checks that two
+/// circuits have identical interface, gate and flip-flop structure when
+/// matched by net name.
+#[doc(hidden)]
+pub fn structurally_equal(a: &Circuit, b: &Circuit) -> bool {
+    if a.num_nets() != b.num_nets()
+        || a.num_gates() != b.num_gates()
+        || a.num_flip_flops() != b.num_flip_flops()
+    {
+        return false;
+    }
+    let names = |c: &Circuit, nets: &[crate::NetId]| -> Vec<String> {
+        nets.iter().map(|&n| c.net_name(n).to_owned()).collect()
+    };
+    if names(a, a.inputs()) != names(b, b.inputs()) || names(a, a.outputs()) != names(b, b.outputs())
+    {
+        return false;
+    }
+    for net in a.net_ids() {
+        let name = a.net_name(net);
+        let Some(net_b) = b.find_net(name) else {
+            return false;
+        };
+        match (a.driver(net), b.driver(net_b)) {
+            (Driver::PrimaryInput(i), Driver::PrimaryInput(j)) if i == j => {}
+            (Driver::FlipFlop(fa), Driver::FlipFlop(fb)) => {
+                let (fa, fb) = (a.flip_flop(fa), b.flip_flop(fb));
+                if a.net_name(fa.d()) != b.net_name(fb.d()) {
+                    return false;
+                }
+            }
+            (Driver::Gate(ga), Driver::Gate(gb)) => {
+                let (ga, gb) = (a.gate(ga), b.gate(gb));
+                if ga.kind() != gb.kind()
+                    || names(a, ga.inputs()) != names(b, gb.inputs())
+                {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "
+# tiny
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+q = DFF(d)
+d = NOR(a, q)   # feedback
+z = NAND(b, q)
+";
+
+    #[test]
+    fn parses_inputs_outputs_dffs_gates() {
+        let c = parse_bench(S27_LIKE).unwrap();
+        assert_eq!(c.name(), "tiny");
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_flip_flops(), 1);
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c = parse_bench(S27_LIKE).unwrap();
+        let text = write_bench(&c);
+        let c2 = parse_bench(&text).unwrap();
+        assert!(structurally_equal(&c, &c2));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let c = parse_bench("input(a)\noutput(z)\nz = not(a)\n").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n").unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::Parse {
+                line: 3,
+                message: "unknown gate kind `FROB`".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_calls() {
+        assert!(parse_bench("INPUT a\n").is_err());
+        assert!(parse_bench("INPUT(a, b)\n").is_err());
+        assert!(parse_bench("z = NOT(a\n").is_err());
+        assert!(parse_bench("z = (a)\n").is_err());
+        assert!(parse_bench("q = DFF(a, b)\n").is_err());
+    }
+
+    #[test]
+    fn comment_only_and_blank_lines_ignored() {
+        let c = parse_bench("\n# hello world\n\nINPUT(a)\nOUTPUT(a)\n").unwrap();
+        // Multi-word comment is not taken as the circuit name.
+        assert_eq!(c.name(), "bench");
+        assert_eq!(c.num_inputs(), 1);
+    }
+}

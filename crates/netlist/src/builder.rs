@@ -1,0 +1,301 @@
+//! Name-based circuit construction with forward references.
+
+use std::collections::HashMap;
+
+use moa_logic::GateKind;
+
+use crate::circuit::{Circuit, Driver, FlipFlop, Gate};
+use crate::levelize::levelize;
+use crate::{FlipFlopId, GateId, NetId, NetlistError};
+
+/// Builds a [`Circuit`] incrementally by name.
+///
+/// Nets are created on first mention, so definitions may reference signals
+/// defined later (as `.bench` files routinely do). [`CircuitBuilder::finish`]
+/// validates the result: unique drivers, valid arities, acyclic combinational
+/// logic, at least one output.
+///
+/// # Example
+///
+/// ```
+/// use moa_logic::GateKind;
+/// use moa_netlist::CircuitBuilder;
+///
+/// let mut b = CircuitBuilder::new("demo");
+/// b.add_input("a")?;
+/// b.add_gate(GateKind::Not, "z", &["a"])?;
+/// b.add_output("z");
+/// let circuit = b.finish()?;
+/// assert_eq!(circuit.name(), "demo");
+/// # Ok::<(), moa_netlist::NetlistError>(())
+/// ```
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    name: String,
+    net_names: Vec<String>,
+    name_index: HashMap<String, NetId>,
+    drivers: Vec<Option<Driver>>,
+    gates: Vec<Gate>,
+    flip_flops: Vec<FlipFlop>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            net_names: Vec::new(),
+            name_index: HashMap::new(),
+            drivers: Vec::new(),
+            gates: Vec::new(),
+            flip_flops: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Returns the net named `name`, creating it (undriven) if new.
+    pub fn net(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
+        }
+        let id = NetId::new(self.net_names.len());
+        self.net_names.push(name.to_owned());
+        self.name_index.insert(name.to_owned(), id);
+        self.drivers.push(None);
+        id
+    }
+
+    fn drive(&mut self, net: NetId, driver: Driver) -> Result<(), NetlistError> {
+        let slot = &mut self.drivers[net.index()];
+        if slot.is_some() {
+            return Err(NetlistError::MultipleDrivers {
+                net: self.net_names[net.index()].clone(),
+            });
+        }
+        *slot = Some(driver);
+        Ok(())
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DuplicateInput`] if the name was already declared as an
+    /// input; [`NetlistError::MultipleDrivers`] if the net is already driven.
+    pub fn add_input(&mut self, name: &str) -> Result<NetId, NetlistError> {
+        let net = self.net(name);
+        if matches!(
+            self.drivers[net.index()],
+            Some(Driver::PrimaryInput(_))
+        ) {
+            return Err(NetlistError::DuplicateInput {
+                net: name.to_owned(),
+            });
+        }
+        let index = self.inputs.len();
+        self.drive(net, Driver::PrimaryInput(index))?;
+        self.inputs.push(net);
+        Ok(net)
+    }
+
+    /// Declares a primary output (the net may be defined before or after).
+    pub fn add_output(&mut self, name: &str) -> NetId {
+        let net = self.net(name);
+        self.outputs.push(net);
+        net
+    }
+
+    /// Adds a gate driving `output` from `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::BadArity`] for an input count invalid for `kind`;
+    /// [`NetlistError::MultipleDrivers`] if `output` is already driven.
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        output: &str,
+        inputs: &[&str],
+    ) -> Result<GateId, NetlistError> {
+        if !kind.accepts_arity(inputs.len()) {
+            return Err(NetlistError::BadArity {
+                net: output.to_owned(),
+                kind: kind.to_string(),
+                arity: inputs.len(),
+            });
+        }
+        let out = self.net(output);
+        let ins: Vec<NetId> = inputs.iter().map(|n| self.net(n)).collect();
+        let id = GateId::new(self.gates.len());
+        self.drive(out, Driver::Gate(id))?;
+        self.gates.push(Gate {
+            kind,
+            output: out,
+            inputs: ins,
+        });
+        Ok(id)
+    }
+
+    /// Adds a D flip-flop with output (present-state) net `q` and data-input
+    /// (next-state) net `d`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::MultipleDrivers`] if `q` is already driven.
+    pub fn add_flip_flop(&mut self, q: &str, d: &str) -> Result<FlipFlopId, NetlistError> {
+        let q_net = self.net(q);
+        let d_net = self.net(d);
+        let id = FlipFlopId::new(self.flip_flops.len());
+        self.drive(q_net, Driver::FlipFlop(id))?;
+        self.flip_flops.push(FlipFlop { d: d_net, q: q_net });
+        Ok(id)
+    }
+
+    /// Validates and produces the circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Undriven`] for floating nets,
+    /// [`NetlistError::CombinationalLoop`] for cyclic combinational logic,
+    /// [`NetlistError::NoOutputs`] if no output was declared.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        let CircuitBuilder {
+            name,
+            net_names,
+            name_index,
+            drivers,
+            gates,
+            flip_flops,
+            inputs,
+            outputs,
+        } = self;
+
+        if outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        let mut resolved = Vec::with_capacity(drivers.len());
+        for (i, d) in drivers.iter().enumerate() {
+            match d {
+                Some(d) => resolved.push(*d),
+                None => {
+                    return Err(NetlistError::Undriven {
+                        net: net_names[i].clone(),
+                    })
+                }
+            }
+        }
+
+        let topo = levelize(&gates, &resolved, &net_names)?;
+
+        let mut fanout_counts = vec![0u32; net_names.len()];
+        for gate in &gates {
+            for &input in &gate.inputs {
+                fanout_counts[input.index()] += 1;
+            }
+        }
+        for ff in &flip_flops {
+            fanout_counts[ff.d.index()] += 1;
+        }
+        for &po in &outputs {
+            fanout_counts[po.index()] += 1;
+        }
+
+        Ok(Circuit {
+            name,
+            net_names,
+            name_index,
+            drivers: resolved,
+            gates,
+            flip_flops,
+            inputs,
+            outputs,
+            topo,
+            fanout_counts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_input_is_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        assert!(matches!(
+            b.add_input("a"),
+            Err(NetlistError::DuplicateInput { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "z", &["a"]).unwrap();
+        assert!(matches!(
+            b.add_gate(GateKind::Buf, "z", &["a"]),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn undriven_net_rejected_at_finish() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::And, "z", &["a", "ghost"]).unwrap();
+        b.add_output("z");
+        assert_eq!(
+            b.finish().unwrap_err(),
+            NetlistError::Undriven {
+                net: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn no_outputs_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        assert_eq!(b.finish().unwrap_err(), NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        assert!(matches!(
+            b.add_gate(GateKind::Not, "z", &["a", "b"]),
+            Err(NetlistError::BadArity { arity: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = CircuitBuilder::new("t");
+        // Output and flip-flop reference `d` before its gate is declared.
+        b.add_output("z");
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Nor, "d", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["q"]).unwrap();
+        let c = b.finish().unwrap();
+        assert_eq!(c.num_nets(), 4);
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn input_cannot_be_driven() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        assert!(matches!(
+            b.add_gate(GateKind::Not, "a", &["a"]),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+}

@@ -1,0 +1,288 @@
+//! The validated, levelized circuit representation.
+
+use std::collections::HashMap;
+
+use moa_logic::GateKind;
+
+use crate::{FlipFlopId, GateId, NetId};
+
+/// A combinational gate: one output net computed from one or more input nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    pub(crate) kind: GateKind,
+    pub(crate) output: NetId,
+    pub(crate) inputs: Vec<NetId>,
+}
+
+impl Gate {
+    /// The gate's logic function.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The net driven by this gate.
+    #[inline]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// The nets read by this gate, in pin order.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+}
+
+/// A D flip-flop. Its output net `q` is a *present-state variable* `y_i` and
+/// its input net `d` the corresponding *next-state variable* `Y_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipFlop {
+    pub(crate) d: NetId,
+    pub(crate) q: NetId,
+}
+
+impl FlipFlop {
+    /// The data-input net (next-state variable `Y_i`).
+    #[inline]
+    pub fn d(&self) -> NetId {
+        self.d
+    }
+
+    /// The output net (present-state variable `y_i`).
+    #[inline]
+    pub fn q(&self) -> NetId {
+        self.q
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// The net is the `index`-th primary input.
+    PrimaryInput(usize),
+    /// The net is a gate output.
+    Gate(GateId),
+    /// The net is a flip-flop output (a present-state variable).
+    FlipFlop(FlipFlopId),
+}
+
+/// A validated synchronous sequential circuit.
+///
+/// Construction goes through [`CircuitBuilder`](crate::CircuitBuilder) or
+/// [`parse_bench`](crate::parse_bench); a constructed `Circuit` guarantees:
+///
+/// - every net has exactly one driver,
+/// - gate arities are valid for their kinds,
+/// - the combinational part is acyclic, and [`Circuit::topo_order`] is a
+///   topological evaluation order for it,
+/// - there is at least one primary output.
+///
+/// # Example
+///
+/// ```
+/// use moa_netlist::CircuitBuilder;
+/// use moa_logic::GateKind;
+///
+/// let mut b = CircuitBuilder::new("toggle");
+/// b.add_input("en")?;
+/// b.add_flip_flop("q", "d")?;
+/// b.add_gate(GateKind::Xor, "d", &["en", "q"])?;
+/// b.add_output("q");
+/// let circuit = b.finish()?;
+/// assert_eq!(circuit.num_gates(), 1);
+/// assert_eq!(circuit.net_name(circuit.flip_flops()[0].q()), "q");
+/// # Ok::<(), moa_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) net_names: Vec<String>,
+    pub(crate) name_index: HashMap<String, NetId>,
+    pub(crate) drivers: Vec<Driver>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) flip_flops: Vec<FlipFlop>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<NetId>,
+    pub(crate) topo: Vec<GateId>,
+    pub(crate) fanout_counts: Vec<u32>,
+}
+
+impl Circuit {
+    /// The circuit's name (e.g. `"s27"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nets.
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of combinational gates.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops (state variables).
+    #[inline]
+    pub fn num_flip_flops(&self) -> usize {
+        self.flip_flops.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Primary-input nets, in declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary-output nets, in declaration order.
+    #[inline]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// All gates (unordered; use [`Circuit::topo_order`] for evaluation).
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Looks up a gate by id.
+    #[inline]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// All flip-flops; position `i` is state variable `y_i` / `Y_i`.
+    #[inline]
+    pub fn flip_flops(&self) -> &[FlipFlop] {
+        &self.flip_flops
+    }
+
+    /// Looks up a flip-flop by id.
+    #[inline]
+    pub fn flip_flop(&self, id: FlipFlopId) -> FlipFlop {
+        self.flip_flops[id.index()]
+    }
+
+    /// The name of a net.
+    #[inline]
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.index()]
+    }
+
+    /// Finds a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The unique driver of a net.
+    #[inline]
+    pub fn driver(&self, net: NetId) -> Driver {
+        self.drivers[net.index()]
+    }
+
+    /// Gate ids in a topological order of the combinational network: every
+    /// gate appears after all gates driving its inputs. Simulators and the
+    /// implication engine iterate this order forward (and backward for
+    /// justification).
+    #[inline]
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// Number of reader pins of a net (gate inputs + flip-flop data inputs +
+    /// primary-output observations). A net with `fanout_count > 1` has
+    /// distinguishable fan-out *branches* for fault modeling.
+    #[inline]
+    pub fn fanout_count(&self, net: NetId) -> u32 {
+        self.fanout_counts[net.index()]
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl ExactSizeIterator<Item = NetId> + '_ {
+        (0..self.num_nets()).map(NetId::new)
+    }
+
+    /// The flip-flop whose output (present-state) net is `net`, if any.
+    pub fn flip_flop_of_q(&self, net: NetId) -> Option<FlipFlopId> {
+        match self.driver(net) {
+            Driver::FlipFlop(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    fn small() -> Circuit {
+        let mut b = CircuitBuilder::new("small");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::And, "w", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Or, "d", &["w", "b"]).unwrap();
+        b.add_output("w");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let c = small();
+        assert_eq!(c.name(), "small");
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_flip_flops(), 1);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.num_nets(), 5);
+        let w = c.find_net("w").unwrap();
+        assert_eq!(c.net_name(w), "w");
+        assert!(matches!(c.driver(w), Driver::Gate(_)));
+        let q = c.find_net("q").unwrap();
+        assert_eq!(c.flip_flop_of_q(q), Some(FlipFlopId::new(0)));
+        assert_eq!(c.flip_flop_of_q(w), None);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let c = small();
+        let w = c.find_net("w").unwrap();
+        let d = c.find_net("d").unwrap();
+        let pos = |net: NetId| {
+            c.topo_order()
+                .iter()
+                .position(|&g| c.gate(g).output() == net)
+                .unwrap()
+        };
+        assert!(pos(w) < pos(d), "w feeds d, so w must be evaluated first");
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let c = small();
+        // `w` is read by the OR gate and observed as a primary output.
+        assert_eq!(c.fanout_count(c.find_net("w").unwrap()), 2);
+        // `q` is read only by the AND gate.
+        assert_eq!(c.fanout_count(c.find_net("q").unwrap()), 1);
+        // `d` is read only by the flip-flop.
+        assert_eq!(c.fanout_count(c.find_net("d").unwrap()), 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Structural cone analysis: fan-in/fan-out cones and observability.
+//!
+//! Used for diagnostics (why is a fault undetectable?), for validating that
+//! generated benchmarks leave no dangling logic, and by the statistics
+//! reports. All cones are *combinational within a frame* but cross flip-flop
+//! boundaries transitively, so "observable" means "can reach a primary
+//! output in some number of clock cycles".
+
+use crate::{Circuit, Driver, NetId};
+
+/// The transitive fan-in cone of `net`: every net whose value can influence
+/// it, crossing flip-flops (a flip-flop output depends on its data input).
+/// The result includes `net` itself and is in ascending net-id order.
+pub fn fanin_cone(circuit: &Circuit, net: NetId) -> Vec<NetId> {
+    let mut seen = vec![false; circuit.num_nets()];
+    let mut stack = vec![net];
+    seen[net.index()] = true;
+    while let Some(n) = stack.pop() {
+        let sources: Vec<NetId> = match circuit.driver(n) {
+            Driver::PrimaryInput(_) => Vec::new(),
+            Driver::Gate(g) => circuit.gate(g).inputs().to_vec(),
+            Driver::FlipFlop(ff) => vec![circuit.flip_flop(ff).d()],
+        };
+        for s in sources {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    collect(seen)
+}
+
+/// The transitive fan-out cone of `net`: every net whose value it can
+/// influence, crossing flip-flops. Includes `net` itself.
+pub fn fanout_cone(circuit: &Circuit, net: NetId) -> Vec<NetId> {
+    // readers[net] = nets directly depending on net.
+    let mut readers: Vec<Vec<NetId>> = vec![Vec::new(); circuit.num_nets()];
+    for gate in circuit.gates() {
+        for &input in gate.inputs() {
+            readers[input.index()].push(gate.output());
+        }
+    }
+    for ff in circuit.flip_flops() {
+        readers[ff.d().index()].push(ff.q());
+    }
+
+    let mut seen = vec![false; circuit.num_nets()];
+    let mut stack = vec![net];
+    seen[net.index()] = true;
+    while let Some(n) = stack.pop() {
+        for &r in &readers[n.index()] {
+            if !seen[r.index()] {
+                seen[r.index()] = true;
+                stack.push(r);
+            }
+        }
+    }
+    collect(seen)
+}
+
+/// Nets that can (structurally, over any number of cycles) influence a
+/// primary output. A stuck-at fault on an unobservable net is untestable.
+pub fn observable_nets(circuit: &Circuit) -> Vec<NetId> {
+    let mut seen = vec![false; circuit.num_nets()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for &po in circuit.outputs() {
+        if !seen[po.index()] {
+            seen[po.index()] = true;
+            stack.push(po);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        let sources: Vec<NetId> = match circuit.driver(n) {
+            Driver::PrimaryInput(_) => Vec::new(),
+            Driver::Gate(g) => circuit.gate(g).inputs().to_vec(),
+            Driver::FlipFlop(ff) => vec![circuit.flip_flop(ff).d()],
+        };
+        for s in sources {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    collect(seen)
+}
+
+fn collect(seen: Vec<bool>) -> Vec<NetId> {
+    seen.into_iter()
+        .enumerate()
+        .filter(|&(_, s)| s)
+        .map(|(i, _)| NetId::new(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+    use moa_logic::GateKind;
+
+    fn c1() -> Circuit {
+        let mut b = CircuitBuilder::new("cones");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::And, "w", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Or, "d", &["w", "b"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["w"]).unwrap();
+        // Dangling gate: drives nothing observable.
+        b.add_gate(GateKind::Nand, "dead", &["b", "b"]).unwrap();
+        b.add_output("z");
+        b.finish().unwrap()
+    }
+
+    fn names(c: &Circuit, nets: &[NetId]) -> Vec<String> {
+        nets.iter().map(|&n| c.net_name(n).to_owned()).collect()
+    }
+
+    #[test]
+    fn fanin_cone_crosses_flip_flops() {
+        let c = c1();
+        let z = c.find_net("z").unwrap();
+        let cone = names(&c, &fanin_cone(&c, z));
+        // z ← w ← {a, q}; q ← d ← {w, b}: everything except `dead`.
+        for n in ["z", "w", "a", "q", "d", "b"] {
+            assert!(cone.contains(&n.to_owned()), "{n}");
+        }
+        assert!(!cone.contains(&"dead".to_owned()));
+    }
+
+    #[test]
+    fn fanout_cone_crosses_flip_flops() {
+        let c = c1();
+        let b_net = c.find_net("b").unwrap();
+        let cone = names(&c, &fanout_cone(&c, b_net));
+        // b → d → q → w → {z, d again}: reaches the output over a cycle.
+        for n in ["b", "d", "q", "w", "z", "dead"] {
+            assert!(cone.contains(&n.to_owned()), "{n}");
+        }
+        assert!(!cone.contains(&"a".to_owned()));
+    }
+
+    #[test]
+    fn observable_nets_exclude_dangling_logic() {
+        let c = c1();
+        let obs = names(&c, &observable_nets(&c));
+        assert!(obs.contains(&"a".to_owned()));
+        assert!(obs.contains(&"q".to_owned()));
+        assert!(!obs.contains(&"dead".to_owned()), "dangling gate is unobservable");
+        assert_eq!(obs.len(), c.num_nets() - 1);
+    }
+
+    #[test]
+    fn cones_contain_their_seed() {
+        let c = c1();
+        for net in c.net_ids() {
+            assert!(fanin_cone(&c, net).contains(&net));
+            assert!(fanout_cone(&c, net).contains(&net));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Structural fault dominance analysis.
+//!
+//! Fault `f` *dominates* fault `g` when every test detecting `g` also detects
+//! `f`; when targeting test generation at a collapsed list, the dominating
+//! fault can then be dropped. The classic gate-local rules are:
+//!
+//! - AND/NAND: the output stuck at (1 ⊕ inversion) dominates each input
+//!   stuck-at-1 (detecting the input fault requires all other inputs at 1,
+//!   which also exposes the output fault),
+//! - OR/NOR: the output stuck at (0 ⊕ inversion) dominates each input
+//!   stuck-at-0,
+//! - XOR/XNOR: no dominance.
+//!
+//! **Sequential caveat**: these rules are only guaranteed for combinational
+//! propagation. In a sequential circuit a fault's effect can propagate over
+//! multiple time frames and re-converge, so dominance-based dropping is an
+//! approximation; this module exposes the *relation* for analysis and leaves
+//! the decision to drop to the caller (the experiment harnesses use
+//! equivalence collapsing only, as the paper's fault counts do).
+
+use moa_logic::GateKind;
+
+use crate::{Circuit, Fault, GateId};
+
+/// One structural dominance pair: every test for `dominated` detects
+/// `dominator`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dominance {
+    /// The fault whose tests are a superset.
+    pub dominator: Fault,
+    /// The fault whose detection implies the dominator's.
+    pub dominated: Fault,
+}
+
+/// Enumerates the gate-local dominance relations of `circuit`.
+///
+/// The "input fault" of a pin is the pin's branch fault when the source net
+/// fans out, and the source net's stem fault otherwise — mirroring
+/// [`collapse_faults`](crate::collapse_faults).
+///
+/// # Example
+///
+/// ```
+/// use moa_netlist::{dominance_relations, parse_bench};
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n")?;
+/// let doms = dominance_relations(&c);
+/// // z stuck-at-1 dominates a/sa1 and b/sa1.
+/// assert_eq!(doms.len(), 2);
+/// # Ok::<(), moa_netlist::NetlistError>(())
+/// ```
+pub fn dominance_relations(circuit: &Circuit) -> Vec<Dominance> {
+    let mut relations = Vec::new();
+    for (gi, gate) in circuit.gates().iter().enumerate() {
+        let gid = GateId::new(gi);
+        let Some(c) = gate.kind().controlling_value() else {
+            continue; // XOR/XNOR/NOT/BUF: no multi-input dominance
+        };
+        if matches!(gate.kind(), GateKind::Not | GateKind::Buf) || gate.inputs().len() < 2 {
+            continue;
+        }
+        // Output stuck at the *non-controlled* value dominates each input
+        // stuck at the non-controlling value.
+        let dominator = Fault::stem(gate.output(), !c ^ gate.kind().inverting());
+        for (pin, &src) in gate.inputs().iter().enumerate() {
+            let dominated = if circuit.fanout_count(src) > 1 {
+                Fault::gate_input(gid, pin, !c)
+            } else {
+                Fault::stem(src, !c)
+            };
+            relations.push(Dominance {
+                dominator,
+                dominated,
+            });
+        }
+    }
+    relations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    #[test]
+    fn and_gate_dominance() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate(GateKind::And, "z", &["a", "b"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let doms = dominance_relations(&c);
+        let z = c.find_net("z").unwrap();
+        let a = c.find_net("a").unwrap();
+        assert!(doms.contains(&Dominance {
+            dominator: Fault::stem(z, true),
+            dominated: Fault::stem(a, true),
+        }));
+        assert_eq!(doms.len(), 2);
+    }
+
+    #[test]
+    fn nor_gate_dominance_polarity() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate(GateKind::Nor, "z", &["a", "b"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let doms = dominance_relations(&c);
+        let z = c.find_net("z").unwrap();
+        // NOR: controlling 1, non-controlled output 0⊕inv = 1. Inputs s-a-0.
+        assert!(doms.iter().all(|d| d.dominator == Fault::stem(z, true)));
+        assert!(doms.iter().all(|d| !d.dominated.stuck));
+    }
+
+    #[test]
+    fn xor_and_unary_gates_contribute_nothing() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate(GateKind::Xor, "x", &["a", "b"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["x"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        assert!(dominance_relations(&c).is_empty());
+    }
+
+    #[test]
+    fn fanout_uses_branch_faults() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate(GateKind::And, "u", &["a", "b"]).unwrap();
+        b.add_gate(GateKind::Or, "v", &["a", "b"]).unwrap();
+        b.add_output("u");
+        b.add_output("v");
+        let c = b.finish().unwrap();
+        let doms = dominance_relations(&c);
+        // Both a and b fan out: dominated faults are branch faults.
+        assert!(doms
+            .iter()
+            .all(|d| matches!(d.dominated.site, crate::FaultSite::GateInput { .. })));
+        assert_eq!(doms.len(), 4);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for netlist construction and parsing.
+
+use std::fmt;
+
+/// Error produced while building, validating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net is driven by more than one source.
+    MultipleDrivers {
+        /// Name of the multiply-driven net.
+        net: String,
+    },
+    /// A net is used but never driven by a primary input, gate or flip-flop.
+    Undriven {
+        /// Name of the floating net.
+        net: String,
+    },
+    /// A gate was declared with an input count invalid for its kind.
+    BadArity {
+        /// Output net name of the offending gate.
+        net: String,
+        /// Gate kind name.
+        kind: String,
+        /// Number of inputs supplied.
+        arity: usize,
+    },
+    /// The combinational part of the circuit contains a cycle.
+    CombinationalLoop {
+        /// Names of nets on (or near) the cycle, for diagnostics.
+        nets: Vec<String>,
+    },
+    /// A primary input net is also driven by a gate or flip-flop.
+    InputDriven {
+        /// Name of the conflicting net.
+        net: String,
+    },
+    /// The same name was declared as a primary input twice.
+    DuplicateInput {
+        /// The duplicated name.
+        net: String,
+    },
+    /// The circuit has no primary outputs (nothing is observable).
+    NoOutputs,
+    /// A syntax error in a `.bench` source.
+    Parse {
+        /// 1-based source line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::Undriven { net } => write!(f, "net `{net}` is never driven"),
+            NetlistError::BadArity { net, kind, arity } => {
+                write!(f, "gate `{net}` of kind {kind} has invalid arity {arity}")
+            }
+            NetlistError::CombinationalLoop { nets } => {
+                write!(f, "combinational loop through nets: {}", nets.join(", "))
+            }
+            NetlistError::InputDriven { net } => {
+                write!(f, "primary input `{net}` is also driven by logic")
+            }
+            NetlistError::DuplicateInput { net } => {
+                write!(f, "primary input `{net}` declared twice")
+            }
+            NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "expected `)`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: expected `)`");
+        let e = NetlistError::CombinationalLoop {
+            nets: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("a, b"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Single stuck-at faults on stems and fan-out branches.
+
+use std::fmt;
+
+use crate::{Circuit, FlipFlopId, GateId, NetId};
+
+/// Where a stuck-at fault is injected.
+///
+/// A *stem* fault pins the value driven onto a net; a *branch* fault pins the
+/// value seen by one specific reader pin of a net with fan-out. Branch faults
+/// exist on gate input pins and flip-flop data pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// The value of the net itself (affects every reader).
+    Net(NetId),
+    /// The value seen by input pin `pin` of gate `gate` only.
+    GateInput {
+        /// The reading gate.
+        gate: GateId,
+        /// Pin position within the gate's input list.
+        pin: usize,
+    },
+    /// The value seen by the data input of a flip-flop only.
+    FlipFlopInput(FlipFlopId),
+}
+
+/// A single stuck-at fault.
+///
+/// # Example
+///
+/// ```
+/// use moa_netlist::{parse_bench, full_fault_list};
+///
+/// let c = parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let faults = full_fault_list(&c);
+/// // Two nets, no fan-out: 4 stem faults.
+/// assert_eq!(faults.len(), 4);
+/// # Ok::<(), moa_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// The fault location.
+    pub site: FaultSite,
+    /// The stuck value: `true` for stuck-at-1, `false` for stuck-at-0.
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// Creates a stem fault on `net`.
+    pub fn stem(net: NetId, stuck: bool) -> Self {
+        Fault {
+            site: FaultSite::Net(net),
+            stuck,
+        }
+    }
+
+    /// Creates a branch fault on a gate input pin.
+    pub fn gate_input(gate: GateId, pin: usize, stuck: bool) -> Self {
+        Fault {
+            site: FaultSite::GateInput { gate, pin },
+            stuck,
+        }
+    }
+
+    /// Creates a branch fault on a flip-flop data pin.
+    pub fn flip_flop_input(ff: FlipFlopId, stuck: bool) -> Self {
+        Fault {
+            site: FaultSite::FlipFlopInput(ff),
+            stuck,
+        }
+    }
+
+    /// Human-readable description using the circuit's net names, e.g.
+    /// `"G10 stuck-at-1"` or `"G9.in0 (G16) stuck-at-0"`.
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        let sa = if self.stuck { 1 } else { 0 };
+        match self.site {
+            FaultSite::Net(net) => {
+                format!("{} stuck-at-{sa}", circuit.net_name(net))
+            }
+            FaultSite::GateInput { gate, pin } => {
+                let g = circuit.gate(gate);
+                format!(
+                    "{}.in{pin} ({}) stuck-at-{sa}",
+                    circuit.net_name(g.output()),
+                    circuit.net_name(g.inputs()[pin]),
+                )
+            }
+            FaultSite::FlipFlopInput(ff) => {
+                let ff = circuit.flip_flop(ff);
+                format!(
+                    "{}.d ({}) stuck-at-{sa}",
+                    circuit.net_name(ff.q()),
+                    circuit.net_name(ff.d()),
+                )
+            }
+        }
+    }
+
+    /// The net whose *driven* value the fault overrides (for stems) or whose
+    /// *read* value it overrides (for branches).
+    pub fn source_net(&self, circuit: &Circuit) -> NetId {
+        match self.site {
+            FaultSite::Net(net) => net,
+            FaultSite::GateInput { gate, pin } => circuit.gate(gate).inputs()[pin],
+            FaultSite::FlipFlopInput(ff) => circuit.flip_flop(ff).d(),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sa = if self.stuck { 1 } else { 0 };
+        match self.site {
+            FaultSite::Net(net) => write!(f, "{net}/sa{sa}"),
+            FaultSite::GateInput { gate, pin } => write!(f, "{gate}.in{pin}/sa{sa}"),
+            FaultSite::FlipFlopInput(ff) => write!(f, "{ff}.d/sa{sa}"),
+        }
+    }
+}
+
+/// Enumerates the full (uncollapsed) single stuck-at fault list:
+///
+/// - stem faults (both polarities) on every net, and
+/// - branch faults (both polarities) on every gate input pin and flip-flop
+///   data pin whose source net has fan-out greater than one.
+///
+/// Primary-output observation points never get separate branch faults: a PO
+/// branch fault is indistinguishable from the stem for simulation purposes
+/// here, since nothing downstream of a PO is modeled.
+pub fn full_fault_list(circuit: &Circuit) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for net in circuit.net_ids() {
+        faults.push(Fault::stem(net, false));
+        faults.push(Fault::stem(net, true));
+    }
+    for (gi, gate) in circuit.gates().iter().enumerate() {
+        for (pin, &src) in gate.inputs().iter().enumerate() {
+            if circuit.fanout_count(src) > 1 {
+                faults.push(Fault::gate_input(GateId::new(gi), pin, false));
+                faults.push(Fault::gate_input(GateId::new(gi), pin, true));
+            }
+        }
+    }
+    for (fi, ff) in circuit.flip_flops().iter().enumerate() {
+        if circuit.fanout_count(ff.d()) > 1 {
+            faults.push(Fault::flip_flop_input(FlipFlopId::new(fi), false));
+            faults.push(Fault::flip_flop_input(FlipFlopId::new(fi), true));
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+    use moa_logic::GateKind;
+
+    fn fanout_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("fanout");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        // `a` feeds two gates: fan-out 2 → branch faults exist.
+        b.add_gate(GateKind::And, "u", &["a", "b"]).unwrap();
+        b.add_gate(GateKind::Or, "v", &["a", "b"]).unwrap();
+        b.add_output("u");
+        b.add_output("v");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fault_list_counts() {
+        let c = fanout_circuit();
+        // 4 nets × 2 stems = 8; `a` and `b` each have fan-out 2 and feed two
+        // gate pins → 4 pins × 2 polarities = 8 branch faults.
+        let faults = full_fault_list(&c);
+        assert_eq!(faults.len(), 16);
+        let branches = faults
+            .iter()
+            .filter(|f| matches!(f.site, FaultSite::GateInput { .. }))
+            .count();
+        assert_eq!(branches, 8);
+    }
+
+    #[test]
+    fn describe_uses_net_names() {
+        let c = fanout_circuit();
+        let a = c.find_net("a").unwrap();
+        assert_eq!(Fault::stem(a, true).describe(&c), "a stuck-at-1");
+        let f = Fault::gate_input(GateId::new(0), 0, false);
+        assert_eq!(f.describe(&c), "u.in0 (a) stuck-at-0");
+    }
+
+    #[test]
+    fn source_net_resolution() {
+        let c = fanout_circuit();
+        let a = c.find_net("a").unwrap();
+        assert_eq!(Fault::gate_input(GateId::new(0), 0, false).source_net(&c), a);
+        assert_eq!(Fault::stem(a, false).source_net(&c), a);
+    }
+
+    #[test]
+    fn ff_branch_faults_only_with_fanout() {
+        let mut b = CircuitBuilder::new("ff");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Nand, "d", &["a", "q"]).unwrap();
+        // `d` also observed as PO → fan-out 2 → FF branch faults exist.
+        b.add_output("d");
+        let c = b.finish().unwrap();
+        let faults = full_fault_list(&c);
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f.site, FaultSite::FlipFlopInput(_))));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Fault::stem(NetId::new(3), true).to_string(), "n3/sa1");
+        assert_eq!(
+            Fault::gate_input(GateId::new(2), 1, false).to_string(),
+            "g2.in1/sa0"
+        );
+    }
+}

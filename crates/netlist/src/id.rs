@@ -1,0 +1,78 @@
+//! Typed indices into a [`Circuit`](crate::Circuit).
+//!
+//! The three id types are deliberately distinct newtypes ([C-NEWTYPE]): a net,
+//! a gate and a flip-flop index can never be confused at a call site even
+//! though all three are small integers internally.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index fits in u32"))
+            }
+
+            /// The raw index, usable for slice indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a net (a named signal) within a circuit.
+    NetId,
+    "n"
+);
+id_type!(
+    /// Index of a combinational gate within a circuit.
+    GateId,
+    "g"
+);
+id_type!(
+    /// Index of a D flip-flop within a circuit. The flip-flop's position in
+    /// the circuit's flip-flop list is the state-variable index `i` of the
+    /// paper's `y_i` / `Y_i` notation.
+    FlipFlopId,
+    "ff"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let n = NetId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "n42");
+        assert_eq!(GateId::new(7).to_string(), "g7");
+        assert_eq!(FlipFlopId::new(0).to_string(), "ff0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+    }
+}

@@ -1,0 +1,124 @@
+//! Topological ordering (levelization) of the combinational network.
+
+use crate::circuit::{Driver, Gate};
+use crate::{GateId, NetlistError};
+
+/// Computes a topological evaluation order of `gates`.
+///
+/// Gate `g` depends on gate `h` iff one of `g`'s input nets is driven by `h`;
+/// primary inputs and flip-flop outputs are sequential sources and impose no
+/// ordering. Uses Kahn's algorithm.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] (listing the output nets of the
+/// gates stuck on the cycle) if the combinational network is cyclic.
+pub(crate) fn levelize(
+    gates: &[Gate],
+    drivers: &[Driver],
+    net_names: &[String],
+) -> Result<Vec<GateId>, NetlistError> {
+    let mut indegree = vec![0u32; gates.len()];
+    // consumers[g] = gates reading g's output net.
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); gates.len()];
+    for (gi, gate) in gates.iter().enumerate() {
+        for &input in &gate.inputs {
+            if let Driver::Gate(src) = drivers[input.index()] {
+                indegree[gi] += 1;
+                consumers[src.index()].push(gi as u32);
+            }
+        }
+    }
+
+    let mut order = Vec::with_capacity(gates.len());
+    let mut ready: Vec<u32> = indegree
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(i, _)| i as u32)
+        .collect();
+    while let Some(gi) = ready.pop() {
+        order.push(GateId::new(gi as usize));
+        for &next in &consumers[gi as usize] {
+            indegree[next as usize] -= 1;
+            if indegree[next as usize] == 0 {
+                ready.push(next);
+            }
+        }
+    }
+
+    if order.len() == gates.len() {
+        Ok(order)
+    } else {
+        let nets = indegree
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d > 0)
+            .map(|(i, _)| net_names[gates[i].output.index()].clone())
+            .collect();
+        Err(NetlistError::CombinationalLoop { nets })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+    use moa_logic::GateKind;
+
+    #[test]
+    fn detects_combinational_loop() {
+        let mut b = CircuitBuilder::new("loopy");
+        b.add_input("a").unwrap();
+        // u = AND(a, v); v = AND(a, u) — a combinational cycle.
+        b.add_gate(GateKind::And, "u", &["a", "v"]).unwrap();
+        b.add_gate(GateKind::And, "v", &["a", "u"]).unwrap();
+        b.add_output("u");
+        match b.finish() {
+            Err(NetlistError::CombinationalLoop { nets }) => {
+                assert!(nets.contains(&"u".to_owned()));
+                assert!(nets.contains(&"v".to_owned()));
+            }
+            other => panic!("expected loop error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feedback_through_flip_flop_is_fine() {
+        let mut b = CircuitBuilder::new("seq");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Nand, "d", &["a", "q"]).unwrap();
+        b.add_output("q");
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn long_chain_orders_correctly() {
+        let mut b = CircuitBuilder::new("chain");
+        b.add_input("a").unwrap();
+        // Declare gates in reverse order to force nontrivial sorting.
+        let n = 20;
+        for i in (0..n).rev() {
+            let input = if i == 0 {
+                "a".to_owned()
+            } else {
+                format!("w{}", i - 1)
+            };
+            b.add_gate(GateKind::Not, &format!("w{i}"), &[&input]).unwrap();
+        }
+        b.add_output(&format!("w{}", n - 1));
+        let c = b.finish().unwrap();
+        let order = c.topo_order();
+        assert_eq!(order.len(), n);
+        // Each gate must appear after its predecessor in the chain.
+        let pos: std::collections::HashMap<_, _> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (c.net_name(c.gate(g).output()).to_owned(), i))
+            .collect();
+        for i in 1..n {
+            assert!(pos[&format!("w{}", i - 1)] < pos[&format!("w{i}")]);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Gate-level sequential netlists for fault simulation.
+//!
+//! This crate models synchronous sequential circuits the way the ISCAS-89
+//! benchmarks do: a combinational network of gates ([`GateKind`]) over nets,
+//! plus D flip-flops whose outputs are the *present-state variables* `y_i` and
+//! whose inputs are the *next-state variables* `Y_i` of the paper.
+//!
+//! Provided here:
+//!
+//! - [`Circuit`] — validated, levelized netlist with fan-out tables,
+//! - [`CircuitBuilder`] — name-based construction with forward references,
+//! - [`parse_bench`] / [`write_bench`] — the ISCAS-89 `.bench` format,
+//! - [`Fault`] / [`FaultSite`] — single stuck-at faults on stems and fan-out
+//!   branches, [`full_fault_list`] and equivalence [`collapse_faults`],
+//! - [`CircuitStats`] — size/depth/fan-out statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use moa_netlist::parse_bench;
+//!
+//! let src = "
+//!     INPUT(a)
+//!     OUTPUT(z)
+//!     q = DFF(d)
+//!     d = NAND(a, q)
+//!     z = NOT(q)
+//! ";
+//! let circuit = parse_bench(src)?;
+//! assert_eq!(circuit.num_flip_flops(), 1);
+//! assert_eq!(circuit.num_gates(), 2);
+//! # Ok::<(), moa_netlist::NetlistError>(())
+//! ```
+
+mod bench_format;
+mod builder;
+mod circuit;
+mod collapse;
+mod cone;
+mod dominance;
+mod error;
+mod extract;
+mod fault;
+mod id;
+mod levelize;
+mod stats;
+
+pub use bench_format::{parse_bench, structurally_equal, write_bench};
+pub use builder::CircuitBuilder;
+pub use circuit::{Circuit, Driver, FlipFlop, Gate};
+pub use collapse::{collapse_faults, CollapsedFaults};
+pub use cone::{fanin_cone, fanout_cone, observable_nets};
+pub use dominance::{dominance_relations, Dominance};
+pub use error::NetlistError;
+pub use extract::extract_fanin_cone;
+pub use fault::{full_fault_list, Fault, FaultSite};
+pub use id::{FlipFlopId, GateId, NetId};
+pub use stats::CircuitStats;
+
+pub use moa_logic::GateKind;

@@ -1,0 +1,141 @@
+//! Circuit size and shape statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Circuit, Driver};
+
+/// Summary statistics of a circuit, as printed by the experiment harnesses.
+///
+/// # Example
+///
+/// ```
+/// use moa_netlist::{parse_bench, CircuitStats};
+///
+/// let c = parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let stats = CircuitStats::of(&c);
+/// assert_eq!(stats.gates, 1);
+/// assert_eq!(stats.depth, 1);
+/// # Ok::<(), moa_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of flip-flops.
+    pub flip_flops: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Maximum combinational depth in gates.
+    pub depth: usize,
+    /// Largest fan-out of any net.
+    pub max_fanout: u32,
+    /// Gate-kind histogram by canonical name.
+    pub kind_histogram: BTreeMap<&'static str, usize>,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut kind_histogram = BTreeMap::new();
+        for gate in circuit.gates() {
+            *kind_histogram.entry(gate.kind().name()).or_insert(0) += 1;
+        }
+
+        // Level of each net: PIs and FF outputs are level 0; a gate output is
+        // 1 + max input level. The topo order makes this a single pass.
+        let mut level = vec![0usize; circuit.num_nets()];
+        let mut depth = 0;
+        for &gid in circuit.topo_order() {
+            let gate = circuit.gate(gid);
+            let l = 1 + gate
+                .inputs()
+                .iter()
+                .map(|&n| match circuit.driver(n) {
+                    Driver::Gate(_) => level[n.index()],
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0);
+            level[gate.output().index()] = l;
+            depth = depth.max(l);
+        }
+
+        let max_fanout = circuit
+            .net_ids()
+            .map(|n| circuit.fanout_count(n))
+            .max()
+            .unwrap_or(0);
+
+        CircuitStats {
+            inputs: circuit.num_inputs(),
+            outputs: circuit.num_outputs(),
+            flip_flops: circuit.num_flip_flops(),
+            gates: circuit.num_gates(),
+            nets: circuit.num_nets(),
+            depth,
+            max_fanout,
+            kind_histogram,
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PI={} PO={} FF={} gates={} nets={} depth={} max_fanout={}",
+            self.inputs,
+            self.outputs,
+            self.flip_flops,
+            self.gates,
+            self.nets,
+            self.depth,
+            self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+    use moa_logic::GateKind;
+
+    #[test]
+    fn depth_and_histogram() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate(GateKind::And, "u", &["a", "b"]).unwrap();
+        b.add_gate(GateKind::Not, "v", &["u"]).unwrap();
+        b.add_gate(GateKind::Or, "z", &["v", "a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.kind_histogram["AND"], 1);
+        assert_eq!(s.kind_histogram["NOT"], 1);
+        assert_eq!(s.kind_histogram["OR"], 1);
+        assert_eq!(s.gates, 3);
+        // `a` feeds the AND and the OR → fan-out 2.
+        assert_eq!(s.max_fanout, 2);
+        let text = s.to_string();
+        assert!(text.contains("depth=3"));
+    }
+
+    #[test]
+    fn flip_flop_outputs_are_level_zero() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Nand, "d", &["a", "q"]).unwrap();
+        b.add_output("q");
+        let c = b.finish().unwrap();
+        assert_eq!(CircuitStats::of(&c).depth, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Parser robustness: arbitrary input text must yield `Ok` or a structured
+//! error — never a panic — and every parsed circuit must satisfy the
+//! `Circuit` invariants.
+
+use proptest::prelude::*;
+
+use moa_netlist::{parse_bench, Driver};
+
+/// A corpus of hand-written malformed inputs, each exercising a specific
+/// error path.
+#[test]
+fn malformed_corpus_yields_structured_errors() {
+    let corpus = [
+        "",                                  // empty
+        "garbage",                           // no call syntax
+        "INPUT()",                           // empty args
+        "INPUT(a b)",                        // whitespace in name
+        "INPUT(a)\nINPUT(a)",                // duplicate input
+        "OUTPUT(z)",                         // undriven output
+        "z = AND()",                         // gate with no inputs
+        "z = NOT(a, b)\nINPUT(a)\nINPUT(b)", // bad arity
+        "z = DFF(a, b)",                     // DFF arity
+        "z = ()",                            // missing kind
+        "z = AND(a",                         // unbalanced parens
+        "z = AND)a(",                        // reversed parens
+        "INPUT(a)\nz = AND(a, z)\nOUTPUT(z)", // combinational self-loop
+        "INPUT(a)\nu = NOT(v)\nv = NOT(u)\nOUTPUT(u)", // 2-cycle
+        "INPUT(a)\nOUTPUT(z)\nz = FOO(a)",   // unknown kind
+        "= AND(a)",                          // missing lhs
+        "INPUT(a)\na = NOT(a)",              // driving an input
+        "q = DFF(q)\nOUTPUT(q)",             // self-latch is fine? (valid!)
+    ];
+    for (i, text) in corpus.iter().enumerate() {
+        // Must not panic; most entries are errors, the self-latch is valid.
+        let result = parse_bench(text);
+        if i == corpus.len() - 1 {
+            assert!(result.is_ok(), "self-latching DFF is a valid circuit");
+        } else {
+            assert!(result.is_err(), "corpus entry {i} should fail: {text:?}");
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(text in ".{0,200}") {
+        let _ = parse_bench(&text);
+    }
+
+    /// Arbitrary *structured* text (lines of plausible tokens) never panics
+    /// and, when it parses, produces a circuit satisfying the invariants.
+    #[test]
+    fn plausible_text_invariants(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                "[A-Za-z][A-Za-z0-9]{0,4} = (AND|NOT|DFF|NOR|FROB)\\([A-Za-z][A-Za-z0-9]{0,4}(, [A-Za-z][A-Za-z0-9]{0,4})?\\)",
+                "INPUT\\([A-Za-z][A-Za-z0-9]{0,4}\\)",
+                "OUTPUT\\([A-Za-z][A-Za-z0-9]{0,4}\\)",
+                "# [a-z ]{0,10}",
+            ],
+            0..12,
+        )
+    ) {
+        let text = lines.join("\n");
+        if let Ok(circuit) = parse_bench(&text) {
+            // Invariants: every net driven exactly once, topo order complete,
+            // at least one output.
+            prop_assert!(circuit.num_outputs() > 0);
+            prop_assert_eq!(circuit.topo_order().len(), circuit.num_gates());
+            for net in circuit.net_ids() {
+                match circuit.driver(net) {
+                    Driver::PrimaryInput(i) => {
+                        prop_assert_eq!(circuit.inputs()[i], net);
+                    }
+                    Driver::Gate(g) => prop_assert_eq!(circuit.gate(g).output(), net),
+                    Driver::FlipFlop(ff) => {
+                        prop_assert_eq!(circuit.flip_flop(ff).q(), net);
+                    }
+                }
+            }
+        }
+    }
+}

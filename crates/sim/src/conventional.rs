@@ -1,0 +1,105 @@
+//! Conventional (single-observation-time) fault detection.
+
+use moa_netlist::{Circuit, Fault};
+
+use crate::trace::{simulate, SimTrace};
+use crate::TestSequence;
+
+/// A single-observation-time detection: at time unit `time`, primary output
+/// `output` is specified to opposite binary values in the fault-free and
+/// faulty circuits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Time unit of the detection.
+    pub time: usize,
+    /// Primary-output index (into `circuit.outputs()`).
+    pub output: usize,
+}
+
+/// Finds the earliest conventional detection by comparing a fault-free and a
+/// faulty trace, or `None` if the traces never conflict on a specified output.
+///
+/// # Example
+///
+/// ```
+/// use moa_netlist::{parse_bench, Fault};
+/// use moa_sim::{conventional_detection, simulate, TestSequence};
+///
+/// let c = parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let seq = TestSequence::from_words(&["0"])?;
+/// let good = simulate(&c, &seq, None);
+/// let fault = Fault::stem(c.find_net("z").unwrap(), false);
+/// let bad = simulate(&c, &seq, Some(&fault));
+/// let det = conventional_detection(&good, &bad).unwrap();
+/// assert_eq!((det.time, det.output), (0, 0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn conventional_detection(good: &SimTrace, faulty: &SimTrace) -> Option<Detection> {
+    debug_assert_eq!(good.len(), faulty.len());
+    for (time, (g, f)) in good.outputs.iter().zip(&faulty.outputs).enumerate() {
+        for (output, (&gv, &fv)) in g.iter().zip(f).enumerate() {
+            if gv.conflicts(fv) {
+                return Some(Detection { time, output });
+            }
+        }
+    }
+    None
+}
+
+/// Simulates `fault` under `seq` and reports the earliest conventional
+/// detection together with the faulty trace (which the expansion procedure
+/// reuses as its starting point).
+pub fn run_conventional(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+) -> (Option<Detection>, SimTrace) {
+    let faulty = simulate(circuit, seq, Some(fault));
+    (conventional_detection(good, &faulty), faulty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::{GateKind, V3};
+    use moa_netlist::CircuitBuilder;
+
+    /// The motivating situation of the paper's introduction: the faulty
+    /// output depends on the uninitialized state, so three-valued simulation
+    /// sees X and conventional detection fails.
+    #[test]
+    fn conventional_misses_state_dependent_difference() {
+        let mut b = CircuitBuilder::new("miss");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        // d = XOR(a, q): the state never initializes; z = AND(a, q).
+        b.add_gate(GateKind::Xor, "d", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::And, "z", &["a", "q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["1", "1"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        // z stuck-at-1: the good output is X (depends on q), faulty is 1.
+        let fault = Fault::stem(c.find_net("z").unwrap(), true);
+        let (det, faulty) = run_conventional(&c, &seq, &good, &fault);
+        assert_eq!(det, None, "X vs 1 is not a conventional detection");
+        assert_eq!(faulty.outputs[0], vec![V3::One]);
+        assert_eq!(good.outputs[0], vec![V3::X]);
+    }
+
+    #[test]
+    fn detection_reports_earliest_conflict() {
+        let mut b = CircuitBuilder::new("hit");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Buf, "z", &["a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["1", "0", "0"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let fault = Fault::stem(c.find_net("z").unwrap(), true);
+        let (det, _) = run_conventional(&c, &seq, &good, &fault);
+        // First conflict is at time 1 (good 0 vs stuck 1).
+        assert_eq!(det, Some(Detection { time: 1, output: 0 }));
+    }
+}

@@ -1,0 +1,198 @@
+//! Differential fault simulation: faulty frames as deltas from the good
+//! trace.
+//!
+//! Conventional per-fault simulation re-evaluates every gate of every time
+//! frame. But a faulty frame differs from the corresponding *good* frame only
+//! inside the fault's cone of difference (plus whatever state divergence has
+//! accumulated), so starting each frame from the cached good values and
+//! propagating only the differences — with the event-driven evaluator — does
+//! a small fraction of the work on large circuits.
+//!
+//! The result is bit-for-bit identical to [`simulate`](crate::simulate) with
+//! the fault injected (unit and property tested).
+
+use moa_logic::V3;
+use moa_netlist::{Circuit, Fault, FaultSite};
+
+use crate::event::EventSim;
+use crate::frame::{compute_frame, frame_next_state, frame_outputs, NetValues};
+use crate::trace::SimTrace;
+use crate::TestSequence;
+
+/// The cached per-time-unit net values of the fault-free machine, shared by
+/// every fault simulated under the same sequence.
+#[derive(Debug, Clone)]
+pub struct GoodFrames {
+    frames: Vec<NetValues>,
+    states: Vec<Vec<V3>>,
+    outputs: Vec<Vec<V3>>,
+}
+
+impl GoodFrames {
+    /// Simulates the fault-free machine and caches every frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` width does not match the circuit.
+    pub fn compute(circuit: &Circuit, seq: &TestSequence) -> Self {
+        assert_eq!(seq.num_inputs(), circuit.num_inputs(), "sequence width");
+        let mut states = vec![vec![V3::X; circuit.num_flip_flops()]];
+        let mut frames = Vec::with_capacity(seq.len());
+        let mut outputs = Vec::with_capacity(seq.len());
+        for u in 0..seq.len() {
+            let frame = compute_frame(circuit, seq.pattern(u), &states[u], None);
+            states.push(frame_next_state(circuit, &frame, None));
+            outputs.push(frame_outputs(circuit, &frame));
+            frames.push(frame);
+        }
+        GoodFrames {
+            frames,
+            states,
+            outputs,
+        }
+    }
+
+    /// The cached frame of time unit `u`.
+    pub fn frame(&self, u: usize) -> &NetValues {
+        &self.frames[u]
+    }
+
+    /// The fault-free trace (states and outputs) these frames produce.
+    pub fn to_trace(&self) -> SimTrace {
+        SimTrace {
+            states: self.states.clone(),
+            outputs: self.outputs.clone(),
+        }
+    }
+}
+
+/// Simulates `fault` under `seq`, frame-by-frame, as deltas from `good`.
+///
+/// Equivalent to `simulate(circuit, seq, Some(fault))` but each frame starts
+/// from the cached good values and only the difference cone re-evaluates.
+///
+/// # Panics
+///
+/// Panics if `good` was computed for a different sequence length.
+pub fn simulate_differential(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &GoodFrames,
+    fault: &Fault,
+) -> SimTrace {
+    assert_eq!(good.frames.len(), seq.len(), "good frames match sequence");
+    let mut sim = EventSim::new(circuit, Some(fault));
+    let mut states = vec![vec![V3::X; circuit.num_flip_flops()]];
+    let mut outputs = Vec::with_capacity(seq.len());
+
+    for u in 0..seq.len() {
+        // Start from the good frame, then replay the differences: the faulty
+        // present state and the fault site itself.
+        sim.load(good.frame(u).clone());
+        let state_changes: Vec<_> = circuit
+            .flip_flops()
+            .iter()
+            .zip(&states[u])
+            .filter(|(ff, &v)| good.frame(u)[ff.q()] != v)
+            .map(|(ff, &v)| (ff.q(), v))
+            .collect();
+        sim.update(&state_changes);
+        sim.replay_fault();
+
+        outputs.push(frame_outputs(circuit, sim.values()));
+        states.push(frame_next_state(circuit, sim.values(), Some(fault)));
+    }
+    SimTrace { states, outputs }
+}
+
+impl<'a> EventSim<'a> {
+    /// Replaces the current values wholesale (the caller provides a
+    /// consistent frame, e.g. a cached good frame) without scheduling any
+    /// events.
+    pub fn load(&mut self, values: NetValues) {
+        self.set_values(values);
+    }
+
+    /// Re-asserts the injected fault on top of loaded values: pins the stem
+    /// site (scheduling its readers) and re-evaluates the gate behind a
+    /// branch-faulted pin. Call after [`EventSim::load`] when the loaded
+    /// frame was computed *without* the fault.
+    pub fn replay_fault(&mut self) {
+        let Some(fault) = self.fault() else { return };
+        match fault.site {
+            FaultSite::Net(net) => {
+                let stuck = V3::from_bool(fault.stuck);
+                self.force_value(net, stuck);
+            }
+            FaultSite::GateInput { gate, .. } => {
+                self.schedule_gate(gate);
+            }
+            // Applied when the next state is read; nothing in-frame.
+            FaultSite::FlipFlopInput(_) => {}
+        }
+        self.drain_events();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use moa_logic::GateKind;
+    use moa_netlist::{full_fault_list, CircuitBuilder, Driver, GateId};
+
+    fn c1() -> Circuit {
+        let mut b = CircuitBuilder::new("c1");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_flip_flop("q0", "d0").unwrap();
+        b.add_flip_flop("q1", "d1").unwrap();
+        b.add_gate(GateKind::Nand, "w", &["a", "q0"]).unwrap();
+        b.add_gate(GateKind::Xor, "d0", &["w", "q1"]).unwrap();
+        b.add_gate(GateKind::Nor, "d1", &["b", "q0"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["w"]).unwrap();
+        b.add_output("z");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn differential_matches_full_simulation_for_every_fault() {
+        let c = c1();
+        let seq = TestSequence::from_words(&["10", "01", "11", "00", "10"]).unwrap();
+        let good = GoodFrames::compute(&c, &seq);
+        for fault in full_fault_list(&c) {
+            let reference = simulate(&c, &seq, Some(&fault));
+            let differential = simulate_differential(&c, &seq, &good, &fault);
+            assert_eq!(reference, differential, "{}", fault.describe(&c));
+        }
+    }
+
+    #[test]
+    fn good_frames_reproduce_the_good_trace() {
+        let c = c1();
+        let seq = TestSequence::from_words(&["10", "01", "11"]).unwrap();
+        let good = GoodFrames::compute(&c, &seq);
+        assert_eq!(good.to_trace(), simulate(&c, &seq, None));
+        assert_eq!(good.frame(0)[c.find_net("a").unwrap()], V3::One);
+    }
+
+    #[test]
+    fn branch_fault_differential() {
+        let c = c1();
+        let seq = TestSequence::from_words(&["10", "11", "01"]).unwrap();
+        let good = GoodFrames::compute(&c, &seq);
+        // Branch fault on w's q0 pin.
+        let w_gate = match c.driver(c.find_net("w").unwrap()) {
+            Driver::Gate(g) => g,
+            _ => unreachable!(),
+        };
+        for pin in 0..2 {
+            for stuck in [false, true] {
+                let fault = Fault::gate_input(GateId::new(w_gate.index()), pin, stuck);
+                let reference = simulate(&c, &seq, Some(&fault));
+                let differential = simulate_differential(&c, &seq, &good, &fault);
+                assert_eq!(reference, differential, "{}", fault.describe(&c));
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Event-driven (selective-trace) frame evaluation.
+//!
+//! [`compute_frame`](crate::compute_frame) re-evaluates every gate of a time
+//! frame; during resimulation of expanded state sequences only a handful of
+//! state variables change between closely related frames, so most gate
+//! evaluations are redundant. [`EventSim`] keeps the last frame's values and
+//! propagates *changes* level by level, touching only the affected cone.
+//!
+//! The results are bit-for-bit identical to full evaluation (covered by unit
+//! and property tests).
+
+use moa_logic::V3;
+use moa_netlist::{Circuit, Driver, Fault, FaultSite, GateId, NetId};
+
+use crate::frame::{compute_frame, NetValues};
+
+/// An incremental, event-driven evaluator for one circuit/fault pair.
+///
+/// # Example
+///
+/// ```
+/// use moa_logic::V3;
+/// use moa_netlist::parse_bench;
+/// use moa_sim::EventSim;
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n")?;
+/// let mut sim = EventSim::new(&c, None);
+/// sim.full_eval(&[V3::One, V3::One], &[]);
+/// assert_eq!(sim.values()[c.find_net("z").unwrap()], V3::One);
+/// // Flip one input: only the affected cone re-evaluates.
+/// let b = c.find_net("b").unwrap();
+/// sim.update(&[(b, V3::Zero)]);
+/// assert_eq!(sim.values()[c.find_net("z").unwrap()], V3::Zero);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventSim<'a> {
+    circuit: &'a Circuit,
+    fault: Option<&'a Fault>,
+    values: NetValues,
+    /// Gates reading each net.
+    readers: Vec<Vec<GateId>>,
+    /// Topological level of each gate (0-based).
+    level: Vec<u32>,
+    /// Dirty gates per level (reused buckets).
+    buckets: Vec<Vec<GateId>>,
+    /// Per-gate dirty flag (avoids duplicate bucket entries).
+    dirty: Vec<bool>,
+    /// Gate evaluations performed since construction (for benchmarks/tests).
+    evaluations: u64,
+}
+
+impl<'a> EventSim<'a> {
+    /// Builds the evaluator (computes fan-out lists and gate levels).
+    pub fn new(circuit: &'a Circuit, fault: Option<&'a Fault>) -> Self {
+        let mut readers: Vec<Vec<GateId>> = vec![Vec::new(); circuit.num_nets()];
+        for (gi, gate) in circuit.gates().iter().enumerate() {
+            for &input in gate.inputs() {
+                readers[input.index()].push(GateId::new(gi));
+            }
+        }
+        let mut level = vec![0u32; circuit.num_gates()];
+        let mut max_level = 0;
+        for &gid in circuit.topo_order() {
+            let gate = circuit.gate(gid);
+            let l = gate
+                .inputs()
+                .iter()
+                .map(|&n| match circuit.driver(n) {
+                    Driver::Gate(g) => level[g.index()] + 1,
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0);
+            level[gid.index()] = l;
+            max_level = max_level.max(l);
+        }
+        EventSim {
+            circuit,
+            fault,
+            values: NetValues::new(circuit),
+            readers,
+            level,
+            buckets: vec![Vec::new(); max_level as usize + 1],
+            dirty: vec![false; circuit.num_gates()],
+            evaluations: 0,
+        }
+    }
+
+    /// The current frame values.
+    pub fn values(&self) -> &NetValues {
+        &self.values
+    }
+
+    /// Total gate evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Evaluates the whole frame from scratch (primary inputs and present
+    /// state as in [`compute_frame`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` or `present_state` have the wrong length.
+    pub fn full_eval(&mut self, pattern: &[V3], present_state: &[V3]) {
+        self.values = compute_frame(self.circuit, pattern, present_state, self.fault);
+        self.evaluations += self.circuit.num_gates() as u64;
+    }
+
+    /// Applies source-value changes (primary inputs or flip-flop outputs) and
+    /// propagates them through the affected cone only.
+    ///
+    /// A change to a stem-faulted net is ignored — the net stays pinned, as
+    /// it would under full evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a changed net is a gate output (only sources may be driven
+    /// externally).
+    pub fn update(&mut self, changes: &[(NetId, V3)]) -> &NetValues {
+        for &(net, value) in changes {
+            assert!(
+                !matches!(self.circuit.driver(net), Driver::Gate(_)),
+                "only primary inputs and flip-flop outputs may be set"
+            );
+            if let Some(f) = self.fault {
+                if f.site == FaultSite::Net(net) {
+                    continue; // pinned by the stem fault
+                }
+            }
+            if self.values[net] != value {
+                self.values[net] = value;
+                self.schedule_readers(net);
+            }
+        }
+        self.drain();
+        &self.values
+    }
+
+    /// Replaces the value store (crate-internal; used by the differential
+    /// simulator to start a frame from a cached good frame).
+    pub(crate) fn set_values(&mut self, values: NetValues) {
+        debug_assert_eq!(values.len(), self.values.len());
+        debug_assert!(self.buckets.iter().all(Vec::is_empty), "no pending events");
+        self.values = values;
+    }
+
+    /// The injected fault, if any.
+    pub(crate) fn fault(&self) -> Option<&'a Fault> {
+        self.fault
+    }
+
+    /// Sets a net's value unconditionally (even a gate output), scheduling
+    /// its readers when the value changes.
+    pub(crate) fn force_value(&mut self, net: NetId, value: V3) {
+        if self.values[net] != value {
+            self.values[net] = value;
+            self.schedule_readers(net);
+        }
+    }
+
+    /// Schedules one gate for re-evaluation.
+    pub(crate) fn schedule_gate(&mut self, gate: GateId) {
+        if !self.dirty[gate.index()] {
+            self.dirty[gate.index()] = true;
+            self.buckets[self.level[gate.index()] as usize].push(gate);
+        }
+    }
+
+    /// Processes all pending events (crate-internal companion of the
+    /// scheduling helpers above).
+    pub(crate) fn drain_events(&mut self) {
+        self.drain();
+    }
+
+    fn schedule_readers(&mut self, net: NetId) {
+        for k in 0..self.readers[net.index()].len() {
+            let gid = self.readers[net.index()][k];
+            if !self.dirty[gid.index()] {
+                self.dirty[gid.index()] = true;
+                self.buckets[self.level[gid.index()] as usize].push(gid);
+            }
+        }
+    }
+
+    fn drain(&mut self) {
+        let mut input_buffer: Vec<V3> = Vec::with_capacity(8);
+        for l in 0..self.buckets.len() {
+            // Gates scheduled at this level; processing may schedule only
+            // higher levels, so a single ascending pass suffices.
+            let mut bucket = std::mem::take(&mut self.buckets[l]);
+            for gid in bucket.drain(..) {
+                self.dirty[gid.index()] = false;
+                let gate = self.circuit.gate(gid);
+                input_buffer.clear();
+                for (pin, &net) in gate.inputs().iter().enumerate() {
+                    input_buffer.push(crate::frame::pin_value(
+                        &self.values,
+                        net,
+                        gid.index(),
+                        pin,
+                        self.fault,
+                    ));
+                }
+                self.evaluations += 1;
+                let mut out = gate.kind().eval(&input_buffer);
+                if let Some(f) = self.fault {
+                    if f.site == FaultSite::Net(gate.output()) {
+                        out = V3::from_bool(f.stuck);
+                    }
+                }
+                if self.values[gate.output()] != out {
+                    self.values[gate.output()] = out;
+                    self.schedule_readers(gate.output());
+                }
+            }
+            // Return the (now empty) allocation to the bucket store.
+            self.buckets[l] = bucket;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::GateKind;
+    use moa_netlist::CircuitBuilder;
+
+    fn c1() -> Circuit {
+        let mut b = CircuitBuilder::new("c1");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Nand, "w", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Xor, "d", &["w", "b"]).unwrap();
+        b.add_gate(GateKind::Nor, "z", &["w", "q"]).unwrap();
+        b.add_output("z");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn update_matches_full_eval() {
+        let c = c1();
+        let mut sim = EventSim::new(&c, None);
+        sim.full_eval(&[V3::One, V3::Zero], &[V3::X]);
+        let q = c.find_net("q").unwrap();
+        // Change the state bit and compare against a fresh full evaluation.
+        for v in [V3::Zero, V3::One, V3::X, V3::One] {
+            sim.update(&[(q, v)]);
+            let reference = compute_frame(&c, &[V3::One, V3::Zero], &[v], None);
+            assert_eq!(sim.values(), &reference, "state = {v}");
+        }
+    }
+
+    #[test]
+    fn update_touches_only_the_cone() {
+        let c = c1();
+        let mut sim = EventSim::new(&c, None);
+        sim.full_eval(&[V3::One, V3::Zero], &[V3::Zero]);
+        let before = sim.evaluations();
+        // Changing `b` affects only the XOR gate.
+        let b = c.find_net("b").unwrap();
+        sim.update(&[(b, V3::One)]);
+        assert_eq!(sim.evaluations() - before, 1, "only the XOR re-evaluates");
+    }
+
+    #[test]
+    fn no_change_means_no_work() {
+        let c = c1();
+        let mut sim = EventSim::new(&c, None);
+        sim.full_eval(&[V3::One, V3::Zero], &[V3::One]);
+        let before = sim.evaluations();
+        let a = c.find_net("a").unwrap();
+        sim.update(&[(a, V3::One)]); // same value
+        assert_eq!(sim.evaluations(), before);
+    }
+
+    #[test]
+    fn faulted_updates_match_full_eval() {
+        let c = c1();
+        let w = c.find_net("w").unwrap();
+        let fault = Fault::stem(w, false);
+        let mut sim = EventSim::new(&c, Some(&fault));
+        sim.full_eval(&[V3::Zero, V3::Zero], &[V3::X]);
+        let q = c.find_net("q").unwrap();
+        for v in [V3::One, V3::Zero, V3::X] {
+            sim.update(&[(q, v)]);
+            let reference = compute_frame(&c, &[V3::Zero, V3::Zero], &[v], Some(&fault));
+            assert_eq!(sim.values(), &reference, "state = {v}");
+        }
+    }
+
+    #[test]
+    fn stem_fault_on_source_ignores_updates() {
+        let c = c1();
+        let a = c.find_net("a").unwrap();
+        let fault = Fault::stem(a, true);
+        let mut sim = EventSim::new(&c, Some(&fault));
+        sim.full_eval(&[V3::Zero, V3::Zero], &[V3::Zero]);
+        assert_eq!(sim.values()[a], V3::One, "pinned by the fault");
+        sim.update(&[(a, V3::Zero)]);
+        assert_eq!(sim.values()[a], V3::One, "still pinned");
+    }
+
+    #[test]
+    #[should_panic(expected = "only primary inputs and flip-flop outputs")]
+    fn driving_a_gate_output_panics() {
+        let c = c1();
+        let mut sim = EventSim::new(&c, None);
+        sim.full_eval(&[V3::Zero, V3::Zero], &[V3::Zero]);
+        let w = c.find_net("w").unwrap();
+        sim.update(&[(w, V3::One)]);
+    }
+
+    /// Exhaustive equivalence on a deeper circuit: every single-source change
+    /// from every binary base assignment matches full evaluation.
+    #[test]
+    fn exhaustive_single_change_equivalence() {
+        let mut b = CircuitBuilder::new("deep");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_input("c").unwrap();
+        b.add_gate(GateKind::Nand, "g1", &["a", "b"]).unwrap();
+        b.add_gate(GateKind::Nor, "g2", &["g1", "c"]).unwrap();
+        b.add_gate(GateKind::Xor, "g3", &["g2", "a"]).unwrap();
+        b.add_gate(GateKind::And, "g4", &["g3", "g1"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["g4"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let nets: Vec<NetId> = ["a", "b", "c"].iter().map(|n| c.find_net(n).unwrap()).collect();
+        for base in 0..27u32 {
+            let vals: Vec<V3> = (0..3)
+                .map(|i| [V3::Zero, V3::One, V3::X][(base / 3u32.pow(i)) as usize % 3])
+                .collect();
+            let mut sim = EventSim::new(&c, None);
+            sim.full_eval(&vals, &[]);
+            for (i, &net) in nets.iter().enumerate() {
+                for new in [V3::Zero, V3::One, V3::X] {
+                    let mut sim2 = sim.clone();
+                    sim2.update(&[(net, new)]);
+                    let mut v2 = vals.clone();
+                    v2[i] = new;
+                    let reference = compute_frame(&c, &v2, &[], None);
+                    assert_eq!(sim2.values(), &reference);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! 64-way bit-parallel binary simulation.
+//!
+//! The exact restricted-MOA checker enumerates all binary initial states of
+//! the faulty machine; this module simulates 64 of them per pass, one per bit
+//! position ("slot"). Inputs are shared across slots (the same test sequence
+//! drives every initial state); present-state bits differ per slot.
+
+use std::ops::{Index, IndexMut};
+
+use moa_netlist::{Circuit, Fault, FaultSite, FlipFlopId, NetId};
+
+/// One 64-slot binary value per net: bit `k` of `values[net]` is the value of
+/// `net` in scenario `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedValues {
+    values: Vec<u64>,
+}
+
+impl PackedValues {
+    /// An all-zero packed frame for `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        PackedValues {
+            values: vec![0; circuit.num_nets()],
+        }
+    }
+}
+
+impl Index<NetId> for PackedValues {
+    type Output = u64;
+
+    #[inline]
+    fn index(&self, net: NetId) -> &u64 {
+        &self.values[net.index()]
+    }
+}
+
+impl IndexMut<NetId> for PackedValues {
+    #[inline]
+    fn index_mut(&mut self, net: NetId) -> &mut u64 {
+        &mut self.values[net.index()]
+    }
+}
+
+#[inline]
+fn broadcast(b: bool) -> u64 {
+    if b {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Evaluates one time frame for 64 scenarios at once.
+///
+/// `pattern[i]` drives primary input `i` identically in all slots;
+/// `present_state[i]` gives flip-flop `i`'s per-slot values. `fault` (if any)
+/// is injected in every slot.
+///
+/// # Panics
+///
+/// Panics if `pattern` or `present_state` have the wrong length.
+pub fn run_packed_frame(
+    circuit: &Circuit,
+    pattern: &[bool],
+    present_state: &[u64],
+    fault: Option<&Fault>,
+) -> PackedValues {
+    assert_eq!(pattern.len(), circuit.num_inputs(), "pattern length");
+    assert_eq!(
+        present_state.len(),
+        circuit.num_flip_flops(),
+        "present-state length"
+    );
+
+    let mut values = PackedValues::new(circuit);
+    for (i, &net) in circuit.inputs().iter().enumerate() {
+        values[net] = broadcast(pattern[i]);
+    }
+    for (i, ff) in circuit.flip_flops().iter().enumerate() {
+        values[ff.q()] = present_state[i];
+    }
+    if let Some(f) = fault {
+        if let FaultSite::Net(net) = f.site {
+            values[net] = broadcast(f.stuck);
+        }
+    }
+
+    for &gid in circuit.topo_order() {
+        let gate = circuit.gate(gid);
+        let pin = |pin_index: usize| -> u64 {
+            if let Some(f) = fault {
+                if let FaultSite::GateInput { gate: fg, pin: fp } = f.site {
+                    if fg == gid && fp == pin_index {
+                        return broadcast(f.stuck);
+                    }
+                }
+            }
+            values[gate.inputs()[pin_index]]
+        };
+        use moa_logic::GateKind::*;
+        let n = gate.inputs().len();
+        let mut out = match gate.kind() {
+            And | Nand => {
+                let mut acc = u64::MAX;
+                for i in 0..n {
+                    acc &= pin(i);
+                }
+                acc
+            }
+            Or | Nor => {
+                let mut acc = 0;
+                for i in 0..n {
+                    acc |= pin(i);
+                }
+                acc
+            }
+            Xor | Xnor => {
+                let mut acc = 0;
+                for i in 0..n {
+                    acc ^= pin(i);
+                }
+                acc
+            }
+            Not | Buf => pin(0),
+        };
+        if gate.kind().inverting() {
+            out = !out;
+        }
+        if let Some(f) = fault {
+            if f.site == FaultSite::Net(gate.output()) {
+                out = broadcast(f.stuck);
+            }
+        }
+        values[gate.output()] = out;
+    }
+    values
+}
+
+/// Reads the packed next state, applying a flip-flop-input branch fault.
+pub fn packed_next_state(
+    circuit: &Circuit,
+    values: &PackedValues,
+    fault: Option<&Fault>,
+) -> Vec<u64> {
+    circuit
+        .flip_flops()
+        .iter()
+        .enumerate()
+        .map(|(i, ff)| {
+            if let Some(f) = fault {
+                if f.site == FaultSite::FlipFlopInput(FlipFlopId::new(i)) {
+                    return broadcast(f.stuck);
+                }
+            }
+            values[ff.d()]
+        })
+        .collect()
+}
+
+/// Reads the packed primary-output values.
+pub fn packed_outputs(circuit: &Circuit, values: &PackedValues) -> Vec<u64> {
+    circuit.outputs().iter().map(|&net| values[net]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::{GateKind, V3};
+    use moa_netlist::CircuitBuilder;
+
+    use crate::frame::{compute_frame, frame_next_state, frame_outputs};
+
+    fn c1() -> Circuit {
+        let mut b = CircuitBuilder::new("c1");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_flip_flop("q0", "d0").unwrap();
+        b.add_flip_flop("q1", "d1").unwrap();
+        b.add_gate(GateKind::Nand, "w", &["a", "q0"]).unwrap();
+        b.add_gate(GateKind::Xor, "d0", &["w", "q1"]).unwrap();
+        b.add_gate(GateKind::Nor, "d1", &["b", "q0"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["w"]).unwrap();
+        b.add_output("z");
+        b.finish().unwrap()
+    }
+
+    /// The packed simulator must agree with the scalar simulator on every
+    /// slot, for all 4 initial states packed into the low bits.
+    #[test]
+    fn packed_agrees_with_scalar() {
+        let c = c1();
+        for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+            // Slot k encodes initial state (k & 1, k >> 1).
+            let state = vec![0b1010u64, 0b1100u64];
+            let packed = run_packed_frame(&c, &[a, b], &state, None);
+            let p_outs = packed_outputs(&c, &packed);
+            let p_next = packed_next_state(&c, &packed, None);
+            for slot in 0..4u32 {
+                let s0 = V3::from_bool(state[0] >> slot & 1 == 1);
+                let s1 = V3::from_bool(state[1] >> slot & 1 == 1);
+                let frame = compute_frame(
+                    &c,
+                    &[V3::from_bool(a), V3::from_bool(b)],
+                    &[s0, s1],
+                    None,
+                );
+                let s_outs = frame_outputs(&c, &frame);
+                let s_next = frame_next_state(&c, &frame, None);
+                for (o, &word) in p_outs.iter().enumerate() {
+                    assert_eq!(
+                        V3::from_bool(word >> slot & 1 == 1),
+                        s_outs[o],
+                        "output {o} slot {slot} inputs {a}{b}"
+                    );
+                }
+                for (i, &word) in p_next.iter().enumerate() {
+                    assert_eq!(
+                        V3::from_bool(word >> slot & 1 == 1),
+                        s_next[i],
+                        "next-state {i} slot {slot}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fault injection must also agree slot-by-slot with the scalar path.
+    #[test]
+    fn packed_fault_injection_agrees_with_scalar() {
+        let c = c1();
+        let w = c.find_net("w").unwrap();
+        let faults = [
+            Fault::stem(w, false),
+            Fault::stem(c.find_net("a").unwrap(), true),
+            Fault::flip_flop_input(FlipFlopId::new(0), true),
+        ];
+        for fault in &faults {
+            let state = vec![0b0110u64, 0b0011u64];
+            let packed = run_packed_frame(&c, &[true, false], &state, Some(fault));
+            let p_next = packed_next_state(&c, &packed, Some(fault));
+            let p_outs = packed_outputs(&c, &packed);
+            for slot in 0..4u32 {
+                let s: Vec<V3> = state
+                    .iter()
+                    .map(|word| V3::from_bool(word >> slot & 1 == 1))
+                    .collect();
+                let frame = compute_frame(&c, &[V3::One, V3::Zero], &s, Some(fault));
+                let s_outs = frame_outputs(&c, &frame);
+                let s_next = frame_next_state(&c, &frame, Some(fault));
+                for (o, &word) in p_outs.iter().enumerate() {
+                    assert_eq!(V3::from_bool(word >> slot & 1 == 1), s_outs[o]);
+                }
+                for (i, &word) in p_next.iter().enumerate() {
+                    assert_eq!(V3::from_bool(word >> slot & 1 == 1), s_next[i]);
+                }
+            }
+        }
+    }
+}

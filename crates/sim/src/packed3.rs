@@ -1,0 +1,366 @@
+//! 64-way bit-parallel *three-valued* simulation (dual-rail encoding).
+//!
+//! Each net carries two words: bit `k` of `ones` means "value 1 in slot `k`",
+//! bit `k` of `zeros` means "value 0 in slot `k`", and neither bit set means
+//! `X`. Gate evaluation is a handful of bitwise operations per gate for 64
+//! scenarios — the paper's `N_STATES = 64` expanded state sequences fit one
+//! machine word exactly, which is what `moa-core`'s packed resimulation
+//! exploits.
+
+use moa_logic::{GateKind, V3};
+use moa_netlist::{Circuit, Fault, FaultSite, FlipFlopId, NetId};
+
+/// A 64-slot three-valued value (dual-rail).
+///
+/// Invariant: `ones & zeros == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Packed3 {
+    /// Bit `k` set: slot `k` holds 1.
+    pub ones: u64,
+    /// Bit `k` set: slot `k` holds 0.
+    pub zeros: u64,
+}
+
+impl Packed3 {
+    /// All slots `X`.
+    pub const ALL_X: Packed3 = Packed3 { ones: 0, zeros: 0 };
+
+    /// Broadcasts one scalar value to all slots.
+    pub fn broadcast(v: V3) -> Packed3 {
+        match v {
+            V3::One => Packed3 {
+                ones: u64::MAX,
+                zeros: 0,
+            },
+            V3::Zero => Packed3 {
+                ones: 0,
+                zeros: u64::MAX,
+            },
+            V3::X => Packed3::ALL_X,
+        }
+    }
+
+    /// Reads one slot.
+    #[inline]
+    pub fn get(self, slot: u32) -> V3 {
+        debug_assert!(self.ones & self.zeros == 0, "dual-rail invariant");
+        if self.ones >> slot & 1 == 1 {
+            V3::One
+        } else if self.zeros >> slot & 1 == 1 {
+            V3::Zero
+        } else {
+            V3::X
+        }
+    }
+
+    /// Writes one slot.
+    #[inline]
+    pub fn set(&mut self, slot: u32, v: V3) {
+        let bit = 1u64 << slot;
+        self.ones &= !bit;
+        self.zeros &= !bit;
+        match v {
+            V3::One => self.ones |= bit,
+            V3::Zero => self.zeros |= bit,
+            V3::X => {}
+        }
+    }
+
+    /// Slots holding a binary value.
+    #[inline]
+    pub fn specified(self) -> u64 {
+        self.ones | self.zeros
+    }
+
+    #[inline]
+    fn not(self) -> Packed3 {
+        Packed3 {
+            ones: self.zeros,
+            zeros: self.ones,
+        }
+    }
+
+    #[inline]
+    fn and(self, rhs: Packed3) -> Packed3 {
+        Packed3 {
+            ones: self.ones & rhs.ones,
+            zeros: self.zeros | rhs.zeros,
+        }
+    }
+
+    #[inline]
+    fn or(self, rhs: Packed3) -> Packed3 {
+        Packed3 {
+            ones: self.ones | rhs.ones,
+            zeros: self.zeros & rhs.zeros,
+        }
+    }
+
+    #[inline]
+    fn xor(self, rhs: Packed3) -> Packed3 {
+        Packed3 {
+            ones: (self.ones & rhs.zeros) | (self.zeros & rhs.ones),
+            zeros: (self.ones & rhs.ones) | (self.zeros & rhs.zeros),
+        }
+    }
+}
+
+/// One dual-rail value per net of a time frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packed3Values {
+    values: Vec<Packed3>,
+}
+
+impl Packed3Values {
+    /// An all-`X` packed frame.
+    pub fn new(circuit: &Circuit) -> Self {
+        Packed3Values {
+            values: vec![Packed3::ALL_X; circuit.num_nets()],
+        }
+    }
+
+    /// The packed value of a net.
+    #[inline]
+    pub fn get(&self, net: NetId) -> Packed3 {
+        self.values[net.index()]
+    }
+
+    /// Sets the packed value of a net.
+    #[inline]
+    pub fn set(&mut self, net: NetId, v: Packed3) {
+        self.values[net.index()] = v;
+    }
+}
+
+/// Evaluates one time frame for 64 three-valued scenarios at once.
+///
+/// `pattern[i]` drives primary input `i` identically in all slots (as in the
+/// experiments: the same test sequence for every expanded state sequence);
+/// `present_state[i]` gives flip-flop `i`'s per-slot dual-rail values.
+/// `fault` is injected in every slot.
+///
+/// # Panics
+///
+/// Panics if `pattern` or `present_state` have the wrong length.
+pub fn run_packed3_frame(
+    circuit: &Circuit,
+    pattern: &[V3],
+    present_state: &[Packed3],
+    fault: Option<&Fault>,
+) -> Packed3Values {
+    assert_eq!(pattern.len(), circuit.num_inputs(), "pattern length");
+    assert_eq!(
+        present_state.len(),
+        circuit.num_flip_flops(),
+        "present-state length"
+    );
+
+    let mut values = Packed3Values::new(circuit);
+    for (i, &net) in circuit.inputs().iter().enumerate() {
+        values.set(net, Packed3::broadcast(pattern[i]));
+    }
+    for (i, ff) in circuit.flip_flops().iter().enumerate() {
+        values.set(ff.q(), present_state[i]);
+    }
+    if let Some(f) = fault {
+        if let FaultSite::Net(net) = f.site {
+            values.set(net, Packed3::broadcast(V3::from_bool(f.stuck)));
+        }
+    }
+
+    for &gid in circuit.topo_order() {
+        let gate = circuit.gate(gid);
+        let pin = |pin_index: usize| -> Packed3 {
+            if let Some(f) = fault {
+                if let FaultSite::GateInput { gate: fg, pin: fp } = f.site {
+                    if fg == gid && fp == pin_index {
+                        return Packed3::broadcast(V3::from_bool(f.stuck));
+                    }
+                }
+            }
+            values.get(gate.inputs()[pin_index])
+        };
+        let n = gate.inputs().len();
+        let mut out = pin(0);
+        match gate.kind() {
+            GateKind::And | GateKind::Nand => {
+                for i in 1..n {
+                    out = out.and(pin(i));
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                for i in 1..n {
+                    out = out.or(pin(i));
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                for i in 1..n {
+                    out = out.xor(pin(i));
+                }
+            }
+            GateKind::Not | GateKind::Buf => {}
+        }
+        if gate.kind().inverting() {
+            out = out.not();
+        }
+        if let Some(f) = fault {
+            if f.site == FaultSite::Net(gate.output()) {
+                out = Packed3::broadcast(V3::from_bool(f.stuck));
+            }
+        }
+        values.set(gate.output(), out);
+    }
+    values
+}
+
+/// Reads the packed next state, applying a flip-flop-input branch fault.
+pub fn packed3_next_state(
+    circuit: &Circuit,
+    values: &Packed3Values,
+    fault: Option<&Fault>,
+) -> Vec<Packed3> {
+    circuit
+        .flip_flops()
+        .iter()
+        .enumerate()
+        .map(|(i, ff)| {
+            if let Some(f) = fault {
+                if f.site == FaultSite::FlipFlopInput(FlipFlopId::new(i)) {
+                    return Packed3::broadcast(V3::from_bool(f.stuck));
+                }
+            }
+            values.get(ff.d())
+        })
+        .collect()
+}
+
+/// Reads the packed primary-output values.
+pub fn packed3_outputs(circuit: &Circuit, values: &Packed3Values) -> Vec<Packed3> {
+    circuit
+        .outputs()
+        .iter()
+        .map(|&net| values.get(net))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{compute_frame, frame_next_state, frame_outputs};
+    use moa_logic::GateKind;
+    use moa_netlist::CircuitBuilder;
+
+    fn c1() -> Circuit {
+        let mut b = CircuitBuilder::new("c1");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_flip_flop("q0", "d0").unwrap();
+        b.add_flip_flop("q1", "d1").unwrap();
+        b.add_gate(GateKind::Nand, "w", &["a", "q0"]).unwrap();
+        b.add_gate(GateKind::Xnor, "d0", &["w", "q1"]).unwrap();
+        b.add_gate(GateKind::Nor, "d1", &["b", "q0"]).unwrap();
+        b.add_gate(GateKind::Or, "v", &["w", "q1"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["v"]).unwrap();
+        b.add_output("z");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn packed3_round_trip_accessors() {
+        let mut p = Packed3::ALL_X;
+        p.set(3, V3::One);
+        p.set(7, V3::Zero);
+        assert_eq!(p.get(3), V3::One);
+        assert_eq!(p.get(7), V3::Zero);
+        assert_eq!(p.get(0), V3::X);
+        p.set(3, V3::X);
+        assert_eq!(p.get(3), V3::X);
+        assert_eq!(p.specified(), 1 << 7);
+    }
+
+    /// Slot-by-slot agreement with the scalar three-valued simulator, over
+    /// all 9 combinations of two three-valued state variables.
+    #[test]
+    fn packed3_agrees_with_scalar() {
+        let c = c1();
+        let vals = [V3::Zero, V3::One, V3::X];
+        for (pa, pb) in [(V3::One, V3::Zero), (V3::X, V3::One), (V3::Zero, V3::X)] {
+            // Pack the 9 state combinations into slots 0..9.
+            let mut s0 = Packed3::ALL_X;
+            let mut s1 = Packed3::ALL_X;
+            for (slot, (i, j)) in (0..3)
+                .flat_map(|i| (0..3).map(move |j| (i, j)))
+                .enumerate()
+            {
+                s0.set(slot as u32, vals[i]);
+                s1.set(slot as u32, vals[j]);
+            }
+            let packed = run_packed3_frame(&c, &[pa, pb], &[s0, s1], None);
+            let p_out = packed3_outputs(&c, &packed);
+            let p_next = packed3_next_state(&c, &packed, None);
+            for (slot, (i, j)) in (0..3)
+                .flat_map(|i| (0..3).map(move |j| (i, j)))
+                .enumerate()
+            {
+                let frame = compute_frame(&c, &[pa, pb], &[vals[i], vals[j]], None);
+                let s_out = frame_outputs(&c, &frame);
+                let s_next = frame_next_state(&c, &frame, None);
+                for (o, &p) in p_out.iter().enumerate() {
+                    assert_eq!(p.get(slot as u32), s_out[o], "slot {slot} out {o}");
+                }
+                for (k, &p) in p_next.iter().enumerate() {
+                    assert_eq!(p.get(slot as u32), s_next[k], "slot {slot} next {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed3_fault_injection_agrees_with_scalar() {
+        let c = c1();
+        let faults = [
+            Fault::stem(c.find_net("w").unwrap(), true),
+            Fault::stem(c.find_net("a").unwrap(), false),
+            Fault::flip_flop_input(FlipFlopId::new(1), false),
+        ];
+        let vals = [V3::Zero, V3::One, V3::X];
+        for fault in &faults {
+            let mut s0 = Packed3::ALL_X;
+            let mut s1 = Packed3::ALL_X;
+            for slot in 0..9u32 {
+                s0.set(slot, vals[(slot % 3) as usize]);
+                s1.set(slot, vals[(slot / 3) as usize]);
+            }
+            let packed = run_packed3_frame(&c, &[V3::One, V3::X], &[s0, s1], Some(fault));
+            let p_next = packed3_next_state(&c, &packed, Some(fault));
+            let p_out = packed3_outputs(&c, &packed);
+            for slot in 0..9u32 {
+                let st = [vals[(slot % 3) as usize], vals[(slot / 3) as usize]];
+                let frame = compute_frame(&c, &[V3::One, V3::X], &st, Some(fault));
+                let s_out = frame_outputs(&c, &frame);
+                let s_next = frame_next_state(&c, &frame, Some(fault));
+                for (o, &p) in p_out.iter().enumerate() {
+                    assert_eq!(p.get(slot), s_out[o], "{fault} slot {slot} out {o}");
+                }
+                for (k, &p) in p_next.iter().enumerate() {
+                    assert_eq!(p.get(slot), s_next[k], "{fault} slot {slot} next {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_rail_invariant_is_preserved() {
+        let c = c1();
+        let packed = run_packed3_frame(
+            &c,
+            &[V3::X, V3::One],
+            &[Packed3::broadcast(V3::X), Packed3::broadcast(V3::One)],
+            None,
+        );
+        for net in c.net_ids() {
+            let v = packed.get(net);
+            assert_eq!(v.ones & v.zeros, 0, "net {}", c.net_name(net));
+        }
+    }
+}

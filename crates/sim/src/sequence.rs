@@ -1,0 +1,255 @@
+//! Input test sequences.
+
+use std::fmt;
+
+use moa_logic::{parse_word, V3};
+use rand::{Rng, RngExt};
+
+/// A test sequence `T`: one input pattern per time unit.
+///
+/// Pattern `u` (the paper's `T[u]`) assigns a value to every primary input of
+/// the target circuit, in the circuit's input order. Patterns may contain `X`
+/// values, although all sequences produced by this workspace are binary, as in
+/// the paper.
+///
+/// # Example
+///
+/// ```
+/// use moa_sim::TestSequence;
+///
+/// let seq = TestSequence::from_words(&["10", "01", "11"])?;
+/// assert_eq!(seq.len(), 3);
+/// assert_eq!(seq.num_inputs(), 2);
+/// # Ok::<(), moa_sim::ParseSequenceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSequence {
+    num_inputs: usize,
+    patterns: Vec<Vec<V3>>,
+}
+
+impl TestSequence {
+    /// Creates a sequence from explicit patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patterns do not all have length `num_inputs`.
+    pub fn new(num_inputs: usize, patterns: Vec<Vec<V3>>) -> Self {
+        for (u, p) in patterns.iter().enumerate() {
+            assert_eq!(
+                p.len(),
+                num_inputs,
+                "pattern {u} has wrong width (expected {num_inputs})"
+            );
+        }
+        TestSequence {
+            num_inputs,
+            patterns,
+        }
+    }
+
+    /// Parses patterns from words over `{0, 1, x}`, e.g. `["10x", "011"]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSequenceError`] on invalid characters or ragged widths.
+    pub fn from_words(words: &[&str]) -> Result<Self, ParseSequenceError> {
+        let mut patterns = Vec::with_capacity(words.len());
+        let mut width = None;
+        for (index, word) in words.iter().enumerate() {
+            let p = parse_word(word).map_err(|source| ParseSequenceError {
+                index,
+                kind: ParseSequenceErrorKind::Word(source),
+            })?;
+            if *width.get_or_insert(p.len()) != p.len() {
+                return Err(ParseSequenceError {
+                    index,
+                    kind: ParseSequenceErrorKind::RaggedWidth {
+                        expected: width.unwrap(),
+                        found: p.len(),
+                    },
+                });
+            }
+            patterns.push(p);
+        }
+        Ok(TestSequence {
+            num_inputs: width.unwrap_or(0),
+            patterns,
+        })
+    }
+
+    /// Generates a uniformly random *binary* sequence of `len` patterns over
+    /// `num_inputs` inputs, as used by the paper's random-pattern experiments.
+    pub fn random<R: Rng + ?Sized>(num_inputs: usize, len: usize, rng: &mut R) -> Self {
+        let patterns = (0..len)
+            .map(|_| {
+                (0..num_inputs)
+                    .map(|_| V3::from_bool(rng.random::<bool>()))
+                    .collect()
+            })
+            .collect();
+        TestSequence {
+            num_inputs,
+            patterns,
+        }
+    }
+
+    /// Sequence length `L` in time units.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// `true` for the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Number of primary inputs each pattern drives.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The input pattern at time unit `u` (the paper's `T[u]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.len()`.
+    pub fn pattern(&self, u: usize) -> &[V3] {
+        &self.patterns[u]
+    }
+
+    /// Iterates over the patterns in time order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[V3]> {
+        self.patterns.iter().map(Vec::as_slice)
+    }
+
+    /// Appends a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from [`TestSequence::num_inputs`].
+    pub fn push(&mut self, pattern: Vec<V3>) {
+        assert_eq!(pattern.len(), self.num_inputs, "pattern width");
+        self.patterns.push(pattern);
+    }
+
+    /// Truncates to the first `len` patterns.
+    pub fn truncate(&mut self, len: usize) {
+        self.patterns.truncate(len);
+    }
+
+    /// `true` if every value of every pattern is binary.
+    pub fn is_fully_specified(&self) -> bool {
+        self.patterns
+            .iter()
+            .all(|p| p.iter().all(|v| v.is_specified()))
+    }
+}
+
+/// Error from [`TestSequence::from_words`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSequenceError {
+    index: usize,
+    kind: ParseSequenceErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseSequenceErrorKind {
+    Word(moa_logic::ParseWordError),
+    RaggedWidth { expected: usize, found: usize },
+}
+
+impl ParseSequenceError {
+    /// Index of the offending pattern.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+impl fmt::Display for ParseSequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseSequenceErrorKind::Word(e) => {
+                write!(f, "pattern {}: {e}", self.index)
+            }
+            ParseSequenceErrorKind::RaggedWidth { expected, found } => write!(
+                f,
+                "pattern {} has width {found}, expected {expected}",
+                self.index
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseSequenceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ParseSequenceErrorKind::Word(e) => Some(e),
+            ParseSequenceErrorKind::RaggedWidth { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_words_and_accessors() {
+        let seq = TestSequence::from_words(&["10", "x1"]).unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.num_inputs(), 2);
+        assert_eq!(seq.pattern(1), &[V3::X, V3::One]);
+        assert!(!seq.is_fully_specified());
+        assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn ragged_width_rejected() {
+        let err = TestSequence::from_words(&["10", "011"]).unwrap_err();
+        assert_eq!(err.index(), 1);
+        assert!(err.to_string().contains("width 3"));
+    }
+
+    #[test]
+    fn bad_character_rejected() {
+        let err = TestSequence::from_words(&["10", "0?"]).unwrap_err();
+        assert_eq!(err.index(), 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = TestSequence::random(5, 20, &mut rng1);
+        let b = TestSequence::random(5, 20, &mut rng2);
+        assert_eq!(a, b);
+        assert!(a.is_fully_specified());
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn push_and_truncate() {
+        let mut seq = TestSequence::from_words(&["10"]).unwrap();
+        seq.push(vec![V3::One, V3::One]);
+        assert_eq!(seq.len(), 2);
+        seq.truncate(1);
+        assert_eq!(seq.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width")]
+    fn push_wrong_width_panics() {
+        let mut seq = TestSequence::from_words(&["10"]).unwrap();
+        seq.push(vec![V3::One]);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let seq = TestSequence::from_words(&[]).unwrap();
+        assert!(seq.is_empty());
+        assert_eq!(seq.num_inputs(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Plain-text serialization of test sequences.
+//!
+//! The format is one pattern per line over `{0, 1, x}`, with `#` comments and
+//! blank lines ignored — the same shape classic ATPG tools exchange pattern
+//! files in:
+//!
+//! ```text
+//! # s27, 4 inputs
+//! 1011
+//! 0000
+//! ```
+
+use moa_logic::format_word;
+
+use crate::sequence::{ParseSequenceError, TestSequence};
+
+impl TestSequence {
+    /// Serializes the sequence as one pattern word per line.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use moa_sim::TestSequence;
+    ///
+    /// let seq = TestSequence::from_words(&["10", "x1"])?;
+    /// assert_eq!(seq.to_text(), "10\nx1\n");
+    /// # Ok::<(), moa_sim::ParseSequenceError>(())
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for p in self.iter() {
+            out.push_str(&format_word(p));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the one-pattern-per-line format (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSequenceError`] on invalid characters or ragged pattern
+    /// widths; the reported index counts patterns, not file lines.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use moa_sim::TestSequence;
+    ///
+    /// let seq = TestSequence::parse_text("# two patterns\n10\n01\n")?;
+    /// assert_eq!(seq.len(), 2);
+    /// # Ok::<(), moa_sim::ParseSequenceError>(())
+    /// ```
+    pub fn parse_text(text: &str) -> Result<Self, ParseSequenceError> {
+        let words: Vec<&str> = text
+            .lines()
+            .map(|line| match line.find('#') {
+                Some(pos) => line[..pos].trim(),
+                None => line.trim(),
+            })
+            .filter(|line| !line.is_empty())
+            .collect();
+        TestSequence::from_words(&words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let seq = TestSequence::from_words(&["101", "01x", "000"]).unwrap();
+        let text = seq.to_text();
+        assert_eq!(TestSequence::parse_text(&text).unwrap(), seq);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let seq = TestSequence::parse_text("\n# header\n10  # trailing\n\n01\n").unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.num_inputs(), 2);
+    }
+
+    #[test]
+    fn ragged_lines_error() {
+        assert!(TestSequence::parse_text("10\n011\n").is_err());
+    }
+
+    #[test]
+    fn empty_text_is_empty_sequence() {
+        let seq = TestSequence::parse_text("# nothing\n").unwrap();
+        assert!(seq.is_empty());
+    }
+}

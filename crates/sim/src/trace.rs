@@ -1,0 +1,163 @@
+//! Whole-sequence simulation traces.
+
+use moa_logic::V3;
+use moa_netlist::{Circuit, Fault};
+
+use crate::frame::{compute_frame, frame_next_state, frame_outputs};
+use crate::TestSequence;
+
+/// The result of simulating a test sequence: the state and output sequences
+/// of Table 1 of the paper.
+///
+/// For a sequence of length `L`:
+///
+/// - `states` has `L + 1` entries; `states[u]` is the present state at time
+///   unit `u` (`states[0]` is the initial state, `states[L]` the state after
+///   the whole sequence — the paper's "time unit `L`"),
+/// - `outputs` has `L` entries; `outputs[u]` is the primary-output pattern at
+///   time unit `u`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimTrace {
+    /// Present state per time unit (`L + 1` entries of `num_flip_flops` each).
+    pub states: Vec<Vec<V3>>,
+    /// Output pattern per time unit (`L` entries of `num_outputs` each).
+    pub outputs: Vec<Vec<V3>>,
+}
+
+impl SimTrace {
+    /// Sequence length `L`.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// `true` for a zero-length trace.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// The paper's `N_sv(u)`: number of unspecified state variables at time
+    /// unit `u` (valid for `0 <= u <= L`).
+    pub fn num_unspecified_state_vars(&self, u: usize) -> usize {
+        self.states[u].iter().filter(|v| !v.is_specified()).count()
+    }
+}
+
+/// Simulates `circuit` under `seq` with an optional fault injected, starting
+/// from `initial_state` (all-`X` when `None`).
+///
+/// This is conventional three-valued simulation: the machinery behind both
+/// the fault-free reference response and the faulty-circuit state/output
+/// sequences that the expansion procedure starts from.
+///
+/// # Panics
+///
+/// Panics if `seq` width or `initial_state` length do not match the circuit.
+///
+/// # Example
+///
+/// ```
+/// use moa_netlist::parse_bench;
+/// use moa_sim::{simulate, TestSequence};
+///
+/// let c = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = AND(a, a)\n")?;
+/// let trace = simulate(&c, &TestSequence::from_words(&["1", "0"])?, None);
+/// // After the first pattern the flip-flop holds 1.
+/// assert_eq!(trace.states[1][0], moa_logic::V3::One);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate(circuit: &Circuit, seq: &TestSequence, fault: Option<&Fault>) -> SimTrace {
+    simulate_from(circuit, seq, fault, None)
+}
+
+/// Like [`simulate`], but from an explicit initial state.
+pub fn simulate_from(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    fault: Option<&Fault>,
+    initial_state: Option<&[V3]>,
+) -> SimTrace {
+    assert_eq!(seq.num_inputs(), circuit.num_inputs(), "sequence width");
+    let state0: Vec<V3> = match initial_state {
+        Some(s) => {
+            assert_eq!(s.len(), circuit.num_flip_flops(), "initial state length");
+            s.to_vec()
+        }
+        None => vec![V3::X; circuit.num_flip_flops()],
+    };
+
+    let mut states = Vec::with_capacity(seq.len() + 1);
+    let mut outputs = Vec::with_capacity(seq.len());
+    states.push(state0);
+    for u in 0..seq.len() {
+        let frame = compute_frame(circuit, seq.pattern(u), &states[u], fault);
+        outputs.push(frame_outputs(circuit, &frame));
+        states.push(frame_next_state(circuit, &frame, fault));
+    }
+    SimTrace { states, outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::GateKind;
+    use moa_netlist::CircuitBuilder;
+
+    /// A resettable set/hold register: d = OR(set, AND(hold, q)).
+    fn set_hold() -> Circuit {
+        let mut b = CircuitBuilder::new("sethold");
+        b.add_input("set").unwrap();
+        b.add_input("hold").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::And, "w", &["hold", "q"]).unwrap();
+        b.add_gate(GateKind::Or, "d", &["set", "w"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["q"]).unwrap();
+        b.add_output("z");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn initialization_by_controlling_inputs() {
+        let c = set_hold();
+        // set=1 initializes q to 1 regardless of the unknown start state.
+        let seq = TestSequence::from_words(&["10", "01", "01"]).unwrap();
+        let t = simulate(&c, &seq, None);
+        assert_eq!(t.states[0], vec![V3::X]);
+        assert_eq!(t.outputs[0], vec![V3::X]);
+        assert_eq!(t.states[1], vec![V3::One]);
+        assert_eq!(t.outputs[1], vec![V3::One]);
+        assert_eq!(t.states[2], vec![V3::One], "hold keeps the value");
+        assert_eq!(t.num_unspecified_state_vars(0), 1);
+        assert_eq!(t.num_unspecified_state_vars(1), 0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn x_state_persists_without_initialization() {
+        let c = set_hold();
+        // set=0, hold=1 → q stays whatever it was: X forever.
+        let seq = TestSequence::from_words(&["01", "01"]).unwrap();
+        let t = simulate(&c, &seq, None);
+        assert_eq!(t.states[2], vec![V3::X]);
+    }
+
+    #[test]
+    fn explicit_initial_state() {
+        let c = set_hold();
+        let seq = TestSequence::from_words(&["01"]).unwrap();
+        let t = simulate_from(&c, &seq, None, Some(&[V3::One]));
+        assert_eq!(t.outputs[0], vec![V3::One]);
+        assert_eq!(t.states[1], vec![V3::One]);
+    }
+
+    #[test]
+    fn fault_changes_the_trace() {
+        let c = set_hold();
+        let q = c.find_net("q").unwrap();
+        let fault = Fault::stem(q, false);
+        let seq = TestSequence::from_words(&["10", "01"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let bad = simulate(&c, &seq, Some(&fault));
+        assert_eq!(good.outputs[1], vec![V3::One]);
+        assert_eq!(bad.outputs[1], vec![V3::Zero]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Static compaction of test sequences.
+//!
+//! Two classic moves, both preserving the conventionally detected fault set:
+//!
+//! - **tail truncation** — drop trailing patterns that contribute no
+//!   detection (binary search over the shortest prefix with full coverage);
+//! - **single-pattern removal** — greedily try deleting one pattern at a
+//!   time, keeping deletions that do not lose coverage.
+
+use moa_logic::V3;
+use moa_netlist::{Circuit, Fault};
+use moa_sim::TestSequence;
+
+use crate::conventional_coverage;
+
+/// Options for [`compact_sequence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactOptions {
+    /// Attempt per-pattern removal after tail truncation (quadratic in the
+    /// sequence length × fault count; disable for large runs).
+    pub remove_single_patterns: bool,
+}
+
+impl Default for CompactOptions {
+    fn default() -> Self {
+        CompactOptions {
+            remove_single_patterns: true,
+        }
+    }
+}
+
+/// Compacts `seq` while preserving its conventionally detected fault set for
+/// `faults`. Returns the compacted sequence and its detection flags.
+///
+/// # Example
+///
+/// ```
+/// use moa_circuits::teaching::resettable_toggle;
+/// use moa_netlist::full_fault_list;
+/// use moa_tpg::compact::{compact_sequence, CompactOptions};
+/// use moa_tpg::{conventional_coverage, random_sequence};
+///
+/// let c = resettable_toggle();
+/// let faults = full_fault_list(&c);
+/// let seq = random_sequence(&c, 64, 5);
+/// let before = conventional_coverage(&c, &seq, &faults);
+/// let (compacted, after) = compact_sequence(&c, &seq, &faults, &CompactOptions::default());
+/// assert!(compacted.len() <= seq.len());
+/// assert_eq!(before, after, "coverage is preserved");
+/// ```
+pub fn compact_sequence(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    faults: &[Fault],
+    options: &CompactOptions,
+) -> (TestSequence, Vec<bool>) {
+    compact_sequence_by(seq, options, |candidate| {
+        conventional_coverage(circuit, candidate, faults)
+    })
+}
+
+/// Compacts `seq` while preserving coverage under an arbitrary per-fault
+/// criterion: `coverage` maps a candidate sequence to detection flags, and
+/// the compaction never loses a flag that the full sequence had.
+///
+/// This is how a multiple-observation-time-preserving compaction is built:
+/// pass a closure that runs the MOA campaign instead of conventional
+/// simulation (see the `moa_compaction` integration test in the workspace
+/// root — `moa-tpg` itself stays independent of `moa-core`).
+///
+/// Tail truncation assumes the criterion is monotone in sequence length
+/// (detections never disappear when patterns are appended), which holds for
+/// both conventional and restricted-MOA detection.
+pub fn compact_sequence_by(
+    seq: &TestSequence,
+    options: &CompactOptions,
+    coverage: impl Fn(&TestSequence) -> Vec<bool>,
+) -> (TestSequence, Vec<bool>) {
+    let target = coverage(seq);
+    let covers = |candidate: &TestSequence| -> bool {
+        let flags = coverage(candidate);
+        flags
+            .iter()
+            .zip(&target)
+            .all(|(now, want)| *now || !*want)
+    };
+
+    // Tail truncation by binary search: coverage of a prefix is monotone in
+    // its length under the single-observation-time criterion.
+    let mut lo = 0usize;
+    let mut hi = seq.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let mut prefix = seq.clone();
+        prefix.truncate(mid);
+        if covers(&prefix) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut current = seq.clone();
+    current.truncate(lo);
+
+    if options.remove_single_patterns {
+        let mut u = 0;
+        while u < current.len() {
+            let candidate = without_pattern(&current, u);
+            if covers(&candidate) {
+                current = candidate;
+            } else {
+                u += 1;
+            }
+        }
+    }
+
+    let flags = coverage(&current);
+    (current, flags)
+}
+
+fn without_pattern(seq: &TestSequence, u: usize) -> TestSequence {
+    let patterns: Vec<Vec<V3>> = seq
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != u)
+        .map(|(_, p)| p.to_vec())
+        .collect();
+    TestSequence::new(seq.num_inputs(), patterns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_sequence;
+    use moa_circuits::teaching::{counter, resettable_toggle};
+    use moa_netlist::full_fault_list;
+
+    #[test]
+    fn compaction_preserves_coverage() {
+        let c = counter(3);
+        let faults = full_fault_list(&c);
+        let seq = random_sequence(&c, 48, 17);
+        let before: usize = conventional_coverage(&c, &seq, &faults)
+            .iter()
+            .filter(|&&d| d)
+            .count();
+        let (compacted, flags) =
+            compact_sequence(&c, &seq, &faults, &CompactOptions::default());
+        let after = flags.iter().filter(|&&d| d).count();
+        assert!(after >= before, "coverage must not shrink");
+        assert!(compacted.len() <= seq.len());
+    }
+
+    #[test]
+    fn tail_truncation_only() {
+        let c = resettable_toggle();
+        let faults = full_fault_list(&c);
+        let seq = random_sequence(&c, 64, 23);
+        let (fast, _) = compact_sequence(
+            &c,
+            &seq,
+            &faults,
+            &CompactOptions {
+                remove_single_patterns: false,
+            },
+        );
+        let (full, _) = compact_sequence(&c, &seq, &faults, &CompactOptions::default());
+        assert!(full.len() <= fast.len());
+    }
+
+    #[test]
+    fn empty_sequence_stays_empty() {
+        let c = resettable_toggle();
+        let faults = full_fault_list(&c);
+        let seq = TestSequence::new(c.num_inputs(), Vec::new());
+        let (compacted, _) = compact_sequence(&c, &seq, &faults, &CompactOptions::default());
+        assert!(compacted.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! A miniature Table-2 campaign: collapsed stuck-at fault lists on s27 and
+//! the teaching circuits, comparing conventional simulation, the
+//! expansion-only baseline of [4], and the proposed procedure, plus the
+//! exhaustive ground truth (all these circuits have few flip-flops).
+//!
+//! ```text
+//! cargo run --release --example campaign_report
+//! ```
+
+use moa_repro::circuits::iscas::s27;
+use moa_repro::circuits::teaching::{counter, expansion_demo, resettable_toggle, shift_register};
+use moa_repro::core::{
+    exact_moa_check, run_campaign, CampaignOptions, ExactOutcome, FaultStatus,
+};
+use moa_repro::netlist::{collapse_faults, full_fault_list, Circuit};
+use moa_repro::sim::simulate;
+use moa_repro::tpg::random_sequence;
+
+fn main() {
+    println!(
+        "{:<16} | {:>6} | {:>5} | {:>8} | {:>8} | {:>8} | {:>7}",
+        "circuit", "faults", "conv.", "[4] tot", "prop tot", "exact", "agree"
+    );
+    println!("{}", "-".repeat(80));
+    for circuit in [
+        s27(),
+        resettable_toggle(),
+        expansion_demo(),
+        counter(4),
+        shift_register(4),
+    ] {
+        report(&circuit);
+    }
+}
+
+fn report(circuit: &Circuit) {
+    let seq = random_sequence(circuit, 32, 0xEDA);
+    let faults = collapse_faults(circuit, &full_fault_list(circuit))
+        .representatives()
+        .to_vec();
+    let baseline = run_campaign(circuit, &seq, &faults, &CampaignOptions::baseline());
+    let proposed = run_campaign(circuit, &seq, &faults, &CampaignOptions::new());
+
+    // Exhaustive ground truth (every circuit here has <= 4 flip-flops).
+    let good = simulate(circuit, &seq, None);
+    let mut exact_detected = 0;
+    let mut sound = true;
+    for (fault, status) in faults.iter().zip(&proposed.statuses) {
+        let exact = exact_moa_check(circuit, &seq, &good, fault, 16)
+            .expect("few flip-flops")
+            == ExactOutcome::Detected;
+        if exact {
+            exact_detected += 1;
+        }
+        // Soundness: anything the procedure claims, the ground truth confirms.
+        if status.is_detected() && !exact {
+            sound = false;
+        }
+        // Condition-C skips must be genuinely undetectable by this method…
+        // except via conventional detection, which skipping never loses.
+        if matches!(status, FaultStatus::SkippedConditionC) && exact {
+            // Not an error: condition C is necessary for *expansion-based*
+            // detection of X outputs; exact detection may still exist when
+            // good values are specified differently. Report only.
+        }
+    }
+
+    println!(
+        "{:<16} | {:>6} | {:>5} | {:>8} | {:>8} | {:>8} | {:>7}",
+        circuit.name(),
+        faults.len(),
+        proposed.conventional,
+        baseline.detected_total(),
+        proposed.detected_total(),
+        exact_detected,
+        if sound { "sound" } else { "UNSOUND" },
+    );
+    assert!(sound, "the procedure must never over-claim");
+}

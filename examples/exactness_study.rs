@@ -1,0 +1,108 @@
+//! A small study beyond the paper: how much of the *exactly* detectable
+//! fault set does the heuristic procedure capture, as the `N_STATES` limit
+//! grows?
+//!
+//! The paper's procedure is an accurate implementation of the restricted
+//! multiple observation time approach *in the limit* (give it enough state
+//! sequences and it decides every fault), but `N_STATES = 64` truncates the
+//! search. On circuits small enough to enumerate exhaustively, this example
+//! measures the capture rate of the baseline (\[4]) and the proposed
+//! procedure at several limits — showing both that backward implications
+//! capture more at equal limits and where the remaining gap to exactness
+//! lies.
+//!
+//! ```text
+//! cargo run --release --example exactness_study
+//! ```
+
+use moa_repro::circuits::synth::{generate, SynthSpec};
+use moa_repro::circuits::teaching::{johnson_counter, resettable_toggle};
+use moa_repro::core::{
+    exact_moa_check, run_campaign, CampaignOptions, ExactOutcome, MoaOptions,
+};
+use moa_repro::netlist::{collapse_faults, full_fault_list, Circuit};
+use moa_repro::sim::simulate;
+use moa_repro::tpg::random_sequence;
+
+fn main() {
+    let circuits: Vec<Circuit> = vec![
+        resettable_toggle(),
+        johnson_counter(4),
+        generate(&SynthSpec::new("study-a", 4, 3, 6, 50, 77)),
+        generate(&SynthSpec::new("study-b", 5, 2, 8, 60, 78)),
+        {
+            // A deliberately hard machine: XOR-rich, weak initialization.
+            let mut spec = SynthSpec::new("study-hard", 3, 2, 9, 70, 79);
+            spec.xor_permille = 250;
+            spec.init_permille = 350;
+            generate(&spec)
+        },
+    ];
+    println!(
+        "{:<10} {:>6} {:>7} | {:>12} {:>12} {:>12}",
+        "circuit", "faults", "exact", "base@64", "prop@2", "prop@64"
+    );
+    for circuit in &circuits {
+        let seq = random_sequence(circuit, 24, 0x57D);
+        let faults = collapse_faults(circuit, &full_fault_list(circuit))
+            .representatives()
+            .to_vec();
+        let good = simulate(circuit, &seq, None);
+
+        let exact: usize = faults
+            .iter()
+            .filter(|f| {
+                exact_moa_check(circuit, &seq, &good, f, 16)
+                    .expect("small circuits")
+                    == ExactOutcome::Detected
+            })
+            .count();
+
+        let run = |moa: MoaOptions| {
+            run_campaign(
+                circuit,
+                &seq,
+                &faults,
+                &CampaignOptions {
+                    moa,
+                    ..Default::default()
+                },
+            )
+            .detected_total()
+        };
+        let base64 = run(MoaOptions::baseline());
+        let prop2 = run(MoaOptions::default().with_n_states(2));
+        let prop64 = run(MoaOptions::default());
+
+        println!(
+            "{:<10} {:>6} {:>7} | {:>12} {:>12} {:>12}",
+            circuit.name(),
+            faults.len(),
+            exact,
+            format!("{base64} ({:.0}%)", pct(base64, exact)),
+            format!("{prop2} ({:.0}%)", pct(prop2, exact)),
+            format!("{prop64} ({:.0}%)", pct(prop64, exact)),
+        );
+        assert!(prop64 <= exact, "soundness");
+    }
+    println!(
+        "\npercentages are capture rates of the exactly detectable set. On small,\n\
+         well-behaved machines every variant captures everything; gaps appear on\n\
+         hard XOR-rich machines and at tight limits, and on the larger Table-2\n\
+         stand-ins (where backward implications recover faults the baseline\n\
+         aborts). Note that the procedures are incomparable heuristics in\n\
+         general: Procedure 2's eligibility constraint can exclude pairs for\n\
+         the proposed procedure that the baseline still splits on, so on odd\n\
+         circuits the baseline may keep a fault the proposed one misses — the\n\
+         paper's superset observation is empirical, and our Table-2 harness\n\
+         reports it per circuit."
+    );
+}
+
+fn pct(x: usize, exact: usize) -> f64 {
+    if exact == 0 {
+        100.0
+    } else {
+        100.0 * x as f64 / exact as f64
+    }
+}

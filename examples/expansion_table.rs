@@ -1,0 +1,95 @@
+//! A Table-1-style demonstration: the state and output sequences of a faulty
+//! circuit before expansion (conventional simulation) and after one state
+//! expansion, showing how expansion specifies additional values and lets one
+//! branch be dropped by detection.
+//!
+//! ```text
+//! cargo run --example expansion_table
+//! ```
+
+use moa_repro::circuits::teaching::resettable_toggle;
+use moa_repro::core::{
+    collect_pairs, expand, n_out_profile, n_sv_profile, resimulate, ExpandOutcome, MoaOptions,
+    SequenceOutcome, StateSequence,
+};
+use moa_repro::logic::format_word;
+use moa_repro::netlist::{Circuit, Fault};
+use moa_repro::sim::{compute_frame, frame_outputs, simulate, SimTrace, TestSequence};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c = resettable_toggle();
+    let seq = TestSequence::from_words(&["0", "0", "0"])?;
+    let good = simulate(&c, &seq, None);
+    let fault = Fault::stem(c.find_net("r").expect("net r exists"), true);
+    let faulty = simulate(&c, &seq, Some(&fault));
+
+    println!("(a) conventional simulation — fault: {}\n", fault.describe(&c));
+    println!("           time   | {}", header(seq.len()));
+    print_rows("fault free", &good);
+    print_rows("faulty    ", &faulty);
+
+    // Run collection + Procedure 2 to expand.
+    let n_sv = n_sv_profile(&faulty);
+    let n_out = n_out_profile(&good, &faulty);
+    let opts = MoaOptions::default();
+    let coll = collect_pairs(&c, &seq, &good, &faulty, Some(&fault), &n_out, &opts);
+    let ExpandOutcome::Expanded { sequences, .. } = expand(&coll, &faulty, &n_out, &n_sv, &opts)
+    else {
+        unreachable!("this fault expands");
+    };
+
+    println!("\n(b) after expansion — {} state sequence(s)\n", sequences.len());
+    for (k, s) in sequences.iter().enumerate() {
+        let outputs = outputs_along(&c, &seq, &fault, s);
+        println!(
+            "  state{}  | {}",
+            k + 1,
+            s.to_words().join("    ")
+        );
+        println!("  output{} | {}", k + 1, outputs.join("    "));
+    }
+
+    let verdict = resimulate(&c, &seq, &good, Some(&fault), sequences);
+    println!("\nresimulation verdicts:");
+    for (k, o) in verdict.outcomes.iter().enumerate() {
+        let text = match o {
+            SequenceOutcome::Detected(d) => {
+                format!("detected at time {} on output {}", d.time, d.output)
+            }
+            SequenceOutcome::Infeasible { time } => format!("infeasible at time {time}"),
+            SequenceOutcome::Undecided => "undecided".to_owned(),
+        };
+        println!("  sequence {}: {text}", k + 1);
+    }
+    println!(
+        "\nfault detected under the restricted multiple observation time approach: {}",
+        verdict.detected()
+    );
+    Ok(())
+}
+
+fn header(l: usize) -> String {
+    (0..l).map(|u| format!("{u:<4}")).collect::<Vec<_>>().join(" ")
+}
+
+fn print_rows(label: &str, t: &SimTrace) {
+    let states: Vec<String> = t.states.iter().map(|s| format_word(s)).collect();
+    let outputs: Vec<String> = t.outputs.iter().map(|o| format_word(o)).collect();
+    println!("{label} state  | {}", states.join("    "));
+    println!("{label} output | {}", outputs.join("    "));
+}
+
+/// Recomputes per-time-unit outputs for an expanded state sequence.
+fn outputs_along(
+    c: &Circuit,
+    seq: &TestSequence,
+    fault: &Fault,
+    s: &StateSequence,
+) -> Vec<String> {
+    (0..seq.len())
+        .map(|u| {
+            let frame = compute_frame(c, seq.pattern(u), s.state(u), Some(fault));
+            format_word(&frame_outputs(c, &frame))
+        })
+        .collect()
+}

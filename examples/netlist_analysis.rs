@@ -1,0 +1,76 @@
+//! Structural netlist analysis on s27: statistics, fault lists, equivalence
+//! collapsing, dominance relations, cones and observability — the supporting
+//! analyses a fault-simulation campaign rests on.
+//!
+//! ```text
+//! cargo run --example netlist_analysis
+//! ```
+
+use moa_repro::circuits::iscas::s27;
+use moa_repro::netlist::{
+    collapse_faults, dominance_relations, fanin_cone, fanout_cone, full_fault_list,
+    observable_nets, CircuitStats,
+};
+
+fn main() {
+    let c = s27();
+    println!("== statistics");
+    let stats = CircuitStats::of(&c);
+    println!("{stats}");
+    for (kind, count) in &stats.kind_histogram {
+        println!("  {kind:<5} x {count}");
+    }
+
+    println!("\n== faults");
+    let full = full_fault_list(&c);
+    let collapsed = collapse_faults(&c, &full);
+    println!(
+        "full list: {} faults; equivalence-collapsed: {} classes",
+        full.len(),
+        collapsed.len()
+    );
+    let g11 = c.find_net("G11").expect("s27 net");
+    let class = collapsed
+        .class_of(moa_repro::netlist::Fault::stem(g11, false))
+        .expect("fault in a class");
+    println!("the class of G11 stuck-at-0 has {} members:", class.len());
+    for f in class {
+        println!("  {}", f.describe(&c));
+    }
+
+    println!("\n== dominance");
+    let doms = dominance_relations(&c);
+    println!("{} gate-local dominance pairs; the first three:", doms.len());
+    for d in doms.iter().take(3) {
+        println!(
+            "  {}  dominates  {}",
+            d.dominator.describe(&c),
+            d.dominated.describe(&c)
+        );
+    }
+
+    println!("\n== cones");
+    let g17 = c.find_net("G17").expect("s27 net");
+    let fanin = fanin_cone(&c, g17);
+    println!(
+        "fan-in cone of the output G17: {}/{} nets (crosses flip-flops)",
+        fanin.len(),
+        c.num_nets()
+    );
+    let g0 = c.find_net("G0").expect("s27 net");
+    let fanout = fanout_cone(&c, g0);
+    println!("fan-out cone of input G0: {} nets", fanout.len());
+
+    let observable = observable_nets(&c);
+    println!(
+        "observable nets: {}/{} — {}",
+        observable.len(),
+        c.num_nets(),
+        if observable.len() == c.num_nets() {
+            "every fault site can reach the output"
+        } else {
+            "some logic is structurally untestable"
+        }
+    );
+    assert_eq!(observable.len(), c.num_nets(), "s27 is fully observable");
+}

@@ -1,0 +1,39 @@
+//! Multiple-observation-time-preserving test compaction: the generic
+//! `compact_sequence_by` of `moa-tpg` driven by the full MOA campaign as its
+//! coverage criterion.
+
+use moa_repro::circuits::teaching::resettable_toggle;
+use moa_repro::core::{run_campaign, CampaignOptions};
+use moa_repro::netlist::{collapse_faults, full_fault_list};
+use moa_repro::tpg::compact::{compact_sequence_by, CompactOptions};
+use moa_repro::tpg::random_sequence;
+
+#[test]
+fn compaction_preserves_moa_coverage() {
+    let circuit = resettable_toggle();
+    let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+        .representatives()
+        .to_vec();
+    let seq = random_sequence(&circuit, 48, 0xC0);
+
+    let moa_coverage = |candidate: &moa_repro::sim::TestSequence| -> Vec<bool> {
+        run_campaign(&circuit, candidate, &faults, &CampaignOptions::new())
+            .statuses
+            .iter()
+            .map(|s| s.is_detected())
+            .collect()
+    };
+
+    let before: usize = moa_coverage(&seq).iter().filter(|&&d| d).count();
+    let (compacted, flags) = compact_sequence_by(&seq, &CompactOptions::default(), moa_coverage);
+    let after = flags.iter().filter(|&&d| d).count();
+
+    assert!(compacted.len() < seq.len(), "something was removed");
+    assert!(after >= before, "MOA coverage preserved ({after} vs {before})");
+    // The reset-line fault, detectable only under MOA, must survive.
+    let r_fault_index = faults
+        .iter()
+        .position(|f| f.describe(&circuit) == "r stuck-at-1")
+        .expect("collapsed list keeps the reset fault");
+    assert!(flags[r_fault_index], "the MOA-only fault survives compaction");
+}

@@ -1,0 +1,83 @@
+//! A deterministic end-to-end snapshot of a full s27 campaign: pins the
+//! observable behaviour of the entire pipeline on the one circuit we share
+//! with the paper, so regressions in any stage surface as a diff here.
+
+use moa_repro::circuits::iscas::s27;
+use moa_repro::core::{
+    exact_moa_check, run_campaign, CampaignOptions, ExactOutcome, FaultStatus, MoaOptions,
+};
+use moa_repro::netlist::{collapse_faults, full_fault_list};
+use moa_repro::sim::simulate;
+use moa_repro::tpg::random_sequence;
+
+#[test]
+fn s27_campaign_snapshot() {
+    let c = s27();
+    let seq = random_sequence(&c, 32, 27);
+    let faults = collapse_faults(&c, &full_fault_list(&c))
+        .representatives()
+        .to_vec();
+    assert_eq!(faults.len(), 32, "collapsed s27 fault list");
+
+    let baseline = run_campaign(&c, &seq, &faults, &CampaignOptions::baseline());
+    let proposed = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+
+    // The snapshot: totals must stay exactly stable across refactors.
+    assert_eq!(proposed.conventional, baseline.conventional);
+    let snapshot = (
+        proposed.conventional,
+        baseline.detected_total(),
+        proposed.detected_total(),
+        proposed.skipped_condition_c,
+    );
+    // Ground truth for the snapshot values:
+    let good = simulate(&c, &seq, None);
+    let exact: usize = faults
+        .iter()
+        .filter(|f| {
+            exact_moa_check(&c, &seq, &good, f, 16).expect("3 flip-flops") == ExactOutcome::Detected
+        })
+        .count();
+    assert!(proposed.detected_total() <= exact, "sound");
+    // s27 is small and well-initialized: every exactly detectable fault is
+    // already conventionally detected (this is consistent with the paper,
+    // whose Table 2 starts at s208 — s27 has no expansion-recoverable
+    // faults under random patterns).
+    assert_eq!(
+        snapshot,
+        (10, 10, 10, 20),
+        "s27 pipeline snapshot changed (exact restricted-MOA detectable: {exact})"
+    );
+    assert_eq!(exact, 10, "the procedure is complete on s27 for this sequence");
+
+    // Every undetected fault is either condition-C-skipped or has survivors.
+    for status in &proposed.statuses {
+        match status {
+            FaultStatus::NotDetected { undecided, .. } => assert!(*undecided > 0),
+            FaultStatus::SkippedConditionC => {}
+            other => assert!(other.is_detected(), "unexpected status {other:?}"),
+        }
+    }
+
+    // Options equivalences on the full circuit: packed resim and depth-2
+    // chaining keep the same detected set here.
+    for moa in [
+        MoaOptions {
+            packed_resimulation: true,
+            ..Default::default()
+        },
+        MoaOptions::default().with_backward_time_units(2),
+    ] {
+        let alt = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                moa,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(alt.detected_total(), proposed.detected_total());
+    }
+}

@@ -1,0 +1,176 @@
+//! Soundness of the fault-simulation procedures against the exhaustive
+//! restricted-MOA ground truth, across teaching circuits, s27 and a family of
+//! small synthetic circuits.
+//!
+//! Invariants:
+//! - anything conventional simulation detects, the exact checker confirms,
+//! - anything the baseline ([4]) claims, the exact checker confirms,
+//! - anything the proposed procedure claims, the exact checker confirms,
+//! - the proposed procedure never loses a conventional detection.
+
+use moa_repro::circuits::iscas::s27;
+use moa_repro::circuits::synth::{generate, SynthSpec};
+use moa_repro::circuits::teaching::{
+    counter, expansion_demo, figure4, resettable_toggle, shift_register,
+};
+use moa_repro::core::{
+    exact_moa_check, run_campaign, CampaignOptions, ExactOutcome, FaultStatus,
+};
+use moa_repro::netlist::{collapse_faults, full_fault_list, Circuit};
+use moa_repro::sim::simulate;
+use moa_repro::tpg::random_sequence;
+
+fn check_circuit(circuit: &Circuit, seq_len: usize, seed: u64) {
+    let seq = random_sequence(circuit, seq_len, seed);
+    let faults = collapse_faults(circuit, &full_fault_list(circuit))
+        .representatives()
+        .to_vec();
+    let good = simulate(circuit, &seq, None);
+    let baseline = run_campaign(circuit, &seq, &faults, &CampaignOptions::baseline());
+    let proposed = run_campaign(circuit, &seq, &faults, &CampaignOptions::new());
+
+    for ((fault, base_status), prop_status) in faults
+        .iter()
+        .zip(&baseline.statuses)
+        .zip(&proposed.statuses)
+    {
+        let exact = exact_moa_check(circuit, &seq, &good, fault, 16)
+            .expect("small circuits are enumerable");
+        let exact_detected = exact == ExactOutcome::Detected;
+        if base_status.is_detected() {
+            assert!(
+                exact_detected,
+                "{}: baseline over-claims {}",
+                circuit.name(),
+                fault.describe(circuit)
+            );
+        }
+        if prop_status.is_detected() {
+            assert!(
+                exact_detected,
+                "{}: proposed over-claims {}",
+                circuit.name(),
+                fault.describe(circuit)
+            );
+        }
+        if matches!(base_status, FaultStatus::DetectedConventional(_)) {
+            assert!(
+                matches!(prop_status, FaultStatus::DetectedConventional(_)),
+                "{}: conventional detection must be identical",
+                circuit.name()
+            );
+        }
+    }
+    assert!(
+        proposed.detected_total() >= proposed.conventional,
+        "detections only grow beyond conventional"
+    );
+}
+
+#[test]
+fn teaching_circuits_are_sound() {
+    for circuit in [
+        resettable_toggle(),
+        figure4(),
+        expansion_demo(),
+        counter(3),
+        shift_register(3),
+    ] {
+        check_circuit(&circuit, 24, 0xBEEF);
+    }
+}
+
+#[test]
+fn s27_is_sound() {
+    for seed in [1, 2, 3] {
+        check_circuit(&s27(), 32, seed);
+    }
+}
+
+#[test]
+fn small_synthetic_circuits_are_sound() {
+    for seed in 0..8 {
+        let spec = SynthSpec::new(format!("sound{seed}"), 4, 3, 5, 40, seed);
+        check_circuit(&generate(&spec), 24, seed * 31 + 7);
+    }
+}
+
+/// Synthetic circuits with dense XOR feedback (hard to initialize) — the
+/// stress case for the implication engine's conflict detection.
+#[test]
+fn xor_heavy_circuits_are_sound() {
+    for seed in 0..4 {
+        let mut spec = SynthSpec::new(format!("xor{seed}"), 4, 3, 6, 50, seed);
+        spec.xor_permille = 300;
+        spec.init_permille = 400;
+        check_circuit(&generate(&spec), 20, seed + 99);
+    }
+}
+
+/// Larger implication-round counts (fixed-point iteration) must stay sound.
+#[test]
+fn fixed_point_rounds_are_sound() {
+    use moa_repro::core::MoaOptions;
+    let circuit = generate(&SynthSpec::new("fp", 4, 3, 5, 40, 17));
+    let seq = random_sequence(&circuit, 24, 18);
+    let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+        .representatives()
+        .to_vec();
+    let good = simulate(&circuit, &seq, None);
+    let campaign = run_campaign(
+        &circuit,
+        &seq,
+        &faults,
+        &CampaignOptions {
+            moa: MoaOptions::default().with_implication_rounds(4),
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    for (fault, status) in faults.iter().zip(&campaign.statuses) {
+        if status.is_detected() {
+            let exact = exact_moa_check(&circuit, &seq, &good, fault, 16).unwrap();
+            assert_eq!(exact, ExactOutcome::Detected, "{}", fault.describe(&circuit));
+        }
+    }
+}
+
+/// Multi-time-unit backward implications (the paper's Section-2 extension)
+/// must stay sound at every depth.
+#[test]
+fn multi_time_unit_chaining_is_sound() {
+    use moa_repro::core::MoaOptions;
+    for depth in [2usize, 3] {
+        for seed in 0..4 {
+            let spec = SynthSpec::new(format!("chain{seed}"), 4, 3, 5, 40, seed + 400);
+            let circuit = generate(&spec);
+            let seq = random_sequence(&circuit, 24, seed + 401);
+            let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+                .representatives()
+                .to_vec();
+            let good = simulate(&circuit, &seq, None);
+            let campaign = run_campaign(
+                &circuit,
+                &seq,
+                &faults,
+                &CampaignOptions {
+                    moa: MoaOptions::default().with_backward_time_units(depth),
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            for (fault, status) in faults.iter().zip(&campaign.statuses) {
+                if status.is_detected() {
+                    let exact =
+                        exact_moa_check(&circuit, &seq, &good, fault, 16).expect("enumerable");
+                    assert_eq!(
+                        exact,
+                        ExactOutcome::Detected,
+                        "depth {depth}: {}",
+                        fault.describe(&circuit)
+                    );
+                }
+            }
+        }
+    }
+}
