@@ -2,9 +2,10 @@
 //! conventional, the expansion-only baseline and the proposed procedure.
 
 use std::io::Write;
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
-use moa_core::{run_campaign, CampaignOptions, CampaignResult, MoaOptions};
+use moa_core::{try_run_campaign, CampaignOptions, CampaignResult, FaultBudget, MoaOptions};
 use moa_netlist::{collapse_faults, full_fault_list, Circuit};
 use moa_sim::TestSequence;
 
@@ -13,7 +14,8 @@ use crate::{load_circuit, ArgParser, CliError};
 
 const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random L [--seed S]] \
 [--baseline | --proposed | --both] [--n-states N] [--depth K] [--rounds R] [--budget B] \
-[--threads T] [--no-collapse] [--packed] [--differential] [--verbose]";
+[--threads T] [--deadline-ms MS] [--work-limit W] [--checkpoint FILE [--checkpoint-every N] \
+[--resume]] [--no-collapse] [--packed] [--differential] [--verbose]";
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let parser = ArgParser::parse(
@@ -21,9 +23,12 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         USAGE,
         &[
             "words", "random", "seed", "seq-file", "n-states", "depth", "rounds", "budget",
-            "threads",
+            "threads", "deadline-ms", "work-limit", "checkpoint", "checkpoint-every",
         ],
-        &["baseline", "proposed", "both", "no-collapse", "packed", "differential", "verbose"],
+        &[
+            "baseline", "proposed", "both", "no-collapse", "packed", "differential", "verbose",
+            "resume",
+        ],
     )?;
     let circuit = load_circuit(parser.required(0, "bench file")?)?;
     let seq = sequence_from_args(&parser, &circuit, 64)?;
@@ -43,6 +48,28 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     moa.packed_resimulation = parser.switch("packed");
     let threads = parser.num("threads", 0usize)?;
 
+    let mut fault_budget = FaultBudget::none();
+    if let Some(ms) = parser.flag("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--deadline-ms expects a number, got `{ms}`")))?;
+        fault_budget = fault_budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(limit) = parser.flag("work-limit") {
+        let limit: u64 = limit.parse().map_err(|_| {
+            CliError::Usage(format!("--work-limit expects a number, got `{limit}`"))
+        })?;
+        fault_budget = fault_budget.with_work_limit(limit);
+    }
+    let checkpoint = parser.flag("checkpoint").map(PathBuf::from);
+    let checkpoint_every = parser.num("checkpoint-every", 256usize)?;
+    let resume = parser.switch("resume");
+    if resume && checkpoint.is_none() {
+        return Err(CliError::Usage(format!(
+            "--resume needs --checkpoint FILE\n\n{USAGE}"
+        )));
+    }
+
     writeln!(
         out,
         "campaign on `{}`: {} faults, sequence length {}",
@@ -53,6 +80,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
     let run_baseline = parser.switch("baseline") || parser.switch("both") || !parser.switch("proposed");
     let run_proposed = parser.switch("proposed") || parser.switch("both") || !parser.switch("baseline");
+    if checkpoint.is_some() && run_baseline && run_proposed {
+        // One checkpoint file cannot serve two campaigns over the same fault
+        // list — the resumed file would be ambiguous.
+        return Err(CliError::Usage(format!(
+            "--checkpoint needs a single campaign: pick --baseline or --proposed\n\n{USAGE}"
+        )));
+    }
 
     let differential = parser.switch("differential");
     if run_baseline {
@@ -63,6 +97,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             },
             threads,
             differential,
+            budget: fault_budget.clone(),
+            checkpoint: checkpoint.clone(),
+            checkpoint_every,
+            resume,
+            ..CampaignOptions::default()
         };
         report(out, "baseline [4] (expansion only)", &circuit, &seq, &faults, &opts, &parser)?;
     }
@@ -71,6 +110,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             moa,
             threads,
             differential,
+            budget: fault_budget,
+            checkpoint,
+            checkpoint_every,
+            resume,
+            ..CampaignOptions::default()
         };
         report(out, "proposed (backward implications)", &circuit, &seq, &faults, &opts, &parser)?;
     }
@@ -87,7 +131,8 @@ fn report(
     parser: &ArgParser,
 ) -> Result<(), CliError> {
     let start = Instant::now();
-    let result = run_campaign(circuit, seq, faults, opts);
+    let result = try_run_campaign(circuit, seq, faults, opts)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(out, "\n{label} ({:.2?}):", start.elapsed())?;
     print_summary(out, &result)?;
     if parser.switch("verbose") {
@@ -106,6 +151,12 @@ fn print_summary(out: &mut dyn Write, r: &CampaignResult) -> Result<(), CliError
     writeln!(out, "    beyond conventional: {}", r.extra)?;
     writeln!(out, "  condition-C skips   : {}", r.skipped_condition_c)?;
     writeln!(out, "  budget-truncated    : {}", r.truncated)?;
+    if r.budget_exceeded > 0 {
+        writeln!(out, "  budget-exceeded     : {}", r.budget_exceeded)?;
+    }
+    if r.faulted > 0 {
+        writeln!(out, "  faulted workers     : {}", r.faulted)?;
+    }
     let avg = r.counter_averages();
     if avg.faults > 0 {
         writeln!(
@@ -149,6 +200,92 @@ mod tests {
         assert!(text.contains("proposed (backward implications)"));
         assert!(text.contains("beyond conventional: 1"), "{text}");
         assert!(text.contains("extra: r stuck-at-1"));
+    }
+
+    #[test]
+    fn budget_flags_are_accepted() {
+        let mut out = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--work-limit".into(),
+                "1".into(),
+                "--deadline-ms".into(),
+                "10000".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("budget-exceeded"), "{text}");
+    }
+
+    #[test]
+    fn checkpoint_run_and_resume() {
+        let dir = std::env::temp_dir().join("moa-cli-campaign-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("run.checkpoint");
+        let _ = std::fs::remove_file(&ckpt);
+        let ckpt = ckpt.to_string_lossy().into_owned();
+
+        let base_args = |extra: &[&str]| -> Vec<String> {
+            let mut v = vec![
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--checkpoint".into(),
+                ckpt.clone(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+
+        let mut first = Vec::new();
+        run(&base_args(&[]), &mut first).unwrap();
+        let mut second = Vec::new();
+        run(&base_args(&["--resume"]), &mut second).unwrap();
+        let strip_timing = |bytes: &[u8]| {
+            String::from_utf8(bytes.to_vec())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.contains('('))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip_timing(&first), strip_timing(&second));
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_usage_error() {
+        let mut out = Vec::new();
+        let err = run(
+            &[toggle_path(), "--words".into(), "0,0,0".into(), "--resume".into()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_with_both_campaigns_is_refused() {
+        let mut out = Vec::new();
+        let err = run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--both".into(),
+                "--checkpoint".into(),
+                "/tmp/nope.checkpoint".into(),
+            ],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
     }
 
     #[test]

@@ -81,6 +81,8 @@ COMMANDS:
     sim       <bench> --words W,...  | --random L [--seed S]   three-valued simulation
     campaign  <bench> [--random L] [--seed S] [--baseline|--proposed|--both]
               [--n-states N] [--depth K] [--rounds R] [--threads T] [--verbose]
+              [--deadline-ms MS] [--work-limit W]     per-fault budgets
+              [--checkpoint FILE [--checkpoint-every N] [--resume]]
     tpg       <bench> [--max-length L] [--seed S] [--compact]  deterministic test generation
     exact     <bench> [--random L] [--seed S]    exhaustive restricted-MOA check (small circuits)
     explain   <bench> --fault NET/saX            per-fault pipeline trace

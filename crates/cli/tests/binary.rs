@@ -47,6 +47,97 @@ fn stats_pipeline_works_end_to_end() {
 }
 
 #[test]
+fn campaign_resume_from_missing_checkpoint_exits_one() {
+    let missing = std::env::temp_dir()
+        .join("moa-bin-test")
+        .join("no-such.checkpoint");
+    let _ = std::fs::remove_file(&missing);
+    let out = moa()
+        .args([
+            "campaign",
+            &s27_path(),
+            "--random",
+            "8",
+            "--proposed",
+            "--checkpoint",
+            &missing.to_string_lossy(),
+            "--resume",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "clean failure, not a panic");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checkpoint"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn campaign_resume_from_corrupt_checkpoint_exits_one() {
+    let dir = std::env::temp_dir().join("moa-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let corrupt = dir.join("corrupt.checkpoint");
+    std::fs::write(&corrupt, "moa-checkpoint v1\ncircuit s27\nfaults 32\nseq-len 8\nfault garbage\n")
+        .unwrap();
+    let out = moa()
+        .args([
+            "campaign",
+            &s27_path(),
+            "--random",
+            "8",
+            "--seed",
+            "7",
+            "--proposed",
+            "--checkpoint",
+            &corrupt.to_string_lossy(),
+            "--resume",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "clean failure, not a panic");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checkpoint") || err.contains("campaign"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn campaign_checkpoint_resume_round_trip_via_binary() {
+    let dir = std::env::temp_dir().join("moa-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("roundtrip.checkpoint");
+    let _ = std::fs::remove_file(&ckpt);
+    let ckpt = ckpt.to_string_lossy().into_owned();
+    let args = |resume: bool| {
+        let mut v = vec![
+            "campaign".to_owned(),
+            s27_path(),
+            "--random".to_owned(),
+            "16".to_owned(),
+            "--seed".to_owned(),
+            "7".to_owned(),
+            "--proposed".to_owned(),
+            "--checkpoint".to_owned(),
+            ckpt.clone(),
+        ];
+        if resume {
+            v.push("--resume".to_owned());
+        }
+        v
+    };
+    let first = moa().args(args(false)).output().unwrap();
+    assert!(first.status.success());
+    let second = moa().args(args(true)).output().unwrap();
+    assert!(second.status.success());
+    let strip = |bytes: &[u8]| {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| !l.contains('('))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&first.stdout), strip(&second.stdout));
+}
+
+#[test]
 fn campaign_on_s27_detects_faults() {
     let out = moa()
         .args([

@@ -1,15 +1,37 @@
 //! Whole-fault-list campaigns — the driver behind the paper's Table 2 and
 //! Table 3.
+//!
+//! Beyond the plain driver, this module is the campaign's resilience layer:
+//! per-fault budgets ([`FaultBudget`]), panic isolation
+//! ([`CampaignOptions::isolate_panics`]), and checkpoint/resume
+//! ([`CampaignOptions::checkpoint`] / [`CampaignOptions::resume`]). A
+//! campaign over hundreds of thousands of faults survives one pathological
+//! fault — whether it is slow (budget), crashing (isolation), or the whole
+//! process is killed (checkpoint).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use moa_netlist::{Circuit, Fault};
 use moa_sim::{simulate, GoodFrames, SimTrace, TestSequence};
 
+use crate::budget::{BudgetMeter, FaultBudget};
+use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointHeader};
 use crate::counters::{CounterAverages, Counters};
-use crate::procedure::{simulate_fault_with, FaultResult, FaultStatus};
+use crate::error::Error;
+use crate::procedure::{
+    simulate_fault_budgeted, validate_fault, validate_inputs, FaultResult, FaultStatus,
+};
 use crate::MoaOptions;
 
+/// A per-fault observation hook, called with the fault's index and the fault
+/// just before it is simulated. Used by tests to inject failures (panics,
+/// delays) into campaign workers; production campaigns leave it `None`.
+pub type FaultHook = Arc<dyn Fn(usize, &Fault) + Send + Sync>;
+
 /// Options for [`run_campaign`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct CampaignOptions {
     /// Per-fault procedure options.
     pub moa: MoaOptions,
@@ -21,6 +43,63 @@ pub struct CampaignOptions {
     /// (event-driven differential simulation). Identical results, less work
     /// per fault on large circuits.
     pub differential: bool,
+    /// Per-fault resource budget (wall-clock deadline and/or work-unit
+    /// ceiling). A fault exceeding it is abandoned with
+    /// [`FaultStatus::BudgetExceeded`] — the campaign keeps going.
+    pub budget: FaultBudget,
+    /// Catch panics inside each fault's worker and record the fault as
+    /// [`FaultStatus::Faulted`] instead of crashing the campaign. On by
+    /// default; turn off to let a panic propagate (e.g. to debug it).
+    pub isolate_panics: bool,
+    /// Write a checkpoint of completed per-fault results to this file every
+    /// [`checkpoint_every`](Self::checkpoint_every) faults (and after the
+    /// final batch). `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Faults per batch between checkpoint writes. Only meaningful with
+    /// [`checkpoint`](Self::checkpoint) set.
+    pub checkpoint_every: usize,
+    /// Resume from the [`checkpoint`](Self::checkpoint) file: faults already
+    /// recorded there are not re-simulated. Requires the file to exist and
+    /// match this campaign (circuit name, fault count, sequence length).
+    pub resume: bool,
+    /// Test instrumentation: called with `(index, fault)` before each fault
+    /// is simulated, inside the worker (and inside panic isolation).
+    pub fault_hook: Option<FaultHook>,
+}
+
+impl std::fmt::Debug for CampaignOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignOptions")
+            .field("moa", &self.moa)
+            .field("threads", &self.threads)
+            .field("differential", &self.differential)
+            .field("budget", &self.budget)
+            .field("isolate_panics", &self.isolate_panics)
+            .field("checkpoint", &self.checkpoint)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("resume", &self.resume)
+            .field(
+                "fault_hook",
+                &self.fault_hook.as_ref().map(|_| "Fn(usize, &Fault)"),
+            )
+            .finish()
+    }
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            moa: MoaOptions::default(),
+            threads: 0,
+            differential: false,
+            budget: FaultBudget::none(),
+            isolate_panics: true,
+            checkpoint: None,
+            checkpoint_every: 64,
+            resume: false,
+            fault_hook: None,
+        }
+    }
 }
 
 impl CampaignOptions {
@@ -40,7 +119,7 @@ impl CampaignOptions {
 
 /// Aggregate results of simulating a fault list — one row of Table 2 (and,
 /// via [`CampaignResult::counter_averages`], one row of Table 3).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignResult {
     /// The circuit's name.
     pub circuit: String,
@@ -61,6 +140,10 @@ pub struct CampaignResult {
     /// Undetected faults whose expansion was *aborted* at the `N_STATES`
     /// limit with eligible pairs remaining (the paper's abort notion).
     pub aborted: usize,
+    /// Faults abandoned when their [`FaultBudget`] ran out.
+    pub budget_exceeded: usize,
+    /// Faults whose isolated worker panicked.
+    pub faulted: usize,
     /// Per-fault statuses, in fault-list order.
     pub statuses: Vec<FaultStatus>,
     /// Table-3 counters of the faults detected beyond conventional
@@ -85,6 +168,9 @@ impl CampaignResult {
 /// The fault-free trace is computed once; faults are processed independently
 /// (optionally in parallel) with [`simulate_fault`](crate::simulate_fault).
 ///
+/// Infallible convenience wrapper over [`try_run_campaign`]; panics on
+/// invalid inputs or checkpoint failures.
+///
 /// # Example
 ///
 /// ```
@@ -108,22 +194,77 @@ pub fn run_campaign(
     faults: &[Fault],
     options: &CampaignOptions,
 ) -> CampaignResult {
+    match try_run_campaign(circuit, seq, faults, options) {
+        Ok(result) => result,
+        Err(e) => panic!("run_campaign: {e}"),
+    }
+}
+
+/// Fallible variant of [`run_campaign`]: validates the inputs up front and
+/// reports checkpoint problems as [`Error`] values instead of panicking.
+pub fn try_run_campaign(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    faults: &[Fault],
+    options: &CampaignOptions,
+) -> Result<CampaignResult, Error> {
+    if seq.num_inputs() != circuit.num_inputs() {
+        return Err(Error::SequenceWidthMismatch {
+            expected: circuit.num_inputs(),
+            got: seq.num_inputs(),
+        });
+    }
+    for (index, fault) in faults.iter().enumerate() {
+        validate_fault(circuit, index, fault)?;
+    }
     let frames = options.differential.then(|| GoodFrames::compute(circuit, seq));
     let good = match &frames {
         Some(f) => f.to_trace(),
         None => simulate(circuit, seq, None),
     };
-    let results = run_all(circuit, seq, &good, faults, options, frames.as_ref());
+    validate_inputs(circuit, seq, &good)?;
 
-    let mut campaign = CampaignResult {
+    let header = CheckpointHeader {
         circuit: circuit.name().to_owned(),
         total_faults: faults.len(),
+        seq_len: seq.len(),
+    };
+    let mut slots: Vec<Option<FaultResult>> = if options.resume {
+        let path = options.checkpoint.as_ref().ok_or_else(|| Error::Checkpoint {
+            path: "<none>".into(),
+            line: None,
+            message: "resume requested without a checkpoint path".into(),
+        })?;
+        read_checkpoint(path, &header)?
+    } else {
+        vec![None; faults.len()]
+    };
+
+    run_all(circuit, seq, &good, faults, options, frames.as_ref(), &header, &mut slots)?;
+
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.ok_or_else(|| Error::Checkpoint {
+            path: "<internal>".into(),
+            line: None,
+            message: "a fault was left unsimulated".into(),
+        }))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(aggregate(circuit, faults.len(), results))
+}
+
+fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) -> CampaignResult {
+    let mut campaign = CampaignResult {
+        circuit: circuit.name().to_owned(),
+        total_faults,
         conventional: 0,
         extra: 0,
         skipped_condition_c: 0,
         truncated: 0,
         partially_covered: 0,
         aborted: 0,
+        budget_exceeded: 0,
+        faulted: 0,
         statuses: Vec::with_capacity(results.len()),
         expansion_counters: Vec::new(),
     };
@@ -147,6 +288,8 @@ pub fn run_campaign(
                     campaign.aborted += 1;
                 }
             }
+            FaultStatus::BudgetExceeded { .. } => campaign.budget_exceeded += 1,
+            FaultStatus::Faulted { .. } => campaign.faulted += 1,
             _ => {}
         }
         if r.status.is_extra_detected() {
@@ -158,6 +301,9 @@ pub fn run_campaign(
     campaign
 }
 
+/// Simulates every fault whose slot is still `None`, in batches, writing a
+/// checkpoint after each batch when configured.
+#[allow(clippy::too_many_arguments)]
 fn run_all(
     circuit: &Circuit,
     seq: &TestSequence,
@@ -165,7 +311,67 @@ fn run_all(
     faults: &[Fault],
     options: &CampaignOptions,
     frames: Option<&GoodFrames>,
-) -> Vec<FaultResult> {
+    header: &CheckpointHeader,
+    slots: &mut [Option<FaultResult>],
+) -> Result<(), Error> {
+    let pending: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, slot)| slot.is_none().then_some(i))
+        .collect();
+    let batch_size = if options.checkpoint.is_some() {
+        options.checkpoint_every.max(1)
+    } else {
+        pending.len().max(1)
+    };
+
+    for batch in pending.chunks(batch_size) {
+        run_batch(circuit, seq, good, faults, options, frames, batch, slots);
+        if let Some(path) = &options.checkpoint {
+            write_checkpoint(path, header, slots)?;
+        }
+    }
+    Ok(())
+}
+
+/// Simulates the faults at `batch` indices (in parallel when configured)
+/// and stores their results into `slots`.
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    faults: &[Fault],
+    options: &CampaignOptions,
+    frames: Option<&GoodFrames>,
+    batch: &[usize],
+    slots: &mut [Option<FaultResult>],
+) {
+    let run_one = |index: usize| -> FaultResult {
+        let fault = &faults[index];
+        let simulate_one = || {
+            if let Some(hook) = &options.fault_hook {
+                hook(index, fault);
+            }
+            let mut meter = BudgetMeter::new(&options.budget);
+            simulate_fault_budgeted(circuit, seq, good, fault, &options.moa, frames, &mut meter)
+        };
+        if options.isolate_panics {
+            match catch_unwind(AssertUnwindSafe(simulate_one)) {
+                Ok(result) => result,
+                Err(payload) => FaultResult {
+                    status: FaultStatus::Faulted {
+                        message: panic_message(payload.as_ref()),
+                    },
+                    counters: Counters::new(),
+                    runs: 0,
+                },
+            }
+        } else {
+            simulate_one()
+        }
+    };
+
     let threads = if options.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -173,30 +379,40 @@ fn run_all(
     } else {
         options.threads
     };
-    let threads = threads.min(faults.len().max(1));
+    let threads = threads.min(batch.len().max(1));
 
-    if threads <= 1 || faults.len() < 2 {
-        return faults
-            .iter()
-            .map(|f| simulate_fault_with(circuit, seq, good, f, &options.moa, frames))
-            .collect();
+    if threads <= 1 || batch.len() < 2 {
+        for &index in batch {
+            slots[index] = Some(run_one(index));
+        }
+        return;
     }
 
-    let mut results: Vec<Option<FaultResult>> = vec![None; faults.len()];
-    let chunk = faults.len().div_ceil(threads);
+    let mut results: Vec<Option<FaultResult>> = vec![None; batch.len()];
+    let chunk = batch.len().div_ceil(threads);
     std::thread::scope(|scope| {
-        for (fault_chunk, result_chunk) in faults.chunks(chunk).zip(results.chunks_mut(chunk)) {
+        for (index_chunk, result_chunk) in batch.chunks(chunk).zip(results.chunks_mut(chunk)) {
             scope.spawn(move || {
-                for (f, slot) in fault_chunk.iter().zip(result_chunk.iter_mut()) {
-                    *slot = Some(simulate_fault_with(circuit, seq, good, f, &options.moa, frames));
+                for (&index, slot) in index_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(run_one(index));
                 }
             });
         }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("every fault simulated"))
-        .collect()
+    for (&index, result) in batch.iter().zip(results) {
+        slots[index] = result;
+    }
+}
+
+/// Renders a panic payload into the stored [`FaultStatus::Faulted`] message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +420,7 @@ mod tests {
     use super::*;
     use moa_logic::GateKind;
     use moa_netlist::{full_fault_list, CircuitBuilder};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn toggle() -> (Circuit, TestSequence) {
         let mut b = CircuitBuilder::new("toggle");
@@ -236,6 +453,8 @@ mod tests {
             result.detected_total(),
             result.conventional + result.extra
         );
+        assert_eq!(result.budget_exceeded, 0);
+        assert_eq!(result.faulted, 0);
     }
 
     #[test]
@@ -281,5 +500,269 @@ mod tests {
         assert_eq!(result.total_faults, 0);
         assert_eq!(result.detected_total(), 0);
         assert_eq!(result.counter_averages().faults, 0);
+    }
+
+    #[test]
+    fn mismatched_sequence_is_a_clean_error() {
+        let (c, _) = toggle();
+        let wide = TestSequence::from_words(&["00", "01"]).unwrap();
+        let faults = full_fault_list(&c);
+        let err = try_run_campaign(&c, &wide, &faults, &CampaignOptions::new()).unwrap_err();
+        assert!(matches!(err, Error::SequenceWidthMismatch { expected: 1, got: 2 }));
+    }
+
+    #[test]
+    fn out_of_range_fault_is_a_clean_error() {
+        let (c, seq) = toggle();
+        let bogus = Fault::stem(moa_netlist::NetId::new(999), true);
+        let err = try_run_campaign(&c, &seq, &[bogus], &CampaignOptions::new()).unwrap_err();
+        assert!(matches!(err, Error::FaultOutOfRange { index: 0, .. }));
+    }
+
+    #[test]
+    fn panicking_hook_is_isolated_and_counted() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let victim = faults.len() / 2;
+        let options = CampaignOptions {
+            fault_hook: Some(Arc::new(move |index, _fault: &Fault| {
+                assert!(index != victim, "injected fault-worker panic");
+            })),
+            ..Default::default()
+        };
+        let result = run_campaign(&c, &seq, &faults, &options);
+        assert_eq!(result.faulted, 1);
+        assert_eq!(result.total_faults, faults.len());
+        match &result.statuses[victim] {
+            FaultStatus::Faulted { message } => {
+                assert!(message.contains("injected fault-worker panic"), "{message}");
+            }
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+        // Every other fault completed normally.
+        let healthy = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        for (i, (a, b)) in result.statuses.iter().zip(&healthy.statuses).enumerate() {
+            if i != victim {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn unisolated_panic_propagates() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let options = CampaignOptions {
+            isolate_panics: false,
+            threads: 1,
+            fault_hook: Some(Arc::new(|index, _fault: &Fault| {
+                assert!(index != 0, "unisolated panic");
+            })),
+            ..Default::default()
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_campaign(&c, &seq, &faults, &options)
+        }));
+        assert!(outcome.is_err(), "the panic must escape the campaign");
+    }
+
+    #[test]
+    fn tiny_work_budget_abandons_expansion_faults_soundly() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let unlimited = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let strangled = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                budget: FaultBudget::none().with_work_limit(1),
+                ..Default::default()
+            },
+        );
+        assert!(strangled.budget_exceeded > 0, "the expansion faults must trip");
+        // Budget exhaustion only ever downgrades to not-detected: sound.
+        assert!(strangled.detected_total() <= unlimited.detected_total());
+        // Conventional detections never consume budget.
+        assert_eq!(strangled.conventional, unlimited.conventional);
+        for (a, b) in strangled.statuses.iter().zip(&unlimited.statuses) {
+            match a {
+                FaultStatus::BudgetExceeded { work, .. } => assert!(*work > 0),
+                other => assert_eq!(other, b, "non-budgeted faults are unaffected"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_deadline_still_terminates_with_sound_statuses() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let result = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                budget: FaultBudget::none().with_deadline(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.total_faults, faults.len());
+        // A zero deadline may or may not trip before small faults finish —
+        // but every status must be a valid verdict either way.
+        for status in &result.statuses {
+            assert!(!matches!(status, FaultStatus::Faulted { .. }));
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_resumes_to_identical_result() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let dir = std::env::temp_dir().join("moa-campaign-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let plain = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let checkpointed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plain, checkpointed, "checkpointing must not change results");
+
+        // The finished checkpoint is complete: resuming from it re-simulates
+        // nothing (hook proves it) and reproduces the identical result.
+        let resumed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                fault_hook: Some(Arc::new(|index, _fault: &Fault| {
+                    panic!("fault {index} re-simulated after a complete checkpoint");
+                })),
+                isolate_panics: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plain, resumed);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_to_identical_result() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let dir = std::env::temp_dir().join("moa-campaign-interrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("interrupted.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let reference = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+
+        // Emulate a mid-campaign crash: an unisolated panic after a few
+        // batches have been flushed. The atomic write leaves the last
+        // complete checkpoint on disk.
+        let killer = faults.len() - 2;
+        let interrupted = catch_unwind(AssertUnwindSafe(|| {
+            run_campaign(
+                &c,
+                &seq,
+                &faults,
+                &CampaignOptions {
+                    checkpoint: Some(path.clone()),
+                    checkpoint_every: 2,
+                    threads: 1,
+                    isolate_panics: false,
+                    fault_hook: Some(Arc::new(move |index, _fault: &Fault| {
+                        assert!(index != killer, "simulated crash");
+                    })),
+                    ..Default::default()
+                },
+            )
+        }));
+        assert!(interrupted.is_err(), "the campaign must have been interrupted");
+
+        // Some but not all work survived in the checkpoint.
+        let header = CheckpointHeader {
+            circuit: c.name().to_owned(),
+            total_faults: faults.len(),
+            seq_len: seq.len(),
+        };
+        let slots = read_checkpoint(&path, &header).unwrap();
+        let done = slots.iter().filter(|s| s.is_some()).count();
+        assert!(done > 0 && done < faults.len(), "{done} of {}", faults.len());
+
+        // Resume: the remaining faults (including the one that crashed) are
+        // simulated and the aggregate is bit-identical to the clean run.
+        let resumed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 2,
+                resume: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(reference, resumed);
+    }
+
+    #[test]
+    fn resume_against_missing_or_mismatched_checkpoint_fails_cleanly() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let dir = std::env::temp_dir().join("moa-campaign-resume-error-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("missing.checkpoint");
+        let _ = std::fs::remove_file(&missing);
+        let err = try_run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(missing),
+                resume: true,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Checkpoint { .. }), "{err}");
+
+        let err = try_run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                resume: true,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("without a checkpoint path"), "{err}");
+    }
+
+    #[test]
+    fn fault_hook_sees_every_fault_once() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&calls);
+        let options = CampaignOptions {
+            fault_hook: Some(Arc::new(move |_, _: &Fault| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })),
+            ..Default::default()
+        };
+        run_campaign(&c, &seq, &faults, &options);
+        assert_eq!(calls.load(Ordering::Relaxed), faults.len());
     }
 }

@@ -1,0 +1,432 @@
+//! Campaign checkpointing: periodic serialization of per-fault results to a
+//! sidecar file, so an interrupted campaign can resume where it left off.
+//!
+//! The format is a hand-rolled line protocol (no serialization dependency):
+//!
+//! ```text
+//! moa-checkpoint v1
+//! circuit <name>
+//! faults <total>
+//! seq-len <L>
+//! fault <index> <runs> <n_det> <n_conf> <n_extra> <status...>
+//! ```
+//!
+//! One `fault` line per *completed* fault, in any order; unfinished faults
+//! simply have no line. The header triple (`circuit`, `faults`, `seq-len`)
+//! guards a resume against being pointed at a checkpoint from a different
+//! campaign. The `status...` tail is one of:
+//!
+//! ```text
+//! conv <time> <output>          detected conventionally
+//! skip-c                        dropped by condition (C)
+//! impl <u> <i>                  detected by implications (Section 3.2)
+//! forced                        detected by contradictory forced assignments
+//! expanded <sequences>          detected after expansion + resimulation
+//! not-detected <undecided> <sequences> <truncated:0|1> <aborted:0|1>
+//! budget <stage> <work>         abandoned when the fault budget ran out
+//! faulted <escaped message>     worker panicked (isolated)
+//! ```
+//!
+//! Statuses round-trip exactly ([`FaultStatus`] is `Eq`), so a resumed
+//! campaign aggregates a [`CampaignResult`](crate::CampaignResult) identical
+//! to an uninterrupted run — asserted by the integration tests. Writes go
+//! through a temp file and an atomic rename, so an interrupt mid-write
+//! leaves the previous complete checkpoint in place.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use moa_sim::Detection;
+
+use crate::collect::PairKey;
+use crate::counters::Counters;
+use crate::error::Error;
+use crate::procedure::{FaultResult, FaultStatus};
+
+const MAGIC: &str = "moa-checkpoint v1";
+
+/// Campaign identity stamped into a checkpoint header and validated on
+/// resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// The circuit's name.
+    pub circuit: String,
+    /// Number of faults in the campaign's fault list.
+    pub total_faults: usize,
+    /// Length of the test sequence.
+    pub seq_len: usize,
+}
+
+/// Serializes the completed slice of a campaign.
+///
+/// `results` has one entry per fault; `None` marks a fault not yet
+/// simulated. The file is written atomically (temp file + rename).
+pub fn write_checkpoint(
+    path: &Path,
+    header: &CheckpointHeader,
+    results: &[Option<FaultResult>],
+) -> Result<(), Error> {
+    let mut text = String::new();
+    let _ = writeln!(text, "{MAGIC}");
+    let _ = writeln!(text, "circuit {}", header.circuit);
+    let _ = writeln!(text, "faults {}", header.total_faults);
+    let _ = writeln!(text, "seq-len {}", header.seq_len);
+    for (index, result) in results.iter().enumerate() {
+        let Some(r) = result else { continue };
+        let _ = writeln!(
+            text,
+            "fault {index} {} {} {} {} {}",
+            r.runs,
+            r.counters.n_det,
+            r.counters.n_conf,
+            r.counters.n_extra,
+            status_to_line(&r.status)
+        );
+    }
+
+    let write_err = |source: std::io::Error| Error::CheckpointWrite {
+        path: path.display().to_string(),
+        source,
+    };
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &text).map_err(write_err)?;
+    fs::rename(&tmp, path).map_err(write_err)
+}
+
+/// Reads a checkpoint back, validating it against the expected campaign
+/// identity. Returns the per-fault slots (`None` = not yet simulated).
+pub fn read_checkpoint(
+    path: &Path,
+    expected: &CheckpointHeader,
+) -> Result<Vec<Option<FaultResult>>, Error> {
+    let err = |line: Option<usize>, message: String| Error::Checkpoint {
+        path: path.display().to_string(),
+        line,
+        message,
+    };
+    let text = fs::read_to_string(path)
+        .map_err(|e| err(None, format!("cannot read checkpoint: {e}")))?;
+    let mut lines = text.lines().enumerate();
+
+    let mut expect_header = |key: &str| -> Result<String, Error> {
+        let (i, line) = lines
+            .next()
+            .ok_or_else(|| err(None, "truncated header".into()))?;
+        if key.is_empty() {
+            if line == MAGIC {
+                return Ok(String::new());
+            }
+            return Err(err(Some(i + 1), format!("not a checkpoint file (expected `{MAGIC}`)")));
+        }
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(str::to_owned)
+            .ok_or_else(|| err(Some(i + 1), format!("expected `{key} ...`, found {line:?}")))
+    };
+    expect_header("")?;
+    let circuit = expect_header("circuit")?;
+    let faults_text = expect_header("faults")?;
+    let seq_len_text = expect_header("seq-len")?;
+    // Release the closure's borrow of `lines` for the body loop below.
+    #[allow(clippy::drop_non_drop)]
+    drop(expect_header);
+
+    let total_faults: usize = faults_text
+        .parse()
+        .map_err(|_| err(Some(3), format!("bad fault count {faults_text:?}")))?;
+    let seq_len: usize = seq_len_text
+        .parse()
+        .map_err(|_| err(Some(4), format!("bad sequence length {seq_len_text:?}")))?;
+    let header = CheckpointHeader {
+        circuit,
+        total_faults,
+        seq_len,
+    };
+    if header != *expected {
+        return Err(err(
+            None,
+            format!(
+                "checkpoint belongs to a different campaign: \
+                 file has circuit `{}`, {} faults, sequence length {}; \
+                 expected circuit `{}`, {} faults, sequence length {}",
+                header.circuit,
+                header.total_faults,
+                header.seq_len,
+                expected.circuit,
+                expected.total_faults,
+                expected.seq_len
+            ),
+        ));
+    }
+
+    let mut results: Vec<Option<FaultResult>> = vec![None; total_faults];
+    for (i, line) in lines {
+        let lineno = Some(i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("fault ")
+            .ok_or_else(|| err(lineno, format!("expected `fault ...`, found {line:?}")))?;
+        let mut fields = rest.splitn(6, ' ');
+        let mut next_num = |what: &str| -> Result<u64, Error> {
+            let field = fields
+                .next()
+                .ok_or_else(|| err(lineno, format!("missing {what}")))?;
+            field
+                .parse()
+                .map_err(|_| err(lineno, format!("bad {what} {field:?}")))
+        };
+        let index = next_num("fault index")? as usize;
+        let runs = next_num("run count")? as usize;
+        let counters = Counters {
+            n_det: next_num("n_det")?,
+            n_conf: next_num("n_conf")?,
+            n_extra: next_num("n_extra")?,
+        };
+        let status_text = fields
+            .next()
+            .ok_or_else(|| err(lineno, "missing status".into()))?;
+        let status = status_from_line(status_text)
+            .ok_or_else(|| err(lineno, format!("bad status {status_text:?}")))?;
+        if index >= total_faults {
+            return Err(err(
+                lineno,
+                format!("fault index {index} out of range (campaign has {total_faults} faults)"),
+            ));
+        }
+        results[index] = Some(FaultResult {
+            status,
+            counters,
+            runs,
+        });
+    }
+    Ok(results)
+}
+
+fn status_to_line(status: &FaultStatus) -> String {
+    match status {
+        FaultStatus::DetectedConventional(d) => format!("conv {} {}", d.time, d.output),
+        FaultStatus::SkippedConditionC => "skip-c".into(),
+        FaultStatus::DetectedByImplications(k) => format!("impl {} {}", k.u, k.i),
+        FaultStatus::DetectedByForcedAssignments => "forced".into(),
+        FaultStatus::DetectedByExpansion { sequences } => format!("expanded {sequences}"),
+        FaultStatus::NotDetected {
+            undecided,
+            sequences,
+            truncated,
+            aborted,
+        } => format!(
+            "not-detected {undecided} {sequences} {} {}",
+            u8::from(*truncated),
+            u8::from(*aborted)
+        ),
+        FaultStatus::BudgetExceeded { stage, work } => format!("budget {stage} {work}"),
+        FaultStatus::Faulted { message } => format!("faulted {}", escape(message)),
+    }
+}
+
+fn status_from_line(text: &str) -> Option<FaultStatus> {
+    let (kind, rest) = match text.split_once(' ') {
+        Some((kind, rest)) => (kind, rest),
+        None => (text, ""),
+    };
+    let mut nums = rest.split(' ').map(str::parse::<usize>);
+    let mut next = || nums.next()?.ok();
+    Some(match kind {
+        "conv" => FaultStatus::DetectedConventional(Detection {
+            time: next()?,
+            output: next()?,
+        }),
+        "skip-c" if rest.is_empty() => FaultStatus::SkippedConditionC,
+        "impl" => FaultStatus::DetectedByImplications(PairKey {
+            u: next()?,
+            i: next()?,
+        }),
+        "forced" if rest.is_empty() => FaultStatus::DetectedByForcedAssignments,
+        "expanded" => FaultStatus::DetectedByExpansion { sequences: next()? },
+        "not-detected" => FaultStatus::NotDetected {
+            undecided: next()?,
+            sequences: next()?,
+            truncated: parse_bool(next()?)?,
+            aborted: parse_bool(next()?)?,
+        },
+        "budget" => {
+            let (stage, work) = rest.split_once(' ')?;
+            FaultStatus::BudgetExceeded {
+                stage: stage.parse().ok()?,
+                work: work.parse().ok()?,
+            }
+        }
+        "faulted" => FaultStatus::Faulted {
+            message: unescape(rest),
+        },
+        _ => return None,
+    })
+}
+
+fn parse_bool(n: usize) -> Option<bool> {
+    match n {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+/// Escapes newlines and backslashes so a panic message fits one line.
+fn escape(message: &str) -> String {
+    message
+        .replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::BudgetStage;
+
+    fn header() -> CheckpointHeader {
+        CheckpointHeader {
+            circuit: "s27".into(),
+            total_faults: 5,
+            seq_len: 32,
+        }
+    }
+
+    fn sample_results() -> Vec<Option<FaultResult>> {
+        let r = |status: FaultStatus| {
+            Some(FaultResult {
+                status,
+                counters: Counters {
+                    n_det: 1,
+                    n_conf: 2,
+                    n_extra: 3,
+                },
+                runs: 7,
+            })
+        };
+        vec![
+            r(FaultStatus::DetectedConventional(Detection { time: 4, output: 1 })),
+            None,
+            r(FaultStatus::NotDetected {
+                undecided: 2,
+                sequences: 8,
+                truncated: true,
+                aborted: false,
+            }),
+            r(FaultStatus::BudgetExceeded {
+                stage: BudgetStage::Resimulation,
+                work: 12345,
+            }),
+            r(FaultStatus::Faulted {
+                message: "boom\nwith \\ newline".into(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_status() {
+        let dir = std::env::temp_dir().join("moa-checkpoint-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.txt");
+        let results = sample_results();
+        write_checkpoint(&path, &header(), &results).unwrap();
+        let loaded = read_checkpoint(&path, &header()).unwrap();
+        assert_eq!(loaded, results);
+
+        // Statuses not in sample_results round-trip too.
+        let extra = vec![
+            Some(FaultResult {
+                status: FaultStatus::DetectedByImplications(PairKey { u: 3, i: 1 }),
+                counters: Counters::new(),
+                runs: 2,
+            }),
+            Some(FaultResult {
+                status: FaultStatus::SkippedConditionC,
+                counters: Counters::new(),
+                runs: 0,
+            }),
+            Some(FaultResult {
+                status: FaultStatus::DetectedByForcedAssignments,
+                counters: Counters::new(),
+                runs: 1,
+            }),
+            Some(FaultResult {
+                status: FaultStatus::DetectedByExpansion { sequences: 64 },
+                counters: Counters::new(),
+                runs: 9,
+            }),
+            None,
+        ];
+        write_checkpoint(&path, &header(), &extra).unwrap();
+        assert_eq!(read_checkpoint(&path, &header()).unwrap(), extra);
+    }
+
+    #[test]
+    fn rejects_mismatched_campaign() {
+        let dir = std::env::temp_dir().join("moa-checkpoint-test-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.txt");
+        write_checkpoint(&path, &header(), &sample_results()).unwrap();
+        let other = CheckpointHeader {
+            circuit: "s208".into(),
+            ..header()
+        };
+        let e = read_checkpoint(&path, &other).unwrap_err();
+        assert!(e.to_string().contains("different campaign"), "{e}");
+    }
+
+    #[test]
+    fn rejects_corrupt_files() {
+        let dir = std::env::temp_dir().join("moa-checkpoint-test-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("does-not-exist.txt");
+        assert!(read_checkpoint(&missing, &header()).is_err());
+
+        let garbage = dir.join("garbage.txt");
+        std::fs::write(&garbage, "hello world\n").unwrap();
+        let e = read_checkpoint(&garbage, &header()).unwrap_err();
+        assert!(e.to_string().contains("not a checkpoint file"), "{e}");
+
+        let bad_line = dir.join("bad-line.txt");
+        write_checkpoint(&bad_line, &header(), &sample_results()).unwrap();
+        let mut text = std::fs::read_to_string(&bad_line).unwrap();
+        text.push_str("fault 1 0 0 0 0 frobnicated\n");
+        std::fs::write(&bad_line, text).unwrap();
+        let e = read_checkpoint(&bad_line, &header()).unwrap_err();
+        assert!(e.to_string().contains("bad status"), "{e}");
+
+        let out_of_range = dir.join("out-of-range.txt");
+        write_checkpoint(&out_of_range, &header(), &sample_results()).unwrap();
+        let mut text = std::fs::read_to_string(&out_of_range).unwrap();
+        text.push_str("fault 99 0 0 0 0 skip-c\n");
+        std::fs::write(&out_of_range, text).unwrap();
+        let e = read_checkpoint(&out_of_range, &header()).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+    }
+}

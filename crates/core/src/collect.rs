@@ -11,6 +11,7 @@ use moa_logic::V3;
 use moa_netlist::{Circuit, Fault};
 use moa_sim::{SimTrace, TestSequence};
 
+use crate::budget::BudgetMeter;
 use crate::chain::{assert_backward, ChainOutcome, FrameCache};
 use crate::MoaOptions;
 
@@ -119,6 +120,34 @@ pub fn collect_pairs(
     n_out: &[usize],
     options: &MoaOptions,
 ) -> Collection {
+    collect_pairs_metered(
+        circuit,
+        seq,
+        good,
+        faulty,
+        fault,
+        n_out,
+        options,
+        &mut BudgetMeter::unlimited(),
+    )
+}
+
+/// Like [`collect_pairs`], charging one work unit per implication-engine run
+/// against `meter`. When the meter exhausts, the sweep stops immediately;
+/// the caller must check [`BudgetMeter::is_exhausted`] — a budget stop is
+/// *not* reported through [`Collection::truncated`], which keeps its
+/// [`MoaOptions::max_implication_runs`] meaning.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_pairs_metered(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    faulty: &SimTrace,
+    fault: Option<&Fault>,
+    n_out: &[usize],
+    options: &MoaOptions,
+    meter: &mut BudgetMeter,
+) -> Collection {
     let l = seq.len();
     let max_u = if options.include_final_time_unit { l } else { l.saturating_sub(1) };
     let num_ffs = circuit.num_flip_flops();
@@ -159,6 +188,11 @@ pub fn collect_pairs(
                 let (outcome, runs) =
                     assert_backward(&cache, good, u - 1, &[(d_net, alpha)], depth, options.implication_rounds);
                 collection.runs += runs;
+                if !meter.charge(runs as u64) {
+                    // Budget exhausted mid-pair: the partial pair is
+                    // discarded and the caller abandons the fault.
+                    return collection;
+                }
                 match outcome {
                     ChainOutcome::Conflict => info.conf[ai] = true,
                     ChainOutcome::Detected => info.detect[ai] = true,

@@ -1,0 +1,110 @@
+//! Structured errors for the fallible core entry points.
+
+use std::fmt;
+
+/// Why a core entry point could not produce a result.
+///
+/// These are *caller* errors (mismatched inputs) and *environment* errors
+/// (checkpoint I/O or parse failures) — never verdicts about faults. A fault
+/// exceeding its budget or panicking inside an isolated worker is reported
+/// through [`FaultStatus`](crate::FaultStatus), not through this type.
+#[derive(Debug)]
+pub enum Error {
+    /// The test sequence's pattern width does not match the circuit's
+    /// primary-input count.
+    SequenceWidthMismatch {
+        /// The circuit's number of primary inputs.
+        expected: usize,
+        /// The sequence's pattern width.
+        got: usize,
+    },
+    /// The supplied fault-free trace does not belong to the supplied
+    /// sequence (wrong number of time frames).
+    TraceLengthMismatch {
+        /// The sequence length.
+        expected: usize,
+        /// The trace's number of output frames.
+        got: usize,
+    },
+    /// A fault references a net, gate, or flip-flop outside the circuit.
+    FaultOutOfRange {
+        /// Index of the offending fault in the fault list.
+        index: usize,
+        /// Debug rendering of the fault.
+        fault: String,
+    },
+    /// A checkpoint file could not be read, parsed, or validated.
+    Checkpoint {
+        /// Path of the checkpoint file.
+        path: String,
+        /// 1-based line of the failure, when it is a parse/validation error.
+        line: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
+    /// A checkpoint file could not be written.
+    CheckpointWrite {
+        /// Path of the checkpoint file.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SequenceWidthMismatch { expected, got } => write!(
+                f,
+                "test sequence has {got}-bit patterns but the circuit has {expected} primary inputs"
+            ),
+            Error::TraceLengthMismatch { expected, got } => write!(
+                f,
+                "fault-free trace covers {got} time frames but the sequence has {expected}"
+            ),
+            Error::FaultOutOfRange { index, fault } => {
+                write!(f, "fault #{index} ({fault}) references a site outside the circuit")
+            }
+            Error::Checkpoint { path, line, message } => match line {
+                Some(line) => write!(f, "checkpoint {path}:{line}: {message}"),
+                None => write!(f, "checkpoint {path}: {message}"),
+            },
+            Error::CheckpointWrite { path, source } => {
+                write!(f, "cannot write checkpoint {path}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::CheckpointWrite { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = Error::SequenceWidthMismatch { expected: 4, got: 7 };
+        assert!(e.to_string().contains("7-bit"));
+        assert!(e.to_string().contains("4 primary inputs"));
+        let e = Error::Checkpoint {
+            path: "cp.txt".into(),
+            line: Some(3),
+            message: "bad status".into(),
+        };
+        assert_eq!(e.to_string(), "checkpoint cp.txt:3: bad status");
+        let e = Error::CheckpointWrite {
+            path: "cp.txt".into(),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        };
+        assert!(e.to_string().contains("cp.txt"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -209,7 +209,7 @@ mod tests {
             let q = format!("q{i}");
             let d = format!("d{i}");
             b.add_flip_flop(&q, &d).unwrap();
-            b.add_gate(GateKind::And, &d, &[&"r".to_string(), &q]).unwrap();
+            b.add_gate(GateKind::And, &d, &["r", &q]).unwrap();
             or_terms.push(q);
         }
         let refs: Vec<&str> = or_terms.iter().map(String::as_str).collect();

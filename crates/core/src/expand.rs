@@ -4,6 +4,7 @@ use std::collections::BTreeSet;
 
 use moa_sim::SimTrace;
 
+use crate::budget::BudgetMeter;
 use crate::collect::{Collection, PairKey};
 use crate::counters::Counters;
 use crate::stateseq::StateSequence;
@@ -54,6 +55,28 @@ pub fn expand(
     n_sv: &[usize],
     options: &MoaOptions,
 ) -> ExpandOutcome {
+    expand_metered(
+        collection,
+        faulty,
+        n_out,
+        n_sv,
+        options,
+        &mut BudgetMeter::unlimited(),
+    )
+}
+
+/// Like [`expand`], charging one work unit per state-sequence copy created
+/// by a phase-2 split against `meter`. When the meter exhausts, expansion
+/// stops before the next split; the caller must check
+/// [`BudgetMeter::is_exhausted`] and discard the partial outcome.
+pub fn expand_metered(
+    collection: &Collection,
+    faulty: &SimTrace,
+    n_out: &[usize],
+    n_sv: &[usize],
+    options: &MoaOptions,
+    meter: &mut BudgetMeter,
+) -> ExpandOutcome {
     let mut counters = Counters::new();
     let mut base = StateSequence::from_trace(faulty);
 
@@ -92,6 +115,9 @@ pub fn expand(
     let mut selected = Vec::new();
     let mut exhausted = false;
     while sequences.len() * 2 <= options.n_states {
+        if !meter.charge(sequences.len() as u64) {
+            break;
+        }
         let Some(choice) = select_pair(collection, &sequences, n_out, n_sv) else {
             exhausted = true;
             break;
@@ -154,25 +180,26 @@ fn select_pair<'a>(
         return None;
     }
 
-    // Step 4 — keep maximal N_out(u).
-    let best = eligible.iter().map(|(k, _)| n_out[k.u]).max().unwrap();
+    // Step 4 — keep maximal N_out(u). (`eligible` is non-empty from here
+    // on, so the max/min folds always produce a value.)
+    let best = eligible.iter().map(|(k, _)| n_out[k.u]).max().unwrap_or(0);
     eligible.retain(|(k, _)| n_out[k.u] == best);
     // Step 5 — keep minimal N_sv(u).
-    let best = eligible.iter().map(|(k, _)| n_sv[k.u]).min().unwrap();
+    let best = eligible.iter().map(|(k, _)| n_sv[k.u]).min().unwrap_or(0);
     eligible.retain(|(k, _)| n_sv[k.u] == best);
     // Step 6a — keep maximal min(N_extra(·,0), N_extra(·,1)).
     let best = eligible
         .iter()
         .map(|(_, i)| i.n_extra(0).min(i.n_extra(1)))
         .max()
-        .unwrap();
+        .unwrap_or(0);
     eligible.retain(|(_, i)| i.n_extra(0).min(i.n_extra(1)) == best);
     // Step 6b — keep maximal max(N_extra(·,0), N_extra(·,1)).
     let best = eligible
         .iter()
         .map(|(_, i)| i.n_extra(0).max(i.n_extra(1)))
         .max()
-        .unwrap();
+        .unwrap_or(0);
     eligible.retain(|(_, i)| i.n_extra(0).max(i.n_extra(1)) == best);
     // Step 7 — any survivor; take the first (collection order) for
     // determinism.

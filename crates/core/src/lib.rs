@@ -25,6 +25,25 @@
 //! - [`exact_moa_check`] — an exhaustive ground-truth checker for circuits
 //!   with few flip-flops, used to validate soundness in tests.
 //!
+//! # Robustness layer
+//!
+//! Long campaigns over large fault lists get a resilience toolkit:
+//!
+//! - [`FaultBudget`] / [`BudgetMeter`] — per-fault wall-clock deadlines and
+//!   work-unit ceilings, threaded through collection, expansion and
+//!   resimulation; an over-budget fault yields the sound
+//!   [`FaultStatus::BudgetExceeded`] verdict (its conventional-simulation
+//!   result stands, MOA gains are forfeited),
+//! - panic isolation — each fault's worker runs under `catch_unwind`; a
+//!   crashing fault becomes [`FaultStatus::Faulted`] instead of killing the
+//!   campaign,
+//! - [`write_checkpoint`] / [`read_checkpoint`] — a line-oriented sidecar
+//!   format for interrupt/resume of campaigns (see
+//!   [`CampaignOptions::checkpoint`]),
+//! - [`Error`] and the fallible entry points [`try_simulate_fault_with`] /
+//!   [`try_run_campaign`] — structured errors instead of panics for invalid
+//!   inputs and checkpoint problems.
+//!
 //! The expansion-only baseline of the paper's reference \[4] is the same
 //! pipeline with [`MoaOptions::baseline`] (backward implications disabled).
 //!
@@ -51,12 +70,20 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// The campaign engine must not die on a recoverable condition: library code
+// reports via `Error` / `FaultStatus` instead of unwrapping (tests are free
+// to unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod budget;
 mod campaign;
 mod chain;
+mod checkpoint;
 mod collect;
 mod condition;
 mod counters;
 mod detect;
+mod error;
 mod exact;
 mod expand;
 mod explain;
@@ -67,16 +94,24 @@ mod resim;
 mod resim_packed;
 mod stateseq;
 
-pub use campaign::{run_campaign, CampaignOptions, CampaignResult};
-pub use collect::{collect_pairs, Collection, PairInfo, PairKey};
+pub use budget::{BudgetMeter, BudgetStage, FaultBudget};
+pub use campaign::{
+    run_campaign, try_run_campaign, CampaignOptions, CampaignResult, FaultHook,
+};
+pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointHeader};
+pub use collect::{collect_pairs, collect_pairs_metered, Collection, PairInfo, PairKey};
 pub use condition::{condition_c_holds, n_out_profile, n_sv_profile};
 pub use counters::{CounterAverages, Counters};
 pub use detect::detection_from_collection;
+pub use error::Error;
 pub use exact::{exact_moa_check, ExactOutcome};
-pub use expand::{expand, ExpandOutcome};
+pub use expand::{expand, expand_metered, ExpandOutcome};
 pub use explain::{explain_fault, Explanation};
 pub use options::MoaOptions;
-pub use procedure::{simulate_fault, simulate_fault_with, FaultResult, FaultStatus};
-pub use resim::{resimulate, ResimVerdict, SequenceOutcome};
-pub use resim_packed::resimulate_packed;
+pub use procedure::{
+    simulate_fault, simulate_fault_budgeted, simulate_fault_with, try_simulate_fault_with,
+    FaultResult, FaultStatus,
+};
+pub use resim::{resimulate, resimulate_metered, ResimVerdict, SequenceOutcome};
+pub use resim_packed::{resimulate_packed, resimulate_packed_metered};
 pub use stateseq::StateSequence;

@@ -6,13 +6,15 @@ use moa_sim::{
     TestSequence,
 };
 
-use crate::collect::{collect_pairs, PairKey};
+use crate::budget::{BudgetMeter, BudgetStage};
+use crate::collect::{collect_pairs_metered, PairKey};
 use crate::condition::{condition_c_holds, n_out_profile, n_sv_profile};
 use crate::counters::Counters;
 use crate::detect::detection_from_collection;
-use crate::expand::{expand, ExpandOutcome};
-use crate::resim::resimulate;
-use crate::resim_packed::resimulate_packed;
+use crate::error::Error;
+use crate::expand::{expand_metered, ExpandOutcome};
+use crate::resim::resimulate_metered;
+use crate::resim_packed::resimulate_packed_metered;
 use crate::MoaOptions;
 
 /// How (or whether) a fault was identified as detected.
@@ -50,6 +52,23 @@ pub enum FaultStatus {
         /// remaining — the paper's *aborted* faults, the ones a larger limit
         /// (or backward implications) might still detect.
         aborted: bool,
+    },
+    /// The fault's [`FaultBudget`](crate::FaultBudget) ran out before the
+    /// procedure finished. Sound fallback to the conventional-simulation
+    /// result: the fault had already survived conventional simulation
+    /// undetected, and no multiple-observation-time detection is claimed.
+    BudgetExceeded {
+        /// The pipeline stage in which the budget was exhausted.
+        stage: BudgetStage,
+        /// Work units charged by the time the fault was abandoned.
+        work: u64,
+    },
+    /// The fault's worker panicked and
+    /// [`CampaignOptions::isolate_panics`](crate::CampaignOptions::isolate_panics)
+    /// contained it. Counted as not detected.
+    Faulted {
+        /// The panic payload, when it was a string.
+        message: String,
     },
 }
 
@@ -138,6 +157,90 @@ pub fn simulate_fault_with(
     options: &MoaOptions,
     good_frames: Option<&GoodFrames>,
 ) -> FaultResult {
+    simulate_fault_budgeted(
+        circuit,
+        seq,
+        good,
+        fault,
+        options,
+        good_frames,
+        &mut BudgetMeter::unlimited(),
+    )
+}
+
+/// Fallible variant of [`simulate_fault_with`]: validates that the sequence,
+/// trace and fault actually belong to `circuit` before running, instead of
+/// panicking on an out-of-bounds index deep inside the pipeline.
+pub fn try_simulate_fault_with(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+    good_frames: Option<&GoodFrames>,
+) -> Result<FaultResult, Error> {
+    validate_inputs(circuit, seq, good)?;
+    validate_fault(circuit, 0, fault)?;
+    Ok(simulate_fault_with(circuit, seq, good, fault, options, good_frames))
+}
+
+/// Checks that `seq` and `good` fit `circuit`.
+pub(crate) fn validate_inputs(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+) -> Result<(), Error> {
+    if seq.num_inputs() != circuit.num_inputs() {
+        return Err(Error::SequenceWidthMismatch {
+            expected: circuit.num_inputs(),
+            got: seq.num_inputs(),
+        });
+    }
+    if good.outputs.len() != seq.len() {
+        return Err(Error::TraceLengthMismatch {
+            expected: seq.len(),
+            got: good.outputs.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Checks that `fault`'s site exists in `circuit`; `index` is only used to
+/// label the error.
+pub(crate) fn validate_fault(circuit: &Circuit, index: usize, fault: &Fault) -> Result<(), Error> {
+    use moa_netlist::FaultSite;
+    let in_range = match fault.site {
+        FaultSite::Net(net) => net.index() < circuit.num_nets(),
+        FaultSite::GateInput { gate, pin } => {
+            gate.index() < circuit.num_gates()
+                && pin < circuit.gate(gate).inputs().len()
+        }
+        FaultSite::FlipFlopInput(ff) => ff.index() < circuit.num_flip_flops(),
+    };
+    if in_range {
+        Ok(())
+    } else {
+        Err(Error::FaultOutOfRange {
+            index,
+            fault: format!("{fault:?}"),
+        })
+    }
+}
+
+/// Like [`simulate_fault_with`], charging all expansion-machinery work
+/// against `meter`. When the meter exhausts mid-procedure the fault is
+/// abandoned with [`FaultStatus::BudgetExceeded`] — the sound fallback to
+/// the conventional-simulation verdict. The conventional stage itself always
+/// completes (it *is* the fallback).
+pub fn simulate_fault_budgeted(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+    good_frames: Option<&GoodFrames>,
+    meter: &mut BudgetMeter,
+) -> FaultResult {
     // Step 0: conventional simulation.
     let faulty = match good_frames {
         Some(frames) => simulate_differential(circuit, seq, frames, fault),
@@ -163,7 +266,11 @@ pub fn simulate_fault_with(
     }
 
     // Step 1: collection.
-    let collection = collect_pairs(circuit, seq, good, &faulty, Some(fault), &n_out, options);
+    let collection =
+        collect_pairs_metered(circuit, seq, good, &faulty, Some(fault), &n_out, options, meter);
+    if meter.is_exhausted() {
+        return budget_exceeded(BudgetStage::Collection, collection.runs, meter);
+    }
 
     // Step 2: direct detection from the collected information.
     if let Some(key) = detection_from_collection(&collection) {
@@ -175,30 +282,36 @@ pub fn simulate_fault_with(
     }
 
     // Step 3: selection + expansion.
-    let (sequences, counters, aborted) = match expand(&collection, &faulty, &n_out, &n_sv, options)
-    {
-        ExpandOutcome::DetectedByForcedAssignments { counters } => {
-            return FaultResult {
-                status: FaultStatus::DetectedByForcedAssignments,
-                counters,
-                runs: collection.runs,
+    let (sequences, counters, aborted) =
+        match expand_metered(&collection, &faulty, &n_out, &n_sv, options, meter) {
+            ExpandOutcome::DetectedByForcedAssignments { counters } => {
+                return FaultResult {
+                    status: FaultStatus::DetectedByForcedAssignments,
+                    counters,
+                    runs: collection.runs,
+                }
             }
-        }
-        ExpandOutcome::Expanded {
-            sequences,
-            counters,
-            aborted,
-            ..
-        } => (sequences, counters, aborted),
-    };
+            ExpandOutcome::Expanded {
+                sequences,
+                counters,
+                aborted,
+                ..
+            } => (sequences, counters, aborted),
+        };
+    if meter.is_exhausted() {
+        return budget_exceeded(BudgetStage::Expansion, collection.runs, meter);
+    }
 
     // Step 4: resimulation.
     let total = sequences.len();
     let verdict = if options.packed_resimulation {
-        resimulate_packed(circuit, seq, good, Some(fault), sequences)
+        resimulate_packed_metered(circuit, seq, good, Some(fault), sequences, meter)
     } else {
-        resimulate(circuit, seq, good, Some(fault), sequences)
+        resimulate_metered(circuit, seq, good, Some(fault), sequences, meter)
     };
+    if meter.is_exhausted() {
+        return budget_exceeded(BudgetStage::Resimulation, collection.runs, meter);
+    }
     let status = if verdict.detected() {
         FaultStatus::DetectedByExpansion { sequences: total }
     } else {
@@ -213,6 +326,19 @@ pub fn simulate_fault_with(
         status,
         counters,
         runs: collection.runs,
+    }
+}
+
+/// The abandoned-fault result: not detected, with the stage and spend
+/// recorded for diagnosis.
+fn budget_exceeded(stage: BudgetStage, runs: usize, meter: &BudgetMeter) -> FaultResult {
+    FaultResult {
+        status: FaultStatus::BudgetExceeded {
+            stage,
+            work: meter.spent(),
+        },
+        counters: Counters::new(),
+        runs,
     }
 }
 

@@ -3,6 +3,7 @@
 use moa_netlist::{Circuit, Fault};
 use moa_sim::{compute_frame, frame_next_state, frame_outputs, Detection, SimTrace, TestSequence};
 
+use crate::budget::BudgetMeter;
 use crate::stateseq::StateSequence;
 
 /// Why one expanded sequence was dropped (or not).
@@ -64,9 +65,37 @@ pub fn resimulate(
     fault: Option<&Fault>,
     sequences: Vec<StateSequence>,
 ) -> ResimVerdict {
+    resimulate_metered(
+        circuit,
+        seq,
+        good,
+        fault,
+        sequences,
+        &mut BudgetMeter::unlimited(),
+    )
+}
+
+/// Like [`resimulate`], charging one work unit per evaluated time frame
+/// against `meter`. When the meter exhausts, the remaining sequences are
+/// left [`SequenceOutcome::Undecided`]; the caller must check
+/// [`BudgetMeter::is_exhausted`] and discard the partial verdict.
+pub fn resimulate_metered(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: Option<&Fault>,
+    sequences: Vec<StateSequence>,
+    meter: &mut BudgetMeter,
+) -> ResimVerdict {
     let outcomes = sequences
         .into_iter()
-        .map(|s| resimulate_one(circuit, seq, good, fault, s))
+        .map(|s| {
+            if meter.is_exhausted() {
+                SequenceOutcome::Undecided
+            } else {
+                resimulate_one(circuit, seq, good, fault, s, meter)
+            }
+        })
         .collect();
     ResimVerdict { outcomes }
 }
@@ -77,10 +106,14 @@ fn resimulate_one(
     good: &SimTrace,
     fault: Option<&Fault>,
     mut s: StateSequence,
+    meter: &mut BudgetMeter,
 ) -> SequenceOutcome {
     for u in 0..seq.len() {
         if !s.is_marked(u) {
             continue;
+        }
+        if !meter.charge(1) {
+            return SequenceOutcome::Undecided;
         }
         let frame = compute_frame(circuit, seq.pattern(u), s.state(u), fault);
         let outputs = frame_outputs(circuit, &frame);

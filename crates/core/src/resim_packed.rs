@@ -19,6 +19,7 @@ use moa_sim::{
     TestSequence,
 };
 
+use crate::budget::BudgetMeter;
 use crate::resim::{ResimVerdict, SequenceOutcome};
 use crate::stateseq::StateSequence;
 
@@ -31,9 +32,36 @@ pub fn resimulate_packed(
     fault: Option<&Fault>,
     sequences: Vec<StateSequence>,
 ) -> ResimVerdict {
+    resimulate_packed_metered(
+        circuit,
+        seq,
+        good,
+        fault,
+        sequences,
+        &mut BudgetMeter::unlimited(),
+    )
+}
+
+/// Like [`resimulate_packed`], charging work units against `meter` — one
+/// per sequence-frame, so a 64-slot chunk's frame costs 64 units, matching
+/// the scalar path's accounting. When the meter exhausts, the unprocessed
+/// slots stay [`SequenceOutcome::Undecided`]; the caller must check
+/// [`BudgetMeter::is_exhausted`] and discard the partial verdict.
+pub fn resimulate_packed_metered(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: Option<&Fault>,
+    sequences: Vec<StateSequence>,
+    meter: &mut BudgetMeter,
+) -> ResimVerdict {
     let mut outcomes = Vec::with_capacity(sequences.len());
     for chunk in sequences.chunks(64) {
-        outcomes.extend(resimulate_chunk(circuit, seq, good, fault, chunk));
+        if meter.is_exhausted() {
+            outcomes.extend(vec![SequenceOutcome::Undecided; chunk.len()]);
+        } else {
+            outcomes.extend(resimulate_chunk(circuit, seq, good, fault, chunk, meter));
+        }
     }
     ResimVerdict { outcomes }
 }
@@ -44,6 +72,7 @@ fn resimulate_chunk(
     good: &SimTrace,
     fault: Option<&Fault>,
     chunk: &[StateSequence],
+    meter: &mut BudgetMeter,
 ) -> Vec<SequenceOutcome> {
     let k = circuit.num_flip_flops();
     let l = seq.len();
@@ -74,6 +103,9 @@ fn resimulate_chunk(
 
     for u in 0..l {
         if resolved == valid {
+            break;
+        }
+        if !meter.charge(chunk.len() as u64) {
             break;
         }
         let frame = run_packed3_frame(circuit, seq.pattern(u), &states[u], fault);

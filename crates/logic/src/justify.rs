@@ -109,7 +109,7 @@ pub fn justify(kind: GateKind, output: V3, inputs: &[V3]) -> JustifyOutcome {
 /// Output equals the controlled value: at least one input must be at the
 /// controlling value `cv`.
 fn justify_controlled(cv: V3, inputs: &[V3]) -> JustifyOutcome {
-    if inputs.iter().any(|&v| v == cv) {
+    if inputs.contains(&cv) {
         return JustifyOutcome::Implied(Vec::new());
     }
     let unknowns: Vec<usize> = inputs

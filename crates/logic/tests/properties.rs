@@ -84,8 +84,8 @@ proptest! {
                 // gates; AND/OR-family evaluation is exact.
                 if !kind.is_parity() {
                     prop_assert!(
-                        results.iter().any(|&r| r == V3::Zero)
-                            && results.iter().any(|&r| r == V3::One)
+                        results.contains(&V3::Zero)
+                            && results.contains(&V3::One)
                     );
                 }
             }

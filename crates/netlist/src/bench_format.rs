@@ -15,8 +15,9 @@ use crate::{Circuit, CircuitBuilder, Driver, NetlistError};
 ///
 /// # Errors
 ///
-/// [`NetlistError::Parse`] (with a 1-based line number) on syntax errors, and
-/// any [`CircuitBuilder`] validation error on semantic ones.
+/// [`NetlistError::Parse`] (with a 1-based line number and the 1-based byte
+/// column of the offending construct) on syntax errors, and any
+/// [`CircuitBuilder`] validation error on semantic ones.
 ///
 /// # Example
 ///
@@ -47,11 +48,13 @@ pub fn parse_bench(source: &str) -> Result<Circuit, NetlistError> {
             }
             None => raw,
         };
-        let line = line.trim();
-        if line.is_empty() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
             continue;
         }
-        statements.push((lineno, parse_statement(lineno, line)?));
+        // 1-based column of the statement's first byte within the raw line.
+        let base_column = trimmed.as_ptr() as usize - raw.as_ptr() as usize + 1;
+        statements.push((lineno, parse_statement(lineno, base_column, trimmed)?));
     }
 
     let mut b = builder
@@ -88,22 +91,33 @@ enum Statement {
     },
 }
 
-fn parse_statement(line_number: usize, line: &str) -> Result<Statement, NetlistError> {
-    let err = |message: String| NetlistError::Parse {
+fn parse_statement(
+    line_number: usize,
+    base_column: usize,
+    line: &str,
+) -> Result<Statement, NetlistError> {
+    let err = |column: usize, message: String| NetlistError::Parse {
         line: line_number,
+        column,
         message,
     };
+    // 1-based column of `part` (a subslice of `line`) in the source line.
+    let col_of = |part: &str| base_column + (part.as_ptr() as usize - line.as_ptr() as usize);
 
     if let Some((lhs, rhs)) = line.split_once('=') {
         let out = lhs.trim();
         if out.is_empty() || out.contains(char::is_whitespace) {
-            return Err(err(format!("invalid signal name `{out}`")));
+            return Err(err(base_column, format!("invalid signal name `{out}`")));
         }
-        let (kind_name, args) = parse_call(rhs.trim())
-            .ok_or_else(|| err(format!("expected `KIND(args)`, found `{}`", rhs.trim())))?;
+        let rhs = rhs.trim();
+        let (kind_name, args) = parse_call(rhs)
+            .ok_or_else(|| err(col_of(rhs), format!("expected `KIND(args)`, found `{rhs}`")))?;
         if kind_name.eq_ignore_ascii_case("DFF") {
             if args.len() != 1 {
-                return Err(err(format!("DFF takes exactly one input, got {}", args.len())));
+                return Err(err(
+                    col_of(rhs),
+                    format!("DFF takes exactly one input, got {}", args.len()),
+                ));
             }
             return Ok(Statement::Dff {
                 q: out.to_owned(),
@@ -112,9 +126,9 @@ fn parse_statement(line_number: usize, line: &str) -> Result<Statement, NetlistE
         }
         let kind = kind_name
             .parse()
-            .map_err(|e: moa_logic::ParseGateKindError| err(e.to_string()))?;
+            .map_err(|e: moa_logic::ParseGateKindError| err(col_of(rhs), e.to_string()))?;
         if args.is_empty() {
-            return Err(err(format!("gate `{out}` has no inputs")));
+            return Err(err(col_of(rhs), format!("gate `{out}` has no inputs")));
         }
         return Ok(Statement::Gate {
             out: out.to_owned(),
@@ -123,17 +137,17 @@ fn parse_statement(line_number: usize, line: &str) -> Result<Statement, NetlistE
         });
     }
 
-    let (keyword, args) =
-        parse_call(line).ok_or_else(|| err(format!("unrecognized statement `{line}`")))?;
+    let (keyword, args) = parse_call(line)
+        .ok_or_else(|| err(base_column, format!("unrecognized statement `{line}`")))?;
     if args.len() != 1 {
-        return Err(err(format!("{keyword} takes exactly one name")));
+        return Err(err(base_column, format!("{keyword} takes exactly one name")));
     }
     if keyword.eq_ignore_ascii_case("INPUT") {
         Ok(Statement::Input(args[0].clone()))
     } else if keyword.eq_ignore_ascii_case("OUTPUT") {
         Ok(Statement::Output(args[0].clone()))
     } else {
-        Err(err(format!("unknown keyword `{keyword}`")))
+        Err(err(base_column, format!("unknown keyword `{keyword}`")))
     }
 }
 
@@ -300,7 +314,32 @@ z = NAND(b, q)
             err,
             NetlistError::Parse {
                 line: 3,
+                column: 5,
                 message: "unknown gate kind `FROB`".into()
+            }
+        );
+    }
+
+    #[test]
+    fn reports_columns_past_leading_whitespace() {
+        // The statement starts at column 3; the bad call at column 7.
+        let err = parse_bench("INPUT(a)\nOUTPUT(z)\n  z = FROB(a)\n").unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::Parse {
+                line: 3,
+                column: 7,
+                message: "unknown gate kind `FROB`".into()
+            }
+        );
+        // A malformed whole statement points at its own first column.
+        let err = parse_bench("   WHAT\n").unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::Parse {
+                line: 1,
+                column: 4,
+                message: "unrecognized statement `WHAT`".into()
             }
         );
     }

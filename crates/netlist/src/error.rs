@@ -46,6 +46,8 @@ pub enum NetlistError {
     Parse {
         /// 1-based source line number.
         line: usize,
+        /// 1-based byte column where the offending construct starts.
+        column: usize,
         /// Human-readable description.
         message: String,
     },
@@ -71,8 +73,12 @@ impl fmt::Display for NetlistError {
                 write!(f, "primary input `{net}` declared twice")
             }
             NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
-            NetlistError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            NetlistError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                write!(f, "parse error at line {line}, column {column}: {message}")
             }
         }
     }
@@ -88,9 +94,10 @@ mod tests {
     fn display_is_informative() {
         let e = NetlistError::Parse {
             line: 3,
+            column: 5,
             message: "expected `)`".into(),
         };
-        assert_eq!(e.to_string(), "parse error at line 3: expected `)`");
+        assert_eq!(e.to_string(), "parse error at line 3, column 5: expected `)`");
         let e = NetlistError::CombinationalLoop {
             nets: vec!["a".into(), "b".into()],
         };

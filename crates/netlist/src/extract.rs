@@ -100,7 +100,7 @@ mod tests {
     fn cone_of_all_outputs_is_the_whole_circuit() {
         let c = s27ish();
         let roots: Vec<NetId> = c.outputs().to_vec();
-        let cone = extract_fanin_cone(&c, &roots, &c.name().to_owned()).unwrap();
+        let cone = extract_fanin_cone(&c, &roots, c.name()).unwrap();
         assert!(structurally_equal(&c, &cone));
     }
 

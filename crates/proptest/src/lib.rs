@@ -1,0 +1,118 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the slice of proptest it uses: the [`Strategy`] abstraction
+//! (ranges, tuples, [`strategy::Just`], `prop_map`, [`prop_oneof!`],
+//! [`collection::vec`], [`sample::Index`], regex-subset string strategies)
+//! and the [`proptest!`] / `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its deterministic case number instead of a minimized input), and string
+//! strategies implement a pragmatic regex subset (literals, classes,
+//! groups, alternation, `.`, `?`, `*`, `+`, `{m,n}`) sufficient for the
+//! workspace's parser-fuzzing patterns. Runs are fully deterministic: the
+//! RNG stream is derived from the test name, so failures reproduce.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `prop` namespace of the real crate (`prop::sample::Index` etc.).
+pub mod prop {
+    pub use crate::sample;
+}
+
+/// The conventional glob import: strategies, config, macros.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines deterministic randomized tests over strategy-drawn inputs.
+///
+/// Supports the subset of the real macro's grammar the workspace uses:
+/// an optional `#![proptest_config(expr)]` header followed by `#[test]`
+/// functions whose arguments are `name in strategy` patterns.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                while runner.next_case() {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, runner.rng());)*
+                    // One closure per case so `prop_assume!` can bail out
+                    // with a plain `return`.
+                    let mut case = || -> () { $body };
+                    runner.run_case(&mut case);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// `assert!` inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Expands to an early `return` from the per-case closure, so it is only
+/// valid inside a [`proptest!`] body (like the real macro).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

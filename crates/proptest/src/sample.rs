@@ -1,0 +1,38 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose size is only known inside the test
+/// body — draw one with `any::<prop::sample::Index>()` and resolve it with
+/// [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolves against a collection of `len` elements (`len` must be
+    /// nonzero, as in the real crate).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_into_range() {
+        let i = Index::new(u64::MAX);
+        assert!(i.index(7) < 7);
+        assert_eq!(Index::new(9).index(5), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_len_panics() {
+        let _ = Index::new(0).index(0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Regex-subset string generation backing `impl Strategy for &str`.
+//!
+//! Supported syntax: literal characters, `\\`-escapes, `.` (printable
+//! ASCII except newline), character classes `[a-z0-9_]` (ranges and
+//! literal members), groups with alternation `(a|bc)`, and the
+//! quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`. Unbounded quantifiers are
+//! capped at 8 repetitions. Anything outside this subset panics at
+//! strategy-construction time so a typo fails loudly, not silently.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Cap for `*` and `+`, which have no upper bound in the pattern.
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// `.` — any printable ASCII character except newline.
+    AnyChar,
+    /// Character class as inclusive ranges (single members are `(c, c)`).
+    Class(Vec<(char, char)>),
+    /// Group alternatives, each alternative a sequence.
+    Group(Vec<Vec<Node>>),
+    /// `node{min,max}` with `max` inclusive.
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+/// Panics when `pattern` uses regex syntax outside the supported subset.
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut rest: &[char] = &chars;
+    let nodes = parse_sequence(&mut rest, pattern);
+    assert!(rest.is_empty(), "unbalanced ')' or '|' in pattern {pattern:?}");
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::AnyChar => {
+            // 0x20..=0x7E: printable ASCII, newline excluded like regex `.`.
+            out.push(char::from(rng.random_range(0x20u8..0x7F)));
+        }
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+            let mut pick = rng.random_range(0..total);
+            for &(a, b) in ranges {
+                let span = b as u32 - a as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(a as u32 + pick).expect("class range is ASCII"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total by construction");
+        }
+        Node::Group(alts) => {
+            let alt = &alts[rng.random_range(0..alts.len())];
+            for n in alt {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = rng.random_range(*min..max + 1);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Parses a sequence until end-of-input or an unconsumed `)` / `|`.
+fn parse_sequence(chars: &mut &[char], pattern: &str) -> Vec<Node> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.first() {
+        if c == ')' || c == '|' {
+            break;
+        }
+        *chars = &chars[1..];
+        let node = match c {
+            '.' => Node::AnyChar,
+            '\\' => {
+                let &esc = chars
+                    .first()
+                    .unwrap_or_else(|| panic!("trailing backslash in pattern {pattern:?}"));
+                *chars = &chars[1..];
+                match esc {
+                    'n' => Node::Literal('\n'),
+                    't' => Node::Literal('\t'),
+                    _ => Node::Literal(esc),
+                }
+            }
+            '[' => Node::Class(parse_class(chars, pattern)),
+            '(' => {
+                let mut alts = vec![parse_sequence(chars, pattern)];
+                while chars.first() == Some(&'|') {
+                    *chars = &chars[1..];
+                    alts.push(parse_sequence(chars, pattern));
+                }
+                if chars.first() != Some(&')') {
+                    panic!("unclosed group in pattern {pattern:?}");
+                }
+                *chars = &chars[1..];
+                Node::Group(alts)
+            }
+            '*' | '+' | '?' | '{' => panic!("dangling quantifier {c:?} in pattern {pattern:?}"),
+            c => Node::Literal(c),
+        };
+        seq.push(apply_quantifier(node, chars, pattern));
+    }
+    seq
+}
+
+fn apply_quantifier(node: Node, chars: &mut &[char], pattern: &str) -> Node {
+    let (min, max) = match chars.first() {
+        Some('?') => (0, 1),
+        Some('*') => (0, UNBOUNDED_CAP),
+        Some('+') => (1, UNBOUNDED_CAP),
+        Some('{') => {
+            *chars = &chars[1..];
+            let close = chars
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{...}} in pattern {pattern:?}"));
+            let body: String = chars[..close].iter().collect();
+            *chars = &chars[close..];
+            let parse = |s: &str| -> usize {
+                s.parse()
+                    .unwrap_or_else(|_| panic!("bad repetition {body:?} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                None => (parse(&body), parse(&body)),
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+            }
+        }
+        _ => return node,
+    };
+    *chars = &chars[1..];
+    Node::Repeat(Box::new(node), min, max)
+}
+
+fn parse_class(chars: &mut &[char], pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let &c = chars
+            .first()
+            .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+        *chars = &chars[1..];
+        match c {
+            ']' if !ranges.is_empty() => return ranges,
+            '^' if ranges.is_empty() => panic!("negated classes unsupported: {pattern:?}"),
+            '\\' => {
+                let &esc = chars
+                    .first()
+                    .unwrap_or_else(|| panic!("trailing backslash in pattern {pattern:?}"));
+                *chars = &chars[1..];
+                ranges.push((esc, esc));
+            }
+            c => {
+                // Range like `a-z` (a bare `-` before `]` is a literal).
+                if chars.first() == Some(&'-') && chars.get(1).is_some_and(|&n| n != ']') {
+                    let hi = chars[1];
+                    assert!(c <= hi, "inverted class range in pattern {pattern:?}");
+                    *chars = &chars[2..];
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dot_with_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn bench_statement_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pat = "[A-Za-z][A-Za-z0-9]{0,4} = (AND|NOT|DFF|NOR|FROB)\\([A-Za-z][A-Za-z0-9]{0,4}(, [A-Za-z][A-Za-z0-9]{0,4})?\\)";
+        for _ in 0..100 {
+            let s = pat.generate(&mut rng);
+            assert!(s.contains(" = "), "{s:?}");
+            assert!(s.contains('(') && s.ends_with(')'), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn classes_escapes_and_quantifiers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = "# [a-z ]{0,10}".generate(&mut rng);
+            assert!(s.starts_with("# "), "{s:?}");
+            assert!(s.len() <= 12);
+            let t = "INPUT\\([A-Za-z][A-Za-z0-9]{0,4}\\)".generate(&mut rng);
+            assert!(t.starts_with("INPUT(") && t.ends_with(')'), "{t:?}");
+            let u = "ab?c+".generate(&mut rng);
+            assert!(u.starts_with('a') && u.contains('c'), "{u:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negated")]
+    fn unsupported_syntax_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = "[^a]".generate(&mut rng);
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic case runner behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (the only knob this stand-in has).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; generation here is cheap enough
+        // to match it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives the cases of one test with a per-test deterministic RNG stream.
+pub struct TestRunner {
+    rng: StdRng,
+    remaining: u32,
+    case: u32,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded from the test name, so each
+    /// test has a stable, independent stream.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+            remaining: config.cases,
+            case: 0,
+            name,
+        }
+    }
+
+    /// Advances to the next case; `false` once all cases ran.
+    pub fn next_case(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        self.case += 1;
+        true
+    }
+
+    /// The RNG for drawing this case's inputs.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Runs one case body, labelling panics with the case number (the
+    /// stand-in has no shrinking, so the case number is the repro handle).
+    pub fn run_case(&mut self, body: &mut dyn FnMut()) {
+        let case = self.case;
+        let name = self.name;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        if let Err(payload) = result {
+            eprintln!("proptest `{name}` failed at deterministic case {case}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let mut a = TestRunner::new(ProptestConfig::with_cases(4), "t");
+        let mut b = TestRunner::new(ProptestConfig::with_cases(4), "t");
+        assert_eq!(a.rng().random::<u64>(), b.rng().random::<u64>());
+        let mut c = TestRunner::new(ProptestConfig::with_cases(4), "other");
+        assert_ne!(
+            TestRunner::new(ProptestConfig::with_cases(4), "t").rng().random::<u64>(),
+            c.rng().random::<u64>()
+        );
+    }
+
+    #[test]
+    fn case_counting() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(3), "n");
+        let mut n = 0;
+        while r.next_case() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+}

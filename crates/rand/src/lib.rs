@@ -1,0 +1,212 @@
+//! Minimal vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the small slice of the `rand` API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension methods [`Rng::random`] / [`Rng::random_range`] (also exported
+//! under the `RngExt` alias). Everything is deterministic per seed — the
+//! property the workspace's frozen benchmark seeds rely on — and the
+//! generator (xoshiro256** seeded via SplitMix64) is a published, well-mixed
+//! design, though not the same stream as crates.io `rand`.
+
+use std::ops::Range;
+
+/// The core of a random number generator: a source of `u64` words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a [`Standard`]-distributed type (`bool`, the
+    /// unsigned integers, `f64` in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (which must be non-empty).
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Samples `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Alias of [`Rng`] kept for source compatibility with callers that import
+/// the extension-trait spelling.
+pub use Rng as RngExt;
+
+/// Types samplable uniformly over their whole domain (or `[0, 1)` for
+/// floats), mirroring `rand`'s `Standard` distribution.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 significand bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+/// Types supporting uniform sampling from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws one value from `range`; panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is < span / 2^64 — negligible for the small
+                // spans this workspace draws, and determinism is what the
+                // frozen seeds actually require.
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (range.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded through SplitMix64 (the seeding procedure recommended by the
+    /// xoshiro authors).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let u = rng.random_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn bool_and_float_sampling() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut trues = 0;
+        for _ in 0..1000 {
+            if rng.random::<bool>() {
+                trues += 1;
+            }
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!((300..700).contains(&trues), "unbiased-ish: {trues}");
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn draw(rng: &mut (dyn RngCore + '_)) -> bool {
+            rng.random::<bool>()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = draw(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(5..5);
+    }
+}

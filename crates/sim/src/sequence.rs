@@ -3,7 +3,7 @@
 use std::fmt;
 
 use moa_logic::{parse_word, V3};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A test sequence `T`: one input pattern per time unit.
 ///

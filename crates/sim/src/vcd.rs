@@ -143,7 +143,7 @@ mod tests {
             .lines()
             .filter(|l| {
                 (l.starts_with('0') || l.starts_with('1') || l.starts_with('x'))
-                    && &l[1..] == id
+                    && l[1..] == *id
             })
             .count();
         assert_eq!(value_lines, 2, "x@0 then 0@1");

@@ -78,7 +78,7 @@ proptest! {
         let full = full_fault_list(&c);
         let collapsed = collapse_faults(&c, &full);
         prop_assert!(collapsed.len() <= full.len());
-        prop_assert!(collapsed.len() > 0);
+        prop_assert!(!collapsed.is_empty());
         for &f in &full {
             let rep = collapsed.representative_of(f).expect("fault in a class");
             prop_assert!(collapsed.class_of(f).unwrap().contains(&f));

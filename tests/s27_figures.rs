@@ -104,5 +104,6 @@ fn figure_3_backward_implication_counts() {
 fn figure_3_beats_every_time_0_expansion() {
     // Figure 2's maximum is 5 (state variable 7); Figure 3 yields 7.
     // Both counts are asserted above; this test just states the relation.
-    assert!(7 > 5);
+    let (figure_2_max, figure_3) = (5, 7);
+    assert!(figure_3 > figure_2_max);
 }
