@@ -5,7 +5,9 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use moa_core::{try_run_campaign, CampaignOptions, CampaignResult, FaultBudget, MoaOptions};
+use moa_core::{
+    try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, FaultBudget, MoaOptions,
+};
 use moa_netlist::{collapse_faults, full_fault_list, Circuit};
 use moa_sim::TestSequence;
 
@@ -15,11 +17,30 @@ use crate::{load_circuit, ArgParser, CliError};
 const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random L [--seed S]] \
 [--baseline | --proposed | --both] [--n-states N] [--depth K] [--rounds R] [--budget B] \
 [--threads T] [--deadline-ms MS] [--work-limit W] [--checkpoint FILE [--checkpoint-every N] \
-[--resume]] [--no-collapse] [--packed] [--differential] [--verbose]";
+[--resume]] [--audit[=N]] [--no-collapse] [--packed] [--differential] [--verbose]";
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    // `--audit[=N]` carries an optional inline value, which the flag parser
+    // cannot express; peel it off before parsing the rest.
+    let mut audit: Option<CampaignAudit> = None;
+    let mut filtered = Vec::with_capacity(args.len());
+    for arg in args {
+        if arg == "--audit" {
+            audit = Some(CampaignAudit::default());
+        } else if let Some(rate) = arg.strip_prefix("--audit=") {
+            let rate: usize = rate.parse().map_err(|_| {
+                CliError::Usage(format!("--audit expects a sample rate, got `{rate}`\n\n{USAGE}"))
+            })?;
+            audit = Some(CampaignAudit {
+                sample_rate: rate.max(1),
+                ..CampaignAudit::default()
+            });
+        } else {
+            filtered.push(arg.clone());
+        }
+    }
     let parser = ArgParser::parse(
-        args,
+        &filtered,
         USAGE,
         &[
             "words", "random", "seed", "seq-file", "n-states", "depth", "rounds", "budget",
@@ -77,6 +98,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         faults.len(),
         seq.len()
     )?;
+    if let Some(a) = &audit {
+        writeln!(
+            out,
+            "auditing detections by certificate replay (sample rate {})",
+            a.sample_rate
+        )?;
+    }
 
     let run_baseline = parser.switch("baseline") || parser.switch("both") || !parser.switch("proposed");
     let run_proposed = parser.switch("proposed") || parser.switch("both") || !parser.switch("baseline");
@@ -101,6 +129,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             checkpoint: checkpoint.clone(),
             checkpoint_every,
             resume,
+            audit: audit.clone(),
             ..CampaignOptions::default()
         };
         report(out, "baseline [4] (expansion only)", &circuit, &seq, &faults, &opts, &parser)?;
@@ -114,6 +143,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             checkpoint,
             checkpoint_every,
             resume,
+            audit,
             ..CampaignOptions::default()
         };
         report(out, "proposed (backward implications)", &circuit, &seq, &faults, &opts, &parser)?;
@@ -156,6 +186,9 @@ fn print_summary(out: &mut dyn Write, r: &CampaignResult) -> Result<(), CliError
     }
     if r.faulted > 0 {
         writeln!(out, "  faulted workers     : {}", r.faulted)?;
+    }
+    if r.audit_failed > 0 {
+        writeln!(out, "  AUDIT FAILED        : {} (quarantined)", r.audit_failed)?;
     }
     let avg = r.counter_averages();
     if avg.faults > 0 {
@@ -257,6 +290,52 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip_timing(&first), strip_timing(&second));
+    }
+
+    #[test]
+    fn audit_flag_runs_clean_and_reports_mode() {
+        let mut out = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--audit".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("auditing detections by certificate replay (sample rate 1)"));
+        assert!(!text.contains("AUDIT FAILED"), "a sound engine audits clean: {text}");
+        assert!(text.contains("beyond conventional: 1"), "results unchanged: {text}");
+    }
+
+    #[test]
+    fn audit_sample_rate_is_parsed() {
+        let mut out = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--audit=3".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("sample rate 3"), "{text}");
+
+        let mut out = Vec::new();
+        let err = run(
+            &[toggle_path(), "--words".into(), "0,0,0".into(), "--audit=x".into()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
     }
 
     #[test]

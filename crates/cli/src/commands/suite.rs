@@ -4,16 +4,16 @@ use std::io::Write;
 use std::time::Instant;
 
 use moa_circuits::suite::suite;
-use moa_core::{run_campaign, CampaignOptions};
+use moa_core::{run_campaign, CampaignAudit, CampaignOptions};
 use moa_netlist::{collapse_faults, full_fault_list};
 use moa_tpg::random_sequence;
 
 use crate::{ArgParser, CliError};
 
-const USAGE: &str = "usage: moa suite [NAME...] [--baseline-too]";
+const USAGE: &str = "usage: moa suite [NAME...] [--baseline-too] [--audit]";
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let parser = ArgParser::parse(args, USAGE, &[], &["baseline-too"])?;
+    let parser = ArgParser::parse(args, USAGE, &[], &["baseline-too", "audit"])?;
     let filter = parser.positional();
     let entries: Vec<_> = suite()
         .into_iter()
@@ -25,11 +25,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         )));
     }
 
+    let audit = parser.switch("audit");
     writeln!(
         out,
         "{:<10} {:>7} {:>7} {:>7} {:>7}  paper(prop tot/extra)",
         "circuit", "faults", "conv", "tot", "extra"
     )?;
+    let mut total_audit_failed = 0usize;
     for e in entries {
         let circuit = e.build();
         let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
@@ -37,7 +39,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .representatives()
             .to_vec();
         let start = Instant::now();
-        let proposed = run_campaign(&circuit, &seq, &faults, &CampaignOptions::new());
+        let options = CampaignOptions {
+            audit: audit.then(CampaignAudit::default),
+            ..CampaignOptions::new()
+        };
+        let proposed = run_campaign(&circuit, &seq, &faults, &options);
         let mut line = format!(
             "{:<10} {:>7} {:>7} {:>7} {:>7}  {}/{}",
             e.name,
@@ -48,11 +54,21 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             e.paper.proposed.0,
             e.paper.proposed.1,
         );
+        if audit {
+            line.push_str(&format!("  audit-failed: {}", proposed.audit_failed));
+            total_audit_failed += proposed.audit_failed;
+        }
         if parser.switch("baseline-too") {
             let baseline = run_campaign(&circuit, &seq, &faults, &CampaignOptions::baseline());
             line.push_str(&format!("  [4]: {}+{}", baseline.detected_total(), baseline.extra));
         }
         writeln!(out, "{line}  ({:.1?})", start.elapsed())?;
+    }
+    if audit && total_audit_failed > 0 {
+        return Err(CliError::Failed(format!(
+            "{total_audit_failed} detection(s) failed their certificate audit — \
+             the symbolic engine claimed a detection that concrete replay refutes"
+        )));
     }
     Ok(())
 }
@@ -68,6 +84,14 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("s208"));
         assert!(text.contains("86/13"), "paper reference column present");
+    }
+
+    #[test]
+    fn audited_entry_reports_zero_failures() {
+        let mut out = Vec::new();
+        run(&["s208".into(), "--audit".into()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("audit-failed: 0"), "{text}");
     }
 
     #[test]

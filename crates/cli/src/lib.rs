@@ -83,12 +83,13 @@ COMMANDS:
               [--n-states N] [--depth K] [--rounds R] [--threads T] [--verbose]
               [--deadline-ms MS] [--work-limit W]     per-fault budgets
               [--checkpoint FILE [--checkpoint-every N] [--resume]]
+              [--audit[=N]]                audit detections by certificate replay
     tpg       <bench> [--max-length L] [--seed S] [--compact]  deterministic test generation
     exact     <bench> [--random L] [--seed S]    exhaustive restricted-MOA check (small circuits)
     explain   <bench> --fault NET/saX            per-fault pipeline trace
     extract   <bench> --nets NAME[,NAME...]      cut a fan-in cone to a new bench file
     gen       --inputs N --outputs N --ffs N --gates N [--seed S] [-o FILE]
-    suite     [NAME...]              run the paper's Table-2 stand-in suite
+    suite     [NAME...] [--audit]    run the paper's Table-2 stand-in suite
     help                             show this message
 ";
 

@@ -138,6 +138,86 @@ fn campaign_checkpoint_resume_round_trip_via_binary() {
 }
 
 #[test]
+fn campaign_resume_tolerates_torn_final_checkpoint_line() {
+    // A checkpoint cut off mid-record (kill -9 during a non-atomic copy, a
+    // filesystem without rename atomicity) must not brick the resume: the
+    // partial final line is dropped and its fault re-simulated.
+    let dir = std::env::temp_dir().join("moa-bin-test-torn");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("torn.checkpoint");
+    let _ = std::fs::remove_file(&ckpt);
+    let ckpt_str = ckpt.to_string_lossy().into_owned();
+    let args = |resume: bool| {
+        let mut v = vec![
+            "campaign".to_owned(),
+            s27_path(),
+            "--random".to_owned(),
+            "16".to_owned(),
+            "--seed".to_owned(),
+            "7".to_owned(),
+            "--proposed".to_owned(),
+            "--checkpoint".to_owned(),
+            ckpt_str.clone(),
+        ];
+        if resume {
+            v.push("--resume".to_owned());
+        }
+        v
+    };
+
+    let full = moa().args(args(false)).output().unwrap();
+    assert!(full.status.success());
+
+    // Emulate the torn write: truncate the finished checkpoint mid-way
+    // through its final fault line, leaving no trailing newline.
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(text.ends_with('\n'));
+    let cut = text.trim_end_matches('\n');
+    assert!(cut.lines().last().unwrap().starts_with("fault "));
+    std::fs::write(&ckpt, &cut[..cut.len() - 4]).unwrap();
+
+    let resumed = moa().args(args(true)).output().unwrap();
+    assert!(
+        resumed.status.success(),
+        "resume must survive a torn final line: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let strip = |bytes: &[u8]| {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| !l.contains('('))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&full.stdout),
+        strip(&resumed.stdout),
+        "the re-simulated fault must reproduce the full run's report"
+    );
+}
+
+#[test]
+fn campaign_audit_flag_via_binary() {
+    let out = moa()
+        .args([
+            "campaign",
+            &s27_path(),
+            "--random",
+            "16",
+            "--seed",
+            "7",
+            "--proposed",
+            "--audit",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("auditing detections"), "{text}");
+    assert!(!text.contains("AUDIT FAILED"), "{text}");
+}
+
+#[test]
 fn campaign_on_s27_detects_faults() {
     let out = moa()
         .args([

@@ -4,8 +4,11 @@
 //! on one fault; a [`BudgetMeter`] is its per-fault runtime counterpart,
 //! charged as work happens. One *work unit* is one implication-engine run
 //! (collection), one state-sequence copy created by a split (expansion), or
-//! one resimulated time frame (scalar or packed resimulation) — the three
-//! quantities that dominate per-fault cost and that
+//! one sequence-frame advanced during resimulation — each still-undecided
+//! sequence costs one unit per time frame up to and including the frame that
+//! decides it, charged identically by the scalar and packed resimulation
+//! paths so both exhaust a limit at the same spent count. These are the
+//! three quantities that dominate per-fault cost and that
 //! [`MoaOptions::max_implication_runs`](crate::MoaOptions::max_implication_runs)
 //! alone does not bound.
 //!

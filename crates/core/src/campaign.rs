@@ -16,12 +16,14 @@ use std::sync::Arc;
 use moa_netlist::{Circuit, Fault};
 use moa_sim::{simulate, GoodFrames, SimTrace, TestSequence};
 
+use crate::audit::{audit_certificate, AuditOptions, AuditStatus};
 use crate::budget::{BudgetMeter, FaultBudget};
 use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointHeader};
 use crate::counters::{CounterAverages, Counters};
 use crate::error::Error;
 use crate::procedure::{
-    simulate_fault_budgeted, validate_fault, validate_inputs, FaultResult, FaultStatus,
+    simulate_fault_budgeted, simulate_fault_certified, validate_fault, validate_inputs,
+    FaultResult, FaultStatus,
 };
 use crate::MoaOptions;
 
@@ -29,6 +31,31 @@ use crate::MoaOptions;
 /// just before it is simulated. Used by tests to inject failures (panics,
 /// delays) into campaign workers; production campaigns leave it `None`.
 pub type FaultHook = Arc<dyn Fn(usize, &Fault) + Send + Sync>;
+
+/// Configuration of a campaign's self-audit pass
+/// ([`CampaignOptions::audit`]): every detected fault (or a deterministic
+/// sample of them) has its [`DetectionCertificate`](crate::DetectionCertificate)
+/// validated by concrete replay, and a refuted detection is quarantined as
+/// [`FaultStatus::AuditFailed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignAudit {
+    /// Audit every `sample_rate`-th detected fault (by fault-list index);
+    /// `1` audits them all. `0` is treated as `1`. Sampling is deterministic
+    /// — the audited subset depends only on the fault list, never on thread
+    /// scheduling.
+    pub sample_rate: usize,
+    /// Replay bounds for each per-fault [`audit_certificate`] call.
+    pub options: AuditOptions,
+}
+
+impl Default for CampaignAudit {
+    fn default() -> Self {
+        CampaignAudit {
+            sample_rate: 1,
+            options: AuditOptions::default(),
+        }
+    }
+}
 
 /// Options for [`run_campaign`].
 #[derive(Clone)]
@@ -62,6 +89,11 @@ pub struct CampaignOptions {
     /// recorded there are not re-simulated. Requires the file to exist and
     /// match this campaign (circuit name, fault count, sequence length).
     pub resume: bool,
+    /// Audit detections by concrete certificate replay and quarantine any
+    /// refuted detection as [`FaultStatus::AuditFailed`]. `None` (the
+    /// default) trusts the symbolic engine. Resumed faults keep their
+    /// checkpointed status and are not re-audited.
+    pub audit: Option<CampaignAudit>,
     /// Test instrumentation: called with `(index, fault)` before each fault
     /// is simulated, inside the worker (and inside panic isolation).
     pub fault_hook: Option<FaultHook>,
@@ -78,6 +110,7 @@ impl std::fmt::Debug for CampaignOptions {
             .field("checkpoint", &self.checkpoint)
             .field("checkpoint_every", &self.checkpoint_every)
             .field("resume", &self.resume)
+            .field("audit", &self.audit)
             .field(
                 "fault_hook",
                 &self.fault_hook.as_ref().map(|_| "Fn(usize, &Fault)"),
@@ -97,6 +130,7 @@ impl Default for CampaignOptions {
             checkpoint: None,
             checkpoint_every: 64,
             resume: false,
+            audit: None,
             fault_hook: None,
         }
     }
@@ -144,6 +178,11 @@ pub struct CampaignResult {
     pub budget_exceeded: usize,
     /// Faults whose isolated worker panicked.
     pub faulted: usize,
+    /// Detections refuted by the certificate audit and quarantined
+    /// ([`FaultStatus::AuditFailed`]). Always `0` without
+    /// [`CampaignOptions::audit`]; any nonzero count is an engine-soundness
+    /// alarm, not a property of the circuit.
+    pub audit_failed: usize,
     /// Per-fault statuses, in fault-list order.
     pub statuses: Vec<FaultStatus>,
     /// Table-3 counters of the faults detected beyond conventional
@@ -265,6 +304,7 @@ fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) 
         aborted: 0,
         budget_exceeded: 0,
         faulted: 0,
+        audit_failed: 0,
         statuses: Vec::with_capacity(results.len()),
         expansion_counters: Vec::new(),
     };
@@ -290,6 +330,7 @@ fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) 
             }
             FaultStatus::BudgetExceeded { .. } => campaign.budget_exceeded += 1,
             FaultStatus::Faulted { .. } => campaign.faulted += 1,
+            FaultStatus::AuditFailed { .. } => campaign.audit_failed += 1,
             _ => {}
         }
         if r.status.is_extra_detected() {
@@ -349,12 +390,39 @@ fn run_batch(
 ) {
     let run_one = |index: usize| -> FaultResult {
         let fault = &faults[index];
+        // Deterministic sampling by fault-list index: the audited subset is
+        // independent of thread count and batch boundaries.
+        let audit = options
+            .audit
+            .as_ref()
+            .filter(|a| index.is_multiple_of(a.sample_rate.max(1)));
         let simulate_one = || {
             if let Some(hook) = &options.fault_hook {
                 hook(index, fault);
             }
             let mut meter = BudgetMeter::new(&options.budget);
-            simulate_fault_budgeted(circuit, seq, good, fault, &options.moa, frames, &mut meter)
+            let Some(audit) = audit else {
+                return simulate_fault_budgeted(
+                    circuit, seq, good, fault, &options.moa, frames, &mut meter,
+                );
+            };
+            let (mut result, certificate) = simulate_fault_certified(
+                circuit, seq, good, fault, &options.moa, frames, &mut meter,
+            );
+            if result.status.is_detected() {
+                let status = match &certificate {
+                    Some(cert) => {
+                        audit_certificate(circuit, seq, good, fault, cert, &audit.options)
+                    }
+                    None => AuditStatus::Refuted {
+                        reason: "detected fault emitted no certificate".to_owned(),
+                    },
+                };
+                if let AuditStatus::Refuted { reason } = status {
+                    result.status = FaultStatus::AuditFailed { reason };
+                }
+            }
+            result
         };
         if options.isolate_panics {
             match catch_unwind(AssertUnwindSafe(simulate_one)) {
@@ -748,6 +816,89 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("without a checkpoint path"), "{err}");
+    }
+
+    #[test]
+    fn audited_campaign_matches_plain_on_a_sound_engine() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let plain = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let audited = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                audit: Some(CampaignAudit::default()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(audited.audit_failed, 0, "a sound engine never fails its own audit");
+        assert_eq!(plain, audited, "a clean audit must not change any result");
+    }
+
+    #[test]
+    fn audit_sampling_agrees_across_thread_counts() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let audit = CampaignAudit {
+            sample_rate: 3,
+            options: AuditOptions::default(),
+        };
+        let serial = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                audit: Some(audit.clone()),
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                audit: Some(audit),
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial, parallel, "index-based sampling is schedule-independent");
+    }
+
+    #[test]
+    fn audited_campaign_checkpoints_and_resumes_identically() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let dir = std::env::temp_dir().join("moa-campaign-audit-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("audited.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let options = CampaignOptions {
+            audit: Some(CampaignAudit::default()),
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let first = run_campaign(&c, &seq, &faults, &options);
+        // Resuming from the finished checkpoint re-simulates (and re-audits)
+        // nothing and reproduces the identical aggregate.
+        let resumed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                resume: true,
+                fault_hook: Some(Arc::new(|index, _fault: &Fault| {
+                    panic!("fault {index} re-simulated after a complete checkpoint");
+                })),
+                isolate_panics: false,
+                ..options
+            },
+        );
+        assert_eq!(first, resumed);
     }
 
     #[test]

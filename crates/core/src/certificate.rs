@@ -1,0 +1,389 @@
+//! Detection certificates — machine-checkable evidence for MOA verdicts.
+//!
+//! Every extra detection the restricted multiple observation time procedure
+//! claims rests on symbolic reasoning: backward implications, forced-value
+//! merging, state expansion and marked-time-unit resimulation. A
+//! [`DetectionCertificate`] records that reasoning as a finite set of
+//! *claims* over the concrete binary behaviours of the faulty machine, so an
+//! independent checker ([`crate::audit_certificate`]) can validate the
+//! verdict by two-valued replay without trusting any of the symbolic
+//! machinery.
+//!
+//! A claim pairs an *initial-state cube* — sparse `(time, state variable,
+//! value)` assignments over the state trajectory — with what the procedure
+//! asserts about every binary behaviour matching the cube:
+//!
+//! - [`ClaimKind::Observation`]: the behaviour drives primary output `output`
+//!   at time `time` to `value`, the opposite of the specified fault-free
+//!   response there (a detection);
+//! - [`ClaimKind::Infeasible`]: no binary behaviour matches the cube at all
+//!   (the implication engine conflicted at frame `time`).
+//!
+//! A certificate is *valid* when every binary behaviour of the faulty
+//! machine satisfies at least one `Observation` claim that holds, no
+//! behaviour satisfies an `Infeasible` claim, and no satisfied `Observation`
+//! claim lies. Validity implies the fault is detected under the restricted
+//! MOA (every behaviour provably mismatches the fault-free response at a
+//! specified position), so a confirmed audit is at least as strong as the
+//! exhaustive [`crate::exact_moa_check`] verdict.
+
+use moa_sim::{Detection, SimTrace};
+
+use crate::collect::{Collection, PairKey, SideEvidence};
+use crate::resim::SequenceOutcome;
+use crate::stateseq::StateSequence;
+
+/// One sparse assignment of a claim's initial-state cube: state variable `i`
+/// holds `value` at time unit `time` (`time` ranges over `0..=L`).
+pub type StateAssignment = (usize, usize, bool);
+
+/// What a claim asserts about the behaviours matching its cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimKind {
+    /// Every matching behaviour shows `value` on primary output `output` at
+    /// time `time`, conflicting the specified fault-free response.
+    Observation {
+        /// Observation time unit.
+        time: usize,
+        /// Primary-output index.
+        output: usize,
+        /// The faulty output value (the fault-free response is `!value`).
+        value: bool,
+    },
+    /// No binary behaviour matches the cube; the implication engine found
+    /// frame `time` inconsistent.
+    Infeasible {
+        /// The conflict frame.
+        time: usize,
+    },
+}
+
+/// One claim of a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateClaim {
+    /// The initial-state cube: sparse `(time, state variable, value)`
+    /// assignments a behaviour must match for the claim to apply. An empty
+    /// cube matches every behaviour.
+    pub assignments: Vec<StateAssignment>,
+    /// The assertion made about matching behaviours.
+    pub kind: ClaimKind,
+}
+
+/// The detection path that produced a certificate (diagnostic only — the
+/// audit treats all certificates identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertificateSource {
+    /// Conventional three-valued detection.
+    Conventional,
+    /// The Section 3.2 direct check on one collected pair.
+    Implications,
+    /// Contradicting forced assignments in Procedure 2's first phase.
+    ForcedAssignments,
+    /// Expansion + resimulation: every sequence dropped.
+    Expansion,
+}
+
+/// Machine-checkable evidence for one claimed detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionCertificate {
+    /// The detection path that emitted this certificate.
+    pub source: CertificateSource,
+    /// The claims; their cubes must jointly cover every binary behaviour of
+    /// the faulty machine.
+    pub claims: Vec<CertificateClaim>,
+}
+
+/// A deliberately unsatisfiable claim emitted when a detection path lacks
+/// the evidence it should have recorded (an internal inconsistency). Its
+/// out-of-range observation time guarantees the audit rejects the
+/// certificate instead of silently confirming a hollow one.
+fn broken_claim(assignments: Vec<StateAssignment>) -> CertificateClaim {
+    CertificateClaim {
+        assignments,
+        kind: ClaimKind::Observation {
+            time: usize::MAX,
+            output: usize::MAX,
+            value: false,
+        },
+    }
+}
+
+/// The claim for one forced side of a collected pair: cube `{y_i[u] = α}`,
+/// asserting the recorded observation (`detect`) or infeasibility (`conf`).
+fn side_claim(key: PairKey, alpha: usize, evidence: Option<SideEvidence>) -> CertificateClaim {
+    let assignments = vec![(key.u, key.i, alpha == 1)];
+    match evidence {
+        Some(SideEvidence::Observed {
+            time,
+            output,
+            value,
+        }) => CertificateClaim {
+            assignments,
+            kind: ClaimKind::Observation {
+                time,
+                output,
+                value,
+            },
+        },
+        Some(SideEvidence::Conflicted { time }) => CertificateClaim {
+            assignments,
+            kind: ClaimKind::Infeasible { time },
+        },
+        // A forced side without evidence is an engine bug; emit a claim the
+        // audit is guaranteed to reject.
+        None => broken_claim(assignments),
+    }
+}
+
+/// The side claims for every processed forced pair, in processing order.
+fn forced_claims(collection: &Collection, forced: &[(PairKey, usize)]) -> Vec<CertificateClaim> {
+    forced
+        .iter()
+        .map(|&(key, alpha)| {
+            side_claim(key, alpha, collection.info(key).and_then(|i| i.evidence[alpha]))
+        })
+        .collect()
+}
+
+impl DetectionCertificate {
+    /// Certificate for a conventional three-valued detection: the empty cube
+    /// (every behaviour) shows the faulty value at the detection point.
+    pub(crate) fn conventional(detection: &Detection, good: &SimTrace) -> Self {
+        let claim = match good.outputs[detection.time][detection.output].to_bool() {
+            Some(good_value) => CertificateClaim {
+                assignments: Vec::new(),
+                kind: ClaimKind::Observation {
+                    time: detection.time,
+                    output: detection.output,
+                    value: !good_value,
+                },
+            },
+            // Conventional detection requires a specified fault-free value;
+            // anything else is an engine bug the audit must flag.
+            None => broken_claim(Vec::new()),
+        };
+        DetectionCertificate {
+            source: CertificateSource::Conventional,
+            claims: vec![claim],
+        }
+    }
+
+    /// Certificate for a Section 3.2 detection on pair `key`: the two value
+    /// cubes of `y_i[u]` with each side's recorded evidence.
+    pub(crate) fn from_pair(key: PairKey, collection: &Collection) -> Self {
+        let claims = match collection.info(key) {
+            Some(info) => vec![
+                side_claim(key, 0, info.evidence[0]),
+                side_claim(key, 1, info.evidence[1]),
+            ],
+            None => vec![broken_claim(Vec::new())],
+        };
+        DetectionCertificate {
+            source: CertificateSource::Implications,
+            claims,
+        }
+    }
+
+    /// Certificate for a forced-assignment detection in Procedure 2's first
+    /// phase.
+    ///
+    /// With `both_forced = Some(key)` the proof is local: both value cubes of
+    /// that pair carry evidence. Otherwise the accumulated forced values
+    /// contradicted: each processed pair contributes its forced-side claim
+    /// (covering the behaviours on that side), and one final `Infeasible`
+    /// claim asserts that the *kept* sides — which the engine proved jointly
+    /// impossible — admit no behaviour at all.
+    pub(crate) fn from_forced(
+        collection: &Collection,
+        forced: &[(PairKey, usize)],
+        both_forced: Option<PairKey>,
+    ) -> Self {
+        let claims = match both_forced {
+            Some(key) => match collection.info(key) {
+                Some(info) => vec![
+                    side_claim(key, 0, info.evidence[0]),
+                    side_claim(key, 1, info.evidence[1]),
+                ],
+                None => vec![broken_claim(Vec::new())],
+            },
+            None => {
+                let mut claims = forced_claims(collection, forced);
+                let kept_cube: Vec<StateAssignment> = forced
+                    .iter()
+                    .map(|&(key, alpha)| (key.u, key.i, alpha == 0))
+                    .collect();
+                // The contradiction frame is not singular (it involves every
+                // kept side); report the earliest involved time unit.
+                let time = forced.iter().map(|(k, _)| k.u).min().unwrap_or(0);
+                claims.push(CertificateClaim {
+                    assignments: kept_cube,
+                    kind: ClaimKind::Infeasible { time },
+                });
+                claims
+            }
+        };
+        DetectionCertificate {
+            source: CertificateSource::ForcedAssignments,
+            claims,
+        }
+    }
+
+    /// Certificate for an expansion detection: the forced-side claims of
+    /// phase 1 plus one claim per expanded sequence — its full specified
+    /// cube, asserting the observation that dropped it or the infeasibility
+    /// resimulation proved.
+    ///
+    /// `sequences` must be the *pre-resimulation* expanded sequences, zipped
+    /// with their resimulation outcomes; `good` supplies the fault-free
+    /// values the dropped-by-detection observations conflict with.
+    pub(crate) fn from_expansion(
+        collection: &Collection,
+        forced: &[(PairKey, usize)],
+        sequences: &[StateSequence],
+        outcomes: &[SequenceOutcome],
+        good: &SimTrace,
+    ) -> Self {
+        let mut claims = forced_claims(collection, forced);
+        for (seq, outcome) in sequences.iter().zip(outcomes) {
+            let assignments = seq.specified_assignments();
+            let claim = match outcome {
+                SequenceOutcome::Detected(d) => match good.outputs[d.time][d.output].to_bool() {
+                    Some(good_value) => CertificateClaim {
+                        assignments,
+                        kind: ClaimKind::Observation {
+                            time: d.time,
+                            output: d.output,
+                            value: !good_value,
+                        },
+                    },
+                    None => broken_claim(assignments),
+                },
+                SequenceOutcome::Infeasible { time } => CertificateClaim {
+                    assignments,
+                    kind: ClaimKind::Infeasible { time: *time },
+                },
+                // An undecided sequence cannot be part of a detection.
+                SequenceOutcome::Undecided => broken_claim(assignments),
+            };
+            claims.push(claim);
+        }
+        DetectionCertificate {
+            source: CertificateSource::Expansion,
+            claims,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::PairInfo;
+    use moa_logic::V3;
+
+    #[test]
+    fn side_claim_encodes_evidence() {
+        let key = PairKey { u: 2, i: 1 };
+        let obs = side_claim(
+            key,
+            1,
+            Some(SideEvidence::Observed {
+                time: 1,
+                output: 0,
+                value: true,
+            }),
+        );
+        assert_eq!(obs.assignments, vec![(2, 1, true)]);
+        assert_eq!(
+            obs.kind,
+            ClaimKind::Observation {
+                time: 1,
+                output: 0,
+                value: true
+            }
+        );
+        let conf = side_claim(key, 0, Some(SideEvidence::Conflicted { time: 1 }));
+        assert_eq!(conf.assignments, vec![(2, 1, false)]);
+        assert_eq!(conf.kind, ClaimKind::Infeasible { time: 1 });
+    }
+
+    #[test]
+    fn missing_evidence_produces_a_rejectable_claim() {
+        let claim = side_claim(PairKey { u: 0, i: 0 }, 0, None);
+        assert!(matches!(
+            claim.kind,
+            ClaimKind::Observation {
+                time: usize::MAX,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn forced_contradiction_certificate_covers_kept_sides() {
+        let mut info0 = PairInfo::default();
+        info0.conf[1] = true;
+        info0.evidence[1] = Some(SideEvidence::Conflicted { time: 0 });
+        let mut info1 = PairInfo::default();
+        info1.detect[0] = true;
+        info1.evidence[0] = Some(SideEvidence::Observed {
+            time: 0,
+            output: 0,
+            value: true,
+        });
+        let collection = Collection {
+            pairs: vec![
+                (PairKey { u: 1, i: 0 }, info0),
+                (PairKey { u: 1, i: 1 }, info1),
+            ],
+            ..Default::default()
+        };
+        let forced = vec![(PairKey { u: 1, i: 0 }, 1), (PairKey { u: 1, i: 1 }, 0)];
+        let cert = DetectionCertificate::from_forced(&collection, &forced, None);
+        assert_eq!(cert.source, CertificateSource::ForcedAssignments);
+        assert_eq!(cert.claims.len(), 3);
+        // Final claim: the kept sides (ᾱ of each forced pair) are infeasible.
+        let last = cert.claims.last().unwrap();
+        assert_eq!(last.assignments, vec![(1, 0, false), (1, 1, true)]);
+        assert!(matches!(last.kind, ClaimKind::Infeasible { .. }));
+    }
+
+    #[test]
+    fn expansion_certificate_claims_each_sequence_cube() {
+        use moa_sim::SimTrace;
+        let good = SimTrace {
+            states: vec![vec![V3::X], vec![V3::X], vec![V3::X]],
+            outputs: vec![vec![V3::Zero], vec![V3::Zero]],
+        };
+        let trace = SimTrace {
+            states: vec![vec![V3::X], vec![V3::X], vec![V3::X]],
+            outputs: vec![vec![V3::X], vec![V3::X]],
+        };
+        let mut s0 = StateSequence::from_trace(&trace);
+        assert!(s0.assign(0, 0, V3::Zero));
+        let mut s1 = StateSequence::from_trace(&trace);
+        assert!(s1.assign(0, 0, V3::One));
+        let outcomes = vec![
+            SequenceOutcome::Detected(Detection { time: 1, output: 0 }),
+            SequenceOutcome::Infeasible { time: 0 },
+        ];
+        let cert = DetectionCertificate::from_expansion(
+            &Collection::default(),
+            &[],
+            &[s0, s1],
+            &outcomes,
+            &good,
+        );
+        assert_eq!(cert.claims.len(), 2);
+        assert_eq!(cert.claims[0].assignments, vec![(0, 0, false)]);
+        assert_eq!(
+            cert.claims[0].kind,
+            ClaimKind::Observation {
+                time: 1,
+                output: 0,
+                value: true
+            }
+        );
+        assert_eq!(cert.claims[1].assignments, vec![(0, 0, true)]);
+        assert_eq!(cert.claims[1].kind, ClaimKind::Infeasible { time: 0 });
+    }
+}

@@ -66,11 +66,25 @@ impl<'a> FrameCache<'a> {
 /// Outcome of a chained backward assertion.
 #[derive(Debug)]
 pub(crate) enum ChainOutcome {
-    /// Some chained frame is inconsistent with the assertion.
-    Conflict,
+    /// Some chained frame is inconsistent with the assertion. `time` is the
+    /// frame at which the implication engine conflicted — the conflict frame
+    /// recorded on infeasibility certificates.
+    Conflict {
+        /// Time unit of the inconsistent frame.
+        time: usize,
+    },
     /// Some chained frame newly specifies an output opposite to the
-    /// fault-free value — the assertion leads to detection.
-    Detected,
+    /// fault-free value — the assertion leads to detection. The fields pin
+    /// down the concrete observation so a certificate can claim it.
+    Detected {
+        /// Time unit of the conflicting output.
+        time: usize,
+        /// Primary-output index.
+        output: usize,
+        /// The implied (faulty) output value — the opposite of the specified
+        /// fault-free value there.
+        value: bool,
+    },
     /// The refined values of the *first* (latest) frame, from which the
     /// caller extracts the `extra(u, i, α)` set.
     Values(NetValues),
@@ -93,7 +107,7 @@ pub(crate) fn assert_backward(
     let ctx = cache.context(t);
     let mut runs = 1;
     let values = match ctx.imply(assignments, rounds) {
-        ImplyOutcome::Conflict => return (ChainOutcome::Conflict, runs),
+        ImplyOutcome::Conflict => return (ChainOutcome::Conflict { time: t }, runs),
         ImplyOutcome::Values(v) => v,
     };
 
@@ -101,12 +115,27 @@ pub(crate) fn assert_backward(
     // opposite to the fault-free response.
     let circuit = ctx.circuit();
     let outs = moa_sim::frame_outputs(circuit, &values);
-    if outs
+    if let Some((output, value)) = outs
         .iter()
         .zip(&good.outputs[t])
-        .any(|(f, g)| f.conflicts(*g))
+        .enumerate()
+        .find_map(|(o, (f, g))| {
+            if f.conflicts(*g) {
+                // `conflicts` requires both sides specified.
+                f.to_bool().map(|v| (o, v))
+            } else {
+                None
+            }
+        })
     {
-        return (ChainOutcome::Detected, runs);
+        return (
+            ChainOutcome::Detected {
+                time: t,
+                output,
+                value,
+            },
+            runs,
+        );
     }
 
     // Chain: present-state variables newly specified at `t` become next-state
@@ -124,8 +153,9 @@ pub(crate) fn assert_backward(
                 assert_backward(cache, good, t - 1, &deeper, depth - 1, rounds);
             runs += extra_runs;
             match outcome {
-                ChainOutcome::Conflict => return (ChainOutcome::Conflict, runs),
-                ChainOutcome::Detected => return (ChainOutcome::Detected, runs),
+                done @ (ChainOutcome::Conflict { .. } | ChainOutcome::Detected { .. }) => {
+                    return (done, runs)
+                }
                 ChainOutcome::Values(_) => {}
             }
         }
@@ -177,7 +207,10 @@ mod tests {
         assert!(matches!(depth1, ChainOutcome::Values(_)), "depth 1 is blind");
         assert_eq!(runs1, 1);
         let (depth2, runs2) = assert_backward(&cache, &good, 1, &[(dp, V3::One)], 2, 1);
-        assert!(matches!(depth2, ChainOutcome::Conflict), "depth 2 chains back");
+        assert!(
+            matches!(depth2, ChainOutcome::Conflict { time: 0 }),
+            "depth 2 chains back to a conflict at time 0, got {depth2:?}"
+        );
         assert_eq!(runs2, 2);
         // The consistent value chains without conflict at any depth.
         let (ok, _) = assert_backward(&cache, &good, 1, &[(dp, V3::Zero)], 3, 1);
@@ -211,7 +244,14 @@ mod tests {
         // detection at the first frame already (depth 1 suffices here).
         let dp = c.find_net("dp").unwrap();
         let (outcome, _) = assert_backward(&cache, &good, 2, &[(dp, V3::One)], 1, 1);
-        assert!(matches!(outcome, ChainOutcome::Detected));
+        assert!(matches!(
+            outcome,
+            ChainOutcome::Detected {
+                time: 2,
+                output: 0,
+                value: true
+            }
+        ));
         // Assert Y_p = 0 at time 2: q = 0 at time 2, z = 0 = good. Chaining
         // back: Y_q = d at time 1 must be 0 ⇒ (faulty d = NOT q) q = 1 at
         // time 1 ⇒ z = 1 vs good 0 at time 1: a *chained* detection that
@@ -219,7 +259,14 @@ mod tests {
         let (depth1, _) = assert_backward(&cache, &good, 2, &[(dp, V3::Zero)], 1, 1);
         assert!(matches!(depth1, ChainOutcome::Values(_)));
         let (depth2, _) = assert_backward(&cache, &good, 2, &[(dp, V3::Zero)], 2, 1);
-        assert!(matches!(depth2, ChainOutcome::Detected));
+        assert!(matches!(
+            depth2,
+            ChainOutcome::Detected {
+                time: 1,
+                output: 0,
+                value: true
+            }
+        ));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! not-detected <undecided> <sequences> <truncated:0|1> <aborted:0|1>
 //! budget <stage> <work>         abandoned when the fault budget ran out
 //! faulted <escaped message>     worker panicked (isolated)
+//! audit-failed <escaped reason> detection refuted by the certificate audit
 //! ```
 //!
 //! Statuses round-trip exactly ([`FaultStatus`] is `Eq`), so a resumed
@@ -32,6 +33,16 @@
 //! to an uninterrupted run — asserted by the integration tests. Writes go
 //! through a temp file and an atomic rename, so an interrupt mid-write
 //! leaves the previous complete checkpoint in place.
+//!
+//! # Torn-write tolerance
+//!
+//! Checkpoints written by other means (a copy interrupted mid-transfer, a
+//! filesystem without atomic rename) can end in a partial record. A
+//! checkpoint whose final line is not newline-terminated is therefore read
+//! with that line *dropped* — even if the prefix happens to parse, since a
+//! truncation can silently corrupt a numeric field — and the affected fault
+//! is simply re-simulated on resume. Every fully terminated line is still
+//! validated strictly.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -107,7 +118,15 @@ pub fn read_checkpoint(
     };
     let text = fs::read_to_string(path)
         .map_err(|e| err(None, format!("cannot read checkpoint: {e}")))?;
-    let mut lines = text.lines().enumerate();
+    let mut all_lines: Vec<(usize, &str)> = text.lines().enumerate().collect();
+    // Torn-write tolerance (see the module docs): a file that does not end
+    // in a newline was cut off mid-record. Drop the partial final line —
+    // unconditionally, because a truncated numeric field can still parse —
+    // and let the campaign re-simulate that fault.
+    if !text.is_empty() && !text.ends_with('\n') {
+        all_lines.pop();
+    }
+    let mut lines = all_lines.into_iter();
 
     let mut expect_header = |key: &str| -> Result<String, Error> {
         let (i, line) = lines
@@ -224,6 +243,7 @@ fn status_to_line(status: &FaultStatus) -> String {
         ),
         FaultStatus::BudgetExceeded { stage, work } => format!("budget {stage} {work}"),
         FaultStatus::Faulted { message } => format!("faulted {}", escape(message)),
+        FaultStatus::AuditFailed { reason } => format!("audit-failed {}", escape(reason)),
     }
 }
 
@@ -261,6 +281,9 @@ fn status_from_line(text: &str) -> Option<FaultStatus> {
         }
         "faulted" => FaultStatus::Faulted {
             message: unescape(rest),
+        },
+        "audit-failed" => FaultStatus::AuditFailed {
+            reason: unescape(rest),
         },
         _ => return None,
     })
@@ -380,7 +403,13 @@ mod tests {
                 counters: Counters::new(),
                 runs: 9,
             }),
-            None,
+            Some(FaultResult {
+                status: FaultStatus::AuditFailed {
+                    reason: "cube (1,0)=1 state 3: output 0 at time 2\nnot covered".into(),
+                },
+                counters: Counters::new(),
+                runs: 4,
+            }),
         ];
         write_checkpoint(&path, &header(), &extra).unwrap();
         assert_eq!(read_checkpoint(&path, &header()).unwrap(), extra);
@@ -428,5 +457,67 @@ mod tests {
         std::fs::write(&out_of_range, text).unwrap();
         let e = read_checkpoint(&out_of_range, &header()).unwrap_err();
         assert!(e.to_string().contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn torn_final_fault_line_is_dropped_and_left_unsimulated() {
+        let dir = std::env::temp_dir().join("moa-checkpoint-test-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.txt");
+        write_checkpoint(&path, &header(), &sample_results()).unwrap();
+        // Cut the file off mid-way through the last fault record, with no
+        // trailing newline — the shape a torn write leaves behind.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let full = text.trim_end_matches('\n');
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+
+        let loaded = read_checkpoint(&path, &header()).unwrap();
+        let mut expected = sample_results();
+        expected[4] = None; // the torn record's fault is re-simulated
+        assert_eq!(loaded, expected);
+    }
+
+    #[test]
+    fn torn_but_parseable_final_line_is_still_dropped() {
+        // A truncation can leave a prefix that parses (a shortened numeric
+        // field, a clipped message). The un-terminated line is dropped no
+        // matter what, so the slot re-simulates instead of keeping a
+        // possibly-corrupt record.
+        let dir = std::env::temp_dir().join("moa-checkpoint-test-torn-parseable");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.txt");
+        let results = vec![
+            Some(FaultResult {
+                status: FaultStatus::SkippedConditionC,
+                counters: Counters::new(),
+                runs: 0,
+            }),
+            None,
+            None,
+            None,
+            None,
+        ];
+        write_checkpoint(&path, &header(), &results).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("fault 1 0 0 0 0 skip-c"); // valid, but no newline
+        std::fs::write(&path, text).unwrap();
+
+        let loaded = read_checkpoint(&path, &header()).unwrap();
+        assert_eq!(loaded, results, "the torn line must not populate slot 1");
+    }
+
+    #[test]
+    fn newline_terminated_corruption_is_not_forgiven() {
+        // The tolerance only applies to a missing final newline. A complete
+        // (terminated) garbage line is still a hard error.
+        let dir = std::env::temp_dir().join("moa-checkpoint-test-torn-terminated");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.txt");
+        write_checkpoint(&path, &header(), &sample_results()).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("fault 1 0 0 0 0 frobnicated\n");
+        std::fs::write(&path, text).unwrap();
+        let e = read_checkpoint(&path, &header()).unwrap_err();
+        assert!(e.to_string().contains("bad status"), "{e}");
     }
 }

@@ -25,6 +25,29 @@ pub struct PairKey {
     pub i: usize,
 }
 
+/// Concrete evidence recorded when a side of a pair is forced — the payload
+/// of the `conf` / `detect` flags, kept so a [`crate::DetectionCertificate`]
+/// can claim the exact observation or conflict frame for later audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideEvidence {
+    /// `detect`: the (possibly chained) backward implication specified
+    /// primary output `output` at time `time` to `value`, opposite to the
+    /// specified fault-free value there.
+    Observed {
+        /// Time unit of the conflicting output.
+        time: usize,
+        /// Primary-output index.
+        output: usize,
+        /// The implied (faulty) output value.
+        value: bool,
+    },
+    /// `conf`: the implication engine found the frame at `time` inconsistent.
+    Conflicted {
+        /// Time unit of the inconsistent frame.
+        time: usize,
+    },
+}
+
 /// The information collected for one pair, indexed by the asserted value
 /// `α ∈ {0, 1}` (index 0 ↔ `α = 0`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -38,6 +61,9 @@ pub struct PairInfo {
     /// `Y_i = α` at `u - 1` (contains `(i, α)` itself). Only meaningful when
     /// neither `conf` nor `detect` holds for `α`.
     pub extra: [Vec<(usize, V3)>; 2],
+    /// Per-side certificate evidence: `Some` exactly when `conf[α]` or
+    /// `detect[α]` is set (trivial/baseline records carry `None`).
+    pub evidence: [Option<SideEvidence>; 2],
 }
 
 impl PairInfo {
@@ -72,9 +98,8 @@ impl PairInfo {
 
     fn trivial(i: usize) -> Self {
         PairInfo {
-            conf: [false; 2],
-            detect: [false; 2],
             extra: [vec![(i, V3::Zero)], vec![(i, V3::One)]],
+            ..PairInfo::default()
         }
     }
 }
@@ -194,8 +219,22 @@ pub fn collect_pairs_metered(
                     return collection;
                 }
                 match outcome {
-                    ChainOutcome::Conflict => info.conf[ai] = true,
-                    ChainOutcome::Detected => info.detect[ai] = true,
+                    ChainOutcome::Conflict { time } => {
+                        info.conf[ai] = true;
+                        info.evidence[ai] = Some(SideEvidence::Conflicted { time });
+                    }
+                    ChainOutcome::Detected {
+                        time,
+                        output,
+                        value,
+                    } => {
+                        info.detect[ai] = true;
+                        info.evidence[ai] = Some(SideEvidence::Observed {
+                            time,
+                            output,
+                            value,
+                        });
+                    }
                     ChainOutcome::Values(values) => {
                         let next = cache.context(u - 1).next_state_view(&values);
                         info.extra[ai] = next
@@ -296,7 +335,16 @@ mod tests {
         // detection, extras = {(0, 1)}.
         let info = coll.info(PairKey { u: 2, i: 0 }).expect("pair collected");
         assert!(info.detect[0]);
+        assert_eq!(
+            info.evidence[0],
+            Some(SideEvidence::Observed {
+                time: 1,
+                output: 0,
+                value: true
+            })
+        );
         assert!(!info.detect[1] && !info.conf[1]);
+        assert_eq!(info.evidence[1], None);
         assert_eq!(info.extra[1], vec![(0, V3::One)]);
         assert_eq!(info.forced_side(), Some(0));
         // Pair (u=1, i=0): at time 0 the good output is unspecified, so both
@@ -349,6 +397,7 @@ mod tests {
         // Pair (u=1, i=0) must record a conflict for α=1 (Figure 4's claim).
         let info = coll.info(PairKey { u: 1, i: 0 }).expect("pair collected");
         assert!(info.conf[1], "Y=1 at time 0 conflicts under a=0");
+        assert_eq!(info.evidence[1], Some(SideEvidence::Conflicted { time: 0 }));
         assert!(!info.conf[0]);
         assert_eq!(info.forced_side(), Some(1));
         assert!(!info.is_two_way());

@@ -31,7 +31,7 @@ mod tests {
             PairInfo {
                 conf,
                 detect,
-                extra: Default::default(),
+                ..PairInfo::default()
             },
         )
     }

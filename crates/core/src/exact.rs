@@ -13,6 +13,9 @@
 use moa_netlist::{Circuit, Fault};
 use moa_sim::{packed_next_state, packed_outputs, run_packed_frame, SimTrace, TestSequence};
 
+use crate::audit::{audit_certificate, AuditOptions, AuditStatus};
+use crate::certificate::DetectionCertificate;
+
 /// The exact verdict.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExactOutcome {
@@ -125,6 +128,51 @@ pub fn exact_moa_check(
     Some(ExactOutcome::Detected)
 }
 
+/// The combined verdicts of [`certificate_cross_check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateCrossCheck {
+    /// The certificate audit verdict.
+    pub audit: AuditStatus,
+    /// The exhaustive verdict (`None` when [`exact_moa_check`] is
+    /// infeasible for this circuit or sequence).
+    pub exact: Option<ExactOutcome>,
+}
+
+impl CertificateCrossCheck {
+    /// `audited ⊆ exact`: a confirmed audit must agree with the exhaustive
+    /// checker whenever the latter applies. Any other combination — refuted,
+    /// inconclusive, or no exact verdict — is vacuously consistent (those
+    /// detections are simply not *confirmed*).
+    pub fn consistent(&self) -> bool {
+        match (&self.audit, &self.exact) {
+            (AuditStatus::Confirmed { .. }, Some(exact)) => exact.is_detected(),
+            _ => true,
+        }
+    }
+}
+
+/// Cross-checks a detection certificate against the exhaustive ground truth:
+/// runs [`audit_certificate`] and [`exact_moa_check`] independently and
+/// returns both verdicts. A confirmed audit claims every binary behaviour
+/// mismatches the fault-free response, which is precisely restricted-MOA
+/// detection — so [`CertificateCrossCheck::consistent`] failing would prove
+/// the audit itself unsound. Tier-1 tests assert consistency over every
+/// auditable suite circuit.
+pub fn certificate_cross_check(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    certificate: &DetectionCertificate,
+    audit_options: &AuditOptions,
+    max_flip_flops: usize,
+) -> CertificateCrossCheck {
+    CertificateCrossCheck {
+        audit: audit_certificate(circuit, seq, good, fault, certificate, audit_options),
+        exact: exact_moa_check(circuit, seq, good, fault, max_flip_flops),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +238,60 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn cross_check_confirms_audited_detection() {
+        use crate::budget::BudgetMeter;
+        use crate::procedure::simulate_fault_certified;
+        use crate::MoaOptions;
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        let (result, certificate) = simulate_fault_certified(
+            &c,
+            &seq,
+            &good,
+            &fault,
+            &MoaOptions::default(),
+            None,
+            &mut BudgetMeter::unlimited(),
+        );
+        assert!(result.status.is_detected());
+        let check = certificate_cross_check(
+            &c,
+            &seq,
+            &good,
+            &fault,
+            &certificate.expect("certificate"),
+            &AuditOptions::default(),
+            16,
+        );
+        assert!(check.audit.is_confirmed());
+        assert_eq!(check.exact, Some(ExactOutcome::Detected));
+        assert!(check.consistent());
+    }
+
+    #[test]
+    fn cross_check_is_vacuously_consistent_without_exact_verdict() {
+        use crate::certificate::{CertificateClaim, CertificateSource, ClaimKind};
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        let cert = DetectionCertificate {
+            source: CertificateSource::Expansion,
+            claims: vec![CertificateClaim {
+                assignments: Vec::new(),
+                kind: ClaimKind::Observation {
+                    time: 1,
+                    output: 0,
+                    value: true,
+                },
+            }],
+        };
+        // max_flip_flops = 0 disables the exact check.
+        let check =
+            certificate_cross_check(&c, &seq, &good, &fault, &cert, &AuditOptions::default(), 0);
+        assert_eq!(check.exact, None);
+        assert!(check.consistent());
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub enum ExpandOutcome {
     DetectedByForcedAssignments {
         /// Counters accumulated up to the contradiction.
         counters: Counters,
+        /// Forced pairs processed in phase 1, each with its forced side `α`
+        /// (the side that conflicted or detected). When the proof is a
+        /// contradiction, the pair whose extras clashed is included. This is
+        /// the raw material for a [`crate::DetectionCertificate`].
+        forced: Vec<(PairKey, usize)>,
+        /// `Some(key)` when a single pair was forced on both sides (each
+        /// value of `Y_i` conflicts or detects on its own); `None` when the
+        /// proof came from contradicting accumulated forced assignments.
+        both_forced: Option<PairKey>,
     },
     /// The set `S` of state sequences to resimulate.
     Expanded {
@@ -26,6 +35,9 @@ pub enum ExpandOutcome {
         sequences: Vec<StateSequence>,
         /// Pairs chosen in phase 2, in selection order.
         selected: Vec<PairKey>,
+        /// Forced pairs applied to the base sequence in phase 1, each with
+        /// its forced side `α`.
+        forced: Vec<(PairKey, usize)>,
         /// Table-3 counters for this fault.
         counters: Counters,
         /// `true` when expansion stopped at the `N_STATES` limit while
@@ -79,6 +91,7 @@ pub fn expand_metered(
 ) -> ExpandOutcome {
     let mut counters = Counters::new();
     let mut base = StateSequence::from_trace(faulty);
+    let mut forced: Vec<(PairKey, usize)> = Vec::new();
 
     // Phase 1: forced assignments.
     for (key, info) in &collection.pairs {
@@ -89,11 +102,16 @@ pub fn expand_metered(
             // for a sound implication engine.)
             counters.n_det += info.detect.iter().filter(|&&d| d).count() as u64;
             counters.n_conf += info.conf.iter().filter(|&&c| c).count() as u64;
-            return ExpandOutcome::DetectedByForcedAssignments { counters };
+            return ExpandOutcome::DetectedByForcedAssignments {
+                counters,
+                forced,
+                both_forced: Some(*key),
+            };
         }
         let Some(alpha) = info.forced_side() else {
             continue;
         };
+        forced.push((*key, alpha));
         let keep = 1 - alpha;
         if info.detect[alpha] {
             counters.n_det += 1;
@@ -105,7 +123,11 @@ pub fn expand_metered(
             if !base.assign(key.u, j, beta) {
                 // Two forced implications contradict: all remaining
                 // behaviours were covered by detections.
-                return ExpandOutcome::DetectedByForcedAssignments { counters };
+                return ExpandOutcome::DetectedByForcedAssignments {
+                    counters,
+                    forced,
+                    both_forced: None,
+                };
             }
         }
     }
@@ -148,6 +170,7 @@ pub fn expand_metered(
     ExpandOutcome::Expanded {
         sequences,
         selected,
+        forced,
         counters,
         aborted,
     }
@@ -233,9 +256,8 @@ mod tests {
         (
             PairKey { u, i },
             PairInfo {
-                conf: [false; 2],
-                detect: [false; 2],
                 extra: [extra0.to_vec(), extra1.to_vec()],
+                ..PairInfo::default()
             },
         )
     }
@@ -244,8 +266,8 @@ mod tests {
     fn forced_pair_updates_base_without_splitting() {
         let mut info = PairInfo {
             conf: [false, true], // Y=1 conflicts → y must be 0
-            detect: [false, false],
             extra: [vec![(0, V3::Zero), (1, V3::One)], Vec::new()],
+            ..PairInfo::default()
         };
         info.extra[1].clear();
         let coll = Collection {
@@ -279,16 +301,16 @@ mod tests {
             PairKey { u: 1, i: 0 },
             PairInfo {
                 conf: [false, true],
-                detect: [false, false],
                 extra: [vec![(0, V3::Zero), (1, V3::Zero)], Vec::new()],
+                ..PairInfo::default()
             },
         );
         let p2 = (
             PairKey { u: 1, i: 1 },
             PairInfo {
                 conf: [true, false],
-                detect: [false, false],
                 extra: [Vec::new(), vec![(1, V3::One)]],
+                ..PairInfo::default()
             },
         );
         let coll = Collection {
@@ -297,8 +319,18 @@ mod tests {
         };
         let trace = x_trace(2, 2);
         match expand(&coll, &trace, &[1, 1, 0], &[2, 2, 2], &MoaOptions::default()) {
-            ExpandOutcome::DetectedByForcedAssignments { counters } => {
+            ExpandOutcome::DetectedByForcedAssignments {
+                counters,
+                forced,
+                both_forced,
+            } => {
                 assert_eq!(counters.n_conf, 2);
+                assert_eq!(
+                    forced,
+                    vec![(PairKey { u: 1, i: 0 }, 1), (PairKey { u: 1, i: 1 }, 0)],
+                    "both forced pairs recorded with their forced sides"
+                );
+                assert_eq!(both_forced, None, "proof came from a contradiction");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -323,6 +355,7 @@ mod tests {
                 selected,
                 counters,
                 aborted,
+                ..
             } => {
                 assert!(aborted, "a third eligible pair remained at the limit");
                 assert_eq!(sequences.len(), 4);

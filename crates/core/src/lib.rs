@@ -42,7 +42,13 @@
 //!   [`CampaignOptions::checkpoint`]),
 //! - [`Error`] and the fallible entry points [`try_simulate_fault_with`] /
 //!   [`try_run_campaign`] — structured errors instead of panics for invalid
-//!   inputs and checkpoint problems.
+//!   inputs and checkpoint problems,
+//! - [`DetectionCertificate`] / [`audit_certificate`] — self-auditing
+//!   detections: every detection path can emit a machine-checkable
+//!   certificate ([`simulate_fault_certified`]), validated by exhaustive
+//!   two-valued replay; campaigns in audit mode
+//!   ([`CampaignOptions::audit`]) quarantine any refuted detection as
+//!   [`FaultStatus::AuditFailed`] instead of reporting it.
 //!
 //! The expansion-only baseline of the paper's reference \[4] is the same
 //! pipeline with [`MoaOptions::baseline`] (backward implications disabled).
@@ -75,8 +81,10 @@
 // to unwrap).
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod audit;
 mod budget;
 mod campaign;
+mod certificate;
 mod chain;
 mod checkpoint;
 mod collect;
@@ -94,23 +102,29 @@ mod resim;
 mod resim_packed;
 mod stateseq;
 
+pub use audit::{audit_certificate, AuditOptions, AuditStatus};
 pub use budget::{BudgetMeter, BudgetStage, FaultBudget};
 pub use campaign::{
-    run_campaign, try_run_campaign, CampaignOptions, CampaignResult, FaultHook,
+    run_campaign, try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, FaultHook,
+};
+pub use certificate::{
+    CertificateClaim, CertificateSource, ClaimKind, DetectionCertificate, StateAssignment,
 };
 pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointHeader};
-pub use collect::{collect_pairs, collect_pairs_metered, Collection, PairInfo, PairKey};
+pub use collect::{
+    collect_pairs, collect_pairs_metered, Collection, PairInfo, PairKey, SideEvidence,
+};
 pub use condition::{condition_c_holds, n_out_profile, n_sv_profile};
 pub use counters::{CounterAverages, Counters};
 pub use detect::detection_from_collection;
 pub use error::Error;
-pub use exact::{exact_moa_check, ExactOutcome};
+pub use exact::{certificate_cross_check, exact_moa_check, CertificateCrossCheck, ExactOutcome};
 pub use expand::{expand, expand_metered, ExpandOutcome};
 pub use explain::{explain_fault, Explanation};
 pub use options::MoaOptions;
 pub use procedure::{
-    simulate_fault, simulate_fault_budgeted, simulate_fault_with, try_simulate_fault_with,
-    FaultResult, FaultStatus,
+    simulate_fault, simulate_fault_budgeted, simulate_fault_certified, simulate_fault_with,
+    try_simulate_fault_with, FaultResult, FaultStatus,
 };
 pub use resim::{resimulate, resimulate_metered, ResimVerdict, SequenceOutcome};
 pub use resim_packed::{resimulate_packed, resimulate_packed_metered};

@@ -7,6 +7,7 @@ use moa_sim::{
 };
 
 use crate::budget::{BudgetMeter, BudgetStage};
+use crate::certificate::DetectionCertificate;
 use crate::collect::{collect_pairs_metered, PairKey};
 use crate::condition::{condition_c_holds, n_out_profile, n_sv_profile};
 use crate::counters::Counters;
@@ -69,6 +70,16 @@ pub enum FaultStatus {
     Faulted {
         /// The panic payload, when it was a string.
         message: String,
+    },
+    /// A campaign audit ([`CampaignOptions::audit`](crate::CampaignOptions::audit))
+    /// refuted this fault's detection certificate: concrete two-valued
+    /// replay could not reproduce the symbolic detection. The fault is
+    /// quarantined — counted as *not* detected (the sound fallback to the
+    /// conventional verdict) and surfaced in
+    /// [`CampaignResult::audit_failed`](crate::CampaignResult::audit_failed).
+    AuditFailed {
+        /// Why the audit refuted the certificate.
+        reason: String,
     },
 }
 
@@ -241,92 +252,176 @@ pub fn simulate_fault_budgeted(
     good_frames: Option<&GoodFrames>,
     meter: &mut BudgetMeter,
 ) -> FaultResult {
+    run_procedure(circuit, seq, good, fault, options, good_frames, meter, false).0
+}
+
+/// Like [`simulate_fault_budgeted`], additionally emitting a
+/// [`DetectionCertificate`] for every detected verdict — the machine-checkable
+/// evidence [`crate::audit_certificate`] validates by concrete replay.
+/// Non-detected verdicts (and the panic/budget fallbacks) carry no
+/// certificate. The [`FaultResult`] is identical to the uncertified entry
+/// points'.
+pub fn simulate_fault_certified(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+    good_frames: Option<&GoodFrames>,
+    meter: &mut BudgetMeter,
+) -> (FaultResult, Option<DetectionCertificate>) {
+    run_procedure(circuit, seq, good, fault, options, good_frames, meter, true)
+}
+
+/// The shared pipeline body. With `want_certificate` every detected verdict
+/// assembles its certificate (costing clones of the pre-resimulation
+/// sequences on the expansion path); without it no certificate work happens.
+#[allow(clippy::too_many_arguments)]
+fn run_procedure(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+    good_frames: Option<&GoodFrames>,
+    meter: &mut BudgetMeter,
+    want_certificate: bool,
+) -> (FaultResult, Option<DetectionCertificate>) {
     // Step 0: conventional simulation.
     let faulty = match good_frames {
         Some(frames) => simulate_differential(circuit, seq, frames, fault),
         None => simulate(circuit, seq, Some(fault)),
     };
     if let Some(det) = conventional_detection(good, &faulty) {
-        return FaultResult {
-            status: FaultStatus::DetectedConventional(det),
-            counters: Counters::new(),
-            runs: 0,
-        };
+        let certificate =
+            want_certificate.then(|| DetectionCertificate::conventional(&det, good));
+        return (
+            FaultResult {
+                status: FaultStatus::DetectedConventional(det),
+                counters: Counters::new(),
+                runs: 0,
+            },
+            certificate,
+        );
     }
 
     // Necessary condition (C).
     let n_sv = n_sv_profile(&faulty);
     let n_out = n_out_profile(good, &faulty);
     if options.check_condition_c && !condition_c_holds(&n_sv[..n_out.len()], &n_out) {
-        return FaultResult {
-            status: FaultStatus::SkippedConditionC,
-            counters: Counters::new(),
-            runs: 0,
-        };
+        return (
+            FaultResult {
+                status: FaultStatus::SkippedConditionC,
+                counters: Counters::new(),
+                runs: 0,
+            },
+            None,
+        );
     }
 
     // Step 1: collection.
     let collection =
         collect_pairs_metered(circuit, seq, good, &faulty, Some(fault), &n_out, options, meter);
     if meter.is_exhausted() {
-        return budget_exceeded(BudgetStage::Collection, collection.runs, meter);
+        return (
+            budget_exceeded(BudgetStage::Collection, collection.runs, meter),
+            None,
+        );
     }
 
     // Step 2: direct detection from the collected information.
     if let Some(key) = detection_from_collection(&collection) {
-        return FaultResult {
-            status: FaultStatus::DetectedByImplications(key),
-            counters: Counters::new(),
-            runs: collection.runs,
-        };
+        let certificate =
+            want_certificate.then(|| DetectionCertificate::from_pair(key, &collection));
+        return (
+            FaultResult {
+                status: FaultStatus::DetectedByImplications(key),
+                counters: Counters::new(),
+                runs: collection.runs,
+            },
+            certificate,
+        );
     }
 
     // Step 3: selection + expansion.
-    let (sequences, counters, aborted) =
+    let (sequences, forced, counters, aborted) =
         match expand_metered(&collection, &faulty, &n_out, &n_sv, options, meter) {
-            ExpandOutcome::DetectedByForcedAssignments { counters } => {
-                return FaultResult {
-                    status: FaultStatus::DetectedByForcedAssignments,
-                    counters,
-                    runs: collection.runs,
-                }
+            ExpandOutcome::DetectedByForcedAssignments {
+                counters,
+                forced,
+                both_forced,
+            } => {
+                let certificate = want_certificate
+                    .then(|| DetectionCertificate::from_forced(&collection, &forced, both_forced));
+                return (
+                    FaultResult {
+                        status: FaultStatus::DetectedByForcedAssignments,
+                        counters,
+                        runs: collection.runs,
+                    },
+                    certificate,
+                );
             }
             ExpandOutcome::Expanded {
                 sequences,
+                forced,
                 counters,
                 aborted,
                 ..
-            } => (sequences, counters, aborted),
+            } => (sequences, forced, counters, aborted),
         };
     if meter.is_exhausted() {
-        return budget_exceeded(BudgetStage::Expansion, collection.runs, meter);
+        return (
+            budget_exceeded(BudgetStage::Expansion, collection.runs, meter),
+            None,
+        );
     }
 
-    // Step 4: resimulation.
+    // Step 4: resimulation. Certificates claim the *pre-resimulation* cubes,
+    // so keep a copy when one is wanted.
     let total = sequences.len();
+    let pre_resim = want_certificate.then(|| sequences.clone());
     let verdict = if options.packed_resimulation {
         resimulate_packed_metered(circuit, seq, good, Some(fault), sequences, meter)
     } else {
         resimulate_metered(circuit, seq, good, Some(fault), sequences, meter)
     };
     if meter.is_exhausted() {
-        return budget_exceeded(BudgetStage::Resimulation, collection.runs, meter);
+        return (
+            budget_exceeded(BudgetStage::Resimulation, collection.runs, meter),
+            None,
+        );
     }
-    let status = if verdict.detected() {
-        FaultStatus::DetectedByExpansion { sequences: total }
+    let (status, certificate) = if verdict.detected() {
+        let certificate = pre_resim.map(|pre| {
+            DetectionCertificate::from_expansion(
+                &collection,
+                &forced,
+                &pre,
+                &verdict.outcomes,
+                good,
+            )
+        });
+        (FaultStatus::DetectedByExpansion { sequences: total }, certificate)
     } else {
-        FaultStatus::NotDetected {
-            undecided: verdict.undecided(),
-            sequences: total,
-            truncated: collection.truncated,
-            aborted,
-        }
+        (
+            FaultStatus::NotDetected {
+                undecided: verdict.undecided(),
+                sequences: total,
+                truncated: collection.truncated,
+                aborted,
+            },
+            None,
+        )
     };
-    FaultResult {
-        status,
-        counters,
-        runs: collection.runs,
-    }
+    (
+        FaultResult {
+            status,
+            counters,
+            runs: collection.runs,
+        },
+        certificate,
+    )
 }
 
 /// The abandoned-fault result: not detected, with the stage and spend
@@ -407,6 +502,59 @@ mod tests {
         assert_eq!(result.runs, 0, "baseline never runs the engine");
         assert_eq!(result.counters.n_det, 0);
         assert_eq!(result.counters.n_conf, 0);
+    }
+
+    #[test]
+    fn certified_run_matches_uncertified_and_audits_clean() {
+        use crate::audit::{audit_certificate, AuditOptions};
+        use crate::certificate::CertificateSource;
+        let (c, seq, good) = toggle();
+        for (net, stuck, expect_source) in [
+            ("r", true, CertificateSource::Expansion),
+            ("z", true, CertificateSource::Conventional),
+        ] {
+            let fault = Fault::stem(c.find_net(net).unwrap(), stuck);
+            let opts = MoaOptions::default();
+            let plain = simulate_fault(&c, &seq, &good, &fault, &opts);
+            let (certified, certificate) = simulate_fault_certified(
+                &c,
+                &seq,
+                &good,
+                &fault,
+                &opts,
+                None,
+                &mut BudgetMeter::unlimited(),
+            );
+            assert_eq!(plain, certified, "certification must not change results");
+            let certificate = certificate.expect("detected fault emits a certificate");
+            assert_eq!(certificate.source, expect_source);
+            let status = audit_certificate(
+                &c,
+                &seq,
+                &good,
+                &fault,
+                &certificate,
+                &AuditOptions::default(),
+            );
+            assert!(status.is_confirmed(), "{net} stuck-at-{stuck}: {status:?}");
+        }
+    }
+
+    #[test]
+    fn undetected_fault_has_no_certificate() {
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("nq").unwrap(), true);
+        let (result, certificate) = simulate_fault_certified(
+            &c,
+            &seq,
+            &good,
+            &fault,
+            &MoaOptions::default(),
+            None,
+            &mut BudgetMeter::unlimited(),
+        );
+        assert!(!result.status.is_detected());
+        assert!(certificate.is_none());
     }
 
     #[test]

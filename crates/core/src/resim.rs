@@ -75,9 +75,13 @@ pub fn resimulate(
     )
 }
 
-/// Like [`resimulate`], charging one work unit per evaluated time frame
-/// against `meter`. When the meter exhausts, the remaining sequences are
-/// left [`SequenceOutcome::Undecided`]; the caller must check
+/// Like [`resimulate`], charging one work unit per sequence-frame advanced
+/// against `meter` — every frame up to the one that decides the sequence
+/// counts, whether or not it is marked (only marked frames are *evaluated*;
+/// the uniform unit keeps the accounting identical to
+/// [`crate::resimulate_packed_metered`], which cannot skip unmarked frames
+/// per slot). When the meter exhausts, the remaining sequences are left
+/// [`SequenceOutcome::Undecided`]; the caller must check
 /// [`BudgetMeter::is_exhausted`] and discard the partial verdict.
 pub fn resimulate_metered(
     circuit: &Circuit,
@@ -109,11 +113,14 @@ fn resimulate_one(
     meter: &mut BudgetMeter,
 ) -> SequenceOutcome {
     for u in 0..seq.len() {
-        if !s.is_marked(u) {
-            continue;
-        }
+        // One unit per frame advanced, marked or not: the budget measures
+        // progress through the sequence, not evaluation effort, so the
+        // scalar and packed paths exhaust at identical work counts.
         if !meter.charge(1) {
             return SequenceOutcome::Undecided;
+        }
+        if !s.is_marked(u) {
+            continue;
         }
         let frame = compute_frame(circuit, seq.pattern(u), s.state(u), fault);
         let outputs = frame_outputs(circuit, &frame);

@@ -43,9 +43,12 @@ pub fn resimulate_packed(
 }
 
 /// Like [`resimulate_packed`], charging work units against `meter` — one
-/// per sequence-frame, so a 64-slot chunk's frame costs 64 units, matching
-/// the scalar path's accounting. When the meter exhausts, the unprocessed
-/// slots stay [`SequenceOutcome::Undecided`]; the caller must check
+/// unit per *undecided* slot per frame advanced, which is exactly what the
+/// scalar path charges (each sequence costs one unit per frame up to and
+/// including the frame that decides it). Both paths therefore exhaust a
+/// work limit at the same spent count for the same fault; the parity is
+/// locked in by tests. When the meter exhausts, the unprocessed slots stay
+/// [`SequenceOutcome::Undecided`]; the caller must check
 /// [`BudgetMeter::is_exhausted`] and discard the partial verdict.
 pub fn resimulate_packed_metered(
     circuit: &Circuit,
@@ -105,8 +108,13 @@ fn resimulate_chunk(
         if resolved == valid {
             break;
         }
-        if !meter.charge(chunk.len() as u64) {
-            break;
+        // One unit per still-undecided slot entering this frame — the same
+        // count the scalar path charges, in the same unit increments, so
+        // exhaustion trips at an identical spent value on both paths.
+        for _ in 0..(valid & !resolved).count_ones() {
+            if !meter.charge(1) {
+                return outcomes;
+            }
         }
         let frame = run_packed3_frame(circuit, seq.pattern(u), &states[u], fault);
 
@@ -226,6 +234,79 @@ mod tests {
         let packed = resimulate_packed(&c, &seq, &good, Some(&fault), sequences);
         assert_eq!(scalar.outcomes, packed.outcomes);
         assert_eq!(packed.outcomes.len(), 80);
+    }
+
+    #[test]
+    fn budget_accounting_is_identical_to_scalar() {
+        use crate::budget::FaultBudget;
+        use crate::resim::resimulate_metered;
+        let (c, seq, good, fault) = toggle();
+        let faulty = simulate(&c, &seq, Some(&fault));
+        let base = StateSequence::from_trace(&faulty);
+        // A mixed population: slots decided at different frames plus one
+        // never-marked slot that stays undecided for the full length.
+        let mut sequences = Vec::new();
+        for n in 0..5 {
+            let mut s = base.clone();
+            assert!(s.assign(1, 0, V3::from_bool(n % 2 == 0)));
+            sequences.push(s);
+        }
+        sequences.push(base);
+
+        // Unlimited run: both paths must spend exactly the same work.
+        let mut m_scalar = BudgetMeter::unlimited();
+        let scalar = resimulate_metered(
+            &c,
+            &seq,
+            &good,
+            Some(&fault),
+            sequences.clone(),
+            &mut m_scalar,
+        );
+        let mut m_packed = BudgetMeter::unlimited();
+        let packed = resimulate_packed_metered(
+            &c,
+            &seq,
+            &good,
+            Some(&fault),
+            sequences.clone(),
+            &mut m_packed,
+        );
+        assert_eq!(scalar.outcomes, packed.outcomes);
+        let total = m_scalar.spent();
+        assert!(total > 0);
+        assert_eq!(total, m_packed.spent(), "identical work accounting");
+
+        // Every limit below the total trips both paths at the same spent
+        // value (limit + 1, by unit charging).
+        for limit in 0..total {
+            let budget = FaultBudget::none().with_work_limit(limit);
+            let mut m_scalar = BudgetMeter::new(&budget);
+            let _ = resimulate_metered(
+                &c,
+                &seq,
+                &good,
+                Some(&fault),
+                sequences.clone(),
+                &mut m_scalar,
+            );
+            let mut m_packed = BudgetMeter::new(&budget);
+            let _ = resimulate_packed_metered(
+                &c,
+                &seq,
+                &good,
+                Some(&fault),
+                sequences.clone(),
+                &mut m_packed,
+            );
+            assert!(m_scalar.is_exhausted() && m_packed.is_exhausted());
+            assert_eq!(
+                m_scalar.spent(),
+                m_packed.spent(),
+                "exhaustion at limit {limit} must charge identically"
+            );
+            assert_eq!(m_scalar.spent(), limit + 1);
+        }
     }
 
     #[test]

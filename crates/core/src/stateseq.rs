@@ -82,6 +82,22 @@ impl StateSequence {
     pub fn to_words(&self) -> Vec<String> {
         self.states.iter().map(|s| format_word(s)).collect()
     }
+
+    /// All specified values as sparse `(u, i, value)` triples — the
+    /// initial-state cube a [`crate::DetectionCertificate`] claims for this
+    /// sequence.
+    pub fn specified_assignments(&self) -> Vec<(usize, usize, bool)> {
+        self.states
+            .iter()
+            .enumerate()
+            .flat_map(|(u, state)| {
+                state
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(i, v)| v.to_bool().map(|b| (u, i, b)))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +133,15 @@ mod tests {
         let mut s = seq();
         assert!(!s.assign(2, 0, V3::One));
         assert_eq!(s.value(2, 0), V3::Zero, "conflicting assign leaves value");
+    }
+
+    #[test]
+    fn specified_assignments_are_sparse() {
+        let s = seq();
+        assert_eq!(
+            s.specified_assignments(),
+            vec![(1, 1, true), (2, 0, false), (2, 1, true)]
+        );
     }
 
     #[test]

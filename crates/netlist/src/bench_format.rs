@@ -4,9 +4,22 @@
 //! assignments `name = KIND(arg, …)`, where `KIND` is a combinational gate
 //! kind or `DFF`. `#` starts a comment.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::{Circuit, CircuitBuilder, Driver, NetlistError};
+
+/// Hard cap on the byte length of one `.bench` source line (including
+/// comments). A line past this is rejected up front, so a malformed or
+/// hostile file cannot make the parser buffer unbounded statement text.
+pub const MAX_LINE_LEN: usize = 1 << 16;
+
+/// Hard cap on the byte length of one signal name.
+pub const MAX_NAME_LEN: usize = 256;
+
+/// Hard cap on the fan-in of one gate. Real ISCAS-89 circuits stay in the
+/// single digits; anything larger is a malformed or adversarial file.
+pub const MAX_FANIN: usize = 1024;
 
 /// Parses ISCAS-89 `.bench` source text into a circuit.
 ///
@@ -18,6 +31,13 @@ use crate::{Circuit, CircuitBuilder, Driver, NetlistError};
 /// [`NetlistError::Parse`] (with a 1-based line number and the 1-based byte
 /// column of the offending construct) on syntax errors, and any
 /// [`CircuitBuilder`] validation error on semantic ones.
+///
+/// Ingestion is hardened against malformed or hostile input: lines longer
+/// than [`MAX_LINE_LEN`] bytes, signal names longer than [`MAX_NAME_LEN`]
+/// bytes and gates with more than [`MAX_FANIN`] inputs are rejected with
+/// line/column diagnostics, as is any *duplicate definition* — a name
+/// declared `INPUT` or driven by a `DFF`/gate assignment more than once
+/// (`OUTPUT` lines are references, not definitions, and may repeat).
 ///
 /// # Example
 ///
@@ -33,9 +53,21 @@ pub fn parse_bench(source: &str) -> Result<Circuit, NetlistError> {
     let mut builder: Option<CircuitBuilder> = None;
     // Deferred so the builder can be created with the name from a comment.
     let mut statements: Vec<(usize, Statement)> = Vec::new();
+    // Name → line of its definition, for the duplicate-definition check.
+    let mut definitions: HashMap<String, usize> = HashMap::new();
 
     for (lineno, raw) in source.lines().enumerate() {
         let lineno = lineno + 1;
+        if raw.len() > MAX_LINE_LEN {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                column: MAX_LINE_LEN + 1,
+                message: format!(
+                    "line of {} bytes exceeds the {MAX_LINE_LEN}-byte limit",
+                    raw.len()
+                ),
+            });
+        }
         let line = match raw.find('#') {
             Some(pos) => {
                 if name.is_none() && statements.is_empty() {
@@ -54,7 +86,19 @@ pub fn parse_bench(source: &str) -> Result<Circuit, NetlistError> {
         }
         // 1-based column of the statement's first byte within the raw line.
         let base_column = trimmed.as_ptr() as usize - raw.as_ptr() as usize + 1;
-        statements.push((lineno, parse_statement(lineno, base_column, trimmed)?));
+        let stmt = parse_statement(lineno, base_column, trimmed)?;
+        if let Some(defined) = stmt.defines() {
+            if let Some(first) = definitions.insert(defined.to_owned(), lineno) {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    column: base_column,
+                    message: format!(
+                        "duplicate definition of `{defined}` (first defined on line {first})"
+                    ),
+                });
+            }
+        }
+        statements.push((lineno, stmt));
     }
 
     let mut b = builder
@@ -91,6 +135,19 @@ enum Statement {
     },
 }
 
+impl Statement {
+    /// The name this statement *defines* (declares as input or drives), if
+    /// any. `OUTPUT` only references an existing net.
+    fn defines(&self) -> Option<&str> {
+        match self {
+            Statement::Input(n) => Some(n),
+            Statement::Output(_) => None,
+            Statement::Dff { q, .. } => Some(q),
+            Statement::Gate { out, .. } => Some(out),
+        }
+    }
+}
+
 fn parse_statement(
     line_number: usize,
     base_column: usize,
@@ -104,14 +161,42 @@ fn parse_statement(
     // 1-based column of `part` (a subslice of `line`) in the source line.
     let col_of = |part: &str| base_column + (part.as_ptr() as usize - line.as_ptr() as usize);
 
+    // A name past the cap is reported by length, not echoed — the point of
+    // the cap is to keep oversized input out of downstream buffers.
+    let check_name = |column: usize, name: &str| -> Result<(), NetlistError> {
+        if name.len() > MAX_NAME_LEN {
+            return Err(err(
+                column,
+                format!(
+                    "signal name of {} bytes exceeds the {MAX_NAME_LEN}-byte limit",
+                    name.len()
+                ),
+            ));
+        }
+        Ok(())
+    };
+
     if let Some((lhs, rhs)) = line.split_once('=') {
         let out = lhs.trim();
         if out.is_empty() || out.contains(char::is_whitespace) {
             return Err(err(base_column, format!("invalid signal name `{out}`")));
         }
+        check_name(col_of(out), out)?;
         let rhs = rhs.trim();
         let (kind_name, args) = parse_call(rhs)
             .ok_or_else(|| err(col_of(rhs), format!("expected `KIND(args)`, found `{rhs}`")))?;
+        if args.len() > MAX_FANIN {
+            return Err(err(
+                col_of(rhs),
+                format!(
+                    "gate `{out}` has {} inputs, exceeding the fan-in limit of {MAX_FANIN}",
+                    args.len()
+                ),
+            ));
+        }
+        for arg in &args {
+            check_name(col_of(rhs), arg)?;
+        }
         if kind_name.eq_ignore_ascii_case("DFF") {
             if args.len() != 1 {
                 return Err(err(
@@ -142,6 +227,7 @@ fn parse_statement(
     if args.len() != 1 {
         return Err(err(base_column, format!("{keyword} takes exactly one name")));
     }
+    check_name(base_column, &args[0])?;
     if keyword.eq_ignore_ascii_case("INPUT") {
         Ok(Statement::Input(args[0].clone()))
     } else if keyword.eq_ignore_ascii_case("OUTPUT") {
@@ -351,6 +437,75 @@ z = NAND(b, q)
         assert!(parse_bench("z = NOT(a\n").is_err());
         assert!(parse_bench("z = (a)\n").is_err());
         assert!(parse_bench("q = DFF(a, b)\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_lines() {
+        let source = format!("INPUT(a)\n# {}\nOUTPUT(a)\n", "x".repeat(MAX_LINE_LEN));
+        let err = parse_bench(&source).unwrap_err();
+        match err {
+            NetlistError::Parse { line, column, message } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, MAX_LINE_LEN + 1);
+                assert!(message.contains("byte limit"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // Exactly at the cap is fine.
+        let ok = format!("# {}\nINPUT(a)\nOUTPUT(a)\n", "x".repeat(MAX_LINE_LEN - 2));
+        assert!(parse_bench(&ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_names() {
+        let long = "n".repeat(MAX_NAME_LEN + 1);
+        for source in [
+            format!("INPUT({long})\n"),
+            format!("INPUT(a)\n{long} = NOT(a)\n"),
+            format!("INPUT(a)\nz = AND(a, {long})\n"),
+        ] {
+            let err = parse_bench(&source).unwrap_err();
+            assert!(
+                err.to_string().contains("byte limit"),
+                "{source:.40}...: {err}"
+            );
+        }
+        // Exactly at the cap is fine.
+        let fit = "n".repeat(MAX_NAME_LEN);
+        assert!(parse_bench(&format!("INPUT({fit})\nOUTPUT({fit})\n")).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_fanin() {
+        let args: Vec<String> = (0..=MAX_FANIN).map(|i| format!("a{i}")).collect();
+        let mut source = String::new();
+        for a in &args {
+            source.push_str(&format!("INPUT({a})\n"));
+        }
+        source.push_str(&format!("OUTPUT(z)\nz = AND({})\n", args.join(", ")));
+        let err = parse_bench(&source).unwrap_err();
+        assert!(err.to_string().contains("fan-in limit"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        // A gate output driven twice.
+        let err = parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUFF(a)\n").unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::Parse {
+                line: 4,
+                column: 1,
+                message: "duplicate definition of `z` (first defined on line 3)".into()
+            }
+        );
+        // The same name declared INPUT twice, or DFF-driven twice, or mixed.
+        assert!(parse_bench("INPUT(a)\nINPUT(a)\nOUTPUT(a)\n").is_err());
+        assert!(parse_bench("INPUT(d)\nOUTPUT(q)\nq = DFF(d)\nq = DFF(d)\n").is_err());
+        assert!(parse_bench("INPUT(a)\nOUTPUT(a)\na = NOT(a)\n").is_err());
+        // OUTPUT is a reference: repeating it is legal.
+        let c = parse_bench("INPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n").unwrap();
+        assert_eq!(c.num_outputs(), 2);
     }
 
     #[test]

@@ -45,7 +45,9 @@ mod id;
 mod levelize;
 mod stats;
 
-pub use bench_format::{parse_bench, structurally_equal, write_bench};
+pub use bench_format::{
+    parse_bench, structurally_equal, write_bench, MAX_FANIN, MAX_LINE_LEN, MAX_NAME_LEN,
+};
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, Driver, FlipFlop, Gate};
 pub use collapse::{collapse_faults, CollapsedFaults};

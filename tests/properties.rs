@@ -4,7 +4,10 @@ use proptest::prelude::*;
 
 use moa_repro::circuits::synth::{generate, SynthSpec};
 use moa_repro::core::imply::{FrameContext, ImplyOutcome};
-use moa_repro::core::{exact_moa_check, ExactOutcome};
+use moa_repro::core::{
+    audit_certificate, exact_moa_check, simulate_fault_certified, AuditOptions, BudgetMeter,
+    ClaimKind, ExactOutcome, MoaOptions,
+};
 use moa_repro::logic::V3;
 use moa_repro::netlist::{
     collapse_faults, full_fault_list, observable_nets, parse_bench, structurally_equal,
@@ -15,6 +18,7 @@ use moa_repro::sim::{
     run_packed3_frame, run_packed_frame, simulate, simulate_differential, GoodFrames, Packed3,
     TestSequence,
 };
+use moa_repro::tpg::random_sequence;
 
 fn arb_spec() -> impl Strategy<Value = SynthSpec> {
     (1usize..5, 1usize..4, 1usize..7, 10usize..60, any::<u64>()).prop_map(
@@ -233,6 +237,43 @@ proptest! {
             let scalar_next = moa_repro::sim::frame_next_state(&c, &scalar, Some(&fault));
             for i in 0..k {
                 prop_assert_eq!(next[i].get(s as u32), scalar_next[i]);
+            }
+        }
+    }
+
+    /// A detection certificate that lies about an observation is always
+    /// refuted: flipping the claimed output value of any observation claim of
+    /// a confirmed certificate must turn the audit verdict into `Refuted`.
+    /// (The forged claim asserts the faulty machine matches the good value —
+    /// no detection — so replay can never corroborate it.)
+    #[test]
+    fn perturbed_observation_value_always_fails_audit(spec in arb_spec(), seq_seed in any::<u64>()) {
+        let c = generate(&spec);
+        let seq = random_sequence(&c, 8, seq_seed);
+        let good = simulate(&c, &seq, None);
+        let faults = collapse_faults(&c, &full_fault_list(&c)).representatives().to_vec();
+        for fault in faults.iter().take(8) {
+            let (result, certificate) = simulate_fault_certified(
+                &c, &seq, &good, fault, &MoaOptions::default(), None,
+                &mut BudgetMeter::unlimited(),
+            );
+            prop_assert_eq!(result.status.is_detected(), certificate.is_some());
+            let Some(certificate) = certificate else { continue };
+            let options = AuditOptions::default();
+            if !audit_certificate(&c, &seq, &good, fault, &certificate, &options).is_confirmed() {
+                continue;
+            }
+            for (i, claim) in certificate.claims.iter().enumerate() {
+                let ClaimKind::Observation { time, output, value } = claim.kind else {
+                    continue;
+                };
+                let mut forged = certificate.clone();
+                forged.claims[i].kind = ClaimKind::Observation { time, output, value: !value };
+                let verdict = audit_certificate(&c, &seq, &good, fault, &forged, &options);
+                prop_assert!(
+                    verdict.is_refuted(),
+                    "flipping claim {i} of {fault:?} must refute: {verdict:?}"
+                );
             }
         }
     }
