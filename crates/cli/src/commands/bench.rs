@@ -1,0 +1,392 @@
+//! `moa bench` — machine-readable performance benchmark of the campaign
+//! hot path.
+//!
+//! For each suite circuit the command runs the same campaign twice at a
+//! fixed thread count:
+//!
+//! - **screened** — the optimized configuration: 64-way parallel-fault
+//!   conventional screening, differential conventional simulation, and the
+//!   cone-bounded implication/resimulation engines;
+//! - **legacy** — the pre-optimization configuration: scalar conventional
+//!   simulation per fault and whole-frame engines.
+//!
+//! The two runs must produce identical campaign results (verdict equality is
+//! asserted, not assumed); only the work differs. A third, untimed run
+//! repeats the screened configuration with certificate auditing enabled and
+//! reports its `audit_failed` count — any nonzero value fails the command.
+//!
+//! `--out FILE` writes a JSON report; `--check FILE` compares the screened
+//! faults/sec of this run against a previously committed report and fails on
+//! a more-than-2x regression for any shared circuit.
+
+use std::io::Write;
+use std::time::Instant;
+
+use moa_circuits::suite::suite;
+use moa_core::{try_run_campaign, CampaignAudit, CampaignOptions, MoaOptions};
+use moa_netlist::{collapse_faults, full_fault_list};
+use moa_tpg::random_sequence;
+
+use crate::{ArgParser, CliError};
+
+const USAGE: &str = "usage: moa bench [NAME...] [--quick] [--threads T] [--out FILE] \
+[--check FILE] [--no-audit]";
+
+/// The `--quick` subset: the two smallest entries plus the largest, so a CI
+/// smoke run still exercises the hot path that dominates full-bench time.
+const QUICK: &[&str] = &["s208", "s298", "s35932"];
+
+/// One benchmarked circuit's numbers.
+struct BenchRow {
+    name: String,
+    gates: usize,
+    flip_flops: usize,
+    faults: usize,
+    seq_len: usize,
+    screened_ms: f64,
+    screened_gate_evals: u64,
+    screened_fps: f64,
+    legacy_ms: f64,
+    legacy_gate_evals: u64,
+    legacy_fps: f64,
+    detected_total: usize,
+    audit_failed: Option<usize>,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        if self.screened_ms > 0.0 {
+            self.legacy_ms / self.screened_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parser = ArgParser::parse(
+        args,
+        USAGE,
+        &["threads", "out", "check"],
+        &["quick", "no-audit"],
+    )?;
+    let filter = parser.positional();
+    let quick = parser.switch("quick");
+    let threads = parser.num("threads", 1usize)?.max(1);
+    let audit = !parser.switch("no-audit");
+
+    let entries: Vec<_> = suite()
+        .into_iter()
+        .filter(|e| {
+            if !filter.is_empty() {
+                filter.iter().any(|f| f == e.name)
+            } else if quick {
+                QUICK.contains(&e.name)
+            } else {
+                true
+            }
+        })
+        .collect();
+    if entries.is_empty() {
+        return Err(CliError::Usage(format!(
+            "no suite circuit matches {filter:?}\n\n{USAGE}"
+        )));
+    }
+
+    writeln!(
+        out,
+        "{:<10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "circuit", "faults", "scr ms", "fps", "legacy ms", "fps", "speedup"
+    )?;
+
+    let mut rows = Vec::with_capacity(entries.len());
+    for e in entries {
+        let circuit = e.build();
+        let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
+        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+            .representatives()
+            .to_vec();
+
+        let screened_opts = CampaignOptions {
+            threads,
+            differential: true,
+            screen: true,
+            ..CampaignOptions::new()
+        };
+        let legacy_opts = CampaignOptions {
+            moa: MoaOptions {
+                cone_bounded: false,
+                ..MoaOptions::default()
+            },
+            threads,
+            differential: false,
+            screen: false,
+            ..CampaignOptions::new()
+        };
+
+        let started = Instant::now();
+        let screened = try_run_campaign(&circuit, &seq, &faults, &screened_opts)
+            .map_err(|err| CliError::Failed(err.to_string()))?;
+        let screened_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let started = Instant::now();
+        let legacy = try_run_campaign(&circuit, &seq, &faults, &legacy_opts)
+            .map_err(|err| CliError::Failed(err.to_string()))?;
+        let legacy_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        if screened != legacy {
+            return Err(CliError::Failed(format!(
+                "{}: screened and legacy configurations disagree — \
+                 screened {}+{} vs legacy {}+{} detections",
+                e.name, screened.conventional, screened.extra, legacy.conventional, legacy.extra
+            )));
+        }
+
+        let audit_failed = if audit {
+            let audited_opts = CampaignOptions {
+                audit: Some(CampaignAudit::default()),
+                ..screened_opts
+            };
+            let audited = try_run_campaign(&circuit, &seq, &faults, &audited_opts)
+                .map_err(|err| CliError::Failed(err.to_string()))?;
+            if audited.audit_failed > 0 {
+                return Err(CliError::Failed(format!(
+                    "{}: {} detection(s) failed their certificate audit",
+                    e.name, audited.audit_failed
+                )));
+            }
+            Some(audited.audit_failed)
+        } else {
+            None
+        };
+
+        let fps = |ms: f64| {
+            if ms > 0.0 {
+                faults.len() as f64 / (ms / 1e3)
+            } else {
+                f64::INFINITY
+            }
+        };
+        let row = BenchRow {
+            name: e.name.to_owned(),
+            gates: circuit.num_gates(),
+            flip_flops: circuit.num_flip_flops(),
+            faults: faults.len(),
+            seq_len: seq.len(),
+            screened_ms,
+            screened_gate_evals: screened.perf.gate_evals,
+            screened_fps: fps(screened_ms),
+            legacy_ms,
+            legacy_gate_evals: legacy.perf.gate_evals,
+            legacy_fps: fps(legacy_ms),
+            detected_total: screened.detected_total(),
+            audit_failed,
+        };
+        writeln!(
+            out,
+            "{:<10} {:>7} {:>9.1} {:>9.0} {:>9.1} {:>9.0} {:>7.2}x",
+            row.name,
+            row.faults,
+            row.screened_ms,
+            row.screened_fps,
+            row.legacy_ms,
+            row.legacy_fps,
+            row.speedup()
+        )?;
+        rows.push(row);
+    }
+
+    if let Some(path) = parser.flag("out") {
+        std::fs::write(path, render_json(&rows, quick))
+            .map_err(|err| CliError::Failed(format!("cannot write `{path}`: {err}")))?;
+        writeln!(out, "wrote {path}")?;
+    }
+    if let Some(path) = parser.flag("check") {
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|err| CliError::Failed(format!("cannot read `{path}`: {err}")))?;
+        check_regression(out, &rows, &baseline)?;
+    }
+    Ok(())
+}
+
+/// Renders the report as JSON (hand-rolled; the workspace has no JSON
+/// dependency). Field order matters to [`parse_baseline`]: `name` precedes
+/// `faults_per_sec` within each circuit object.
+fn render_json(rows: &[BenchRow], quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"version\": 1,\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"circuits\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"gates\": {},\n", r.gates));
+        s.push_str(&format!("      \"flip_flops\": {},\n", r.flip_flops));
+        s.push_str(&format!("      \"faults\": {},\n", r.faults));
+        s.push_str(&format!("      \"seq_len\": {},\n", r.seq_len));
+        s.push_str(&format!(
+            "      \"screened\": {{\"wall_ms\": {:.3}, \"gate_evals\": {}, \"faults_per_sec\": {:.1}}},\n",
+            r.screened_ms, r.screened_gate_evals, r.screened_fps
+        ));
+        s.push_str(&format!(
+            "      \"legacy\": {{\"wall_ms\": {:.3}, \"gate_evals\": {}, \"faults_per_sec\": {:.1}}},\n",
+            r.legacy_ms, r.legacy_gate_evals, r.legacy_fps
+        ));
+        s.push_str(&format!("      \"speedup\": {:.2},\n", r.speedup()));
+        s.push_str(&format!("      \"detected_total\": {},\n", r.detected_total));
+        match r.audit_failed {
+            Some(n) => s.push_str(&format!("      \"audit_failed\": {n}\n")),
+            None => s.push_str("      \"audit_failed\": null\n"),
+        }
+        s.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `(name, screened faults_per_sec)` pairs from a report produced by
+/// [`render_json`]. Tolerant scanner, not a JSON parser: it relies only on
+/// `"name"` preceding the screened `"faults_per_sec"` within each object.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\": \"") {
+        rest = &rest[pos + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_owned();
+        rest = &rest[end..];
+        let Some(pos) = rest.find("\"faults_per_sec\": ") else {
+            break;
+        };
+        rest = &rest[pos + "\"faults_per_sec\": ".len()..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit() && c != '.')
+            .unwrap_or(rest.len());
+        if let Ok(fps) = rest[..end].parse::<f64>() {
+            pairs.push((name, fps));
+        }
+        rest = &rest[end..];
+    }
+    pairs
+}
+
+/// Fails when this run's screened faults/sec regressed by more than 2x
+/// against the committed baseline for any circuit present in both.
+fn check_regression(
+    out: &mut dyn Write,
+    rows: &[BenchRow],
+    baseline: &str,
+) -> Result<(), CliError> {
+    let baseline = parse_baseline(baseline);
+    if baseline.is_empty() {
+        return Err(CliError::Failed(
+            "baseline report contains no circuits".to_owned(),
+        ));
+    }
+    let mut checked = 0usize;
+    for row in rows {
+        let Some((_, base_fps)) = baseline.iter().find(|(name, _)| *name == row.name) else {
+            continue;
+        };
+        checked += 1;
+        let ratio = base_fps / row.screened_fps.max(f64::MIN_POSITIVE);
+        if ratio > 2.0 {
+            return Err(CliError::Failed(format!(
+                "{}: screened faults/sec regressed {ratio:.2}x vs baseline \
+                 ({:.0} now vs {base_fps:.0} committed)",
+                row.name, row.screened_fps
+            )));
+        }
+    }
+    if checked == 0 {
+        return Err(CliError::Failed(
+            "no benched circuit appears in the baseline report".to_owned(),
+        ));
+    }
+    writeln!(out, "regression check passed ({checked} circuit(s) vs baseline)")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_smallest_circuit_and_writes_json() {
+        let dir = std::env::temp_dir().join("moa-cli-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("bench.json").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        run(
+            &["s208".into(), "--out".into(), json.clone(), "--no-audit".into()],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("s208"), "{text}");
+        assert!(text.contains("speedup"), "{text}");
+
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"name\": \"s208\""), "{report}");
+        assert!(report.contains("\"faults_per_sec\""), "{report}");
+        let pairs = parse_baseline(&report);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, "s208");
+        assert!(pairs[0].1 > 0.0);
+    }
+
+    #[test]
+    fn check_passes_against_own_report_and_fails_on_inflated_baseline() {
+        let dir = std::env::temp_dir().join("moa-cli-bench-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("own.json").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        run(
+            &["s208".into(), "--out".into(), json.clone(), "--no-audit".into()],
+            &mut out,
+        )
+        .unwrap();
+
+        // A fresh run checked against its own numbers cannot regress 2x.
+        let mut out = Vec::new();
+        run(
+            &["s208".into(), "--check".into(), json.clone(), "--no-audit".into()],
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("regression check passed"));
+
+        // An absurdly fast committed baseline must trip the check.
+        let inflated = dir.join("inflated.json").to_string_lossy().into_owned();
+        std::fs::write(
+            &inflated,
+            "{\"circuits\": [{\"name\": \"s208\", \
+             \"screened\": {\"wall_ms\": 0.001, \"gate_evals\": 1, \
+             \"faults_per_sec\": 99999999999.0}}]}",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let err = run(
+            &["s208".into(), "--check".into(), inflated, "--no-audit".into()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn unknown_circuit_is_usage_error() {
+        let mut out = Vec::new();
+        assert!(run(&["s9999".into()], &mut out).is_err());
+    }
+
+    #[test]
+    fn baseline_parser_handles_multiple_circuits() {
+        let text = "\
+{\n  \"circuits\": [\n    {\"name\": \"a\", \"screened\": {\"faults_per_sec\": 10.5}},\n    \
+{\"name\": \"b\", \"screened\": {\"faults_per_sec\": 2}}\n  ]\n}\n";
+        let pairs = parse_baseline(text);
+        assert_eq!(pairs, vec![("a".to_owned(), 10.5), ("b".to_owned(), 2.0)]);
+    }
+}

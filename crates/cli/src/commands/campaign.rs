@@ -17,7 +17,7 @@ use crate::{load_circuit, ArgParser, CliError};
 const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random L [--seed S]] \
 [--baseline | --proposed | --both] [--n-states N] [--depth K] [--rounds R] [--budget B] \
 [--threads T] [--deadline-ms MS] [--work-limit W] [--checkpoint FILE [--checkpoint-every N] \
-[--resume]] [--audit[=N]] [--no-collapse] [--packed] [--differential] [--verbose]";
+[--resume]] [--audit[=N]] [--no-collapse] [--packed] [--differential] [--no-screen] [--verbose]";
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     // `--audit[=N]` carries an optional inline value, which the flag parser
@@ -47,8 +47,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "threads", "deadline-ms", "work-limit", "checkpoint", "checkpoint-every",
         ],
         &[
-            "baseline", "proposed", "both", "no-collapse", "packed", "differential", "verbose",
-            "resume",
+            "baseline", "proposed", "both", "no-collapse", "packed", "differential", "no-screen",
+            "verbose", "resume",
         ],
     )?;
     let circuit = load_circuit(parser.required(0, "bench file")?)?;
@@ -117,6 +117,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 
     let differential = parser.switch("differential");
+    let screen = !parser.switch("no-screen");
     if run_baseline {
         let opts = CampaignOptions {
             moa: MoaOptions {
@@ -125,6 +126,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             },
             threads,
             differential,
+            screen,
             budget: fault_budget.clone(),
             checkpoint: checkpoint.clone(),
             checkpoint_every,
@@ -139,6 +141,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             moa,
             threads,
             differential,
+            screen,
             budget: fault_budget,
             checkpoint,
             checkpoint_every,
@@ -198,6 +201,7 @@ fn print_summary(out: &mut dyn Write, r: &CampaignResult) -> Result<(), CliError
             avg.faults, avg.det, avg.conf, avg.extra
         )?;
     }
+    writeln!(out, "  perf                : {}", r.perf)?;
     Ok(())
 }
 

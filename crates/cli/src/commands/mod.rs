@@ -1,5 +1,6 @@
 //! One module per subcommand.
 
+pub mod bench;
 pub mod campaign;
 pub mod exact;
 pub mod explain;

@@ -90,6 +90,8 @@ COMMANDS:
     extract   <bench> --nets NAME[,NAME...]      cut a fan-in cone to a new bench file
     gen       --inputs N --outputs N --ffs N --gates N [--seed S] [-o FILE]
     suite     [NAME...] [--audit]    run the paper's Table-2 stand-in suite
+    bench     [NAME...] [--quick] [--threads T] [--out FILE] [--check FILE]
+              benchmark the screened/cone-bounded engines against the legacy path
     help                             show this message
 ";
 
@@ -116,6 +118,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "extract" => commands::extract::run(rest, out),
         "gen" => commands::gen::run(rest, out),
         "suite" => commands::suite::run(rest, out),
+        "bench" => commands::bench::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())

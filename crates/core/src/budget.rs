@@ -20,6 +20,8 @@
 
 use std::time::{Duration, Instant};
 
+use crate::PerfCounters;
+
 /// Deadline checks call [`Instant::now`]; amortize the cost by only checking
 /// once per this many charge calls.
 const DEADLINE_CHECK_INTERVAL: u32 = 64;
@@ -105,6 +107,11 @@ pub struct BudgetMeter {
     spent: u64,
     charges_since_deadline_check: u32,
     exhausted: bool,
+    /// Performance tallies accumulated by the stages as they run; drained by
+    /// the caller after the fault completes. Not part of the budget itself —
+    /// the meter is simply the one object already threaded through every
+    /// stage.
+    pub perf: PerfCounters,
 }
 
 impl BudgetMeter {
@@ -117,6 +124,7 @@ impl BudgetMeter {
             spent: 0,
             charges_since_deadline_check: 0,
             exhausted: false,
+            perf: PerfCounters::new(),
         }
     }
 

@@ -12,18 +12,20 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 use moa_netlist::{Circuit, Fault};
-use moa_sim::{simulate, GoodFrames, SimTrace, TestSequence};
+use moa_sim::{screen_faults, simulate, Detection, GoodFrames, SimTrace, TestSequence};
 
 use crate::audit::{audit_certificate, AuditOptions, AuditStatus};
 use crate::budget::{BudgetMeter, FaultBudget};
+use crate::certificate::DetectionCertificate;
 use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointHeader};
-use crate::counters::{CounterAverages, Counters};
+use crate::cones::ConeCache;
+use crate::counters::{CounterAverages, Counters, PerfCounters};
 use crate::error::Error;
 use crate::procedure::{
-    simulate_fault_budgeted, simulate_fault_certified, validate_fault, validate_inputs,
-    FaultResult, FaultStatus,
+    simulate_fault_cached, validate_fault, validate_inputs, FaultResult, FaultStatus,
 };
 use crate::MoaOptions;
 
@@ -70,6 +72,14 @@ pub struct CampaignOptions {
     /// (event-driven differential simulation). Identical results, less work
     /// per fault on large circuits.
     pub differential: bool,
+    /// Screen pending faults 64 at a time with the parallel-fault packed
+    /// kernel ([`moa_sim::screen_faults`]) before the per-fault procedure:
+    /// conventionally detected faults are dropped in batches and never enter
+    /// the expansion machinery. Verdicts are bit-identical to the scalar
+    /// conventional stage (each slot's detection is independent of its batch
+    /// mates), so results are unchanged — including across checkpoint/resume,
+    /// which screens only the still-unresolved faults. On by default.
+    pub screen: bool,
     /// Per-fault resource budget (wall-clock deadline and/or work-unit
     /// ceiling). A fault exceeding it is abandoned with
     /// [`FaultStatus::BudgetExceeded`] — the campaign keeps going.
@@ -105,6 +115,7 @@ impl std::fmt::Debug for CampaignOptions {
             .field("moa", &self.moa)
             .field("threads", &self.threads)
             .field("differential", &self.differential)
+            .field("screen", &self.screen)
             .field("budget", &self.budget)
             .field("isolate_panics", &self.isolate_panics)
             .field("checkpoint", &self.checkpoint)
@@ -125,6 +136,7 @@ impl Default for CampaignOptions {
             moa: MoaOptions::default(),
             threads: 0,
             differential: false,
+            screen: true,
             budget: FaultBudget::none(),
             isolate_panics: true,
             checkpoint: None,
@@ -153,7 +165,7 @@ impl CampaignOptions {
 
 /// Aggregate results of simulating a fault list — one row of Table 2 (and,
 /// via [`CampaignResult::counter_averages`], one row of Table 3).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// The circuit's name.
     pub circuit: String,
@@ -188,7 +200,35 @@ pub struct CampaignResult {
     /// Table-3 counters of the faults detected beyond conventional
     /// simulation, in fault-list order.
     pub expansion_counters: Vec<Counters>,
+    /// Work and per-phase wall-time instrumentation, summed over the
+    /// screening pre-pass and every simulated fault. Faults restored from a
+    /// checkpoint contribute nothing (they are not re-simulated). Excluded
+    /// from equality: two runs with identical verdicts compare equal even
+    /// though their timings differ.
+    pub perf: PerfCounters,
 }
+
+/// Equality by verdicts: every field except the wall-clock-dependent
+/// [`perf`](CampaignResult::perf) instrumentation.
+impl PartialEq for CampaignResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.circuit == other.circuit
+            && self.total_faults == other.total_faults
+            && self.conventional == other.conventional
+            && self.extra == other.extra
+            && self.skipped_condition_c == other.skipped_condition_c
+            && self.truncated == other.truncated
+            && self.partially_covered == other.partially_covered
+            && self.aborted == other.aborted
+            && self.budget_exceeded == other.budget_exceeded
+            && self.faulted == other.faulted
+            && self.audit_failed == other.audit_failed
+            && self.statuses == other.statuses
+            && self.expansion_counters == other.expansion_counters
+    }
+}
+
+impl Eq for CampaignResult {}
 
 impl CampaignResult {
     /// Total detected (`conventional + extra`) — Table 2's "tot" column.
@@ -279,7 +319,18 @@ pub fn try_run_campaign(
         vec![None; faults.len()]
     };
 
-    run_all(circuit, seq, &good, faults, options, frames.as_ref(), &header, &mut slots)?;
+    let mut perf = PerfCounters::new();
+    run_all(
+        circuit,
+        seq,
+        &good,
+        faults,
+        options,
+        frames.as_ref(),
+        &header,
+        &mut slots,
+        &mut perf,
+    )?;
 
     let results = slots
         .into_iter()
@@ -289,7 +340,9 @@ pub fn try_run_campaign(
             message: "a fault was left unsimulated".into(),
         }))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(aggregate(circuit, faults.len(), results))
+    let mut result = aggregate(circuit, faults.len(), results);
+    result.perf = perf;
+    Ok(result)
 }
 
 fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) -> CampaignResult {
@@ -307,6 +360,7 @@ fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) 
         audit_failed: 0,
         statuses: Vec::with_capacity(results.len()),
         expansion_counters: Vec::new(),
+        perf: PerfCounters::new(),
     };
     for r in results {
         match &r.status {
@@ -354,12 +408,17 @@ fn run_all(
     frames: Option<&GoodFrames>,
     header: &CheckpointHeader,
     slots: &mut [Option<FaultResult>],
+    perf: &mut PerfCounters,
 ) -> Result<(), Error> {
     let pending: Vec<usize> = slots
         .iter()
         .enumerate()
         .filter_map(|(i, slot)| slot.is_none().then_some(i))
         .collect();
+    let screened = screen_pending(circuit, seq, good, faults, options, &pending, perf);
+    // Implication regions and fan-out cones are a property of the circuit
+    // alone: build them once and share across faults and worker threads.
+    let cones = ConeCache::new(circuit);
     let batch_size = if options.checkpoint.is_some() {
         options.checkpoint_every.max(1)
     } else {
@@ -367,12 +426,44 @@ fn run_all(
     };
 
     for batch in pending.chunks(batch_size) {
-        run_batch(circuit, seq, good, faults, options, frames, batch, slots);
+        run_batch(
+            circuit, seq, good, faults, options, frames, &screened, &cones, batch, slots, perf,
+        );
         if let Some(path) = &options.checkpoint {
             write_checkpoint(path, header, slots)?;
         }
     }
     Ok(())
+}
+
+/// Conventionally screens the still-unresolved faults 64 at a time with the
+/// parallel-fault packed kernel. Returns each fault's earliest conventional
+/// detection, indexed by fault-list position; all `None` when screening is
+/// disabled. Each slot's verdict depends only on its own fault, so the
+/// result is independent of batch composition — a resumed campaign screening
+/// a different subset reaches identical per-fault conclusions.
+fn screen_pending(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    faults: &[Fault],
+    options: &CampaignOptions,
+    pending: &[usize],
+    perf: &mut PerfCounters,
+) -> Vec<Option<Detection>> {
+    let mut screened = vec![None; faults.len()];
+    if !options.screen || pending.is_empty() {
+        return screened;
+    }
+    let started = Instant::now();
+    let batch: Vec<Fault> = pending.iter().map(|&i| faults[i]).collect();
+    let outcome = screen_faults(circuit, seq, good, &batch);
+    for (&index, det) in pending.iter().zip(outcome.detections) {
+        screened[index] = det;
+    }
+    perf.gate_evals += outcome.gate_evaluations;
+    perf.screen_nanos += started.elapsed().as_nanos() as u64;
+    screened
 }
 
 /// Simulates the faults at `batch` indices (in parallel when configured)
@@ -385,10 +476,13 @@ fn run_batch(
     faults: &[Fault],
     options: &CampaignOptions,
     frames: Option<&GoodFrames>,
+    screened: &[Option<Detection>],
+    cones: &ConeCache<'_>,
     batch: &[usize],
     slots: &mut [Option<FaultResult>],
+    perf: &mut PerfCounters,
 ) {
-    let run_one = |index: usize| -> FaultResult {
+    let run_one = |index: usize| -> (FaultResult, PerfCounters) {
         let fault = &faults[index];
         // Deterministic sampling by fault-list index: the audited subset is
         // independent of thread count and batch boundaries.
@@ -400,40 +494,61 @@ fn run_batch(
             if let Some(hook) = &options.fault_hook {
                 hook(index, fault);
             }
-            let mut meter = BudgetMeter::new(&options.budget);
-            let Some(audit) = audit else {
-                return simulate_fault_budgeted(
-                    circuit, seq, good, fault, &options.moa, frames, &mut meter,
-                );
-            };
-            let (mut result, certificate) = simulate_fault_certified(
-                circuit, seq, good, fault, &options.moa, frames, &mut meter,
-            );
-            if result.status.is_detected() {
-                let status = match &certificate {
-                    Some(cert) => {
-                        audit_certificate(circuit, seq, good, fault, cert, &audit.options)
-                    }
-                    None => AuditStatus::Refuted {
-                        reason: "detected fault emitted no certificate".to_owned(),
-                    },
+            // The screening pre-pass already proved a conventional
+            // detection: the per-fault pipeline (including its conventional
+            // stage) is skipped entirely. The verdict — and, when sampled,
+            // the audited certificate — is exactly what the pipeline would
+            // have produced.
+            if let Some(det) = screened[index] {
+                let mut result = FaultResult {
+                    status: FaultStatus::DetectedConventional(det),
+                    counters: Counters::new(),
+                    runs: 0,
                 };
-                if let AuditStatus::Refuted { reason } = status {
-                    result.status = FaultStatus::AuditFailed { reason };
+                if let Some(audit) = audit {
+                    let cert = DetectionCertificate::conventional(&det, good);
+                    apply_audit(circuit, seq, good, fault, &mut result, Some(&cert), audit);
                 }
+                return (result, PerfCounters::new());
             }
-            result
+            let mut meter = BudgetMeter::new(&options.budget);
+            let (mut result, certificate) = simulate_fault_cached(
+                circuit,
+                seq,
+                good,
+                fault,
+                &options.moa,
+                frames,
+                cones,
+                &mut meter,
+                audit.is_some(),
+            );
+            if let Some(audit) = audit {
+                apply_audit(
+                    circuit,
+                    seq,
+                    good,
+                    fault,
+                    &mut result,
+                    certificate.as_ref(),
+                    audit,
+                );
+            }
+            (result, meter.perf)
         };
         if options.isolate_panics {
             match catch_unwind(AssertUnwindSafe(simulate_one)) {
                 Ok(result) => result,
-                Err(payload) => FaultResult {
-                    status: FaultStatus::Faulted {
-                        message: panic_message(payload.as_ref()),
+                Err(payload) => (
+                    FaultResult {
+                        status: FaultStatus::Faulted {
+                            message: panic_message(payload.as_ref()),
+                        },
+                        counters: Counters::new(),
+                        runs: 0,
                     },
-                    counters: Counters::new(),
-                    runs: 0,
-                },
+                    PerfCounters::new(),
+                ),
             }
         } else {
             simulate_one()
@@ -451,12 +566,14 @@ fn run_batch(
 
     if threads <= 1 || batch.len() < 2 {
         for &index in batch {
-            slots[index] = Some(run_one(index));
+            let (result, fault_perf) = run_one(index);
+            *perf += fault_perf;
+            slots[index] = Some(result);
         }
         return;
     }
 
-    let mut results: Vec<Option<FaultResult>> = vec![None; batch.len()];
+    let mut results: Vec<Option<(FaultResult, PerfCounters)>> = vec![None; batch.len()];
     let chunk = batch.len().div_ceil(threads);
     std::thread::scope(|scope| {
         for (index_chunk, result_chunk) in batch.chunks(chunk).zip(results.chunks_mut(chunk)) {
@@ -468,7 +585,37 @@ fn run_batch(
         }
     });
     for (&index, result) in batch.iter().zip(results) {
-        slots[index] = result;
+        if let Some((fault_result, fault_perf)) = result {
+            *perf += fault_perf;
+            slots[index] = Some(fault_result);
+        }
+    }
+}
+
+/// Audits a detected fault's certificate by concrete replay and quarantines
+/// the detection as [`FaultStatus::AuditFailed`] when the audit refutes it.
+/// Shared between the screening short-circuit and the full pipeline so both
+/// paths treat a refutation identically.
+fn apply_audit(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    result: &mut FaultResult,
+    certificate: Option<&DetectionCertificate>,
+    audit: &CampaignAudit,
+) {
+    if !result.status.is_detected() {
+        return;
+    }
+    let status = match certificate {
+        Some(cert) => audit_certificate(circuit, seq, good, fault, cert, &audit.options),
+        None => AuditStatus::Refuted {
+            reason: "detected fault emitted no certificate".to_owned(),
+        },
+    };
+    if let AuditStatus::Refuted { reason } = status {
+        result.status = FaultStatus::AuditFailed { reason };
     }
 }
 
@@ -899,6 +1046,63 @@ mod tests {
             },
         );
         assert_eq!(first, resumed);
+    }
+
+    #[test]
+    fn screened_campaign_matches_unscreened() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let screened = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let unscreened = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                screen: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(screened, unscreened, "screening must not change verdicts");
+        assert!(screened.conventional > 0, "the screen had faults to drop");
+    }
+
+    #[test]
+    fn screened_audited_campaign_matches_unscreened() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let audit = Some(CampaignAudit::default());
+        let screened = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                audit: audit.clone(),
+                ..Default::default()
+            },
+        );
+        let unscreened = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                screen: false,
+                audit,
+                ..Default::default()
+            },
+        );
+        assert_eq!(screened.audit_failed, 0, "screened detections audit clean");
+        assert_eq!(screened, unscreened);
+    }
+
+    #[test]
+    fn perf_counters_are_populated_and_excluded_from_equality() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let result = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        assert!(result.perf.gate_evals > 0, "{:?}", result.perf);
+        let mut stripped = result.clone();
+        stripped.perf = PerfCounters::new();
+        assert_eq!(result, stripped, "perf must not participate in equality");
     }
 
     #[test]

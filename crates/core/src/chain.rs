@@ -17,21 +17,27 @@
 //! cached per time unit, so the (potentially many) assertions of one
 //! collection sweep share their forward-simulation work.
 
-use std::cell::OnceCell;
+use std::cell::{Cell, OnceCell};
 
 use moa_logic::V3;
 use moa_netlist::{Circuit, Fault, NetId};
-use moa_sim::{NetValues, SimTrace, TestSequence};
+use moa_sim::{SimTrace, TestSequence};
 
-use crate::imply::{FrameContext, ImplyOutcome};
+use crate::cones::ConeCache;
+use crate::imply::{FrameContext, ImplyScratch};
 
 /// Lazily built [`FrameContext`]s for every time unit of a faulty trace.
+///
+/// Shared between the collection sweep and the differential resimulators, so
+/// a frame forward-simulated for backward implications is reused as the
+/// cached starting point of resimulation (and vice versa).
 pub(crate) struct FrameCache<'a> {
     circuit: &'a Circuit,
     seq: &'a TestSequence,
     faulty: &'a SimTrace,
     fault: Option<&'a Fault>,
     contexts: Vec<OnceCell<FrameContext<'a>>>,
+    built: Cell<usize>,
 }
 
 impl<'a> FrameCache<'a> {
@@ -47,12 +53,14 @@ impl<'a> FrameCache<'a> {
             faulty,
             fault,
             contexts: (0..seq.len()).map(|_| OnceCell::new()).collect(),
+            built: Cell::new(0),
         }
     }
 
     /// The frame context of time unit `t` (forward-simulated on first use).
     pub(crate) fn context(&self, t: usize) -> &FrameContext<'a> {
         self.contexts[t].get_or_init(|| {
+            self.built.set(self.built.get() + 1);
             FrameContext::new(
                 self.circuit,
                 self.seq.pattern(t),
@@ -60,6 +68,17 @@ impl<'a> FrameCache<'a> {
                 self.fault,
             )
         })
+    }
+
+    /// Number of frames forward-simulated so far — each one cost
+    /// `circuit.num_gates()` gate evaluations.
+    pub(crate) fn frames_built(&self) -> usize {
+        self.built.get()
+    }
+
+    /// The faulty trace the cache simulates frames of.
+    pub(crate) fn faulty(&self) -> &'a SimTrace {
+        self.faulty
     }
 }
 
@@ -85,16 +104,22 @@ pub(crate) enum ChainOutcome {
         /// fault-free value there.
         value: bool,
     },
-    /// The refined values of the *first* (latest) frame, from which the
-    /// caller extracts the `extra(u, i, α)` set.
-    Values(NetValues),
+    /// The assertion is consistent and undetected; the refined values of the
+    /// *first* (latest) frame are left in the caller's scratch at recursion
+    /// level 0 ([`ImplyScratch::frame`]), from which the caller extracts the
+    /// `extra(u, i, α)` set.
+    Refined,
 }
 
 /// Asserts `assignments` (next-state nets and values) on frame `t`, chaining
 /// through up to `depth` frames backward. Returns the outcome plus the number
-/// of implication-engine runs spent.
+/// of implication-engine runs spent; on [`ChainOutcome::Refined`] the refined
+/// frame values are in `scratch.frame(0)`.
 ///
 /// `depth = 1` is the paper's single-time-unit configuration: no chaining.
+/// With `cones` given, each implication run is restricted to the asserted
+/// nets' cone of influence (identical results, fewer gate visits).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn assert_backward(
     cache: &FrameCache<'_>,
     good: &SimTrace,
@@ -102,40 +127,53 @@ pub(crate) fn assert_backward(
     assignments: &[(NetId, V3)],
     depth: usize,
     rounds: usize,
+    cones: Option<&ConeCache<'_>>,
+    scratch: &mut ImplyScratch,
+) -> (ChainOutcome, usize) {
+    assert_backward_at(cache, good, t, assignments, depth, rounds, cones, scratch, 0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assert_backward_at(
+    cache: &FrameCache<'_>,
+    good: &SimTrace,
+    t: usize,
+    assignments: &[(NetId, V3)],
+    depth: usize,
+    rounds: usize,
+    cones: Option<&ConeCache<'_>>,
+    scratch: &mut ImplyScratch,
+    level: usize,
 ) -> (ChainOutcome, usize) {
     debug_assert!(depth >= 1);
     let ctx = cache.context(t);
     let mut runs = 1;
-    let values = match ctx.imply(assignments, rounds) {
-        ImplyOutcome::Conflict => return (ChainOutcome::Conflict { time: t }, runs),
-        ImplyOutcome::Values(v) => v,
-    };
+    // Chained (multi-net) assertions fall back to the full pass order; the
+    // cached per-flip-flop regions cover the single-net common case.
+    let region = cones.and_then(|c| c.region_for(assignments));
+    if !ctx.imply_into(assignments, rounds, region, scratch, level) {
+        return (ChainOutcome::Conflict { time: t }, runs);
+    }
 
     // Detection at this frame: a (necessarily newly) specified output value
     // opposite to the fault-free response.
     let circuit = ctx.circuit();
-    let outs = moa_sim::frame_outputs(circuit, &values);
-    if let Some((output, value)) = outs
-        .iter()
-        .zip(&good.outputs[t])
-        .enumerate()
-        .find_map(|(o, (f, g))| {
-            if f.conflicts(*g) {
-                // `conflicts` requires both sides specified.
-                f.to_bool().map(|v| (o, v))
-            } else {
-                None
+    let values = scratch.frame(level);
+    for (output, &net) in circuit.outputs().iter().enumerate() {
+        let f = values[net];
+        if f.conflicts(good.outputs[t][output]) {
+            // `conflicts` requires both sides specified.
+            if let Some(value) = f.to_bool() {
+                return (
+                    ChainOutcome::Detected {
+                        time: t,
+                        output,
+                        value,
+                    },
+                    runs,
+                );
             }
-        })
-    {
-        return (
-            ChainOutcome::Detected {
-                time: t,
-                output,
-                value,
-            },
-            runs,
-        );
+        }
     }
 
     // Chain: present-state variables newly specified at `t` become next-state
@@ -149,19 +187,30 @@ pub(crate) fn assert_backward(
             .map(|ff| (ff.d(), values[ff.q()]))
             .collect();
         if !deeper.is_empty() {
-            let (outcome, extra_runs) =
-                assert_backward(cache, good, t - 1, &deeper, depth - 1, rounds);
+            // Deeper runs write to `scratch.frame(level + 1)`, leaving this
+            // frame's refined values intact for the caller.
+            let (outcome, extra_runs) = assert_backward_at(
+                cache,
+                good,
+                t - 1,
+                &deeper,
+                depth - 1,
+                rounds,
+                cones,
+                scratch,
+                level + 1,
+            );
             runs += extra_runs;
             match outcome {
                 done @ (ChainOutcome::Conflict { .. } | ChainOutcome::Detected { .. }) => {
                     return (done, runs)
                 }
-                ChainOutcome::Values(_) => {}
+                ChainOutcome::Refined => {}
             }
         }
     }
 
-    (ChainOutcome::Values(values), runs)
+    (ChainOutcome::Refined, runs)
 }
 
 #[cfg(test)]
@@ -203,18 +252,39 @@ mod tests {
         // Assert Y_p = 1 at time 1 ⇒ dp = 1 ⇒ l2 = 1 at time 1 ⇒ (chained)
         // Y_{l2} = l11 = 1 at time 0 ⇒ the Figure-4 conflict.
         let dp = c.find_net("dp").unwrap();
-        let (depth1, runs1) = assert_backward(&cache, &good, 1, &[(dp, V3::One)], 1, 1);
-        assert!(matches!(depth1, ChainOutcome::Values(_)), "depth 1 is blind");
+        let cones = ConeCache::new(&c);
+        let mut scratch = ImplyScratch::new();
+        let (depth1, runs1) =
+            assert_backward(&cache, &good, 1, &[(dp, V3::One)], 1, 1, None, &mut scratch);
+        assert!(matches!(depth1, ChainOutcome::Refined), "depth 1 is blind");
         assert_eq!(runs1, 1);
-        let (depth2, runs2) = assert_backward(&cache, &good, 1, &[(dp, V3::One)], 2, 1);
+        let (depth2, runs2) = assert_backward(
+            &cache,
+            &good,
+            1,
+            &[(dp, V3::One)],
+            2,
+            1,
+            Some(&cones),
+            &mut scratch,
+        );
         assert!(
             matches!(depth2, ChainOutcome::Conflict { time: 0 }),
             "depth 2 chains back to a conflict at time 0, got {depth2:?}"
         );
         assert_eq!(runs2, 2);
         // The consistent value chains without conflict at any depth.
-        let (ok, _) = assert_backward(&cache, &good, 1, &[(dp, V3::Zero)], 3, 1);
-        assert!(matches!(ok, ChainOutcome::Values(_)));
+        let (ok, _) = assert_backward(
+            &cache,
+            &good,
+            1,
+            &[(dp, V3::Zero)],
+            3,
+            1,
+            Some(&cones),
+            &mut scratch,
+        );
+        assert!(matches!(ok, ChainOutcome::Refined));
     }
 
     /// A chained *detection*: the toggle circuit observed directly — pushing
@@ -243,7 +313,18 @@ mod tests {
         // Assert Y_p = dp = 1 at time 2: q = 1 at time 2 ⇒ z = 1 vs good 0 —
         // detection at the first frame already (depth 1 suffices here).
         let dp = c.find_net("dp").unwrap();
-        let (outcome, _) = assert_backward(&cache, &good, 2, &[(dp, V3::One)], 1, 1);
+        let cones = ConeCache::new(&c);
+        let mut scratch = ImplyScratch::new();
+        let (outcome, _) = assert_backward(
+            &cache,
+            &good,
+            2,
+            &[(dp, V3::One)],
+            1,
+            1,
+            Some(&cones),
+            &mut scratch,
+        );
         assert!(matches!(
             outcome,
             ChainOutcome::Detected {
@@ -256,9 +337,27 @@ mod tests {
         // back: Y_q = d at time 1 must be 0 ⇒ (faulty d = NOT q) q = 1 at
         // time 1 ⇒ z = 1 vs good 0 at time 1: a *chained* detection that
         // depth 1 misses.
-        let (depth1, _) = assert_backward(&cache, &good, 2, &[(dp, V3::Zero)], 1, 1);
-        assert!(matches!(depth1, ChainOutcome::Values(_)));
-        let (depth2, _) = assert_backward(&cache, &good, 2, &[(dp, V3::Zero)], 2, 1);
+        let (depth1, _) = assert_backward(
+            &cache,
+            &good,
+            2,
+            &[(dp, V3::Zero)],
+            1,
+            1,
+            Some(&cones),
+            &mut scratch,
+        );
+        assert!(matches!(depth1, ChainOutcome::Refined));
+        let (depth2, _) = assert_backward(
+            &cache,
+            &good,
+            2,
+            &[(dp, V3::Zero)],
+            2,
+            1,
+            Some(&cones),
+            &mut scratch,
+        );
         assert!(matches!(
             depth2,
             ChainOutcome::Detected {
@@ -267,6 +366,61 @@ mod tests {
                 value: true
             }
         ));
+    }
+
+    #[test]
+    fn cone_restricted_chaining_matches_full_order() {
+        // Every flip-flop data net, both polarities, at every time unit and
+        // depths 1..=3: the cone-restricted run must produce the same outcome
+        // and (when refined) the same frame values as the full-order run.
+        let (c, seq, faulty) = delayed_figure4();
+        let good = faulty.clone();
+        let cache = FrameCache::new(&c, &seq, &faulty, None);
+        let cones = ConeCache::new(&c);
+        let mut s_full = ImplyScratch::new();
+        let mut s_cone = ImplyScratch::new();
+        for t in 0..seq.len() {
+            for ff in c.flip_flops() {
+                for v in [V3::Zero, V3::One] {
+                    for depth in 1..=3 {
+                        let (full, runs_full) = assert_backward(
+                            &cache,
+                            &good,
+                            t,
+                            &[(ff.d(), v)],
+                            depth,
+                            1,
+                            None,
+                            &mut s_full,
+                        );
+                        let (cone, runs_cone) = assert_backward(
+                            &cache,
+                            &good,
+                            t,
+                            &[(ff.d(), v)],
+                            depth,
+                            1,
+                            Some(&cones),
+                            &mut s_cone,
+                        );
+                        assert_eq!(runs_full, runs_cone);
+                        match (&full, &cone) {
+                            (ChainOutcome::Refined, ChainOutcome::Refined) => {
+                                assert_eq!(s_full.frame(0), s_cone.frame(0));
+                            }
+                            (ChainOutcome::Conflict { time: a }, ChainOutcome::Conflict { time: b }) => {
+                                assert_eq!(a, b)
+                            }
+                            (
+                                ChainOutcome::Detected { time: a, output: oa, value: va },
+                                ChainOutcome::Detected { time: b, output: ob, value: vb },
+                            ) => assert_eq!((a, oa, va), (b, ob, vb)),
+                            _ => panic!("outcome mismatch: {full:?} vs {cone:?}"),
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

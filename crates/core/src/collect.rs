@@ -13,6 +13,8 @@ use moa_sim::{SimTrace, TestSequence};
 
 use crate::budget::BudgetMeter;
 use crate::chain::{assert_backward, ChainOutcome, FrameCache};
+use crate::cones::ConeCache;
+use crate::imply::ImplyScratch;
 use crate::MoaOptions;
 
 /// Identifies a candidate expansion: present-state variable `y_i` at time
@@ -173,15 +175,43 @@ pub fn collect_pairs_metered(
     options: &MoaOptions,
     meter: &mut BudgetMeter,
 ) -> Collection {
-    let l = seq.len();
-    let max_u = if options.include_final_time_unit { l } else { l.saturating_sub(1) };
-    let num_ffs = circuit.num_flip_flops();
-    let mut collection = Collection::default();
-    let depth = options.backward_time_units.max(1);
     // Frame contexts (the forward-simulated earlier time units) are cached
     // and shared by every assertion of the sweep, including the chained
     // assertions of the multi-time-unit extension.
     let cache = FrameCache::new(circuit, seq, faulty, fault);
+    let cones = ConeCache::new(circuit);
+    let collection =
+        collect_pairs_with_cache(circuit, seq, good, n_out, options, &cache, Some(&cones), meter);
+    meter.perf.gate_evals += (cache.frames_built() * circuit.num_gates()) as u64;
+    collection
+}
+
+/// Sweep core sharing an externally-owned [`FrameCache`] (so resimulation can
+/// reuse the forward-simulated frames) and an optional [`ConeCache`] (so
+/// campaign workers share the cone regions across faults). The caller is
+/// responsible for folding `cache.frames_built()` into its gate-evaluation
+/// tally exactly once.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn collect_pairs_with_cache(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    n_out: &[usize],
+    options: &MoaOptions,
+    cache: &FrameCache<'_>,
+    cones: Option<&ConeCache<'_>>,
+    meter: &mut BudgetMeter,
+) -> Collection {
+    let l = seq.len();
+    let max_u = if options.include_final_time_unit { l } else { l.saturating_sub(1) };
+    let num_ffs = circuit.num_flip_flops();
+    let faulty = cache.faulty();
+    let mut collection = Collection::default();
+    let depth = options.backward_time_units.max(1);
+    // One scratch serves the whole sweep: each implication run reuses the
+    // refined-frame and pin-view buffers instead of allocating afresh.
+    let mut scratch = ImplyScratch::new();
+    let mut exhausted_early = false;
 
     // `N_out` is non-increasing in `u`, so visiting `u` in ascending order
     // visits pairs in descending `N_out(u-1)` order; once it reaches 0 no
@@ -210,13 +240,22 @@ pub fn collect_pairs_metered(
             let d_net = circuit.flip_flops()[i].d();
             let mut info = PairInfo::default();
             for (ai, alpha) in [V3::Zero, V3::One].into_iter().enumerate() {
-                let (outcome, runs) =
-                    assert_backward(&cache, good, u - 1, &[(d_net, alpha)], depth, options.implication_rounds);
+                let (outcome, runs) = assert_backward(
+                    cache,
+                    good,
+                    u - 1,
+                    &[(d_net, alpha)],
+                    depth,
+                    options.implication_rounds,
+                    cones,
+                    &mut scratch,
+                );
                 collection.runs += runs;
                 if !meter.charge(runs as u64) {
                     // Budget exhausted mid-pair: the partial pair is
                     // discarded and the caller abandons the fault.
-                    return collection;
+                    exhausted_early = true;
+                    break 'sweep;
                 }
                 match outcome {
                     ChainOutcome::Conflict { time } => {
@@ -235,15 +274,17 @@ pub fn collect_pairs_metered(
                             value,
                         });
                     }
-                    ChainOutcome::Values(values) => {
-                        let next = cache.context(u - 1).next_state_view(&values);
-                        info.extra[ai] = next
-                            .iter()
-                            .enumerate()
-                            .filter(|&(j, v)| {
-                                v.is_specified() && !faulty.states[u][j].is_specified()
+                    ChainOutcome::Refined => {
+                        let values = scratch.frame(0);
+                        let ctx = cache.context(u - 1);
+                        info.extra[ai] = (0..num_ffs)
+                            .filter_map(|j| {
+                                if faulty.states[u][j].is_specified() {
+                                    return None;
+                                }
+                                let v = ctx.next_state_value(values, j);
+                                v.is_specified().then_some((j, v))
                             })
-                            .map(|(j, &v)| (j, v))
                             .collect();
                         debug_assert!(info.extra[ai].contains(&(i, alpha)));
                     }
@@ -254,8 +295,9 @@ pub fn collect_pairs_metered(
     }
 
     // Time unit 0: expansion is possible but implies nothing backward; the
-    // trivial records allow it to compete in selection.
-    if n_out.first().copied().unwrap_or(0) > 0 {
+    // trivial records allow it to compete in selection. A budget stop skips
+    // this — the caller abandons the fault anyway.
+    if !exhausted_early && n_out.first().copied().unwrap_or(0) > 0 {
         for i in 0..num_ffs {
             if !faulty.states[0][i].is_specified() {
                 collection
@@ -264,6 +306,8 @@ pub fn collect_pairs_metered(
             }
         }
     }
+    meter.perf.gate_evals += scratch.evals;
+    meter.perf.imply_nanos += scratch.nanos;
     collection
 }
 

@@ -53,6 +53,71 @@ impl fmt::Display for Counters {
     }
 }
 
+/// Performance tallies: gate evaluations and per-phase wall time.
+///
+/// Accumulated per fault through the [`BudgetMeter`](crate::BudgetMeter) and
+/// aggregated over a campaign into
+/// [`CampaignResult::perf`](crate::CampaignResult::perf). Deliberately
+/// excluded from result equality — two outcome-identical runs spend
+/// different wall time — and from the checkpoint format.
+///
+/// A *gate evaluation* is one gate visited by any engine: a scalar or
+/// event-driven frame evaluation, one gate-word of a packed frame (64 slots
+/// per visit), or one justification/forward step of the implication engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfCounters {
+    /// Total gate evaluations (see above for the unit).
+    pub gate_evals: u64,
+    /// Conventional screening: the campaign's 64-way parallel-fault pre-pass
+    /// plus each surviving fault's scalar/differential faulty-trace
+    /// simulation.
+    pub screen_nanos: u64,
+    /// Section 3.1 collection sweeps (includes the implication-engine time
+    /// below).
+    pub collect_nanos: u64,
+    /// Time inside the implication engine proper (a subset of
+    /// `collect_nanos`).
+    pub imply_nanos: u64,
+    /// Section 3.3 selection and state expansion.
+    pub expand_nanos: u64,
+    /// Section 3.4 resimulation of expanded sequences.
+    pub resim_nanos: u64,
+}
+
+impl PerfCounters {
+    /// The all-zero tallies.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AddAssign for PerfCounters {
+    fn add_assign(&mut self, rhs: PerfCounters) {
+        self.gate_evals += rhs.gate_evals;
+        self.screen_nanos += rhs.screen_nanos;
+        self.collect_nanos += rhs.collect_nanos;
+        self.imply_nanos += rhs.imply_nanos;
+        self.expand_nanos += rhs.expand_nanos;
+        self.resim_nanos += rhs.resim_nanos;
+    }
+}
+
+impl fmt::Display for PerfCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = |nanos: u64| nanos as f64 / 1.0e6;
+        write!(
+            f,
+            "gate evals={} screen={:.1}ms collect={:.1}ms (imply={:.1}ms) expand={:.1}ms resim={:.1}ms",
+            self.gate_evals,
+            ms(self.screen_nanos),
+            ms(self.collect_nanos),
+            ms(self.imply_nanos),
+            ms(self.expand_nanos),
+            ms(self.resim_nanos),
+        )
+    }
+}
+
 /// Averages of the counters over a set of faults — one row of Table 3.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CounterAverages {
@@ -149,5 +214,22 @@ mod tests {
         let avg = CounterAverages::of(&[]);
         assert_eq!(avg.faults, 0);
         assert_eq!(avg.det, 0.0);
+    }
+
+    #[test]
+    fn perf_counters_accumulate() {
+        let mut p = PerfCounters::new();
+        p += PerfCounters {
+            gate_evals: 5,
+            screen_nanos: 1,
+            collect_nanos: 2,
+            imply_nanos: 1,
+            expand_nanos: 3,
+            resim_nanos: 4,
+        };
+        p += p;
+        assert_eq!(p.gate_evals, 10);
+        assert_eq!(p.resim_nanos, 8);
+        assert!(p.to_string().contains("gate evals=10"));
     }
 }

@@ -19,9 +19,109 @@
 //! driving gate; a branch-faulted pin reads its stuck value and is never the
 //! target of a justification.
 
+use std::time::Instant;
+
 use moa_logic::{JustifyOutcome, V3};
-use moa_netlist::{Circuit, Fault, FaultSite, GateId, NetId};
+use moa_netlist::{frame_fanin_cone, frame_fanout_cone, Circuit, Fault, FaultSite, GateId, NetId};
 use moa_sim::{compute_frame, NetValues};
+
+/// The gates an implication run starting from a fixed set of asserted nets
+/// can ever touch, precomputed so each run visits only its cone of influence
+/// instead of the whole circuit.
+///
+/// Let `F` be the union of the *within-frame* fan-in cones of the asserted
+/// nets. The backward pass only needs gates whose output lies in `F`:
+/// a gate outside `F` keeps its base output value, which is forward-consistent
+/// with its (possibly refined) input views, and a forward-consistent gate
+/// yields no new justifications. The forward pass only needs gates whose
+/// output lies in the within-frame fan-out cone of `F`: any other gate's
+/// inputs never change, so re-evaluating it is a no-op. Conflicts, too, can
+/// only arise at those gates, so restricting both passes is exact — the
+/// refined values and the conflict verdict are identical to running over the
+/// full topological order.
+///
+/// The restriction is computed structurally, ignoring the injected fault; a
+/// fault only ever *blocks* propagation (a stem fault disconnects a gate from
+/// its output net, a branch fault pins one pin), so the structural region is
+/// a superset of the reachable gates and remains exact.
+#[derive(Debug, Clone, Default)]
+pub struct ImplyRegion {
+    /// Gates visited by the backward pass, in reverse topological order.
+    backward: Vec<GateId>,
+    /// Gates visited by the forward pass, in topological order.
+    forward: Vec<GateId>,
+}
+
+impl ImplyRegion {
+    /// The region for implication runs asserting values on `nets` (any
+    /// subset; typically the flip-flop data nets of one backward step).
+    pub fn for_nets(circuit: &Circuit, nets: &[NetId]) -> Self {
+        let mut in_fanin = vec![false; circuit.num_nets()];
+        for &net in nets {
+            for n in frame_fanin_cone(circuit, net) {
+                in_fanin[n.index()] = true;
+            }
+        }
+        let fanin_nets: Vec<NetId> = circuit
+            .net_ids()
+            .filter(|n| in_fanin[n.index()])
+            .collect();
+        let mut in_fanout = vec![false; circuit.num_nets()];
+        for n in frame_fanout_cone(circuit, &fanin_nets) {
+            in_fanout[n.index()] = true;
+        }
+        let mut backward = Vec::new();
+        let mut forward = Vec::new();
+        for &gid in circuit.topo_order() {
+            let out = circuit.gate(gid).output();
+            if in_fanin[out.index()] {
+                backward.push(gid);
+            }
+            if in_fanout[out.index()] {
+                forward.push(gid);
+            }
+        }
+        backward.reverse();
+        ImplyRegion { backward, forward }
+    }
+
+    /// Number of gates visited per round (backward + forward).
+    pub fn num_gates(&self) -> usize {
+        self.backward.len() + self.forward.len()
+    }
+}
+
+/// Reusable buffers for [`FrameContext::imply_into`], avoiding a fresh frame
+/// clone and pin-view vector per implication run. One scratch serves a whole
+/// collection sweep; `frames` holds one refined frame per backward-chaining
+/// recursion level so nested runs do not clobber their caller's result.
+#[derive(Debug, Default)]
+pub struct ImplyScratch {
+    frames: Vec<NetValues>,
+    view: Vec<V3>,
+    /// Gate visits performed through this scratch (justifications plus
+    /// forward evaluations); drained into performance counters by callers.
+    pub evals: u64,
+    /// Wall time spent inside implication runs, in nanoseconds.
+    pub nanos: u64,
+}
+
+impl ImplyScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The refined frame left by the last successful [`FrameContext::imply_into`]
+    /// at recursion `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run at that level has completed yet.
+    pub fn frame(&self, level: usize) -> &NetValues {
+        &self.frames[level]
+    }
+}
 
 /// The result of asserting values in a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,30 +229,104 @@ impl<'a> FrameContext<'a> {
     ///
     /// Panics if `rounds == 0` or an assignment value is `X`.
     pub fn imply(&self, assignments: &[(NetId, V3)], rounds: usize) -> ImplyOutcome {
+        let mut scratch = ImplyScratch::new();
+        if self.imply_into(assignments, rounds, None, &mut scratch, 0) {
+            ImplyOutcome::Values(scratch.frames.swap_remove(0))
+        } else {
+            ImplyOutcome::Conflict
+        }
+    }
+
+    /// Allocation-free core of [`FrameContext::imply`]: runs the implication
+    /// rounds into `scratch.frames[level]`, visiting only `region`'s gates
+    /// when one is given (`None` falls back to the full topological order —
+    /// same result, more gate visits). Returns `false` on conflict; on
+    /// success the refined values are read via [`ImplyScratch::frame`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or an assignment value is `X`.
+    pub fn imply_into(
+        &self,
+        assignments: &[(NetId, V3)],
+        rounds: usize,
+        region: Option<&ImplyRegion>,
+        scratch: &mut ImplyScratch,
+        level: usize,
+    ) -> bool {
         assert!(rounds > 0, "at least one implication round is required");
-        let mut values = self.base.clone();
-
-        for &(net, value) in assignments {
-            assert!(value.is_specified(), "assertions must be binary");
-            match values[net].merge(value) {
-                Some(v) => values[net] = v,
-                None => return ImplyOutcome::Conflict,
-            }
+        let started = Instant::now();
+        if scratch.frames.len() <= level {
+            scratch
+                .frames
+                .resize_with(level + 1, || NetValues::new(self.circuit));
         }
+        let ImplyScratch {
+            frames,
+            view,
+            evals,
+            nanos,
+        } = scratch;
+        let values = &mut frames[level];
+        values.copy_from(&self.base);
 
-        for _ in 0..rounds {
-            let mut changed = false;
-            if !self.backward_pass(&mut values, &mut changed) {
-                return ImplyOutcome::Conflict;
+        let ok = (|| {
+            for &(net, value) in assignments {
+                assert!(value.is_specified(), "assertions must be binary");
+                match values[net].merge(value) {
+                    Some(v) => values[net] = v,
+                    None => return false,
+                }
             }
-            if !self.forward_pass(&mut values, &mut changed) {
-                return ImplyOutcome::Conflict;
+
+            for _ in 0..rounds {
+                let mut changed = false;
+                let backward_ok = match region {
+                    Some(r) => self.backward_pass(
+                        r.backward.iter().copied(),
+                        values,
+                        view,
+                        evals,
+                        &mut changed,
+                    ),
+                    None => self.backward_pass(
+                        self.circuit.topo_order().iter().rev().copied(),
+                        values,
+                        view,
+                        evals,
+                        &mut changed,
+                    ),
+                };
+                if !backward_ok {
+                    return false;
+                }
+                let forward_ok = match region {
+                    Some(r) => self.forward_pass(
+                        r.forward.iter().copied(),
+                        values,
+                        view,
+                        evals,
+                        &mut changed,
+                    ),
+                    None => self.forward_pass(
+                        self.circuit.topo_order().iter().copied(),
+                        values,
+                        view,
+                        evals,
+                        &mut changed,
+                    ),
+                };
+                if !forward_ok {
+                    return false;
+                }
+                if !changed {
+                    break;
+                }
             }
-            if !changed {
-                break;
-            }
-        }
-        ImplyOutcome::Values(values)
+            true
+        })();
+        *nanos += started.elapsed().as_nanos() as u64;
+        ok
     }
 
     /// The value input pin `pin` of `gate` reads under `values`, honoring a
@@ -185,10 +359,17 @@ impl<'a> FrameContext<'a> {
         )
     }
 
-    /// Outputs→inputs justification pass. Returns `false` on conflict.
-    fn backward_pass(&self, values: &mut NetValues, changed: &mut bool) -> bool {
-        let mut view: Vec<V3> = Vec::with_capacity(8);
-        for &gid in self.circuit.topo_order().iter().rev() {
+    /// Outputs→inputs justification pass over `gates` (reverse topological
+    /// order). Returns `false` on conflict.
+    fn backward_pass(
+        &self,
+        gates: impl Iterator<Item = GateId>,
+        values: &mut NetValues,
+        view: &mut Vec<V3>,
+        evals: &mut u64,
+        changed: &mut bool,
+    ) -> bool {
+        for gid in gates {
             let gate = self.circuit.gate(gid);
             // A stem fault disconnects the gate from its output net: the
             // net's value says nothing about the gate inputs.
@@ -203,7 +384,8 @@ impl<'a> FrameContext<'a> {
             for (pin, &net) in gate.inputs().iter().enumerate() {
                 view.push(self.pin_view(values, gid, pin, net));
             }
-            match moa_logic::justify(gate.kind(), out, &view) {
+            *evals += 1;
+            match moa_logic::justify(gate.kind(), out, view) {
                 JustifyOutcome::Conflict => return false,
                 JustifyOutcome::Implied(imps) => {
                     for imp in imps {
@@ -228,10 +410,17 @@ impl<'a> FrameContext<'a> {
         true
     }
 
-    /// Inputs→outputs propagation pass. Returns `false` on conflict.
-    fn forward_pass(&self, values: &mut NetValues, changed: &mut bool) -> bool {
-        let mut view: Vec<V3> = Vec::with_capacity(8);
-        for &gid in self.circuit.topo_order() {
+    /// Inputs→outputs propagation pass over `gates` (topological order).
+    /// Returns `false` on conflict.
+    fn forward_pass(
+        &self,
+        gates: impl Iterator<Item = GateId>,
+        values: &mut NetValues,
+        view: &mut Vec<V3>,
+        evals: &mut u64,
+        changed: &mut bool,
+    ) -> bool {
+        for gid in gates {
             let gate = self.circuit.gate(gid);
             if self.stem_faulted(gate.output()) {
                 continue; // the net keeps its stuck value
@@ -240,7 +429,8 @@ impl<'a> FrameContext<'a> {
             for (pin, &net) in gate.inputs().iter().enumerate() {
                 view.push(self.pin_view(values, gid, pin, net));
             }
-            let out = gate.kind().eval(&view);
+            *evals += 1;
+            let out = gate.kind().eval(view);
             if !out.is_specified() {
                 continue;
             }
@@ -263,6 +453,17 @@ impl<'a> FrameContext<'a> {
     /// `extra(u, i, α)` sets.
     pub fn next_state_view(&self, values: &NetValues) -> Vec<V3> {
         moa_sim::frame_next_state(self.circuit, values, self.fault)
+    }
+
+    /// One entry of [`FrameContext::next_state_view`] without allocating the
+    /// whole vector.
+    pub fn next_state_value(&self, values: &NetValues, ff_index: usize) -> V3 {
+        if let Some(f) = self.fault {
+            if f.site == FaultSite::FlipFlopInput(moa_netlist::FlipFlopId::new(ff_index)) {
+                return V3::from_bool(f.stuck);
+            }
+        }
+        values[self.circuit.flip_flops()[ff_index].d()]
     }
 }
 
@@ -427,6 +628,61 @@ mod tests {
         match ctx.imply(&[(z, V3::Zero)], 1) {
             ImplyOutcome::Values(v) => assert_eq!(v[q], V3::One),
             _ => panic!("consistent"),
+        }
+    }
+
+    #[test]
+    fn region_restricted_imply_matches_full_for_every_assertion() {
+        // Sweep every net and polarity: the cone-restricted run must agree
+        // with the full-order run exactly (conflict verdict and every net
+        // value), including under injected faults.
+        let c = figure4();
+        let faults = [
+            None,
+            Some(Fault::stem(c.find_net("l5").unwrap(), true)),
+            Some(Fault::stem(c.find_net("l2").unwrap(), false)),
+        ];
+        for fault in &faults {
+            let ctx = FrameContext::new(&c, &[V3::Zero], &[V3::X], fault.as_ref());
+            let mut scratch = ImplyScratch::new();
+            for net in c.net_ids() {
+                let region = ImplyRegion::for_nets(&c, &[net]);
+                for value in [V3::Zero, V3::One] {
+                    let full = ctx.imply(&[(net, value)], 1);
+                    let ok = ctx.imply_into(&[(net, value)], 1, Some(&region), &mut scratch, 0);
+                    match (full, ok) {
+                        (ImplyOutcome::Conflict, false) => {}
+                        (ImplyOutcome::Values(v), true) => {
+                            assert_eq!(&v, scratch.frame(0), "net {net:?} = {value:?}");
+                        }
+                        (full, ok) => panic!("verdict mismatch at {net:?}={value:?}: {full:?} vs {ok}"),
+                    }
+                }
+            }
+            assert!(scratch.evals > 0);
+        }
+    }
+
+    #[test]
+    fn region_visits_fewer_gates_than_full_order() {
+        let c = figure4();
+        // Asserting on a fan-out branch of the input touches a proper subset
+        // of the circuit.
+        let l3 = c.find_net("l3").unwrap();
+        let region = ImplyRegion::for_nets(&c, &[l3]);
+        assert!(region.num_gates() < 2 * c.num_gates());
+    }
+
+    #[test]
+    fn next_state_value_matches_next_state_view() {
+        let c = figure4();
+        let fault = Fault::flip_flop_input(moa_netlist::FlipFlopId::new(0), true);
+        for f in [None, Some(&fault)] {
+            let ctx = FrameContext::new(&c, &[V3::One], &[V3::Zero], f);
+            let view = ctx.next_state_view(ctx.base());
+            for (i, &v) in view.iter().enumerate() {
+                assert_eq!(ctx.next_state_value(ctx.base(), i), v);
+            }
         }
     }
 

@@ -89,6 +89,7 @@ mod chain;
 mod checkpoint;
 mod collect;
 mod condition;
+mod cones;
 mod counters;
 mod detect;
 mod error;
@@ -115,7 +116,8 @@ pub use collect::{
     collect_pairs, collect_pairs_metered, Collection, PairInfo, PairKey, SideEvidence,
 };
 pub use condition::{condition_c_holds, n_out_profile, n_sv_profile};
-pub use counters::{CounterAverages, Counters};
+pub use cones::ConeCache;
+pub use counters::{CounterAverages, Counters, PerfCounters};
 pub use detect::detection_from_collection;
 pub use error::Error;
 pub use exact::{certificate_cross_check, exact_moa_check, CertificateCrossCheck, ExactOutcome};

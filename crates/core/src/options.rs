@@ -61,6 +61,13 @@ pub struct MoaOptions {
     /// `0 < u < L`, although its condition (C1) admits `u = L`; disabled by
     /// default for faithfulness.
     pub include_final_time_unit: bool,
+    /// Run the implication passes and resimulation restricted to the
+    /// structural cone of influence of the touched state variables, starting
+    /// each frame from cached faulty-machine values (on by default). With
+    /// `false` every engine re-evaluates whole frames in topological order —
+    /// the legacy configuration kept for A/B benchmarking; verdicts are
+    /// identical either way (locked in by parity tests).
+    pub cone_bounded: bool,
 }
 
 impl MoaOptions {
@@ -75,6 +82,7 @@ impl MoaOptions {
             backward_time_units: 1,
             packed_resimulation: false,
             include_final_time_unit: false,
+            cone_bounded: true,
         }
     }
 

@@ -1,21 +1,25 @@
 //! Procedure 1 — the per-fault simulation flow.
 
+use std::time::Instant;
+
 use moa_netlist::{Circuit, Fault};
 use moa_sim::{
-    conventional_detection, simulate, simulate_differential, Detection, GoodFrames, SimTrace,
-    TestSequence,
+    conventional_detection, simulate, simulate_differential_counted, Detection, GoodFrames,
+    SimTrace, TestSequence,
 };
 
 use crate::budget::{BudgetMeter, BudgetStage};
 use crate::certificate::DetectionCertificate;
-use crate::collect::{collect_pairs_metered, PairKey};
+use crate::chain::FrameCache;
+use crate::collect::{collect_pairs_metered, collect_pairs_with_cache, PairKey};
 use crate::condition::{condition_c_holds, n_out_profile, n_sv_profile};
+use crate::cones::ConeCache;
 use crate::counters::Counters;
 use crate::detect::detection_from_collection;
 use crate::error::Error;
 use crate::expand::{expand_metered, ExpandOutcome};
-use crate::resim::resimulate_metered;
-use crate::resim_packed::resimulate_packed_metered;
+use crate::resim::{resimulate_differential_metered, resimulate_metered};
+use crate::resim_packed::{resimulate_packed_differential_metered, resimulate_packed_metered};
 use crate::MoaOptions;
 
 /// How (or whether) a fault was identified as detected.
@@ -252,7 +256,7 @@ pub fn simulate_fault_budgeted(
     good_frames: Option<&GoodFrames>,
     meter: &mut BudgetMeter,
 ) -> FaultResult {
-    run_procedure(circuit, seq, good, fault, options, good_frames, meter, false).0
+    run_procedure(circuit, seq, good, fault, options, good_frames, None, meter, false).0
 }
 
 /// Like [`simulate_fault_budgeted`], additionally emitting a
@@ -270,7 +274,35 @@ pub fn simulate_fault_certified(
     good_frames: Option<&GoodFrames>,
     meter: &mut BudgetMeter,
 ) -> (FaultResult, Option<DetectionCertificate>) {
-    run_procedure(circuit, seq, good, fault, options, good_frames, meter, true)
+    run_procedure(circuit, seq, good, fault, options, good_frames, None, meter, true)
+}
+
+/// Campaign-internal variant of [`simulate_fault_certified`] that reuses a
+/// per-circuit [`ConeCache`] across faults (and workers) instead of building
+/// implication regions and fan-out cones from scratch for each fault.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_fault_cached(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+    good_frames: Option<&GoodFrames>,
+    cones: &ConeCache<'_>,
+    meter: &mut BudgetMeter,
+    want_certificate: bool,
+) -> (FaultResult, Option<DetectionCertificate>) {
+    run_procedure(
+        circuit,
+        seq,
+        good,
+        fault,
+        options,
+        good_frames,
+        Some(cones),
+        meter,
+        want_certificate,
+    )
 }
 
 /// The shared pipeline body. With `want_certificate` every detected verdict
@@ -284,14 +316,22 @@ fn run_procedure(
     fault: &Fault,
     options: &MoaOptions,
     good_frames: Option<&GoodFrames>,
+    cones: Option<&ConeCache<'_>>,
     meter: &mut BudgetMeter,
     want_certificate: bool,
 ) -> (FaultResult, Option<DetectionCertificate>) {
-    // Step 0: conventional simulation.
-    let faulty = match good_frames {
-        Some(frames) => simulate_differential(circuit, seq, frames, fault),
-        None => simulate(circuit, seq, Some(fault)),
+    // Step 0: conventional simulation. Timed under the screening phase —
+    // it is the per-fault remainder of conventional detection.
+    let started = Instant::now();
+    let (faulty, sim_evals) = match good_frames {
+        Some(frames) => simulate_differential_counted(circuit, seq, frames, fault),
+        None => (
+            simulate(circuit, seq, Some(fault)),
+            (circuit.num_gates() * seq.len()) as u64,
+        ),
     };
+    meter.perf.gate_evals += sim_evals;
+    meter.perf.screen_nanos += started.elapsed().as_nanos() as u64;
     if let Some(det) = conventional_detection(good, &faulty) {
         let certificate =
             want_certificate.then(|| DetectionCertificate::conventional(&det, good));
@@ -319,9 +359,73 @@ fn run_procedure(
         );
     }
 
+    // Steps 1–4 share one frame cache: frames forward-simulated for the
+    // collection sweep are reused by the differential resimulators. The cone
+    // cache is likewise shared — across faults and workers when the campaign
+    // passes one in, per-fault otherwise.
+    let local_cones;
+    let cones = match cones {
+        Some(c) => c,
+        None => {
+            local_cones = ConeCache::new(circuit);
+            &local_cones
+        }
+    };
+    let cache = FrameCache::new(circuit, seq, &faulty, Some(fault));
+    let out = run_expansion_stages(
+        circuit,
+        seq,
+        good,
+        fault,
+        options,
+        &cache,
+        cones,
+        &n_out,
+        &n_sv,
+        meter,
+        want_certificate,
+    );
+    // Frame-construction work is accounted once, whichever stages consumed
+    // the frames.
+    meter.perf.gate_evals += (cache.frames_built() * circuit.num_gates()) as u64;
+    out
+}
+
+/// Steps 1–4 of the procedure, split out so the caller can fold the shared
+/// frame cache's construction cost into the meter exactly once.
+#[allow(clippy::too_many_arguments)]
+fn run_expansion_stages(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+    cache: &FrameCache<'_>,
+    cones: &ConeCache<'_>,
+    n_out: &[usize],
+    n_sv: &[usize],
+    meter: &mut BudgetMeter,
+    want_certificate: bool,
+) -> (FaultResult, Option<DetectionCertificate>) {
     // Step 1: collection.
-    let collection =
-        collect_pairs_metered(circuit, seq, good, &faulty, Some(fault), &n_out, options, meter);
+    let started = Instant::now();
+    let collection = if options.cone_bounded {
+        collect_pairs_with_cache(circuit, seq, good, n_out, options, cache, Some(cones), meter)
+    } else {
+        // Legacy full-frame engine: a private frame cache, whole-frame
+        // implication passes (it accounts its own frame construction).
+        collect_pairs_metered(
+            circuit,
+            seq,
+            good,
+            cache.faulty(),
+            Some(fault),
+            n_out,
+            options,
+            meter,
+        )
+    };
+    meter.perf.collect_nanos += started.elapsed().as_nanos() as u64;
     if meter.is_exhausted() {
         return (
             budget_exceeded(BudgetStage::Collection, collection.runs, meter),
@@ -344,8 +448,10 @@ fn run_procedure(
     }
 
     // Step 3: selection + expansion.
-    let (sequences, forced, counters, aborted) =
-        match expand_metered(&collection, &faulty, &n_out, &n_sv, options, meter) {
+    let started = Instant::now();
+    let expanded = expand_metered(&collection, cache.faulty(), n_out, n_sv, options, meter);
+    meter.perf.expand_nanos += started.elapsed().as_nanos() as u64;
+    let (sequences, forced, counters, aborted) = match expanded {
             ExpandOutcome::DetectedByForcedAssignments {
                 counters,
                 forced,
@@ -381,11 +487,27 @@ fn run_procedure(
     // so keep a copy when one is wanted.
     let total = sequences.len();
     let pre_resim = want_certificate.then(|| sequences.clone());
-    let verdict = if options.packed_resimulation {
-        resimulate_packed_metered(circuit, seq, good, Some(fault), sequences, meter)
-    } else {
-        resimulate_metered(circuit, seq, good, Some(fault), sequences, meter)
+    let started = Instant::now();
+    let verdict = match (options.cone_bounded, options.packed_resimulation) {
+        (true, true) => resimulate_packed_differential_metered(
+            circuit,
+            seq,
+            good,
+            Some(fault),
+            cache,
+            cones,
+            sequences,
+            meter,
+        ),
+        (true, false) => {
+            resimulate_differential_metered(circuit, seq, good, Some(fault), cache, sequences, meter)
+        }
+        (false, true) => {
+            resimulate_packed_metered(circuit, seq, good, Some(fault), sequences, meter)
+        }
+        (false, false) => resimulate_metered(circuit, seq, good, Some(fault), sequences, meter),
     };
+    meter.perf.resim_nanos += started.elapsed().as_nanos() as u64;
     if meter.is_exhausted() {
         return (
             budget_exceeded(BudgetStage::Resimulation, collection.runs, meter),
@@ -555,6 +677,26 @@ mod tests {
         );
         assert!(!result.status.is_detected());
         assert!(certificate.is_none());
+    }
+
+    #[test]
+    fn cone_bounded_and_legacy_engines_agree_on_every_fault() {
+        let (c, seq, good) = toggle();
+        for fault in moa_netlist::full_fault_list(&c) {
+            for packed in [false, true] {
+                let new = MoaOptions {
+                    packed_resimulation: packed,
+                    ..Default::default()
+                };
+                let legacy = MoaOptions {
+                    cone_bounded: false,
+                    ..new.clone()
+                };
+                let a = simulate_fault(&c, &seq, &good, &fault, &new);
+                let b = simulate_fault(&c, &seq, &good, &fault, &legacy);
+                assert_eq!(a, b, "{fault:?} packed={packed}");
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Section 3.4 — fault simulation after expansion.
 
-use moa_netlist::{Circuit, Fault};
-use moa_sim::{compute_frame, frame_next_state, frame_outputs, Detection, SimTrace, TestSequence};
+use moa_logic::V3;
+use moa_netlist::{Circuit, Fault, NetId};
+use moa_sim::{
+    compute_frame, frame_next_state, frame_outputs, Detection, EventSim, SimTrace, TestSequence,
+};
 
 use crate::budget::BudgetMeter;
+use crate::chain::FrameCache;
 use crate::stateseq::StateSequence;
 
 /// Why one expanded sequence was dropped (or not).
@@ -102,6 +106,90 @@ pub fn resimulate_metered(
         })
         .collect();
     ResimVerdict { outcomes }
+}
+
+/// The differential sibling of [`resimulate_metered`]: instead of evaluating
+/// every marked frame from scratch, each frame starts from the cached faulty
+/// frame of `cache` (computed once, with the fault injected, and shared with
+/// the collection sweep) and an event-driven simulator propagates only the
+/// state variables in which the expanded sequence differs from the
+/// conventional faulty trace. Outcomes and budget charges are identical to
+/// the full-frame path — locked in by parity tests — only the gate-visit
+/// count changes.
+pub(crate) fn resimulate_differential_metered(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: Option<&Fault>,
+    cache: &FrameCache<'_>,
+    sequences: Vec<StateSequence>,
+    meter: &mut BudgetMeter,
+) -> ResimVerdict {
+    let mut sim = EventSim::new(circuit, fault);
+    let mut deltas: Vec<(NetId, V3)> = Vec::new();
+    let before = sim.evaluations();
+    let outcomes = sequences
+        .into_iter()
+        .map(|s| {
+            if meter.is_exhausted() {
+                SequenceOutcome::Undecided
+            } else {
+                resimulate_one_differential(circuit, seq, good, cache, &mut sim, &mut deltas, s, meter)
+            }
+        })
+        .collect();
+    meter.perf.gate_evals += sim.evaluations() - before;
+    ResimVerdict { outcomes }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resimulate_one_differential(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    cache: &FrameCache<'_>,
+    sim: &mut EventSim<'_>,
+    deltas: &mut Vec<(NetId, V3)>,
+    mut s: StateSequence,
+    meter: &mut BudgetMeter,
+) -> SequenceOutcome {
+    let faulty = cache.faulty();
+    for u in 0..seq.len() {
+        // Same budget unit as the full-frame path: one per frame advanced.
+        if !meter.charge(1) {
+            return SequenceOutcome::Undecided;
+        }
+        if !s.is_marked(u) {
+            continue;
+        }
+        let ctx = cache.context(u);
+        sim.load_from(ctx.base());
+        deltas.clear();
+        for (i, ff) in circuit.flip_flops().iter().enumerate() {
+            let v = s.state(u)[i];
+            if v != faulty.states[u][i] {
+                // A stem-faulted q net stays pinned; `update` skips it, as
+                // `compute_frame` would.
+                deltas.push((ff.q(), v));
+            }
+        }
+        sim.update(deltas);
+        for (output, &net) in circuit.outputs().iter().enumerate() {
+            if sim.values()[net].conflicts(good.outputs[u][output]) {
+                return SequenceOutcome::Detected(Detection { time: u, output });
+            }
+        }
+        for i in 0..circuit.num_flip_flops() {
+            let v = ctx.next_state_value(sim.values(), i);
+            if !v.is_specified() {
+                continue;
+            }
+            if !s.assign(u + 1, i, v) {
+                return SequenceOutcome::Infeasible { time: u };
+            }
+        }
+    }
+    SequenceOutcome::Undecided
 }
 
 fn resimulate_one(
@@ -266,5 +354,97 @@ mod tests {
         let (c, seq, good, fault) = xor_circuit();
         let verdict = resimulate(&c, &seq, &good, Some(&fault), Vec::new());
         assert!(!verdict.detected());
+    }
+
+    /// Locks the event-driven differential path against the full-frame scalar
+    /// path: identical outcomes and identical budget accounting at unlimited
+    /// budget and at every work limit below the total.
+    fn assert_differential_parity(
+        c: &Circuit,
+        seq: &TestSequence,
+        good: &SimTrace,
+        fault: Option<&Fault>,
+        sequences: &[StateSequence],
+    ) {
+        use crate::budget::FaultBudget;
+        let faulty = simulate(c, seq, fault);
+        let cache = FrameCache::new(c, seq, &faulty, fault);
+
+        let mut m_full = BudgetMeter::unlimited();
+        let full = resimulate_metered(c, seq, good, fault, sequences.to_vec(), &mut m_full);
+        let mut m_diff = BudgetMeter::unlimited();
+        let diff = resimulate_differential_metered(
+            c,
+            seq,
+            good,
+            fault,
+            &cache,
+            sequences.to_vec(),
+            &mut m_diff,
+        );
+        assert_eq!(full.outcomes, diff.outcomes);
+        assert_eq!(m_full.spent(), m_diff.spent(), "identical work accounting");
+
+        for limit in 0..m_full.spent() {
+            let budget = FaultBudget::none().with_work_limit(limit);
+            let mut m_full = BudgetMeter::new(&budget);
+            let full = resimulate_metered(c, seq, good, fault, sequences.to_vec(), &mut m_full);
+            let mut m_diff = BudgetMeter::new(&budget);
+            let diff = resimulate_differential_metered(
+                c,
+                seq,
+                good,
+                fault,
+                &cache,
+                sequences.to_vec(),
+                &mut m_diff,
+            );
+            assert_eq!(full.outcomes, diff.outcomes, "outcomes at limit {limit}");
+            assert_eq!(m_full.spent(), m_diff.spent(), "spend at limit {limit}");
+        }
+    }
+
+    #[test]
+    fn differential_matches_full_frame_resimulation() {
+        // The OR-hold case: one detected branch, one undecided branch.
+        let mut b = CircuitBuilder::new("or");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Or, "z", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Buf, "d", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["1", "1"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let fault = Fault::stem(c.find_net("a").unwrap(), false);
+        let faulty = simulate(&c, &seq, Some(&fault));
+        let base = StateSequence::from_trace(&faulty);
+        let mut s0 = base.clone();
+        assert!(s0.assign(0, 0, V3::Zero));
+        let mut s1 = base.clone();
+        assert!(s1.assign(0, 0, V3::One));
+        assert_differential_parity(&c, &seq, &good, Some(&fault), &[s0, s1, base]);
+    }
+
+    #[test]
+    fn differential_matches_full_frame_across_fault_kinds() {
+        // Stem fault on the state variable (q stays pinned — deltas on it
+        // are skipped by the event simulator), flip-flop input fault, and
+        // the fault-free machine. Also covers infeasibility.
+        let (c, seq, good, _) = xor_circuit();
+        let q_fault = Fault::stem(c.find_net("q").unwrap(), true);
+        let ff_fault = Fault::flip_flop_input(moa_netlist::FlipFlopId::new(0), false);
+        for fault in [Some(&q_fault), Some(&ff_fault), None] {
+            let faulty = simulate(&c, &seq, fault);
+            let base = StateSequence::from_trace(&faulty);
+            let mut sequences = Vec::new();
+            for n in 0..4 {
+                let mut s = base.clone();
+                let _ = s.assign(n % 2, 0, V3::from_bool(n < 2));
+                sequences.push(s);
+            }
+            sequences.push(base);
+            assert_differential_parity(&c, &seq, &good, fault, &sequences);
+        }
     }
 }

@@ -13,13 +13,15 @@
 //! unit therefore yields identical per-sequence outcomes; the campaign-level
 //! equivalence is asserted in the integration tests.
 
-use moa_netlist::{Circuit, Fault};
+use moa_netlist::{Circuit, Fault, FaultSite, GateId};
 use moa_sim::{
-    packed3_next_state, packed3_outputs, run_packed3_frame, Detection, Packed3, SimTrace,
-    TestSequence,
+    packed3_next_state, packed3_outputs, run_packed3_frame, run_packed3_gates, Detection, Packed3,
+    Packed3Values, SimTrace, TestSequence,
 };
 
 use crate::budget::BudgetMeter;
+use crate::chain::FrameCache;
+use crate::cones::{union_state_fanout, ConeCache};
 use crate::resim::{ResimVerdict, SequenceOutcome};
 use crate::stateseq::StateSequence;
 
@@ -156,6 +158,191 @@ fn resimulate_chunk(
             stored.zeros |= n.zeros & open;
         }
     }
+    outcomes
+}
+
+/// The differential sibling of [`resimulate_packed_metered`]: each frame
+/// starts from the cached conventional faulty frame (broadcast into all 64
+/// slots) and only the gates in the structural fan-out cone of the state
+/// variables where some slot differs from the conventional trace are
+/// re-evaluated. Slots beyond the chunk width are forced to the broadcast
+/// value, so every masked read (`& valid`) sees exactly what the full-frame
+/// path computes; outcomes and budget charges are identical, only the
+/// gate-visit count shrinks.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resimulate_packed_differential_metered(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: Option<&Fault>,
+    cache: &FrameCache<'_>,
+    cones: &ConeCache<'_>,
+    sequences: Vec<StateSequence>,
+    meter: &mut BudgetMeter,
+) -> ResimVerdict {
+    let mut scratch = DiffScratch {
+        values: Packed3Values::new(circuit),
+        marked: Vec::new(),
+        order: Vec::new(),
+        diff_ffs: Vec::new(),
+    };
+    let mut outcomes = Vec::with_capacity(sequences.len());
+    for chunk in sequences.chunks(64) {
+        if meter.is_exhausted() {
+            outcomes.extend(vec![SequenceOutcome::Undecided; chunk.len()]);
+        } else {
+            outcomes.extend(resimulate_chunk_differential(
+                circuit,
+                seq,
+                good,
+                fault,
+                cache,
+                cones,
+                chunk,
+                meter,
+                &mut scratch,
+            ));
+        }
+    }
+    ResimVerdict { outcomes }
+}
+
+/// Reusable buffers for [`resimulate_chunk_differential`] — one allocation
+/// set per fault, not per chunk or frame.
+struct DiffScratch {
+    values: Packed3Values,
+    marked: Vec<bool>,
+    order: Vec<GateId>,
+    diff_ffs: Vec<usize>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resimulate_chunk_differential(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: Option<&Fault>,
+    cache: &FrameCache<'_>,
+    cones: &ConeCache<'_>,
+    chunk: &[StateSequence],
+    meter: &mut BudgetMeter,
+    scratch: &mut DiffScratch,
+) -> Vec<SequenceOutcome> {
+    let k = circuit.num_flip_flops();
+    let l = seq.len();
+    let slots = chunk.len() as u32;
+    let valid: u64 = if slots == 64 {
+        u64::MAX
+    } else {
+        (1u64 << slots) - 1
+    };
+
+    let mut states: Vec<Vec<Packed3>> = (0..=l)
+        .map(|u| {
+            (0..k)
+                .map(|i| {
+                    let mut p = Packed3::ALL_X;
+                    for (slot, s) in chunk.iter().enumerate() {
+                        p.set(slot as u32, s.value(u, i));
+                    }
+                    p
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut outcomes: Vec<SequenceOutcome> = vec![SequenceOutcome::Undecided; chunk.len()];
+    let mut resolved: u64 = 0;
+    let faulty = cache.faulty();
+    let mut gate_evals = 0u64;
+
+    for u in 0..l {
+        if resolved == valid {
+            break;
+        }
+        // Identical charging to the full-frame packed path (and, by its
+        // parity lock, to the scalar path).
+        for _ in 0..(valid & !resolved).count_ones() {
+            if !meter.charge(1) {
+                meter.perf.gate_evals += gate_evals;
+                return outcomes;
+            }
+        }
+
+        // Broadcast the cached conventional faulty frame, then overlay the
+        // state variables where some valid slot deviates from it.
+        scratch.values.broadcast_from(cache.context(u).base());
+        scratch.diff_ffs.clear();
+        for (i, ff) in circuit.flip_flops().iter().enumerate() {
+            // A stem-faulted q net is pinned by the frame evaluation; the
+            // broadcast base already holds the stuck value.
+            if matches!(fault, Some(f) if f.site == FaultSite::Net(ff.q())) {
+                continue;
+            }
+            let stored = states[u][i];
+            let b = Packed3::broadcast(faulty.states[u][i]);
+            if ((stored.ones ^ b.ones) | (stored.zeros ^ b.zeros)) & valid != 0 {
+                // Invalid slots keep the broadcast value so the whole word
+                // stays consistent with what the cone re-evaluation expects.
+                let merged = Packed3 {
+                    ones: (b.ones & !valid) | (stored.ones & valid),
+                    zeros: (b.zeros & !valid) | (stored.zeros & valid),
+                };
+                scratch.values.set(ff.q(), merged);
+                scratch.diff_ffs.push(i);
+            }
+        }
+        if !scratch.diff_ffs.is_empty() {
+            union_state_fanout(
+                cones,
+                scratch.diff_ffs.iter().copied(),
+                &mut scratch.marked,
+                &mut scratch.order,
+            );
+            run_packed3_gates(circuit, &mut scratch.values, &scratch.order, fault);
+            // One gate-word visit covers all 64 slots.
+            gate_evals += scratch.order.len() as u64;
+        }
+
+        // Detections, infeasibility, and adoption: identical logic to
+        // `resimulate_chunk`, reading the overlaid frame.
+        for (o, &net) in circuit.outputs().iter().enumerate() {
+            let out = scratch.values.get(net);
+            let mismatch = match good.outputs[u][o].to_bool() {
+                Some(true) => out.zeros,
+                Some(false) => out.ones,
+                None => 0,
+            };
+            let newly = mismatch & valid & !resolved;
+            if newly != 0 {
+                for slot in iter_bits(newly) {
+                    outcomes[slot] = SequenceOutcome::Detected(Detection { time: u, output: o });
+                }
+                resolved |= newly;
+            }
+        }
+
+        let next = packed3_next_state(circuit, &scratch.values, fault);
+        let mut infeasible = 0u64;
+        for (i, n) in next.iter().enumerate() {
+            let stored = states[u + 1][i];
+            infeasible |= (n.ones & stored.zeros) | (n.zeros & stored.ones);
+        }
+        let newly = infeasible & valid & !resolved;
+        if newly != 0 {
+            for slot in iter_bits(newly) {
+                outcomes[slot] = SequenceOutcome::Infeasible { time: u };
+            }
+            resolved |= newly;
+        }
+        for (i, n) in next.iter().enumerate() {
+            let stored = &mut states[u + 1][i];
+            let open = !stored.specified();
+            stored.ones |= n.ones & open;
+            stored.zeros |= n.zeros & open;
+        }
+    }
+    meter.perf.gate_evals += gate_evals;
     outcomes
 }
 
@@ -333,5 +520,127 @@ mod tests {
         let packed = resimulate_packed(&c, &seq, &good, Some(&fault), sequences);
         assert_eq!(scalar.outcomes, packed.outcomes);
         assert_eq!(packed.undecided(), 1);
+    }
+
+    /// Locks the cone-bounded differential path against the full-frame packed
+    /// path: identical outcomes and identical budget accounting, at unlimited
+    /// budget and at every work limit below the total.
+    fn assert_differential_parity(
+        c: &Circuit,
+        seq: &TestSequence,
+        good: &SimTrace,
+        fault: Option<&Fault>,
+        sequences: &[StateSequence],
+    ) {
+        use crate::budget::FaultBudget;
+        let faulty = simulate(c, seq, fault);
+        let cache = FrameCache::new(c, seq, &faulty, fault);
+        let cones = ConeCache::new(c);
+
+        let mut m_full = BudgetMeter::unlimited();
+        let full = resimulate_packed_metered(c, seq, good, fault, sequences.to_vec(), &mut m_full);
+        let mut m_diff = BudgetMeter::unlimited();
+        let diff = resimulate_packed_differential_metered(
+            c,
+            seq,
+            good,
+            fault,
+            &cache,
+            &cones,
+            sequences.to_vec(),
+            &mut m_diff,
+        );
+        assert_eq!(full.outcomes, diff.outcomes);
+        assert_eq!(m_full.spent(), m_diff.spent(), "identical work accounting");
+
+        for limit in 0..m_full.spent() {
+            let budget = FaultBudget::none().with_work_limit(limit);
+            let mut m_full = BudgetMeter::new(&budget);
+            let full =
+                resimulate_packed_metered(c, seq, good, fault, sequences.to_vec(), &mut m_full);
+            let mut m_diff = BudgetMeter::new(&budget);
+            let diff = resimulate_packed_differential_metered(
+                c,
+                seq,
+                good,
+                fault,
+                &cache,
+                &cones,
+                sequences.to_vec(),
+                &mut m_diff,
+            );
+            assert_eq!(full.outcomes, diff.outcomes, "outcomes at limit {limit}");
+            assert_eq!(m_full.spent(), m_diff.spent(), "spend at limit {limit}");
+        }
+    }
+
+    #[test]
+    fn differential_matches_full_packed_on_toggle() {
+        let (c, seq, good, fault) = toggle();
+        let faulty = simulate(&c, &seq, Some(&fault));
+        let base = StateSequence::from_trace(&faulty);
+        // Mixed population across two chunks, including a never-marked slot.
+        let mut sequences = Vec::new();
+        for n in 0..80 {
+            let mut s = base.clone();
+            assert!(s.assign(1, 0, V3::from_bool(n % 2 == 0)));
+            sequences.push(s);
+        }
+        sequences.push(base);
+        assert_differential_parity(&c, &seq, &good, Some(&fault), &sequences);
+    }
+
+    #[test]
+    fn differential_matches_full_packed_across_fault_kinds() {
+        // A stem fault on the state variable itself (the q net stays pinned
+        // and must not be overlaid), a flip-flop input fault, and no fault.
+        let mut b = CircuitBuilder::new("toggle");
+        b.add_input("r").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Not, "nq", &["q"]).unwrap();
+        b.add_gate(GateKind::And, "d", &["r", "nq"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["1", "0", "1"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let q_fault = Fault::stem(c.find_net("q").unwrap(), true);
+        let ff_fault = Fault::flip_flop_input(moa_netlist::FlipFlopId::new(0), false);
+        for fault in [Some(&q_fault), Some(&ff_fault), None] {
+            let faulty = simulate(&c, &seq, fault);
+            let base = StateSequence::from_trace(&faulty);
+            let mut sequences = Vec::new();
+            for n in 0..3 {
+                let mut s = base.clone();
+                // Some assignments conflict with the trace and are rejected;
+                // keep whatever states the sequence ends up with.
+                let _ = s.assign(n % 2, 0, V3::from_bool(n % 2 == 0));
+                sequences.push(s);
+            }
+            sequences.push(base);
+            assert_differential_parity(&c, &seq, &good, fault, &sequences);
+        }
+    }
+
+    #[test]
+    fn differential_undecided_branch_matches_full_packed() {
+        // The OR-hold circuit where one branch survives undecided.
+        let mut b = CircuitBuilder::new("or");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Or, "z", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Buf, "d", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["1", "1"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let fault = Fault::stem(c.find_net("a").unwrap(), false);
+        let faulty = simulate(&c, &seq, Some(&fault));
+        let base = StateSequence::from_trace(&faulty);
+        let mut s0 = base.clone();
+        assert!(s0.assign(0, 0, V3::Zero));
+        let mut s1 = base;
+        assert!(s1.assign(0, 0, V3::One));
+        assert_differential_parity(&c, &seq, &good, Some(&fault), &[s0, s1]);
     }
 }

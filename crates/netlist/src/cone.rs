@@ -86,6 +86,64 @@ pub fn observable_nets(circuit: &Circuit) -> Vec<NetId> {
     collect(seen)
 }
 
+/// The *within-frame* fan-in cone of `net`: every net whose value can reach
+/// it combinationally in the same time frame. Flip-flop outputs and primary
+/// inputs are leaves — the walk does not cross a flip-flop into the previous
+/// frame. Includes `net` itself; ascending net-id order.
+///
+/// This is the region backward implications on `net` can touch: justifying a
+/// gate refines only its in-frame inputs, so an assertion at `net` can only
+/// ever specify nets in this cone.
+pub fn frame_fanin_cone(circuit: &Circuit, net: NetId) -> Vec<NetId> {
+    let mut seen = vec![false; circuit.num_nets()];
+    let mut stack = vec![net];
+    seen[net.index()] = true;
+    while let Some(n) = stack.pop() {
+        if let Driver::Gate(g) = circuit.driver(n) {
+            for &s in circuit.gate(g).inputs() {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    collect(seen)
+}
+
+/// The *within-frame* fan-out cone of `seeds`: every net any seed can reach
+/// combinationally in the same time frame (no flip-flop crossing). Includes
+/// the seeds; ascending net-id order.
+///
+/// This is the region a value refinement at the seeds can propagate to
+/// during one forward implication pass or one frame re-evaluation.
+pub fn frame_fanout_cone(circuit: &Circuit, seeds: &[NetId]) -> Vec<NetId> {
+    let mut readers: Vec<Vec<NetId>> = vec![Vec::new(); circuit.num_nets()];
+    for gate in circuit.gates() {
+        for &input in gate.inputs() {
+            readers[input.index()].push(gate.output());
+        }
+    }
+
+    let mut seen = vec![false; circuit.num_nets()];
+    let mut stack = Vec::new();
+    for &seed in seeds {
+        if !seen[seed.index()] {
+            seen[seed.index()] = true;
+            stack.push(seed);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        for &r in &readers[n.index()] {
+            if !seen[r.index()] {
+                seen[r.index()] = true;
+                stack.push(r);
+            }
+        }
+    }
+    collect(seen)
+}
+
 fn collect(seen: Vec<bool>) -> Vec<NetId> {
     seen.into_iter()
         .enumerate()
@@ -159,5 +217,33 @@ mod tests {
             assert!(fanin_cone(&c, net).contains(&net));
             assert!(fanout_cone(&c, net).contains(&net));
         }
+    }
+
+    #[test]
+    fn frame_fanin_cone_stops_at_flip_flops() {
+        let c = c1();
+        let z = c.find_net("z").unwrap();
+        let cone = names(&c, &frame_fanin_cone(&c, z));
+        // z ← w ← {a, q}; q is a flip-flop output, a leaf within the frame.
+        assert_eq!(cone, ["a", "q", "w", "z"]);
+    }
+
+    #[test]
+    fn frame_fanout_cone_stops_at_flip_flop_inputs() {
+        let c = c1();
+        let q = c.find_net("q").unwrap();
+        let cone = names(&c, &frame_fanout_cone(&c, &[q]));
+        // q → w → {d, z}; d feeds the flip-flop, which is next-frame.
+        assert_eq!(cone, ["q", "d", "w", "z"]);
+    }
+
+    #[test]
+    fn frame_fanout_cone_unions_seeds() {
+        let c = c1();
+        let a = c.find_net("a").unwrap();
+        let b_net = c.find_net("b").unwrap();
+        let cone = names(&c, &frame_fanout_cone(&c, &[a, b_net]));
+        assert_eq!(cone, ["a", "b", "d", "w", "z", "dead"]);
+        assert!(frame_fanout_cone(&c, &[]).is_empty());
     }
 }

@@ -51,7 +51,7 @@ pub use bench_format::{
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, Driver, FlipFlop, Gate};
 pub use collapse::{collapse_faults, CollapsedFaults};
-pub use cone::{fanin_cone, fanout_cone, observable_nets};
+pub use cone::{fanin_cone, fanout_cone, frame_fanin_cone, frame_fanout_cone, observable_nets};
 pub use dominance::{dominance_relations, Dominance};
 pub use error::NetlistError;
 pub use extract::extract_fanin_cone;

@@ -80,29 +80,47 @@ pub fn simulate_differential(
     good: &GoodFrames,
     fault: &Fault,
 ) -> SimTrace {
+    simulate_differential_counted(circuit, seq, good, fault).0
+}
+
+/// [`simulate_differential`], also returning the number of gate evaluations
+/// the event-driven propagation performed (for the campaign's perf tallies).
+///
+/// # Panics
+///
+/// Panics if `good` was computed for a different sequence length.
+pub fn simulate_differential_counted(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &GoodFrames,
+    fault: &Fault,
+) -> (SimTrace, u64) {
     assert_eq!(good.frames.len(), seq.len(), "good frames match sequence");
     let mut sim = EventSim::new(circuit, Some(fault));
     let mut states = vec![vec![V3::X; circuit.num_flip_flops()]];
     let mut outputs = Vec::with_capacity(seq.len());
+    let mut state_changes: Vec<(moa_netlist::NetId, V3)> = Vec::new();
 
     for u in 0..seq.len() {
         // Start from the good frame, then replay the differences: the faulty
         // present state and the fault site itself.
-        sim.load(good.frame(u).clone());
-        let state_changes: Vec<_> = circuit
-            .flip_flops()
-            .iter()
-            .zip(&states[u])
-            .filter(|(ff, &v)| good.frame(u)[ff.q()] != v)
-            .map(|(ff, &v)| (ff.q(), v))
-            .collect();
+        sim.load_from(good.frame(u));
+        state_changes.clear();
+        state_changes.extend(
+            circuit
+                .flip_flops()
+                .iter()
+                .zip(&states[u])
+                .filter(|(ff, &v)| good.frame(u)[ff.q()] != v)
+                .map(|(ff, &v)| (ff.q(), v)),
+        );
         sim.update(&state_changes);
         sim.replay_fault();
 
         outputs.push(frame_outputs(circuit, sim.values()));
         states.push(frame_next_state(circuit, sim.values(), Some(fault)));
     }
-    SimTrace { states, outputs }
+    (SimTrace { states, outputs }, sim.evaluations())
 }
 
 impl<'a> EventSim<'a> {

@@ -146,6 +146,20 @@ impl<'a> EventSim<'a> {
         self.values = values;
     }
 
+    /// Replaces the current values by *copying* from a cached frame, reusing
+    /// the internal buffer (the allocation-free sibling of
+    /// [`EventSim::load`]). No events are scheduled — the caller provides a
+    /// consistent frame.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if events are pending or the length differs.
+    pub fn load_from(&mut self, values: &NetValues) {
+        debug_assert_eq!(values.len(), self.values.len());
+        debug_assert!(self.buckets.iter().all(Vec::is_empty), "no pending events");
+        self.values.clone_from(values);
+    }
+
     /// The injected fault, if any.
     pub(crate) fn fault(&self) -> Option<&'a Fault> {
         self.fault

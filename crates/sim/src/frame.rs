@@ -40,6 +40,12 @@ impl NetValues {
     pub fn num_specified(&self) -> usize {
         self.values.iter().filter(|v| v.is_specified()).count()
     }
+
+    /// Overwrites this frame with `other`'s values, reusing the allocation.
+    pub fn copy_from(&mut self, other: &NetValues) {
+        self.values.clear();
+        self.values.extend_from_slice(&other.values);
+    }
 }
 
 impl Index<NetId> for NetValues {

@@ -11,7 +11,10 @@
 //!   sequence from the all-`X` initial state (or any given state),
 //! - [`conventional_detection`] — single-observation-time detection,
 //! - [`PackedValues`] and the `packed_*` helpers — 64-way bit-parallel
-//!   *binary* simulation used by the exact restricted-MOA checker.
+//!   *binary* simulation used by the exact restricted-MOA checker,
+//! - [`screen_faults`] / [`FaultBatch`] — 64-way *parallel-fault* screening
+//!   (one distinct fault per bit slot) used by the campaign's conventional
+//!   pre-pass.
 //!
 //! # Example
 //!
@@ -33,17 +36,22 @@ mod event;
 mod frame;
 mod packed;
 mod packed3;
+mod packed_faults;
 mod sequence;
 mod sequence_io;
 mod trace;
 mod vcd;
 
 pub use conventional::{conventional_detection, run_conventional, Detection};
-pub use differential::{simulate_differential, GoodFrames};
+pub use differential::{simulate_differential, simulate_differential_counted, GoodFrames};
 pub use event::EventSim;
 pub use frame::{compute_frame, frame_next_state, frame_outputs, NetValues};
 pub use packed::{packed_next_state, packed_outputs, run_packed_frame, PackedValues};
-pub use packed3::{packed3_next_state, packed3_outputs, run_packed3_frame, Packed3, Packed3Values};
+pub use packed3::{
+    packed3_next_state, packed3_outputs, run_packed3_frame, run_packed3_gates, Packed3,
+    Packed3Values,
+};
+pub use packed_faults::{screen_faults, FaultBatch, ScreenOutcome, SCREEN_LANES};
 pub use sequence::{ParseSequenceError, TestSequence};
 pub use trace::{simulate, simulate_from, SimTrace};
 pub use vcd::vcd_dump;

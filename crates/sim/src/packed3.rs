@@ -8,7 +8,9 @@
 //! exploits.
 
 use moa_logic::{GateKind, V3};
-use moa_netlist::{Circuit, Fault, FaultSite, FlipFlopId, NetId};
+use moa_netlist::{Circuit, Fault, FaultSite, FlipFlopId, GateId, NetId};
+
+use crate::frame::NetValues;
 
 /// A 64-slot three-valued value (dual-rail).
 ///
@@ -73,7 +75,7 @@ impl Packed3 {
     }
 
     #[inline]
-    fn not(self) -> Packed3 {
+    pub(crate) fn not(self) -> Packed3 {
         Packed3 {
             ones: self.zeros,
             zeros: self.ones,
@@ -81,7 +83,7 @@ impl Packed3 {
     }
 
     #[inline]
-    fn and(self, rhs: Packed3) -> Packed3 {
+    pub(crate) fn and(self, rhs: Packed3) -> Packed3 {
         Packed3 {
             ones: self.ones & rhs.ones,
             zeros: self.zeros | rhs.zeros,
@@ -89,7 +91,7 @@ impl Packed3 {
     }
 
     #[inline]
-    fn or(self, rhs: Packed3) -> Packed3 {
+    pub(crate) fn or(self, rhs: Packed3) -> Packed3 {
         Packed3 {
             ones: self.ones | rhs.ones,
             zeros: self.zeros & rhs.zeros,
@@ -97,7 +99,7 @@ impl Packed3 {
     }
 
     #[inline]
-    fn xor(self, rhs: Packed3) -> Packed3 {
+    pub(crate) fn xor(self, rhs: Packed3) -> Packed3 {
         Packed3 {
             ones: (self.ones & rhs.zeros) | (self.zeros & rhs.ones),
             zeros: (self.ones & rhs.ones) | (self.zeros & rhs.zeros),
@@ -129,6 +131,15 @@ impl Packed3Values {
     #[inline]
     pub fn set(&mut self, net: NetId, v: Packed3) {
         self.values[net.index()] = v;
+    }
+
+    /// Overwrites every net with the broadcast of its scalar value in
+    /// `base`, reusing the allocation — the starting point of a differential
+    /// packed evaluation.
+    pub fn broadcast_from(&mut self, base: &NetValues) {
+        self.values.clear();
+        self.values
+            .extend(base.as_slice().iter().map(|&v| Packed3::broadcast(v)));
     }
 }
 
@@ -168,7 +179,22 @@ pub fn run_packed3_frame(
         }
     }
 
-    for &gid in circuit.topo_order() {
+    run_packed3_gates(circuit, &mut values, circuit.topo_order(), fault);
+    values
+}
+
+/// Evaluates `gates` over `values` in the given order, injecting `fault`
+/// exactly as [`run_packed3_frame`] does (branch faults pin the reading pin,
+/// a stem fault pins the gate's output). Callers restricting evaluation to a
+/// cone must pass its gates in topological order; every other net keeps its
+/// current value.
+pub fn run_packed3_gates(
+    circuit: &Circuit,
+    values: &mut Packed3Values,
+    gates: &[GateId],
+    fault: Option<&Fault>,
+) {
+    for &gid in gates {
         let gate = circuit.gate(gid);
         let pin = |pin_index: usize| -> Packed3 {
             if let Some(f) = fault {
@@ -210,7 +236,6 @@ pub fn run_packed3_frame(
         }
         values.set(gate.output(), out);
     }
-    values
 }
 
 /// Reads the packed next state, applying a flip-flop-input branch fault.

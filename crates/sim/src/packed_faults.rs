@@ -1,0 +1,440 @@
+//! Parallel-fault screening: one *distinct* fault per bit slot.
+//!
+//! [`packed3`](crate::packed3) injects a single fault into all 64 slots of a
+//! word (64 scenarios, one faulty machine). This module is the transpose:
+//! each bit slot carries a *different* faulty machine under the *same* input
+//! sequence and the same all-`X` initial state, so one pass over the sequence
+//! conventionally screens up to 64 faults at the cost of roughly one scalar
+//! simulation. The campaign uses it as a pre-pass that detects and drops
+//! faults in batches before the expensive per-fault MOA procedure runs.
+//!
+//! Fault injection is expressed as per-slot masks. For a net whose slot-`k`
+//! fault pins it to 1 (`f1` mask bit) or 0 (`f0` mask bit), every write of a
+//! dual-rail value `v` to that net is filtered through
+//!
+//! ```text
+//! m = f1 | f0
+//! v.ones  = (v.ones  & !m) | f1
+//! v.zeros = (v.zeros & !m) | f0
+//! ```
+//!
+//! which leaves all healthy slots untouched. Because every dual-rail gate
+//! operation is bitwise (slot columns never interact), slot `k` of the packed
+//! run is exactly the scalar three-valued simulation of fault `k`'s machine —
+//! the verdicts are bit-identical to [`conventional_detection`] on a scalar
+//! [`simulate`](crate::simulate) trace, which the tests assert fault by fault.
+//!
+//! [`conventional_detection`]: crate::conventional_detection
+
+use moa_logic::{GateKind, V3};
+use moa_netlist::{Circuit, Fault, FaultSite};
+
+use crate::conventional::Detection;
+use crate::packed3::{Packed3, Packed3Values};
+use crate::sequence::TestSequence;
+use crate::trace::SimTrace;
+
+/// The number of faults screened per packed word.
+pub const SCREEN_LANES: usize = 64;
+
+/// Per-slot dual-rail stuck masks: bit `k` of `ones` pins slot `k` to 1, bit
+/// `k` of `zeros` pins it to 0.
+#[derive(Debug, Clone, Copy, Default)]
+struct StuckMask {
+    ones: u64,
+    zeros: u64,
+}
+
+impl StuckMask {
+    #[inline]
+    fn add(&mut self, slot: usize, stuck: bool) {
+        let bit = 1u64 << slot;
+        if stuck {
+            self.ones |= bit;
+        } else {
+            self.zeros |= bit;
+        }
+    }
+
+    /// Filters a written value through the stuck slots.
+    #[inline]
+    fn apply(self, v: Packed3) -> Packed3 {
+        let m = self.ones | self.zeros;
+        Packed3 {
+            ones: (v.ones & !m) | self.ones,
+            zeros: (v.zeros & !m) | self.zeros,
+        }
+    }
+
+    #[inline]
+    fn is_empty(self) -> bool {
+        self.ones | self.zeros == 0
+    }
+}
+
+/// A branch (gate-input) fault's per-slot mask, applied to the pin's *view*
+/// of its net without disturbing the net itself.
+#[derive(Debug, Clone, Copy)]
+struct BranchMask {
+    gate: usize,
+    pin: usize,
+    mask: StuckMask,
+}
+
+/// Up to [`SCREEN_LANES`] distinct faults compiled into per-slot injection
+/// masks over one circuit.
+#[derive(Debug, Clone)]
+pub struct FaultBatch {
+    /// Number of occupied slots.
+    width: usize,
+    /// Per-net stem masks, applied after every write to the net.
+    stem: Vec<StuckMask>,
+    /// Gates with at least one branch-faulted input pin (fast guard).
+    has_branch: Vec<bool>,
+    /// Sparse branch-fault masks.
+    branches: Vec<BranchMask>,
+    /// Per-flip-flop input masks, applied when the next state is read.
+    ff_input: Vec<StuckMask>,
+}
+
+impl FaultBatch {
+    /// Compiles `faults` (at most [`SCREEN_LANES`]) into slot masks; fault
+    /// `k` occupies bit slot `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`SCREEN_LANES`] faults are given or a fault
+    /// references a net/gate/flip-flop outside `circuit`.
+    pub fn new(circuit: &Circuit, faults: &[Fault]) -> Self {
+        assert!(
+            faults.len() <= SCREEN_LANES,
+            "at most {SCREEN_LANES} faults per batch (got {})",
+            faults.len()
+        );
+        let mut batch = FaultBatch {
+            width: faults.len(),
+            stem: vec![StuckMask::default(); circuit.num_nets()],
+            has_branch: vec![false; circuit.num_gates()],
+            branches: Vec::new(),
+            ff_input: vec![StuckMask::default(); circuit.num_flip_flops()],
+        };
+        for (slot, fault) in faults.iter().enumerate() {
+            match fault.site {
+                FaultSite::Net(net) => batch.stem[net.index()].add(slot, fault.stuck),
+                FaultSite::GateInput { gate, pin } => {
+                    assert!(
+                        pin < circuit.gate(gate).inputs().len(),
+                        "branch fault pin out of range"
+                    );
+                    batch.has_branch[gate.index()] = true;
+                    let existing = batch
+                        .branches
+                        .iter_mut()
+                        .find(|b| b.gate == gate.index() && b.pin == pin);
+                    match existing {
+                        Some(b) => b.mask.add(slot, fault.stuck),
+                        None => {
+                            let mut mask = StuckMask::default();
+                            mask.add(slot, fault.stuck);
+                            batch.branches.push(BranchMask {
+                                gate: gate.index(),
+                                pin,
+                                mask,
+                            });
+                        }
+                    }
+                }
+                FaultSite::FlipFlopInput(ff) => {
+                    batch.ff_input[ff.index()].add(slot, fault.stuck)
+                }
+            }
+        }
+        batch
+    }
+
+    /// Number of faults in the batch.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mask with one bit per occupied slot.
+    pub fn valid_mask(&self) -> u64 {
+        if self.width == SCREEN_LANES {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// The branch mask for a pin, if any (slow path behind `has_branch`).
+    #[inline]
+    fn branch_mask(&self, gate: usize, pin: usize) -> Option<StuckMask> {
+        self.branches
+            .iter()
+            .find(|b| b.gate == gate && b.pin == pin)
+            .map(|b| b.mask)
+    }
+
+    /// Evaluates one time frame with every slot's own fault injected.
+    ///
+    /// Mirrors [`run_packed3_frame`](crate::run_packed3_frame) /
+    /// [`compute_frame`](crate::compute_frame): primary inputs are broadcast
+    /// from `pattern`, present state comes from `present_state` per slot, and
+    /// every net write passes through that net's stem mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` or `present_state` have the wrong length.
+    pub fn run_frame(
+        &self,
+        circuit: &Circuit,
+        pattern: &[V3],
+        present_state: &[Packed3],
+    ) -> Packed3Values {
+        assert_eq!(pattern.len(), circuit.num_inputs(), "pattern length");
+        assert_eq!(
+            present_state.len(),
+            circuit.num_flip_flops(),
+            "present-state length"
+        );
+
+        let mut values = Packed3Values::new(circuit);
+        for (i, &net) in circuit.inputs().iter().enumerate() {
+            values.set(
+                net,
+                self.stem[net.index()].apply(Packed3::broadcast(pattern[i])),
+            );
+        }
+        for (i, ff) in circuit.flip_flops().iter().enumerate() {
+            values.set(ff.q(), self.stem[ff.q().index()].apply(present_state[i]));
+        }
+
+        for &gid in circuit.topo_order() {
+            let gate = circuit.gate(gid);
+            let branched = self.has_branch[gid.index()];
+            let pin = |pin_index: usize| -> Packed3 {
+                let v = values.get(gate.inputs()[pin_index]);
+                if branched {
+                    if let Some(mask) = self.branch_mask(gid.index(), pin_index) {
+                        return mask.apply(v);
+                    }
+                }
+                v
+            };
+            let n = gate.inputs().len();
+            let mut out = pin(0);
+            match gate.kind() {
+                GateKind::And | GateKind::Nand => {
+                    for i in 1..n {
+                        out = out.and(pin(i));
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    for i in 1..n {
+                        out = out.or(pin(i));
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    for i in 1..n {
+                        out = out.xor(pin(i));
+                    }
+                }
+                GateKind::Not | GateKind::Buf => {}
+            }
+            if gate.kind().inverting() {
+                out = out.not();
+            }
+            values.set(gate.output(), self.stem[gate.output().index()].apply(out));
+        }
+        values
+    }
+
+    /// Reads the packed next state, applying flip-flop-input masks.
+    pub fn next_state_into(
+        &self,
+        circuit: &Circuit,
+        values: &Packed3Values,
+        state: &mut [Packed3],
+    ) {
+        for (i, ff) in circuit.flip_flops().iter().enumerate() {
+            let v = values.get(ff.d());
+            state[i] = if self.ff_input[i].is_empty() {
+                v
+            } else {
+                self.ff_input[i].apply(v)
+            };
+        }
+    }
+}
+
+/// The result of screening a fault list against one test sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScreenOutcome {
+    /// Per fault (in input order), the earliest conventional detection —
+    /// bit-identical to `conventional_detection(good, &simulate(..))`.
+    pub detections: Vec<Option<Detection>>,
+    /// Packed gate-word evaluations spent (one per gate per frame per batch).
+    pub gate_evaluations: u64,
+}
+
+/// Conventionally screens `faults` 64 at a time from the all-`X` initial
+/// state, returning each fault's earliest conventional [`Detection`].
+///
+/// `good` must be the fault-free trace of `seq` (`simulate(circuit, seq,
+/// None)`). A batch stops early once every slot has resolved; verdicts are
+/// unaffected because a detection records only the *earliest* conflict.
+///
+/// # Panics
+///
+/// Panics if `good` does not have one output frame per pattern of `seq`.
+pub fn screen_faults(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    faults: &[Fault],
+) -> ScreenOutcome {
+    assert_eq!(good.outputs.len(), seq.len(), "good trace length");
+    let mut outcome = ScreenOutcome {
+        detections: Vec::with_capacity(faults.len()),
+        gate_evaluations: 0,
+    };
+    let mut state = vec![Packed3::ALL_X; circuit.num_flip_flops()];
+    for chunk in faults.chunks(SCREEN_LANES) {
+        let batch = FaultBatch::new(circuit, chunk);
+        let valid = batch.valid_mask();
+        let mut detections: Vec<Option<Detection>> = vec![None; chunk.len()];
+        let mut resolved = 0u64;
+        state.fill(Packed3::ALL_X);
+        for u in 0..seq.len() {
+            if resolved == valid {
+                break;
+            }
+            let values = batch.run_frame(circuit, seq.pattern(u), &state);
+            outcome.gate_evaluations += circuit.num_gates() as u64;
+            // Scan outputs in ascending order so each slot records the same
+            // earliest (time, output) conflict as the scalar path.
+            for (o, &net) in circuit.outputs().iter().enumerate() {
+                let out = values.get(net);
+                let mismatch = match good.outputs[u][o].to_bool() {
+                    Some(true) => out.zeros,
+                    Some(false) => out.ones,
+                    None => 0,
+                };
+                let mut newly = mismatch & valid & !resolved;
+                resolved |= newly;
+                while newly != 0 {
+                    let slot = newly.trailing_zeros() as usize;
+                    newly &= newly - 1;
+                    detections[slot] = Some(Detection { time: u, output: o });
+                }
+            }
+            batch.next_state_into(circuit, &values, &mut state);
+        }
+        outcome.detections.append(&mut detections);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conventional::conventional_detection;
+    use crate::trace::simulate;
+    use moa_netlist::{full_fault_list, CircuitBuilder};
+
+    fn c1() -> Circuit {
+        let mut b = CircuitBuilder::new("c1");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_flip_flop("q0", "d0").unwrap();
+        b.add_flip_flop("q1", "d1").unwrap();
+        b.add_gate(GateKind::Nand, "w", &["a", "q0"]).unwrap();
+        b.add_gate(GateKind::Xnor, "d0", &["w", "q1"]).unwrap();
+        b.add_gate(GateKind::Nor, "d1", &["b", "q0"]).unwrap();
+        b.add_gate(GateKind::Or, "v", &["w", "q1"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["v"]).unwrap();
+        b.add_output("z");
+        b.finish().unwrap()
+    }
+
+    fn assert_screen_matches_scalar(circuit: &Circuit, seq: &TestSequence) {
+        let good = simulate(circuit, seq, None);
+        let faults = full_fault_list(circuit);
+        let outcome = screen_faults(circuit, seq, &good, &faults);
+        assert_eq!(outcome.detections.len(), faults.len());
+        for (fault, packed) in faults.iter().zip(&outcome.detections) {
+            let faulty = simulate(circuit, seq, Some(fault));
+            let scalar = conventional_detection(&good, &faulty);
+            assert_eq!(
+                *packed,
+                scalar,
+                "{} under {:?}",
+                fault.describe(circuit),
+                seq
+            );
+        }
+    }
+
+    /// Every stem, branch, and flip-flop-input fault of the test circuit
+    /// screens to exactly the scalar conventional verdict.
+    #[test]
+    fn screen_matches_scalar_for_every_fault() {
+        let c = c1();
+        let seq = TestSequence::from_words(&["10", "01", "11", "00", "1X", "X1"]).unwrap();
+        assert_screen_matches_scalar(&c, &seq);
+    }
+
+    /// More faults than one word: the chunked driver covers every slot.
+    #[test]
+    fn chunking_covers_more_than_64_faults() {
+        let c = c1();
+        let seq = TestSequence::from_words(&["10", "01", "11"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        // 5x the fault list: 70 faults, two chunks, duplicates must agree.
+        let base = full_fault_list(&c);
+        let mut faults = Vec::new();
+        for _ in 0..5 {
+            faults.extend(base.iter().copied());
+        }
+        let outcome = screen_faults(&c, &seq, &good, &faults);
+        assert!(faults.len() > SCREEN_LANES);
+        assert_eq!(outcome.detections.len(), faults.len());
+        for i in base.len()..faults.len() {
+            assert_eq!(outcome.detections[i], outcome.detections[i % base.len()]);
+        }
+    }
+
+    /// An empty fault list is a no-op.
+    #[test]
+    fn empty_batch() {
+        let c = c1();
+        let seq = TestSequence::from_words(&["10"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let outcome = screen_faults(&c, &seq, &good, &[]);
+        assert!(outcome.detections.is_empty());
+        assert_eq!(outcome.gate_evaluations, 0);
+    }
+
+    /// Early exit (all slots resolved) never changes a verdict.
+    #[test]
+    fn early_exit_preserves_verdicts() {
+        let c = c1();
+        let long = TestSequence::from_words(&["10"; 40]).unwrap();
+        assert_screen_matches_scalar(&c, &long);
+    }
+
+    /// Two faults on the same net with opposite polarities stay independent.
+    #[test]
+    fn opposite_polarities_share_a_net() {
+        let c = c1();
+        let net = c.find_net("w").unwrap();
+        let seq = TestSequence::from_words(&["11", "11", "00"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let faults = [Fault::stem(net, true), Fault::stem(net, false)];
+        let outcome = screen_faults(&c, &seq, &good, &faults);
+        for (fault, packed) in faults.iter().zip(&outcome.detections) {
+            let faulty = simulate(&c, &seq, Some(fault));
+            assert_eq!(*packed, conventional_detection(&good, &faulty));
+        }
+    }
+}

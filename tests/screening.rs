@@ -1,0 +1,231 @@
+//! Equivalence guarantees of the 64-way parallel-fault screening pre-pass.
+//!
+//! The packed screen exists purely as an accelerator: for every fault it must
+//! report *exactly* the conventional detection (same time unit, same output)
+//! that a scalar faulty-machine simulation reports, and a campaign with
+//! screening enabled must be indistinguishable — status by status — from one
+//! without it. These tests pin both properties across the full embedded
+//! suite, across random circuits, and across checkpoint/resume.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use moa_repro::circuits::suite::suite;
+use moa_repro::circuits::synth::{generate, SynthSpec};
+use moa_repro::core::{
+    read_checkpoint, run_campaign, CampaignAudit, CampaignOptions, CheckpointHeader,
+};
+use moa_repro::netlist::{collapse_faults, full_fault_list, Fault};
+use moa_repro::sim::{run_conventional, screen_faults, simulate};
+use moa_repro::tpg::random_sequence;
+
+/// The ISSUE's headline equivalence: for every representative fault of every
+/// embedded suite circuit, the 64-way packed screen reports bit-identically
+/// the detection (or absence) of the scalar conventional simulation.
+#[test]
+fn screen_matches_scalar_conventional_on_every_suite_fault() {
+    for e in suite() {
+        let circuit = e.build();
+        let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
+        let good = simulate(&circuit, &seq, None);
+        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+            .representatives()
+            .to_vec();
+
+        let outcome = screen_faults(&circuit, &seq, &good, &faults);
+        assert_eq!(outcome.detections.len(), faults.len());
+        assert!(outcome.gate_evaluations > 0, "{}", e.name);
+
+        for (fault, screened) in faults.iter().zip(&outcome.detections) {
+            let (scalar, _) = run_conventional(&circuit, &seq, &good, fault);
+            assert_eq!(
+                *screened, scalar,
+                "{}: screen and scalar conventional disagree on {fault}",
+                e.name
+            );
+        }
+    }
+}
+
+/// Slot verdicts must not depend on which other faults share the word:
+/// screening each fault alone equals screening them 64 at a time. (This is
+/// what makes resume sound — a resumed campaign screens a different, smaller
+/// batch than the original run.)
+#[test]
+fn screen_verdicts_are_independent_of_batch_composition() {
+    let entries = suite();
+    let e = &entries[0];
+    let circuit = e.build();
+    let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
+    let good = simulate(&circuit, &seq, None);
+    let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+        .representatives()
+        .to_vec();
+
+    let batched = screen_faults(&circuit, &seq, &good, &faults);
+    for (i, fault) in faults.iter().enumerate() {
+        let alone = screen_faults(&circuit, &seq, &good, std::slice::from_ref(fault));
+        assert_eq!(
+            alone.detections[0], batched.detections[i],
+            "verdict for {fault} depends on its batch"
+        );
+    }
+}
+
+/// A screened campaign is status-for-status identical to an unscreened one on
+/// every embedded circuit small enough for a debug-mode MOA campaign; the
+/// bench command asserts the same equality on the full suite in release mode.
+#[test]
+fn screened_campaign_matches_unscreened_across_suite() {
+    for e in suite() {
+        let circuit = e.build();
+        if circuit.num_flip_flops() > 10 {
+            continue;
+        }
+        let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
+        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+            .representatives()
+            .to_vec();
+        let screened = run_campaign(&circuit, &seq, &faults, &CampaignOptions::new());
+        let unscreened = run_campaign(
+            &circuit,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                screen: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(screened, unscreened, "{}", e.name);
+    }
+}
+
+/// Screening survives a mid-campaign crash: the resumed run screens only the
+/// still-pending faults and aggregates bit-identically to an uninterrupted,
+/// audited campaign.
+#[test]
+fn screened_audited_campaign_resumes_identically_after_interruption() {
+    let entries = suite();
+    let e = &entries[0];
+    let circuit = e.build();
+    let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
+    let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+        .representatives()
+        .to_vec();
+    let dir = std::env::temp_dir().join("moa-screening-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("screened.checkpoint");
+    let _ = std::fs::remove_file(&path);
+
+    let options = || CampaignOptions {
+        audit: Some(CampaignAudit::default()),
+        ..Default::default()
+    };
+    let reference = run_campaign(&circuit, &seq, &faults, &options());
+    assert_eq!(reference.audit_failed, 0);
+
+    let killer = faults.len() / 2;
+    let interrupted = catch_unwind(AssertUnwindSafe(|| {
+        run_campaign(
+            &circuit,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 8,
+                threads: 1,
+                isolate_panics: false,
+                fault_hook: Some(Arc::new(move |index, _fault: &Fault| {
+                    assert!(index != killer, "simulated crash");
+                })),
+                ..options()
+            },
+        )
+    }));
+    assert!(interrupted.is_err(), "the campaign must have been interrupted");
+
+    let header = CheckpointHeader {
+        circuit: circuit.name().to_owned(),
+        total_faults: faults.len(),
+        seq_len: seq.len(),
+    };
+    let done = read_checkpoint(&path, &header)
+        .unwrap()
+        .iter()
+        .filter(|s| s.is_some())
+        .count();
+    assert!(done > 0 && done < faults.len(), "{done} of {}", faults.len());
+
+    let resumed = run_campaign(
+        &circuit,
+        &seq,
+        &faults,
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 8,
+            resume: true,
+            ..options()
+        },
+    );
+    assert_eq!(reference, resumed);
+}
+
+fn arb_spec() -> impl Strategy<Value = SynthSpec> {
+    (1usize..5, 1usize..4, 1usize..7, 10usize..60, any::<u64>()).prop_map(
+        |(inputs, outputs, ffs, extra_gates, seed)| {
+            SynthSpec::new(
+                "screen-prop",
+                inputs,
+                outputs,
+                ffs,
+                ffs + outputs + extra_gates,
+                seed,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Screen/scalar equivalence holds on random circuits and random
+    /// sequences, for every collapsed fault — not just the embedded suite.
+    #[test]
+    fn screen_matches_scalar_on_random_circuits(
+        spec in arb_spec(),
+        len in 1usize..40,
+        seq_seed in any::<u64>(),
+    ) {
+        let circuit = generate(&spec);
+        let seq = random_sequence(&circuit, len, seq_seed);
+        let good = simulate(&circuit, &seq, None);
+        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+            .representatives()
+            .to_vec();
+        let outcome = screen_faults(&circuit, &seq, &good, &faults);
+        for (fault, screened) in faults.iter().zip(&outcome.detections) {
+            let (scalar, _) = run_conventional(&circuit, &seq, &good, fault);
+            prop_assert_eq!(*screened, scalar, "disagreement on {}", fault);
+        }
+    }
+
+    /// Campaign equality under screening holds on random circuits too.
+    #[test]
+    fn screened_campaign_matches_unscreened_on_random_circuits(spec in arb_spec()) {
+        let circuit = generate(&spec);
+        let seq = random_sequence(&circuit, 24, spec.seed ^ 0x5eed);
+        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+            .representatives()
+            .to_vec();
+        let screened = run_campaign(&circuit, &seq, &faults, &CampaignOptions::new());
+        let unscreened = run_campaign(
+            &circuit,
+            &seq,
+            &faults,
+            &CampaignOptions { screen: false, ..Default::default() },
+        );
+        prop_assert_eq!(screened, unscreened);
+    }
+}
