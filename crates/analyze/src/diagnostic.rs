@@ -1,0 +1,107 @@
+//! Structured findings emitted by the analysis passes.
+
+use std::fmt;
+
+use moa_netlist::{Circuit, GateId, NetId};
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note; never affects exit status.
+    Info,
+    /// Suspicious but legal structure (dead logic, redundancy).
+    Warning,
+    /// Malformed structure; `moa analyze` exits nonzero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of one pass, located on nets and/or gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The emitting pass's stable name (doubles as the diagnostic code).
+    pub pass: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description (already includes net names).
+    pub message: String,
+    /// Nets the finding is located on.
+    pub nets: Vec<NetId>,
+    /// Gates the finding is located on.
+    pub gates: Vec<GateId>,
+}
+
+impl Diagnostic {
+    /// Renders `severity[pass]: message` as shown by `moa analyze`.
+    pub fn render(&self) -> String {
+        format!("{}[{}]: {}", self.severity, self.pass, self.message)
+    }
+
+    /// The names of the located nets, resolved against `circuit`.
+    pub fn net_names<'a>(&self, circuit: &'a Circuit) -> Vec<&'a str> {
+        self.nets.iter().map(|&n| circuit.net_name(n)).collect()
+    }
+}
+
+/// The combined outcome of running a set of passes.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// All diagnostics in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` if any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_displays() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mk = |severity| Diagnostic {
+            pass: "t",
+            severity,
+            message: String::new(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+        };
+        let report = AnalysisReport {
+            diagnostics: vec![mk(Severity::Warning), mk(Severity::Warning), mk(Severity::Error)],
+        };
+        assert_eq!(report.count(Severity::Warning), 2);
+        assert!(report.has_errors());
+        assert_eq!(
+            mk(Severity::Error).render(),
+            "error[t]: "
+        );
+    }
+}

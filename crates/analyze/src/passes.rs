@@ -1,0 +1,520 @@
+//! The structural lint passes and the framework running them.
+//!
+//! Each [`Pass`] inspects a circuit through a shared [`AnalysisContext`] —
+//! which lazily materializes the expensive artifacts (learned implications,
+//! observability) at most once — and emits located [`Diagnostic`]s.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use moa_logic::GateKind;
+use moa_netlist::{observable_nets, Circuit, Driver, GateId, NetId};
+
+use crate::diagnostic::{AnalysisReport, Diagnostic, Severity};
+use crate::learn::ImplicationDb;
+
+/// Shared state for one analysis run over one circuit.
+pub struct AnalysisContext<'a> {
+    circuit: &'a Circuit,
+    implications: OnceLock<ImplicationDb>,
+    observable: OnceLock<Vec<bool>>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// A fresh context; artifacts build lazily on first use.
+    pub fn new(circuit: &'a Circuit) -> Self {
+        AnalysisContext {
+            circuit,
+            implications: OnceLock::new(),
+            observable: OnceLock::new(),
+        }
+    }
+
+    /// The circuit under analysis.
+    pub fn circuit(&self) -> &'a Circuit {
+        self.circuit
+    }
+
+    /// The learned implication database (built on first call).
+    pub fn implications(&self) -> &ImplicationDb {
+        self.implications
+            .get_or_init(|| ImplicationDb::build(self.circuit))
+    }
+
+    /// Per-net observability: `true` if a primary output is reachable from
+    /// the net, possibly across flip-flops.
+    pub fn observable(&self) -> &[bool] {
+        self.observable.get_or_init(|| {
+            let mut flags = vec![false; self.circuit.num_nets()];
+            for n in observable_nets(self.circuit) {
+                flags[n.index()] = true;
+            }
+            flags
+        })
+    }
+}
+
+/// One structural lint.
+pub trait Pass {
+    /// Stable name, used as the diagnostic code.
+    fn name(&self) -> &'static str;
+    /// Runs the pass, returning its findings.
+    fn run(&self, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic>;
+}
+
+/// The standard pass set, in execution order.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(CombinationalCycles),
+        Box::new(UndrivenNets),
+        Box::new(DanglingNets),
+        Box::new(UnobservableNets),
+        Box::new(ConstantNets),
+        Box::new(DuplicateGates),
+        Box::new(RedundantBuffers),
+    ]
+}
+
+/// Runs `passes` over `circuit` with one shared context.
+pub fn run_passes(circuit: &Circuit, passes: &[Box<dyn Pass>]) -> AnalysisReport {
+    let ctx = AnalysisContext::new(circuit);
+    let mut report = AnalysisReport::default();
+    for pass in passes {
+        report.diagnostics.extend(pass.run(&ctx));
+    }
+    report
+}
+
+/// Runs the [`default_passes`] over `circuit`.
+pub fn analyze_circuit(circuit: &Circuit) -> AnalysisReport {
+    run_passes(circuit, &default_passes())
+}
+
+/// Finds a cycle in a directed graph given as adjacency lists, returning the
+/// node sequence of one cycle if any exists. Iterative coloring DFS.
+pub(crate) fn find_cycle(adjacency: &[Vec<usize>]) -> Option<Vec<usize>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = adjacency.len();
+    let mut color = vec![WHITE; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != WHITE {
+            continue;
+        }
+        // Stack of (node, next-edge-index).
+        let mut stack = vec![(start, 0usize)];
+        color[start] = GRAY;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < adjacency[node].len() {
+                let target = adjacency[node][*next];
+                *next += 1;
+                match color[target] {
+                    WHITE => {
+                        color[target] = GRAY;
+                        parent[target] = node;
+                        stack.push((target, 0));
+                    }
+                    GRAY => {
+                        // Found a back edge node -> target: unwind the cycle
+                        // into path order (target first, node last).
+                        let mut cycle = Vec::new();
+                        let mut cur = node;
+                        while cur != target {
+                            cycle.push(cur);
+                            cur = parent[cur];
+                        }
+                        cycle.push(target);
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Detects combinational cycles (paths from a net back to itself without
+/// crossing a flip-flop). A valid [`Circuit`] is acyclic by construction, so
+/// this is defense in depth for circuits built through future front ends.
+pub struct CombinationalCycles;
+
+impl Pass for CombinationalCycles {
+    fn name(&self) -> &'static str {
+        "comb-cycle"
+    }
+
+    fn run(&self, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let c = ctx.circuit();
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); c.num_nets()];
+        for gate in c.gates() {
+            for &input in gate.inputs() {
+                adjacency[input.index()].push(gate.output().index());
+            }
+        }
+        match find_cycle(&adjacency) {
+            Some(cycle) => {
+                let nets: Vec<NetId> = cycle.iter().map(|&i| NetId::new(i)).collect();
+                let path: Vec<&str> = nets.iter().map(|&n| c.net_name(n)).collect();
+                vec![Diagnostic {
+                    pass: self.name(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "combinational cycle through `{}`",
+                        path.join("` -> `")
+                    ),
+                    nets,
+                    gates: Vec::new(),
+                }]
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Detects nets that no primary input, gate or flip-flop drives. Also
+/// impossible for a valid [`Circuit`]; kept as defense in depth.
+pub struct UndrivenNets;
+
+impl Pass for UndrivenNets {
+    fn name(&self) -> &'static str {
+        "undriven-net"
+    }
+
+    fn run(&self, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let c = ctx.circuit();
+        let mut driven = vec![false; c.num_nets()];
+        for &pi in c.inputs() {
+            driven[pi.index()] = true;
+        }
+        for gate in c.gates() {
+            driven[gate.output().index()] = true;
+        }
+        for ff in c.flip_flops() {
+            driven[ff.q().index()] = true;
+        }
+        c.net_ids()
+            .filter(|n| !driven[n.index()])
+            .map(|n| Diagnostic {
+                pass: self.name(),
+                severity: Severity::Error,
+                message: format!("net `{}` has no driver", c.net_name(n)),
+                nets: vec![n],
+                gates: Vec::new(),
+            })
+            .collect()
+    }
+}
+
+/// Detects floating nets: driven but never read — not a gate input, not a
+/// flip-flop data input and not a primary output.
+pub struct DanglingNets;
+
+impl Pass for DanglingNets {
+    fn name(&self) -> &'static str {
+        "dangling-net"
+    }
+
+    fn run(&self, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let c = ctx.circuit();
+        let mut is_output = vec![false; c.num_nets()];
+        for &po in c.outputs() {
+            is_output[po.index()] = true;
+        }
+        c.net_ids()
+            .filter(|&n| c.fanout_count(n) == 0 && !is_output[n.index()])
+            .map(|n| Diagnostic {
+                pass: self.name(),
+                severity: Severity::Warning,
+                message: format!(
+                    "net `{}` is floating: driven but never read or observed",
+                    c.net_name(n)
+                ),
+                nets: vec![n],
+                gates: Vec::new(),
+            })
+            .collect()
+    }
+}
+
+/// Detects nets from which no primary output is reachable (even across
+/// flip-flops): fault effects on them can never be observed.
+pub struct UnobservableNets;
+
+impl Pass for UnobservableNets {
+    fn name(&self) -> &'static str {
+        "unobservable-net"
+    }
+
+    fn run(&self, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let c = ctx.circuit();
+        let observable = ctx.observable();
+        let nets: Vec<NetId> = c.net_ids().filter(|n| !observable[n.index()]).collect();
+        if nets.is_empty() {
+            return Vec::new();
+        }
+        let names: Vec<&str> = nets.iter().map(|&n| c.net_name(n)).collect();
+        vec![Diagnostic {
+            pass: self.name(),
+            severity: Severity::Warning,
+            message: format!(
+                "{} net(s) cannot reach any primary output: `{}`",
+                nets.len(),
+                names.join("`, `")
+            ),
+            nets,
+            gates: Vec::new(),
+        }]
+    }
+}
+
+/// Detects nets statically tied to a constant (proved by the implication
+/// learner: the opposite value conflicts under every input/state assignment).
+pub struct ConstantNets;
+
+impl Pass for ConstantNets {
+    fn name(&self) -> &'static str {
+        "constant-net"
+    }
+
+    fn run(&self, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let c = ctx.circuit();
+        let db = ctx.implications();
+        c.net_ids()
+            .filter_map(|n| {
+                db.constant(n).map(|value| Diagnostic {
+                    pass: self.name(),
+                    severity: Severity::Warning,
+                    message: format!(
+                        "net `{}` is statically tied to constant {}",
+                        c.net_name(n),
+                        u8::from(value)
+                    ),
+                    nets: vec![n],
+                    gates: Vec::new(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Detects gates computing the same function of the same nets (same kind and
+/// input multiset, order-insensitive for the symmetric kinds).
+pub struct DuplicateGates;
+
+impl Pass for DuplicateGates {
+    fn name(&self) -> &'static str {
+        "duplicate-gate"
+    }
+
+    fn run(&self, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let c = ctx.circuit();
+        let mut groups: HashMap<(GateKind, Vec<NetId>), Vec<GateId>> = HashMap::new();
+        for (i, gate) in c.gates().iter().enumerate() {
+            let mut inputs = gate.inputs().to_vec();
+            inputs.sort_unstable();
+            groups
+                .entry((gate.kind(), inputs))
+                .or_default()
+                .push(GateId::new(i));
+        }
+        let mut dups: Vec<Diagnostic> = groups
+            .into_iter()
+            .filter(|(_, gates)| gates.len() > 1)
+            .map(|((kind, _), gates)| {
+                let outputs: Vec<&str> = gates
+                    .iter()
+                    .map(|&g| c.net_name(c.gate(g).output()))
+                    .collect();
+                let nets: Vec<NetId> = gates.iter().map(|&g| c.gate(g).output()).collect();
+                Diagnostic {
+                    pass: self.name(),
+                    severity: Severity::Warning,
+                    message: format!(
+                        "{} {kind:?} gates compute the same function: `{}`",
+                        gates.len(),
+                        outputs.join("`, `")
+                    ),
+                    nets,
+                    gates,
+                }
+            })
+            .collect();
+        dups.sort_by(|a, b| a.gates.cmp(&b.gates));
+        dups
+    }
+}
+
+/// Detects redundant buffer chains: a `BUF` fed by a `BUF`, or a `NOT` fed by
+/// a `NOT` (a double inversion reducible to a buffer).
+pub struct RedundantBuffers;
+
+impl Pass for RedundantBuffers {
+    fn name(&self) -> &'static str {
+        "redundant-buffer"
+    }
+
+    fn run(&self, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let c = ctx.circuit();
+        let mut out = Vec::new();
+        for (i, gate) in c.gates().iter().enumerate() {
+            let kind = gate.kind();
+            if kind != GateKind::Buf && kind != GateKind::Not {
+                continue;
+            }
+            let input = gate.inputs()[0];
+            let Driver::Gate(upstream) = c.driver(input) else {
+                continue;
+            };
+            if c.gate(upstream).kind() != kind {
+                continue;
+            }
+            let what = if kind == GateKind::Buf {
+                "buffer chain"
+            } else {
+                "double inversion"
+            };
+            out.push(Diagnostic {
+                pass: self.name(),
+                severity: Severity::Warning,
+                message: format!(
+                    "redundant {what}: `{}` = {kind:?}(`{}`) where `{}` is itself {kind:?}-driven",
+                    c.net_name(gate.output()),
+                    c.net_name(input),
+                    c.net_name(input),
+                ),
+                nets: vec![gate.output(), input],
+                gates: vec![GateId::new(i), upstream],
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_netlist::CircuitBuilder;
+
+    fn clean_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("clean");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Nor, "d", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["q"]).unwrap();
+        b.add_output("z");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn clean_circuit_yields_no_diagnostics() {
+        let report = analyze_circuit(&clean_circuit());
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn find_cycle_detects_and_locates() {
+        // 0 -> 1 -> 2 -> 1 has the cycle [1, 2].
+        let adjacency = vec![vec![1], vec![2], vec![1]];
+        let cycle = find_cycle(&adjacency).unwrap();
+        assert_eq!(cycle, vec![1, 2]);
+        // A DAG has none.
+        assert!(find_cycle(&[vec![1, 2], vec![2], vec![]]).is_none());
+        // Self-loop.
+        assert_eq!(find_cycle(&[vec![0]]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn dangling_net_is_flagged() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "unused", &["a"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let report = analyze_circuit(&c);
+        let dangling: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.pass == "dangling-net")
+            .collect();
+        assert_eq!(dangling.len(), 1);
+        assert_eq!(dangling[0].net_names(&c), ["unused"]);
+        assert_eq!(dangling[0].severity, Severity::Warning);
+        // The same net is also unobservable.
+        assert!(report.diagnostics.iter().any(|d| d.pass == "unobservable-net"));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn constant_net_is_flagged() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "na", &["a"]).unwrap();
+        b.add_gate(GateKind::And, "x", &["a", "na"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["x"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let report = analyze_circuit(&c);
+        let constants: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.pass == "constant-net")
+            .collect();
+        assert_eq!(constants.len(), 2, "{constants:?}"); // x and z
+        assert!(constants[0].message.contains("constant 0"));
+    }
+
+    #[test]
+    fn duplicate_gates_are_flagged_order_insensitively() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("c").unwrap();
+        b.add_gate(GateKind::And, "x", &["a", "c"]).unwrap();
+        b.add_gate(GateKind::And, "y", &["c", "a"]).unwrap();
+        b.add_gate(GateKind::Or, "z", &["x", "y"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let report = analyze_circuit(&c);
+        let dups: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.pass == "duplicate-gate")
+            .collect();
+        assert_eq!(dups.len(), 1);
+        assert!(dups[0].message.contains('x') && dups[0].message.contains('y'));
+    }
+
+    #[test]
+    fn buffer_chain_and_double_inversion_are_flagged() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Buf, "b1", &["a"]).unwrap();
+        b.add_gate(GateKind::Buf, "b2", &["b1"]).unwrap();
+        b.add_gate(GateKind::Not, "n1", &["b2"]).unwrap();
+        b.add_gate(GateKind::Not, "n2", &["n1"]).unwrap();
+        b.add_output("n2");
+        let c = b.finish().unwrap();
+        let report = analyze_circuit(&c);
+        let redundant: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.pass == "redundant-buffer")
+            .collect();
+        assert_eq!(redundant.len(), 2);
+        assert!(redundant[0].message.contains("buffer chain"));
+        assert!(redundant[1].message.contains("double inversion"));
+    }
+
+    #[test]
+    fn undriven_pass_is_silent_on_valid_circuits() {
+        let report = run_passes(&clean_circuit(), &[Box::new(UndrivenNets)]);
+        assert!(report.diagnostics.is_empty());
+    }
+}

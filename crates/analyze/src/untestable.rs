@@ -1,0 +1,172 @@
+//! Static untestability analysis for stuck-at faults.
+//!
+//! Two structural proofs, both sound under *any* observation scheme (single
+//! observation time, multiple observation times, arbitrary expansion), so the
+//! campaign may skip a proven fault without simulating it:
+//!
+//! - **Unobservable site.** No primary output is reachable from the net the
+//!   fault effect first appears on (even across flip-flops): the effect can
+//!   never reach an output at any time unit. This covers whole unobservable
+//!   fanout-free cones at once, since every net inside one is unobservable.
+//! - **Constant line.** The implication learner proved the read line is
+//!   statically tied to the very value the fault forces: the faulty machine
+//!   computes the same binary function as the good machine at every time
+//!   unit, so no test distinguishes them.
+
+use moa_netlist::{observable_nets, Circuit, Fault, FaultSite};
+
+use crate::learn::ImplicationDb;
+
+/// Why a fault is statically untestable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UntestableProof {
+    /// No primary output is reachable from the fault site.
+    Unobservable,
+    /// The faulted line is statically tied to the stuck value.
+    ConstantLine {
+        /// The proven constant (equal to the fault's stuck value).
+        value: bool,
+    },
+}
+
+impl UntestableProof {
+    /// Short stable tag used by checkpoints and `--json` output.
+    pub fn tag(&self) -> String {
+        match self {
+            UntestableProof::Unobservable => "unobservable".to_owned(),
+            UntestableProof::ConstantLine { value } => {
+                format!("constant-{}", u8::from(*value))
+            }
+        }
+    }
+}
+
+/// Per-circuit screen answering "is this fault statically untestable?".
+#[derive(Debug, Clone)]
+pub struct UntestableScreen {
+    observable: Vec<bool>,
+    constants: Vec<Option<bool>>,
+}
+
+impl UntestableScreen {
+    /// Builds the screen from the circuit's observability and an already
+    /// learned implication database.
+    pub fn new(circuit: &Circuit, db: &ImplicationDb) -> Self {
+        let mut observable = vec![false; circuit.num_nets()];
+        for n in observable_nets(circuit) {
+            observable[n.index()] = true;
+        }
+        UntestableScreen {
+            observable,
+            constants: circuit.net_ids().map(|n| db.constant(n)).collect(),
+        }
+    }
+
+    /// Returns the static proof if `fault` is untestable, `None` when the
+    /// screen cannot decide (the fault may still be undetectable).
+    pub fn check(&self, circuit: &Circuit, fault: &Fault) -> Option<UntestableProof> {
+        // The net on which the fault effect first becomes visible.
+        let effect_net = match fault.site {
+            FaultSite::Net(n) => n,
+            FaultSite::GateInput { gate, .. } => circuit.gate(gate).output(),
+            FaultSite::FlipFlopInput(ff) => circuit.flip_flop(ff).q(),
+        };
+        if !self.observable[effect_net.index()] {
+            return Some(UntestableProof::Unobservable);
+        }
+        // The line the fault pins, compared against its static constant.
+        let read = fault.source_net(circuit);
+        if self.constants[read.index()] == Some(fault.stuck) {
+            return Some(UntestableProof::ConstantLine { value: fault.stuck });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::GateKind;
+    use moa_netlist::{CircuitBuilder, Driver};
+
+    #[test]
+    fn proof_tags_are_stable() {
+        assert_eq!(UntestableProof::Unobservable.tag(), "unobservable");
+        assert_eq!(
+            UntestableProof::ConstantLine { value: true }.tag(),
+            "constant-1"
+        );
+    }
+
+    #[test]
+    fn unobservable_cone_faults_are_proven() {
+        // `dead` feeds nothing: faults on it (and on the pin of the gate
+        // driving it) can never be observed.
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "dead", &["a"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let db = ImplicationDb::build(&c);
+        let screen = UntestableScreen::new(&c, &db);
+        let dead = c.find_net("dead").unwrap();
+        assert_eq!(
+            screen.check(&c, &Fault::stem(dead, true)),
+            Some(UntestableProof::Unobservable)
+        );
+        // A fault on the observable path stays undecided.
+        let z = c.find_net("z").unwrap();
+        assert_eq!(screen.check(&c, &Fault::stem(z, true)), None);
+        // A branch fault entering the dead gate is unobservable too.
+        let Driver::Gate(dead_gate) = c.driver(dead) else {
+            unreachable!()
+        };
+        assert_eq!(
+            screen.check(&c, &Fault::gate_input(dead_gate, 0, false)),
+            Some(UntestableProof::Unobservable)
+        );
+    }
+
+    #[test]
+    fn constant_line_fault_matching_stuck_value_is_proven() {
+        // x = AND(a, NOT(a)) is constant 0: x stuck-at-0 is untestable,
+        // x stuck-at-1 is not provable by this rule.
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "na", &["a"]).unwrap();
+        b.add_gate(GateKind::And, "x", &["a", "na"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["x"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let db = ImplicationDb::build(&c);
+        let screen = UntestableScreen::new(&c, &db);
+        let x = c.find_net("x").unwrap();
+        assert_eq!(
+            screen.check(&c, &Fault::stem(x, false)),
+            Some(UntestableProof::ConstantLine { value: false })
+        );
+        assert_eq!(screen.check(&c, &Fault::stem(x, true)), None);
+    }
+
+    #[test]
+    fn flip_flop_input_fault_uses_q_observability() {
+        // The flip-flop's q net only feeds a dead gate: a fault on its data
+        // input can never be observed.
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Buf, "d", &["a"]).unwrap();
+        b.add_gate(GateKind::Not, "dead", &["q"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let db = ImplicationDb::build(&c);
+        let screen = UntestableScreen::new(&c, &db);
+        let fault = Fault::flip_flop_input(moa_netlist::FlipFlopId::new(0), true);
+        assert_eq!(
+            screen.check(&c, &fault),
+            Some(UntestableProof::Unobservable)
+        );
+    }
+}

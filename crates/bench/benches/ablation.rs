@@ -32,7 +32,7 @@ fn bench_campaign_ablations(c: &mut Criterion) {
                 &faults,
                 MoaOptions::default(),
             ))
-        })
+        });
     });
     group.bench_function("baseline_no_backward", |b| {
         b.iter(|| {
@@ -42,7 +42,7 @@ fn bench_campaign_ablations(c: &mut Criterion) {
                 &faults,
                 MoaOptions::baseline(),
             ))
-        })
+        });
     });
 
     for n_states in [2usize, 8, 64, 256] {
@@ -54,7 +54,7 @@ fn bench_campaign_ablations(c: &mut Criterion) {
                     &faults,
                     MoaOptions::default().with_n_states(n_states),
                 ))
-            })
+            });
         });
     }
 
@@ -67,7 +67,7 @@ fn bench_campaign_ablations(c: &mut Criterion) {
                     &faults,
                     MoaOptions::default().with_max_implication_runs(budget),
                 ))
-            })
+            });
         });
     }
 
@@ -76,7 +76,7 @@ fn bench_campaign_ablations(c: &mut Criterion) {
             include_final_time_unit: true,
             ..Default::default()
         };
-        b.iter(|| black_box(run_with_options(&circuit, &seq, &faults, opts.clone())))
+        b.iter(|| black_box(run_with_options(&circuit, &seq, &faults, opts.clone())));
     });
 
     for depth in [1usize, 2, 3] {
@@ -88,7 +88,7 @@ fn bench_campaign_ablations(c: &mut Criterion) {
                     &faults,
                     MoaOptions::default().with_backward_time_units(depth),
                 ))
-            })
+            });
         });
     }
 
@@ -97,7 +97,7 @@ fn bench_campaign_ablations(c: &mut Criterion) {
             packed_resimulation: true,
             ..Default::default()
         };
-        b.iter(|| black_box(run_with_options(&circuit, &seq, &faults, opts.clone())))
+        b.iter(|| black_box(run_with_options(&circuit, &seq, &faults, opts.clone())));
     });
 
     group.bench_function("fixed_point_rounds_4", |b| {
@@ -108,7 +108,7 @@ fn bench_campaign_ablations(c: &mut Criterion) {
                 &faults,
                 MoaOptions::default().with_implication_rounds(4),
             ))
-        })
+        });
     });
     group.finish();
 }

@@ -18,13 +18,13 @@ fn bench_good_simulation(c: &mut Criterion) {
     let small = s27();
     let seq27 = random_sequence(&small, 64, 1);
     group.bench_function("s27_L64", |b| {
-        b.iter(|| black_box(simulate(&small, &seq27, None)))
+        b.iter(|| black_box(simulate(&small, &seq27, None)));
     });
 
     let mid = generate(&SynthSpec::new("mid", 10, 5, 12, 200, 5));
     let seq_mid = random_sequence(&mid, 64, 2);
     group.bench_function("synth200_L64", |b| {
-        b.iter(|| black_box(simulate(&mid, &seq_mid, None)))
+        b.iter(|| black_box(simulate(&mid, &seq_mid, None)));
     });
     group.finish();
 }
@@ -50,7 +50,7 @@ fn bench_conventional_fault_sim(c: &mut Criterion) {
                 })
                 .count();
             black_box(detected)
-        })
+        });
     });
     group.finish();
 }
@@ -75,7 +75,7 @@ fn bench_differential_fault_sim(c: &mut Criterion) {
                 }
             }
             black_box(detected)
-        })
+        });
     });
     group.finish();
 }
@@ -94,7 +94,7 @@ fn bench_event_driven(c: &mut Criterion) {
     let q0 = circuit.flip_flops()[0].q();
 
     group.bench_function("full_frame_eval", |b| {
-        b.iter(|| black_box(moa_sim::compute_frame(&circuit, &pattern, &state, None)))
+        b.iter(|| black_box(moa_sim::compute_frame(&circuit, &pattern, &state, None)));
     });
     group.bench_function("single_bit_update", |b| {
         let mut sim = EventSim::new(&circuit, None);
@@ -103,7 +103,7 @@ fn bench_event_driven(c: &mut Criterion) {
         b.iter(|| {
             v = !v;
             black_box(sim.update(&[(q0, v)]).num_specified())
-        })
+        });
     });
     group.finish();
 }
@@ -121,7 +121,7 @@ fn bench_packed_frame(c: &mut Criterion) {
             || (pattern.clone(), state.clone()),
             |(p, s)| black_box(run_packed_frame(&circuit, &p, &s, Some(&fault))),
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }
@@ -134,7 +134,7 @@ fn bench_sequence_generation(c: &mut Criterion) {
             seed += 1;
             let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
             black_box(TestSequence::random(35, 128, &mut rng))
-        })
+        });
     });
     group.finish();
 }

@@ -18,7 +18,7 @@ fn bench_frame_context(c: &mut Criterion) {
         .collect();
     let state = vec![V3::X; circuit.num_flip_flops()];
     group.bench_function("synth200", |b| {
-        b.iter(|| black_box(FrameContext::new(&circuit, &pattern, &state, None)))
+        b.iter(|| black_box(FrameContext::new(&circuit, &pattern, &state, None)));
     });
     group.finish();
 }
@@ -32,7 +32,7 @@ fn bench_assertions(c: &mut Criterion) {
     let ctx = FrameContext::new(&small, &pattern, &state, None);
     let g11 = small.find_net("G11").expect("s27 net");
     group.bench_function("s27_one_round", |b| {
-        b.iter(|| black_box(ctx.imply(&[(g11, V3::One)], 1)))
+        b.iter(|| black_box(ctx.imply(&[(g11, V3::One)], 1)));
     });
 
     let mid = generate(&SynthSpec::new("mid", 10, 5, 12, 200, 5));
@@ -44,7 +44,7 @@ fn bench_assertions(c: &mut Criterion) {
     let d0 = mid.flip_flops()[0].d();
     for rounds in [1usize, 2, 4] {
         group.bench_function(format!("synth200_rounds{rounds}"), |b| {
-            b.iter(|| black_box(ctx.imply(&[(d0, V3::One)], rounds)))
+            b.iter(|| black_box(ctx.imply(&[(d0, V3::One)], rounds)));
         });
     }
     group.finish();

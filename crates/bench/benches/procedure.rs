@@ -25,7 +25,7 @@ fn bench_per_fault(c: &mut Criterion) {
         FaultStatus::DetectedConventional(_)
     ));
     group.bench_function("conventional_detection", |b| {
-        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &conventional, &opts)))
+        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &conventional, &opts)));
     });
 
     let skipped = Fault::stem(circuit.find_net("d").expect("net"), false);
@@ -34,7 +34,7 @@ fn bench_per_fault(c: &mut Criterion) {
         FaultStatus::SkippedConditionC
     ));
     group.bench_function("condition_c_skip", |b| {
-        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &skipped, &opts)))
+        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &skipped, &opts)));
     });
 
     let expansion = Fault::stem(circuit.find_net("r").expect("net"), true);
@@ -42,12 +42,12 @@ fn bench_per_fault(c: &mut Criterion) {
         .status
         .is_extra_detected());
     group.bench_function("full_pipeline_extra_detection", |b| {
-        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &expansion, &opts)))
+        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &expansion, &opts)));
     });
 
     let baseline = MoaOptions::baseline();
     group.bench_function("full_pipeline_baseline", |b| {
-        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &expansion, &baseline)))
+        b.iter(|| black_box(simulate_fault(&circuit, &seq, &good, &expansion, &baseline)));
     });
     group.finish();
 }

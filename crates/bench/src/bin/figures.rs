@@ -76,7 +76,7 @@ fn main() {
     for alpha in [V3::Zero, V3::One] {
         match ctx.imply(&[(l11, alpha)], 1) {
             ImplyOutcome::Conflict => {
-                println!("  line 11 = {alpha}: CONFLICT (line 2 forced to both 0 and 1)")
+                println!("  line 11 = {alpha}: CONFLICT (line 2 forced to both 0 and 1)");
             }
             ImplyOutcome::Values(_) => println!("  line 11 = {alpha}: consistent"),
         }

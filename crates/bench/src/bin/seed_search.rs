@@ -72,7 +72,7 @@ fn main() {
                 row.proposed.extra, elapsed
             );
             println!("  {} -> score {score:.2}", summary);
-            if best.as_ref().map(|(_, s, _)| score < *s).unwrap_or(true) {
+            if best.as_ref().is_none_or(|(_, s, _)| score < *s) {
                 best = Some((spec.seed, score, summary));
             }
         }

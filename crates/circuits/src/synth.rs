@@ -393,10 +393,10 @@ fn pick_signal(rng: &mut StdRng, spec: &SynthSpec, sources: &[String], gates: &G
         let window = gates.names.len().min(12);
         let base = gates.names.len() - window;
         let unused: Vec<usize> = (base..gates.names.len()).filter(|&g| !gates.used[g]).collect();
-        if !unused.is_empty() {
-            Picked::Gate(unused[rng.random_range(0..unused.len())])
-        } else {
+        if unused.is_empty() {
             Picked::Gate(base + rng.random_range(0..window))
+        } else {
+            Picked::Gate(unused[rng.random_range(0..unused.len())])
         }
     } else if r < 80 {
         Picked::Gate(rng.random_range(0..gates.names.len()))

@@ -1,0 +1,281 @@
+//! `moa analyze` — static netlist analysis: structural lints, learned
+//! implications and untestability screening, without running any simulation.
+
+use std::fmt::Write as _;
+use std::io::Write;
+
+use moa_analyze::{analyze_circuit, AnalysisReport, ImplicationDb, Severity, UntestableScreen};
+use moa_circuits::suite::suite;
+use moa_netlist::{full_fault_list, Circuit};
+
+use crate::{load_circuit, ArgParser, CliError};
+
+const USAGE: &str = "usage: moa analyze <bench-file>... [--json]
+       moa analyze --suite [NAME...] [--json]";
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parser = ArgParser::parse(args, USAGE, &[], &["json", "suite"])?;
+    let json = parser.switch("json");
+    let circuits: Vec<Circuit> = if parser.switch("suite") {
+        let filter = parser.positional();
+        let entries: Vec<_> = suite()
+            .into_iter()
+            .filter(|e| filter.is_empty() || filter.iter().any(|f| f == e.name))
+            .collect();
+        if entries.is_empty() {
+            return Err(CliError::Usage(format!(
+                "no suite circuit matches {filter:?}\n\n{USAGE}"
+            )));
+        }
+        entries.iter().map(moa_circuits::suite::SuiteEntry::build).collect()
+    } else {
+        if parser.positional().is_empty() {
+            return Err(CliError::Usage(format!("missing bench file\n\n{USAGE}")));
+        }
+        parser
+            .positional()
+            .iter()
+            .map(|p| load_circuit(p))
+            .collect::<Result<_, _>>()?
+    };
+
+    let analyses: Vec<Analysis> = circuits.iter().map(Analysis::of).collect();
+    if json {
+        writeln!(out, "{}", render_json(&analyses))?;
+    } else {
+        for a in &analyses {
+            a.render_human(out)?;
+        }
+    }
+
+    let errors: usize = analyses.iter().map(|a| a.report.count(Severity::Error)).sum();
+    if errors > 0 {
+        return Err(CliError::Failed(format!(
+            "{errors} error-severity diagnostic(s)"
+        )));
+    }
+    Ok(())
+}
+
+/// Everything `moa analyze` reports about one circuit.
+struct Analysis<'a> {
+    circuit: &'a Circuit,
+    report: AnalysisReport,
+    implications: ImplicationDb,
+    total_faults: usize,
+    unobservable: usize,
+    constant: usize,
+}
+
+impl<'a> Analysis<'a> {
+    fn of(circuit: &'a Circuit) -> Self {
+        let report = analyze_circuit(circuit);
+        let implications = ImplicationDb::build(circuit);
+        let screen = UntestableScreen::new(circuit, &implications);
+        let faults = full_fault_list(circuit);
+        let mut unobservable = 0usize;
+        let mut constant = 0usize;
+        for fault in &faults {
+            match screen.check(circuit, fault) {
+                Some(moa_analyze::UntestableProof::Unobservable) => unobservable += 1,
+                Some(moa_analyze::UntestableProof::ConstantLine { .. }) => constant += 1,
+                None => {}
+            }
+        }
+        Analysis {
+            circuit,
+            report,
+            implications,
+            total_faults: faults.len(),
+            unobservable,
+            constant,
+        }
+    }
+
+    fn untestable(&self) -> usize {
+        self.unobservable + self.constant
+    }
+
+    fn render_human(&self, out: &mut dyn Write) -> Result<(), CliError> {
+        writeln!(out, "== {} ==", self.circuit.name())?;
+        for d in &self.report.diagnostics {
+            writeln!(out, "{}", d.render())?;
+        }
+        writeln!(
+            out,
+            "diagnostics : {} error(s), {} warning(s), {} note(s)",
+            self.report.count(Severity::Error),
+            self.report.count(Severity::Warning),
+            self.report.count(Severity::Info),
+        )?;
+        writeln!(
+            out,
+            "implications: {} learned edges, {} constant net(s)",
+            self.implications.num_edges(),
+            self.implications.num_constants(),
+        )?;
+        writeln!(
+            out,
+            "untestable  : {} of {} faults ({} unobservable, {} constant-line)",
+            self.untestable(),
+            self.total_faults,
+            self.unobservable,
+            self.constant,
+        )?;
+        Ok(())
+    }
+}
+
+/// Renders the analyses as a JSON array (hand-rolled — the workspace takes no
+/// serialization dependency).
+fn render_json(analyses: &[Analysis<'_>]) -> String {
+    let mut s = String::from("[");
+    for (i, a) in analyses.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"circuit\":{}", json_string(a.circuit.name()));
+        s.push_str(",\"diagnostics\":[");
+        for (j, d) in a.report.diagnostics.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"pass\":{},\"severity\":{},\"message\":{},\"nets\":[",
+                json_string(d.pass),
+                json_string(&d.severity.to_string()),
+                json_string(&d.message)
+            );
+            for (k, name) in d.net_names(a.circuit).iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                s.push_str(&json_string(name));
+            }
+            s.push_str("]}");
+        }
+        let _ = write!(
+            s,
+            "],\"errors\":{},\"warnings\":{},\"infos\":{}",
+            a.report.count(Severity::Error),
+            a.report.count(Severity::Warning),
+            a.report.count(Severity::Info)
+        );
+        let _ = write!(
+            s,
+            ",\"implications\":{{\"edges\":{},\"constants\":{}}}",
+            a.implications.num_edges(),
+            a.implications.num_constants()
+        );
+        let _ = write!(
+            s,
+            ",\"untestable\":{{\"total\":{},\"unobservable\":{},\"constant\":{}}},\"faults\":{}}}",
+            a.untestable(),
+            a.unobservable,
+            a.constant,
+            a.total_faults
+        );
+    }
+    s.push(']');
+    s
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(text: &str) -> String {
+    let mut s = String::with_capacity(text.len() + 2);
+    s.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_bench(name: &str, source: &str) -> String {
+        let dir = std::env::temp_dir().join("moa-cli-analyze-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, source).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn clean_circuit_reports_no_diagnostics() {
+        let path = write_bench("s27.bench", moa_circuits::iscas::S27_BENCH);
+        let mut out = Vec::new();
+        run(&[path], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("== s27 =="), "{text}");
+        assert!(text.contains("0 error(s)"), "{text}");
+        assert!(text.contains("implications:"), "{text}");
+    }
+
+    #[test]
+    fn constant_net_is_flagged_with_location() {
+        // x = AND(a, NOT(a)) is statically 0; z = OR(b, x) keeps x observable
+        // so the only finding is the constant.
+        let path = write_bench(
+            "const.bench",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nna = NOT(a)\nx = AND(a, na)\nz = OR(b, x)\n",
+        );
+        let mut out = Vec::new();
+        run(&[path], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("warning[constant-net]"), "{text}");
+        assert!(text.contains("`x`"), "{text}");
+    }
+
+    #[test]
+    fn json_output_is_structured() {
+        let path = write_bench(
+            "dangle.bench",
+            "INPUT(a)\nOUTPUT(z)\nw = NOT(a)\nz = BUFF(a)\n",
+        );
+        let mut out = Vec::new();
+        run(&[path, "--json".into()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with('[') && text.trim_end().ends_with(']'), "{text}");
+        assert!(text.contains("\"pass\":\"dangling-net\""), "{text}");
+        assert!(text.contains("\"severity\":\"warning\""), "{text}");
+        assert!(text.contains("\"nets\":[\"w\"]"), "{text}");
+        assert!(text.contains("\"untestable\":"), "{text}");
+    }
+
+    #[test]
+    fn suite_mode_analyzes_stand_ins() {
+        let mut out = Vec::new();
+        run(&["--suite".into(), "s208".into(), "--json".into()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"circuit\":\"s208\""), "{text}");
+        // The s208 stand-in is known to carry statically unobservable logic.
+        assert!(text.contains("\"unobservable\":"), "{text}");
+    }
+
+    #[test]
+    fn unknown_suite_name_is_usage_error() {
+        let mut out = Vec::new();
+        let err = run(&["--suite".into(), "nope".into()], &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -17,7 +17,8 @@ use crate::{load_circuit, ArgParser, CliError};
 const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random L [--seed S]] \
 [--baseline | --proposed | --both] [--n-states N] [--depth K] [--rounds R] [--budget B] \
 [--threads T] [--deadline-ms MS] [--work-limit W] [--checkpoint FILE [--checkpoint-every N] \
-[--resume]] [--audit[=N]] [--no-collapse] [--packed] [--differential] [--no-screen] [--verbose]";
+[--resume]] [--audit[=N]] [--no-collapse] [--packed] [--differential] [--no-screen] \
+[--learn] [--prune-untestable] [--verbose]";
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     // `--audit[=N]` carries an optional inline value, which the flag parser
@@ -48,7 +49,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ],
         &[
             "baseline", "proposed", "both", "no-collapse", "packed", "differential", "no-screen",
-            "verbose", "resume",
+            "learn", "prune-untestable", "verbose", "resume",
         ],
     )?;
     let circuit = load_circuit(parser.required(0, "bench file")?)?;
@@ -67,6 +68,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .with_implication_rounds(parser.num("rounds", 1)?)
         .with_max_implication_runs(parser.num("budget", 4096)?);
     moa.packed_resimulation = parser.switch("packed");
+    moa.static_learning = parser.switch("learn");
+    let prune_untestable = parser.switch("prune-untestable");
     let threads = parser.num("threads", 0usize)?;
 
     let mut fault_budget = FaultBudget::none();
@@ -127,6 +130,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             threads,
             differential,
             screen,
+            prune_untestable,
             budget: fault_budget.clone(),
             checkpoint: checkpoint.clone(),
             checkpoint_every,
@@ -142,6 +146,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             threads,
             differential,
             screen,
+            prune_untestable,
             budget: fault_budget,
             checkpoint,
             checkpoint_every,
@@ -183,6 +188,9 @@ fn print_summary(out: &mut dyn Write, r: &CampaignResult) -> Result<(), CliError
     writeln!(out, "    conventional      : {}", r.conventional)?;
     writeln!(out, "    beyond conventional: {}", r.extra)?;
     writeln!(out, "  condition-C skips   : {}", r.skipped_condition_c)?;
+    if r.untestable > 0 {
+        writeln!(out, "  untestable (static) : {}", r.untestable)?;
+    }
     writeln!(out, "  budget-truncated    : {}", r.truncated)?;
     if r.budget_exceeded > 0 {
         writeln!(out, "  budget-exceeded     : {}", r.budget_exceeded)?;
@@ -277,7 +285,7 @@ mod tests {
                 "--checkpoint".into(),
                 ckpt.clone(),
             ];
-            v.extend(extra.iter().map(|s| s.to_string()));
+            v.extend(extra.iter().map(std::string::ToString::to_string));
             v
         };
 
@@ -369,6 +377,32 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn learn_and_prune_flags_preserve_verdicts() {
+        let base = |extra: &[&str]| -> Vec<String> {
+            let mut v = vec![toggle_path(), "--words".into(), "0,0,0".into(), "--proposed".into()];
+            v.extend(extra.iter().map(std::string::ToString::to_string));
+            v
+        };
+        let summary = |args: &[String]| -> String {
+            let mut out = Vec::new();
+            run(args, &mut out).unwrap();
+            String::from_utf8(out)
+                .unwrap()
+                .lines()
+                .filter(|l| l.contains("detected total") || l.contains("conventional"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let plain = summary(&base(&[]));
+        assert_eq!(plain, summary(&base(&["--learn"])), "--learn changed verdicts");
+        assert_eq!(
+            plain,
+            summary(&base(&["--prune-untestable"])),
+            "--prune-untestable changed verdicts (toggle has no untestable faults)"
+        );
     }
 
     #[test]

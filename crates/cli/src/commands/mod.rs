@@ -1,5 +1,6 @@
 //! One module per subcommand.
 
+pub mod analyze;
 pub mod bench;
 pub mod campaign;
 pub mod exact;

@@ -77,6 +77,8 @@ USAGE:
 
 COMMANDS:
     stats     <bench>                circuit statistics
+    analyze   <bench>... | --suite [NAME...] [--json]
+              static lints, learned implications, untestability screening
     faults    <bench> [--collapse]   stuck-at fault list
     sim       <bench> --words W,...  | --random L [--seed S]   three-valued simulation
     campaign  <bench> [--random L] [--seed S] [--baseline|--proposed|--both]
@@ -84,6 +86,7 @@ COMMANDS:
               [--deadline-ms MS] [--work-limit W]     per-fault budgets
               [--checkpoint FILE [--checkpoint-every N] [--resume]]
               [--audit[=N]]                audit detections by certificate replay
+              [--learn] [--prune-untestable]   static learning / untestability pruning
     tpg       <bench> [--max-length L] [--seed S] [--compact]  deterministic test generation
     exact     <bench> [--random L] [--seed S]    exhaustive restricted-MOA check (small circuits)
     explain   <bench> --fault NET/saX            per-fault pipeline trace
@@ -109,6 +112,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let rest = &args[1..];
     match command.as_str() {
         "stats" => commands::stats::run(rest, out),
+        "analyze" => commands::analyze::run(rest, out),
         "faults" => commands::faults::run(rest, out),
         "sim" => commands::sim::run(rest, out),
         "campaign" => commands::campaign::run(rest, out),

@@ -229,7 +229,7 @@ pub fn audit_certificate(
         let mut state: Vec<u64> = (0..k)
             .map(|i| {
                 let mut word = 0u64;
-                for s in 0..batch as u64 {
+                for s in 0..u64::from(batch) {
                     if (base + s) >> i & 1 == 1 {
                         word |= 1 << s;
                     }
@@ -283,7 +283,7 @@ pub fn audit_certificate(
 
         let bad = valid & (infeasible_hit | violated | !covered);
         if bad != 0 {
-            let slot = bad.trailing_zeros() as u64;
+            let slot = u64::from(bad.trailing_zeros());
             let witness = base + slot;
             let bit = 1u64 << slot;
             let reason = if infeasible_hit & bit != 0 {
@@ -393,7 +393,7 @@ mod tests {
             audit_certificate(&c, &seq, &good, &fault, &cert, &AuditOptions::default());
         match status {
             AuditStatus::Refuted { reason } => {
-                assert!(reason.contains("does not replay"), "{reason}")
+                assert!(reason.contains("does not replay"), "{reason}");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -423,7 +423,7 @@ mod tests {
             audit_certificate(&c, &seq, &good, &fault, &cert, &AuditOptions::default());
         match status {
             AuditStatus::Refuted { reason } => {
-                assert!(reason.contains("concrete witness"), "{reason}")
+                assert!(reason.contains("concrete witness"), "{reason}");
             }
             other => panic!("unexpected {other:?}"),
         }

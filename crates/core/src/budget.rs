@@ -43,12 +43,14 @@ impl FaultBudget {
     }
 
     /// Returns a copy with a wall-clock deadline.
+    #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
     }
 
     /// Returns a copy with a work-unit ceiling.
+    #[must_use]
     pub fn with_work_limit(mut self, max_work: u64) -> Self {
         self.max_work = Some(max_work);
         self

@@ -80,6 +80,14 @@ pub struct CampaignOptions {
     /// mates), so results are unchanged — including across checkpoint/resume,
     /// which screens only the still-unresolved faults. On by default.
     pub screen: bool,
+    /// Statically prove faults untestable before simulating anything: a fault
+    /// whose effect cannot reach any primary output, or whose fault-free line
+    /// is tied to the stuck value, is recorded as
+    /// [`FaultStatus::Untestable`] with zero simulation work charged. The
+    /// proofs hold under *any* test sequence and *any* observation scheme, so
+    /// pruning never changes the verdict of a testable fault. Off by default
+    /// so plain campaigns report the paper's raw statuses.
+    pub prune_untestable: bool,
     /// Per-fault resource budget (wall-clock deadline and/or work-unit
     /// ceiling). A fault exceeding it is abandoned with
     /// [`FaultStatus::BudgetExceeded`] — the campaign keeps going.
@@ -116,6 +124,7 @@ impl std::fmt::Debug for CampaignOptions {
             .field("threads", &self.threads)
             .field("differential", &self.differential)
             .field("screen", &self.screen)
+            .field("prune_untestable", &self.prune_untestable)
             .field("budget", &self.budget)
             .field("isolate_panics", &self.isolate_panics)
             .field("checkpoint", &self.checkpoint)
@@ -137,6 +146,7 @@ impl Default for CampaignOptions {
             threads: 0,
             differential: false,
             screen: true,
+            prune_untestable: false,
             budget: FaultBudget::none(),
             isolate_panics: true,
             checkpoint: None,
@@ -177,6 +187,10 @@ pub struct CampaignResult {
     pub extra: usize,
     /// Faults dropped by the necessary condition (C).
     pub skipped_condition_c: usize,
+    /// Faults statically proven untestable and skipped with zero simulation
+    /// work ([`FaultStatus::Untestable`]). Always `0` without
+    /// [`CampaignOptions::prune_untestable`].
+    pub untestable: usize,
     /// Faults whose collection sweep hit the implication budget.
     pub truncated: usize,
     /// Undetected faults for which at least one expanded sequence was
@@ -217,6 +231,7 @@ impl PartialEq for CampaignResult {
             && self.conventional == other.conventional
             && self.extra == other.extra
             && self.skipped_condition_c == other.skipped_condition_c
+            && self.untestable == other.untestable
             && self.truncated == other.truncated
             && self.partially_covered == other.partially_covered
             && self.aborted == other.aborted
@@ -352,6 +367,7 @@ fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) 
         conventional: 0,
         extra: 0,
         skipped_condition_c: 0,
+        untestable: 0,
         truncated: 0,
         partially_covered: 0,
         aborted: 0,
@@ -366,6 +382,7 @@ fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) 
         match &r.status {
             FaultStatus::DetectedConventional(_) => campaign.conventional += 1,
             FaultStatus::SkippedConditionC => campaign.skipped_condition_c += 1,
+            FaultStatus::Untestable { .. } => campaign.untestable += 1,
             FaultStatus::NotDetected {
                 truncated,
                 undecided,
@@ -410,15 +427,33 @@ fn run_all(
     slots: &mut [Option<FaultResult>],
     perf: &mut PerfCounters,
 ) -> Result<(), Error> {
+    // Implication regions and fan-out cones are a property of the circuit
+    // alone: build them once and share across faults and worker threads.
+    let cones = ConeCache::new(circuit);
+    // Static untestability pruning runs before any simulation: a proven
+    // fault's slot is filled directly with zero counters and zero runs, so
+    // neither the packed screen nor the per-fault procedure ever sees it.
+    if options.prune_untestable {
+        let screen = moa_analyze::UntestableScreen::new(circuit, cones.learned_db());
+        for (index, slot) in slots.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            if let Some(proof) = screen.check(circuit, &faults[index]) {
+                *slot = Some(FaultResult {
+                    status: FaultStatus::Untestable { proof },
+                    counters: Counters::new(),
+                    runs: 0,
+                });
+            }
+        }
+    }
     let pending: Vec<usize> = slots
         .iter()
         .enumerate()
         .filter_map(|(i, slot)| slot.is_none().then_some(i))
         .collect();
     let screened = screen_pending(circuit, seq, good, faults, options, &pending, perf);
-    // Implication regions and fan-out cones are a property of the circuit
-    // alone: build them once and share across faults and worker threads.
-    let cones = ConeCache::new(circuit);
     let batch_size = if options.checkpoint.is_some() {
         options.checkpoint_every.max(1)
     } else {
@@ -557,8 +592,7 @@ fn run_batch(
 
     let threads = if options.threads == 0 {
         std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+            .map_or(1, std::num::NonZero::get)
     } else {
         options.threads
     };

@@ -198,29 +198,26 @@ impl DetectionCertificate {
         forced: &[(PairKey, usize)],
         both_forced: Option<PairKey>,
     ) -> Self {
-        let claims = match both_forced {
-            Some(key) => match collection.info(key) {
-                Some(info) => vec![
-                    side_claim(key, 0, info.evidence[0]),
-                    side_claim(key, 1, info.evidence[1]),
-                ],
-                None => vec![broken_claim(Vec::new())],
-            },
-            None => {
-                let mut claims = forced_claims(collection, forced);
-                let kept_cube: Vec<StateAssignment> = forced
-                    .iter()
-                    .map(|&(key, alpha)| (key.u, key.i, alpha == 0))
-                    .collect();
-                // The contradiction frame is not singular (it involves every
-                // kept side); report the earliest involved time unit.
-                let time = forced.iter().map(|(k, _)| k.u).min().unwrap_or(0);
-                claims.push(CertificateClaim {
-                    assignments: kept_cube,
-                    kind: ClaimKind::Infeasible { time },
-                });
-                claims
-            }
+        let claims = if let Some(key) = both_forced { match collection.info(key) {
+            Some(info) => vec![
+                side_claim(key, 0, info.evidence[0]),
+                side_claim(key, 1, info.evidence[1]),
+            ],
+            None => vec![broken_claim(Vec::new())],
+        } } else {
+            let mut claims = forced_claims(collection, forced);
+            let kept_cube: Vec<StateAssignment> = forced
+                .iter()
+                .map(|&(key, alpha)| (key.u, key.i, alpha == 0))
+                .collect();
+            // The contradiction frame is not singular (it involves every
+            // kept side); report the earliest involved time unit.
+            let time = forced.iter().map(|(k, _)| k.u).min().unwrap_or(0);
+            claims.push(CertificateClaim {
+                assignments: kept_cube,
+                kind: ClaimKind::Infeasible { time },
+            });
+            claims
         };
         DetectionCertificate {
             source: CertificateSource::ForcedAssignments,

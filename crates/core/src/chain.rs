@@ -19,6 +19,7 @@
 
 use std::cell::{Cell, OnceCell};
 
+use moa_analyze::ImplicationDb;
 use moa_logic::V3;
 use moa_netlist::{Circuit, Fault, NetId};
 use moa_sim::{SimTrace, TestSequence};
@@ -36,6 +37,7 @@ pub(crate) struct FrameCache<'a> {
     seq: &'a TestSequence,
     faulty: &'a SimTrace,
     fault: Option<&'a Fault>,
+    learned: Option<&'a ImplicationDb>,
     contexts: Vec<OnceCell<FrameContext<'a>>>,
     built: Cell<usize>,
 }
@@ -52,21 +54,35 @@ impl<'a> FrameCache<'a> {
             seq,
             faulty,
             fault,
+            learned: None,
             contexts: (0..seq.len()).map(|_| OnceCell::new()).collect(),
             built: Cell::new(0),
         }
+    }
+
+    /// Arms every context the cache builds with statically learned
+    /// implications ([`FrameContext::with_learned`]). Must be called before
+    /// the first [`FrameCache::context`] call.
+    pub(crate) fn with_learned(mut self, db: Option<&'a ImplicationDb>) -> Self {
+        debug_assert_eq!(self.built.get(), 0, "arm learning before building frames");
+        self.learned = db;
+        self
     }
 
     /// The frame context of time unit `t` (forward-simulated on first use).
     pub(crate) fn context(&self, t: usize) -> &FrameContext<'a> {
         self.contexts[t].get_or_init(|| {
             self.built.set(self.built.get() + 1);
-            FrameContext::new(
+            let ctx = FrameContext::new(
                 self.circuit,
                 self.seq.pattern(t),
                 &self.faulty.states[t],
                 self.fault,
-            )
+            );
+            match self.learned {
+                Some(db) => ctx.with_learned(db),
+                None => ctx,
+            }
         })
     }
 
@@ -409,7 +425,7 @@ mod tests {
                                 assert_eq!(s_full.frame(0), s_cone.frame(0));
                             }
                             (ChainOutcome::Conflict { time: a }, ChainOutcome::Conflict { time: b }) => {
-                                assert_eq!(a, b)
+                                assert_eq!(a, b);
                             }
                             (
                                 ChainOutcome::Detected { time: a, output: oa, value: va },
@@ -427,8 +443,8 @@ mod tests {
     fn cache_reuses_contexts() {
         let (c, seq, faulty) = delayed_figure4();
         let cache = FrameCache::new(&c, &seq, &faulty, None);
-        let a = cache.context(1) as *const _;
-        let b = cache.context(1) as *const _;
+        let a = std::ptr::from_ref(cache.context(1));
+        let b = std::ptr::from_ref(cache.context(1));
         assert_eq!(a, b, "same context object on repeated access");
     }
 }

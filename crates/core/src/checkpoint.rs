@@ -23,6 +23,8 @@
 //! forced                        detected by contradictory forced assignments
 //! expanded <sequences>          detected after expansion + resimulation
 //! not-detected <undecided> <sequences> <truncated:0|1> <aborted:0|1>
+//! untestable <proof>            statically proven untestable (skipped);
+//!                               proof is `unobservable` or `constant <0|1>`
 //! budget <stage> <work>         abandoned when the fault budget ran out
 //! faulted <escaped message>     worker panicked (isolated)
 //! audit-failed <escaped reason> detection refuted by the certificate audit
@@ -241,6 +243,12 @@ fn status_to_line(status: &FaultStatus) -> String {
             u8::from(*truncated),
             u8::from(*aborted)
         ),
+        FaultStatus::Untestable { proof } => match proof {
+            moa_analyze::UntestableProof::Unobservable => "untestable unobservable".into(),
+            moa_analyze::UntestableProof::ConstantLine { value } => {
+                format!("untestable constant {}", u8::from(*value))
+            }
+        },
         FaultStatus::BudgetExceeded { stage, work } => format!("budget {stage} {work}"),
         FaultStatus::Faulted { message } => format!("faulted {}", escape(message)),
         FaultStatus::AuditFailed { reason } => format!("audit-failed {}", escape(reason)),
@@ -271,6 +279,14 @@ fn status_from_line(text: &str) -> Option<FaultStatus> {
             sequences: next()?,
             truncated: parse_bool(next()?)?,
             aborted: parse_bool(next()?)?,
+        },
+        "untestable" => FaultStatus::Untestable {
+            proof: match rest {
+                "unobservable" => moa_analyze::UntestableProof::Unobservable,
+                "constant 0" => moa_analyze::UntestableProof::ConstantLine { value: false },
+                "constant 1" => moa_analyze::UntestableProof::ConstantLine { value: true },
+                _ => return None,
+            },
         },
         "budget" => {
             let (stage, work) = rest.split_once(' ')?;
@@ -316,12 +332,12 @@ fn unescape(text: &str) -> String {
         match chars.next() {
             Some('n') => out.push('\n'),
             Some('r') => out.push('\r'),
-            Some('\\') => out.push('\\'),
+            // An escaped backslash and a trailing backslash both decode to one.
+            Some('\\') | None => out.push('\\'),
             Some(other) => {
                 out.push('\\');
                 out.push(other);
             }
-            None => out.push('\\'),
         }
     }
     out
@@ -413,6 +429,34 @@ mod tests {
         ];
         write_checkpoint(&path, &header(), &extra).unwrap();
         assert_eq!(read_checkpoint(&path, &header()).unwrap(), extra);
+
+        let untestable = vec![
+            Some(FaultResult {
+                status: FaultStatus::Untestable {
+                    proof: moa_analyze::UntestableProof::Unobservable,
+                },
+                counters: Counters::new(),
+                runs: 0,
+            }),
+            Some(FaultResult {
+                status: FaultStatus::Untestable {
+                    proof: moa_analyze::UntestableProof::ConstantLine { value: false },
+                },
+                counters: Counters::new(),
+                runs: 0,
+            }),
+            Some(FaultResult {
+                status: FaultStatus::Untestable {
+                    proof: moa_analyze::UntestableProof::ConstantLine { value: true },
+                },
+                counters: Counters::new(),
+                runs: 0,
+            }),
+            None,
+            None,
+        ];
+        write_checkpoint(&path, &header(), &untestable).unwrap();
+        assert_eq!(read_checkpoint(&path, &header()).unwrap(), untestable);
     }
 
     #[test]

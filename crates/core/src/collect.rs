@@ -178,8 +178,9 @@ pub fn collect_pairs_metered(
     // Frame contexts (the forward-simulated earlier time units) are cached
     // and shared by every assertion of the sweep, including the chained
     // assertions of the multi-time-unit extension.
-    let cache = FrameCache::new(circuit, seq, faulty, fault);
     let cones = ConeCache::new(circuit);
+    let learned = options.static_learning.then(|| cones.learned_db());
+    let cache = FrameCache::new(circuit, seq, faulty, fault).with_learned(learned);
     let collection =
         collect_pairs_with_cache(circuit, seq, good, n_out, options, &cache, Some(&cones), meter);
     meter.perf.gate_evals += (cache.frames_built() * circuit.num_gates()) as u64;
@@ -308,6 +309,7 @@ pub(crate) fn collect_pairs_with_cache(
     }
     meter.perf.gate_evals += scratch.evals;
     meter.perf.imply_nanos += scratch.nanos;
+    meter.perf.learned_hits += scratch.learned_hits;
     collection
 }
 

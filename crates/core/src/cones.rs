@@ -8,6 +8,7 @@
 
 use std::sync::OnceLock;
 
+use moa_analyze::ImplicationDb;
 use moa_netlist::{frame_fanout_cone, Circuit, Driver, GateId, NetId};
 
 use crate::imply::ImplyRegion;
@@ -28,6 +29,8 @@ pub struct ConeCache<'a> {
     state_fanout: Vec<OnceLock<Vec<GateId>>>,
     /// Maps a net to the flip-flop whose data input it drives, if any.
     d_net_to_ff: Vec<Option<usize>>,
+    /// Statically learned implications (`MoaOptions::static_learning`).
+    learned: OnceLock<ImplicationDb>,
 }
 
 impl<'a> ConeCache<'a> {
@@ -43,6 +46,7 @@ impl<'a> ConeCache<'a> {
             imply_regions: (0..n).map(|_| OnceLock::new()).collect(),
             state_fanout: (0..n).map(|_| OnceLock::new()).collect(),
             d_net_to_ff,
+            learned: OnceLock::new(),
         }
     }
 
@@ -92,6 +96,14 @@ impl<'a> ConeCache<'a> {
     /// The flip-flop whose data input `net` drives, if any.
     pub fn ff_of_d_net(&self, net: NetId) -> Option<usize> {
         self.d_net_to_ff[net.index()]
+    }
+
+    /// The statically learned implication database, built (once per circuit)
+    /// on first use and shared across campaign worker threads. Only
+    /// consulted when `MoaOptions::static_learning` is enabled.
+    pub fn learned_db(&self) -> &ImplicationDb {
+        self.learned
+            .get_or_init(|| ImplicationDb::build(self.circuit))
     }
 }
 

@@ -82,6 +82,9 @@ pub struct PerfCounters {
     pub expand_nanos: u64,
     /// Section 3.4 resimulation of expanded sequences.
     pub resim_nanos: u64,
+    /// Nets newly specified by firing statically learned implications
+    /// (`MoaOptions::static_learning`); zero when learning is off.
+    pub learned_hits: u64,
 }
 
 impl PerfCounters {
@@ -99,6 +102,7 @@ impl AddAssign for PerfCounters {
         self.imply_nanos += rhs.imply_nanos;
         self.expand_nanos += rhs.expand_nanos;
         self.resim_nanos += rhs.resim_nanos;
+        self.learned_hits += rhs.learned_hits;
     }
 }
 
@@ -114,7 +118,11 @@ impl fmt::Display for PerfCounters {
             ms(self.imply_nanos),
             ms(self.expand_nanos),
             ms(self.resim_nanos),
-        )
+        )?;
+        if self.learned_hits > 0 {
+            write!(f, " learned hits={}", self.learned_hits)?;
+        }
+        Ok(())
     }
 }
 
@@ -226,10 +234,14 @@ mod tests {
             imply_nanos: 1,
             expand_nanos: 3,
             resim_nanos: 4,
+            learned_hits: 6,
         };
         p += p;
         assert_eq!(p.gate_evals, 10);
         assert_eq!(p.resim_nanos, 8);
+        assert_eq!(p.learned_hits, 12);
         assert!(p.to_string().contains("gate evals=10"));
+        assert!(p.to_string().contains("learned hits=12"));
+        assert!(!PerfCounters::new().to_string().contains("learned"));
     }
 }

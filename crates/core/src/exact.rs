@@ -93,7 +93,7 @@ pub fn exact_moa_check(
         let mut state: Vec<u64> = (0..k)
             .map(|i| {
                 let mut word = 0u64;
-                for s in 0..batch as u64 {
+                for s in 0..u64::from(batch) {
                     if (base + s) >> i & 1 == 1 {
                         word |= 1 << s;
                     }
@@ -118,7 +118,7 @@ pub fn exact_moa_check(
 
         let surviving = valid & !mismatched;
         if surviving != 0 {
-            let slot = surviving.trailing_zeros() as u64;
+            let slot = u64::from(surviving.trailing_zeros());
             let index = base + slot;
             let surviving_state = (0..k).map(|i| index >> i & 1 == 1).collect();
             return Some(ExactOutcome::NotDetected { surviving_state });

@@ -291,7 +291,9 @@ mod tests {
                 assert_eq!(counters.n_det, 0);
                 assert_eq!(counters.n_extra, 2);
             }
-            other => panic!("unexpected {other:?}"),
+            other @ ExpandOutcome::DetectedByForcedAssignments { .. } => {
+                panic!("unexpected {other:?}")
+            }
         }
     }
 
@@ -332,7 +334,9 @@ mod tests {
                 );
                 assert_eq!(both_forced, None, "proof came from a contradiction");
             }
-            other => panic!("unexpected {other:?}"),
+            other @ ExpandOutcome::Expanded { .. } => {
+                panic!("unexpected {other:?}")
+            }
         }
     }
 
@@ -370,7 +374,9 @@ mod tests {
                 combos.dedup();
                 assert_eq!(combos.len(), 4);
             }
-            other => panic!("unexpected {other:?}"),
+            other @ ExpandOutcome::DetectedByForcedAssignments { .. } => {
+                panic!("unexpected {other:?}")
+            }
         }
     }
 
@@ -391,7 +397,9 @@ mod tests {
             ExpandOutcome::Expanded { selected, .. } => {
                 assert_eq!(selected, vec![PairKey { u: 1, i: 0 }]);
             }
-            other => panic!("unexpected {other:?}"),
+            other @ ExpandOutcome::DetectedByForcedAssignments { .. } => {
+                panic!("unexpected {other:?}")
+            }
         }
         // With equal N_out and N_sv, the larger min-extra wins.
         let coll = Collection {
@@ -405,7 +413,9 @@ mod tests {
             ExpandOutcome::Expanded { selected, .. } => {
                 assert_eq!(selected, vec![PairKey { u: 1, i: 1 }]);
             }
-            other => panic!("unexpected {other:?}"),
+            other @ ExpandOutcome::DetectedByForcedAssignments { .. } => {
+                panic!("unexpected {other:?}")
+            }
         }
     }
 
@@ -431,7 +441,9 @@ mod tests {
                 assert_eq!(selected.len(), 1);
                 assert_eq!(sequences.len(), 2);
             }
-            other => panic!("unexpected {other:?}"),
+            other @ ExpandOutcome::DetectedByForcedAssignments { .. } => {
+                panic!("unexpected {other:?}")
+            }
         }
     }
 
@@ -441,7 +453,9 @@ mod tests {
         let trace = x_trace(2, 2);
         match expand(&coll, &trace, &[1, 1, 0], &[2, 2, 2], &MoaOptions::default()) {
             ExpandOutcome::Expanded { sequences, .. } => assert_eq!(sequences.len(), 1),
-            other => panic!("unexpected {other:?}"),
+            other @ ExpandOutcome::DetectedByForcedAssignments { .. } => {
+                panic!("unexpected {other:?}")
+            }
         }
     }
 }

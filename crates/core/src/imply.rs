@@ -21,6 +21,7 @@
 
 use std::time::Instant;
 
+use moa_analyze::ImplicationDb;
 use moa_logic::{JustifyOutcome, V3};
 use moa_netlist::{frame_fanin_cone, frame_fanout_cone, Circuit, Fault, FaultSite, GateId, NetId};
 use moa_sim::{compute_frame, NetValues};
@@ -99,11 +100,16 @@ impl ImplyRegion {
 pub struct ImplyScratch {
     frames: Vec<NetValues>,
     view: Vec<V3>,
+    /// Worklist for cascading statically learned implications.
+    stack: Vec<u32>,
     /// Gate visits performed through this scratch (justifications plus
     /// forward evaluations); drained into performance counters by callers.
     pub evals: u64,
     /// Wall time spent inside implication runs, in nanoseconds.
     pub nanos: u64,
+    /// Nets newly specified by firing statically learned implications;
+    /// drained into performance counters by callers.
+    pub learned_hits: u64,
 }
 
 impl ImplyScratch {
@@ -174,6 +180,18 @@ pub struct FrameContext<'a> {
     circuit: &'a Circuit,
     fault: Option<&'a Fault>,
     base: NetValues,
+    learned: Option<Learned<'a>>,
+}
+
+/// Statically learned implications armed for one frame, together with the
+/// injected fault's *critical net*: the net whose learned-support presence
+/// disqualifies a list (the faulted net of a stem fault, the carrying gate's
+/// output net for an input-pin fault; flip-flop-input faults leave the
+/// within-frame logic intact and disqualify nothing).
+#[derive(Debug, Clone, Copy)]
+struct Learned<'a> {
+    db: &'a ImplicationDb,
+    critical: Option<NetId>,
 }
 
 impl<'a> FrameContext<'a> {
@@ -195,6 +213,7 @@ impl<'a> FrameContext<'a> {
             circuit,
             fault,
             base,
+            learned: None,
         }
     }
 
@@ -208,7 +227,23 @@ impl<'a> FrameContext<'a> {
             circuit,
             fault,
             base,
+            learned: None,
         }
+    }
+
+    /// Arms statically learned implications: whenever an implication run
+    /// newly specifies a net, the net's learned list fires (and cascades).
+    /// Lists whose support involves this frame's fault-critical net are
+    /// suppressed, keeping the firing sound under the injected fault.
+    #[must_use]
+    pub fn with_learned(mut self, db: &'a ImplicationDb) -> Self {
+        let critical = self.fault.and_then(|f| match f.site {
+            FaultSite::Net(net) => Some(net),
+            FaultSite::GateInput { gate, .. } => Some(self.circuit.gate(gate).output()),
+            FaultSite::FlipFlopInput(_) => None,
+        });
+        self.learned = Some(Learned { db, critical });
+        self
     }
 
     /// The base frame values.
@@ -264,8 +299,10 @@ impl<'a> FrameContext<'a> {
         let ImplyScratch {
             frames,
             view,
+            stack,
             evals,
             nanos,
+            learned_hits,
         } = scratch;
         let values = &mut frames[level];
         values.copy_from(&self.base);
@@ -273,9 +310,17 @@ impl<'a> FrameContext<'a> {
         let ok = (|| {
             for &(net, value) in assignments {
                 assert!(value.is_specified(), "assertions must be binary");
+                let was_unspecified = !values[net].is_specified();
                 match values[net].merge(value) {
                     Some(v) => values[net] = v,
                     None => return false,
+                }
+                if was_unspecified {
+                    let mut ignored = false;
+                    if !self.fire_learned(net, value, values, stack, &mut ignored, learned_hits)
+                    {
+                        return false;
+                    }
                 }
             }
 
@@ -286,15 +331,19 @@ impl<'a> FrameContext<'a> {
                         r.backward.iter().copied(),
                         values,
                         view,
+                        stack,
                         evals,
                         &mut changed,
+                        learned_hits,
                     ),
                     None => self.backward_pass(
                         self.circuit.topo_order().iter().rev().copied(),
                         values,
                         view,
+                        stack,
                         evals,
                         &mut changed,
+                        learned_hits,
                     ),
                 };
                 if !backward_ok {
@@ -305,15 +354,19 @@ impl<'a> FrameContext<'a> {
                         r.forward.iter().copied(),
                         values,
                         view,
+                        stack,
                         evals,
                         &mut changed,
+                        learned_hits,
                     ),
                     None => self.forward_pass(
                         self.circuit.topo_order().iter().copied(),
                         values,
                         view,
+                        stack,
                         evals,
                         &mut changed,
+                        learned_hits,
                     ),
                 };
                 if !forward_ok {
@@ -327,6 +380,50 @@ impl<'a> FrameContext<'a> {
         })();
         *nanos += started.elapsed().as_nanos() as u64;
         ok
+    }
+
+    /// Fires the statically learned implication list of `net = value` (just
+    /// specified), cascading through lists of any net it newly specifies.
+    /// No-op without [`FrameContext::with_learned`]. Returns `false` when a
+    /// learned implication conflicts with the frame.
+    fn fire_learned(
+        &self,
+        net: NetId,
+        value: V3,
+        values: &mut NetValues,
+        stack: &mut Vec<u32>,
+        changed: &mut bool,
+        hits: &mut u64,
+    ) -> bool {
+        let Some(learned) = self.learned else {
+            return true;
+        };
+        debug_assert!(value.is_specified());
+        stack.clear();
+        stack.push(ImplicationDb::literal(net, value == V3::One));
+        while let Some(lit) = stack.pop() {
+            if let Some(critical) = learned.critical {
+                if learned.db.support_contains(lit, critical) {
+                    continue; // derivation may cross the faulted gate
+                }
+            }
+            for &target in learned.db.implied(lit) {
+                let (target_net, target_value) = ImplicationDb::decode(target);
+                let v3 = V3::from_bool(target_value);
+                match values[target_net].merge(v3) {
+                    Some(v) => {
+                        if values[target_net] != v {
+                            values[target_net] = v;
+                            *changed = true;
+                            *hits += 1;
+                            stack.push(target);
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+        true
     }
 
     /// The value input pin `pin` of `gate` reads under `values`, honoring a
@@ -361,13 +458,16 @@ impl<'a> FrameContext<'a> {
 
     /// Outputs→inputs justification pass over `gates` (reverse topological
     /// order). Returns `false` on conflict.
+    #[allow(clippy::too_many_arguments)]
     fn backward_pass(
         &self,
         gates: impl Iterator<Item = GateId>,
         values: &mut NetValues,
         view: &mut Vec<V3>,
+        stack: &mut Vec<u32>,
         evals: &mut u64,
         changed: &mut bool,
+        hits: &mut u64,
     ) -> bool {
         for gid in gates {
             let gate = self.circuit.gate(gid);
@@ -399,6 +499,11 @@ impl<'a> FrameContext<'a> {
                                 if values[target] != v {
                                     values[target] = v;
                                     *changed = true;
+                                    if !self.fire_learned(
+                                        target, v, values, stack, changed, hits,
+                                    ) {
+                                        return false;
+                                    }
                                 }
                             }
                             None => return false,
@@ -412,13 +517,16 @@ impl<'a> FrameContext<'a> {
 
     /// Inputs→outputs propagation pass over `gates` (topological order).
     /// Returns `false` on conflict.
+    #[allow(clippy::too_many_arguments)]
     fn forward_pass(
         &self,
         gates: impl Iterator<Item = GateId>,
         values: &mut NetValues,
         view: &mut Vec<V3>,
+        stack: &mut Vec<u32>,
         evals: &mut u64,
         changed: &mut bool,
+        hits: &mut u64,
     ) -> bool {
         for gid in gates {
             let gate = self.circuit.gate(gid);
@@ -440,6 +548,9 @@ impl<'a> FrameContext<'a> {
                     if values[slot] != v {
                         values[slot] = v;
                         *changed = true;
+                        if !self.fire_learned(slot, v, values, stack, changed, hits) {
+                            return false;
+                        }
                     }
                 }
                 None => return false,
@@ -584,9 +695,8 @@ mod tests {
         b.add_gate(GateKind::Buf, "d", &["q"]).unwrap();
         b.add_output("z");
         let c = b.finish().unwrap();
-        let z_gate = match c.driver(c.find_net("z").unwrap()) {
-            Driver::Gate(g) => g,
-            _ => unreachable!(),
+        let Driver::Gate(z_gate) = c.driver(c.find_net("z").unwrap()) else {
+            unreachable!()
         };
         let fault = Fault::gate_input(z_gate, 1, true);
         let ctx = FrameContext::new(&c, &[V3::One], &[V3::X], Some(&fault));
@@ -627,7 +737,7 @@ mod tests {
         // pass can justify XOR(1, q) = 0 → q = 1.
         match ctx.imply(&[(z, V3::Zero)], 1) {
             ImplyOutcome::Values(v) => assert_eq!(v[q], V3::One),
-            _ => panic!("consistent"),
+            ImplyOutcome::Conflict => panic!("consistent"),
         }
     }
 
@@ -682,6 +792,69 @@ mod tests {
             let view = ctx.next_state_view(ctx.base());
             for (i, &v) in view.iter().enumerate() {
                 assert_eq!(ctx.next_state_value(ctx.base(), i), v);
+            }
+        }
+    }
+
+    #[test]
+    fn learned_firing_preserves_figure_4_conflict_and_counts_hits() {
+        let c = figure4();
+        let db = moa_analyze::ImplicationDb::build(&c);
+        let ctx = FrameContext::new(&c, &[V3::Zero], &[V3::X], None).with_learned(&db);
+        let l11 = c.find_net("l11").unwrap();
+        assert!(ctx.imply(&[(l11, V3::One)], 1).is_conflict());
+
+        // The learner proves l11 statically constant 0, so asserting l11 = 1
+        // conflicts via the infeasible-literal self-edge even with the input
+        // unspecified — strictly stronger than one dynamic round from X.
+        let blind = FrameContext::new(&c, &[V3::X], &[V3::X], None).with_learned(&db);
+        assert!(blind.imply(&[(l11, V3::One)], 1).is_conflict());
+    }
+
+    #[test]
+    fn learned_hits_are_metered() {
+        // d = NOR(a, q): the learned list for d = 1 fires q = 0 (and more)
+        // the instant d is specified, which the scratch counts.
+        let mut b = CircuitBuilder::new("chain");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::Nor, "d", &["a", "q"]).unwrap();
+        b.add_gate(GateKind::Not, "z", &["q"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let db = moa_analyze::ImplicationDb::build(&c);
+        let ctx = FrameContext::new(&c, &[V3::X], &[V3::X], None).with_learned(&db);
+        let d = c.find_net("d").unwrap();
+        let mut scratch = ImplyScratch::new();
+        assert!(ctx.imply_into(&[(d, V3::One)], 1, None, &mut scratch, 0));
+        assert!(scratch.learned_hits > 0, "{}", scratch.learned_hits);
+        assert_eq!(scratch.frame(0)[c.find_net("q").unwrap()], V3::Zero);
+        assert_eq!(scratch.frame(0)[c.find_net("a").unwrap()], V3::Zero);
+    }
+
+    #[test]
+    fn fault_critical_net_suppresses_learned_lists() {
+        // a → w1 → z is a buffer chain, so the learner knows a = 1 ⇒ w1 = 1.
+        // With w1 stuck-at-0 that implication is wrong in the faulty machine;
+        // the support check must suppress it, leaving a = 1 consistent.
+        let mut b = CircuitBuilder::new("buf-chain");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Buf, "w1", &["a"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["w1"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let db = moa_analyze::ImplicationDb::build(&c);
+        let a = c.find_net("a").unwrap();
+        let w1 = c.find_net("w1").unwrap();
+        let fault = Fault::stem(w1, false);
+        let ctx = FrameContext::new(&c, &[V3::X], &[], Some(&fault)).with_learned(&db);
+        match ctx.imply(&[(a, V3::One)], 1) {
+            ImplyOutcome::Values(v) => {
+                assert_eq!(v[w1], V3::Zero, "the stuck value must win");
+                assert_eq!(v[c.find_net("z").unwrap()], V3::Zero);
+            }
+            ImplyOutcome::Conflict => {
+                panic!("a=1 is consistent under w1 s-a-0; a learned list leaked")
             }
         }
     }

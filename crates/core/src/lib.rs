@@ -80,6 +80,7 @@
 // reports via `Error` / `FaultStatus` instead of unwrapping (tests are free
 // to unwrap).
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![deny(unsafe_code)]
 
 mod audit;
 mod budget;
@@ -131,3 +132,8 @@ pub use procedure::{
 pub use resim::{resimulate, resimulate_metered, ResimVerdict, SequenceOutcome};
 pub use resim_packed::{resimulate_packed, resimulate_packed_metered};
 pub use stateseq::StateSequence;
+
+// The static analyses consumed by the procedure (learned implications) and
+// the campaign (untestability pruning) live in `moa_analyze`; re-export the
+// types that appear in this crate's public API.
+pub use moa_analyze::{ImplicationDb, UntestableProof, UntestableScreen};

@@ -68,6 +68,14 @@ pub struct MoaOptions {
     /// the legacy configuration kept for A/B benchmarking; verdicts are
     /// identical either way (locked in by parity tests).
     pub cone_bounded: bool,
+    /// Fire statically learned implications (`moa_analyze::ImplicationDb`)
+    /// during the implication passes: whenever an assertion or a pass newly
+    /// specifies a net, the net's learned implication list is applied (and
+    /// cascades). Off by default for faithfulness to the paper; parity tests
+    /// lock the verdicts to be equivalent-or-stronger — every per-fault
+    /// verdict is identical or upgraded from undecided to resolved, never
+    /// downgraded.
+    pub static_learning: bool,
 }
 
 impl MoaOptions {
@@ -83,6 +91,7 @@ impl MoaOptions {
             packed_resimulation: false,
             include_final_time_unit: false,
             cone_bounded: true,
+            static_learning: false,
         }
     }
 
@@ -97,18 +106,21 @@ impl MoaOptions {
     }
 
     /// Returns a copy with a different `N_STATES` limit.
+    #[must_use]
     pub fn with_n_states(mut self, n_states: usize) -> Self {
         self.n_states = n_states;
         self
     }
 
     /// Returns a copy with a different implication-round count.
+    #[must_use]
     pub fn with_implication_rounds(mut self, rounds: usize) -> Self {
         self.implication_rounds = rounds;
         self
     }
 
     /// Returns a copy with a different collection budget.
+    #[must_use]
     pub fn with_max_implication_runs(mut self, runs: usize) -> Self {
         self.max_implication_runs = runs;
         self
@@ -116,8 +128,17 @@ impl MoaOptions {
 
     /// Returns a copy chaining backward implications through `units` earlier
     /// time units (`1` is the paper's configuration).
+    #[must_use]
     pub fn with_backward_time_units(mut self, units: usize) -> Self {
         self.backward_time_units = units;
+        self
+    }
+
+    /// Returns a copy with statically learned implications enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_static_learning(mut self, enabled: bool) -> Self {
+        self.static_learning = enabled;
         self
     }
 }
@@ -141,6 +162,7 @@ mod tests {
         assert!(o.check_condition_c);
         assert_eq!(o.backward_time_units, 1);
         assert!(!o.include_final_time_unit);
+        assert!(!o.static_learning);
         assert_eq!(o, MoaOptions::new());
     }
 
@@ -150,10 +172,12 @@ mod tests {
             .with_n_states(8)
             .with_implication_rounds(3)
             .with_max_implication_runs(10)
-            .with_backward_time_units(2);
+            .with_backward_time_units(2)
+            .with_static_learning(true);
         assert_eq!(o.n_states, 8);
         assert_eq!(o.implication_rounds, 3);
         assert_eq!(o.max_implication_runs, 10);
         assert_eq!(o.backward_time_units, 2);
+        assert!(o.static_learning);
     }
 }

@@ -32,6 +32,15 @@ pub enum FaultStatus {
     /// unspecified state variables and recoverable output values, so the
     /// restricted multiple observation time approach cannot detect it.
     SkippedConditionC,
+    /// Statically proven undetectable by any test under any observation
+    /// scheme ([`moa_analyze::UntestableScreen`]); skipped with zero
+    /// simulation work when
+    /// [`CampaignOptions::prune_untestable`](crate::CampaignOptions::prune_untestable)
+    /// is on. Counted as not detected.
+    Untestable {
+        /// The static proof.
+        proof: moa_analyze::UntestableProof,
+    },
     /// Detected by the Section 3.2 check: for pair `(u, i)`, both values of
     /// `Y_i` at `u - 1` lead to a conflict or a detection.
     DetectedByImplications(PairKey),
@@ -364,14 +373,12 @@ fn run_procedure(
     // cache is likewise shared — across faults and workers when the campaign
     // passes one in, per-fault otherwise.
     let local_cones;
-    let cones = match cones {
-        Some(c) => c,
-        None => {
-            local_cones = ConeCache::new(circuit);
-            &local_cones
-        }
+    let cones = if let Some(c) = cones { c } else {
+        local_cones = ConeCache::new(circuit);
+        &local_cones
     };
-    let cache = FrameCache::new(circuit, seq, &faulty, Some(fault));
+    let learned = options.static_learning.then(|| cones.learned_db());
+    let cache = FrameCache::new(circuit, seq, &faulty, Some(fault)).with_learned(learned);
     let out = run_expansion_stages(
         circuit,
         seq,
@@ -496,14 +503,14 @@ fn run_expansion_stages(
             Some(fault),
             cache,
             cones,
-            sequences,
+            &sequences,
             meter,
         ),
         (true, false) => {
             resimulate_differential_metered(circuit, seq, good, Some(fault), cache, sequences, meter)
         }
         (false, true) => {
-            resimulate_packed_metered(circuit, seq, good, Some(fault), sequences, meter)
+            resimulate_packed_metered(circuit, seq, good, Some(fault), &sequences, meter)
         }
         (false, false) => resimulate_metered(circuit, seq, good, Some(fault), sequences, meter),
     };

@@ -32,7 +32,7 @@ pub fn resimulate_packed(
     seq: &TestSequence,
     good: &SimTrace,
     fault: Option<&Fault>,
-    sequences: Vec<StateSequence>,
+    sequences: &[StateSequence],
 ) -> ResimVerdict {
     resimulate_packed_metered(
         circuit,
@@ -57,7 +57,7 @@ pub fn resimulate_packed_metered(
     seq: &TestSequence,
     good: &SimTrace,
     fault: Option<&Fault>,
-    sequences: Vec<StateSequence>,
+    sequences: &[StateSequence],
     meter: &mut BudgetMeter,
 ) -> ResimVerdict {
     let mut outcomes = Vec::with_capacity(sequences.len());
@@ -177,7 +177,7 @@ pub(crate) fn resimulate_packed_differential_metered(
     fault: Option<&Fault>,
     cache: &FrameCache<'_>,
     cones: &ConeCache<'_>,
-    sequences: Vec<StateSequence>,
+    sequences: &[StateSequence],
     meter: &mut BudgetMeter,
 ) -> ResimVerdict {
     let mut scratch = DiffScratch {
@@ -392,7 +392,7 @@ mod tests {
         assert!(s1.assign(1, 0, V3::One));
         let sequences = vec![s0, s1];
         let scalar = resimulate(&c, &seq, &good, Some(&fault), sequences.clone());
-        let packed = resimulate_packed(&c, &seq, &good, Some(&fault), sequences);
+        let packed = resimulate_packed(&c, &seq, &good, Some(&fault), &sequences);
         assert_eq!(scalar.outcomes, packed.outcomes);
         assert!(packed.detected());
     }
@@ -400,7 +400,7 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_verdict() {
         let (c, seq, good, fault) = toggle();
-        let verdict = resimulate_packed(&c, &seq, &good, Some(&fault), Vec::new());
+        let verdict = resimulate_packed(&c, &seq, &good, Some(&fault), &[]);
         assert!(verdict.outcomes.is_empty());
         assert!(!verdict.detected());
     }
@@ -418,7 +418,7 @@ mod tests {
             sequences.push(s);
         }
         let scalar = resimulate(&c, &seq, &good, Some(&fault), sequences.clone());
-        let packed = resimulate_packed(&c, &seq, &good, Some(&fault), sequences);
+        let packed = resimulate_packed(&c, &seq, &good, Some(&fault), &sequences);
         assert_eq!(scalar.outcomes, packed.outcomes);
         assert_eq!(packed.outcomes.len(), 80);
     }
@@ -456,7 +456,7 @@ mod tests {
             &seq,
             &good,
             Some(&fault),
-            sequences.clone(),
+            &sequences,
             &mut m_packed,
         );
         assert_eq!(scalar.outcomes, packed.outcomes);
@@ -483,7 +483,7 @@ mod tests {
                 &seq,
                 &good,
                 Some(&fault),
-                sequences.clone(),
+                &sequences,
                 &mut m_packed,
             );
             assert!(m_scalar.is_exhausted() && m_packed.is_exhausted());
@@ -517,7 +517,7 @@ mod tests {
         assert!(s1.assign(0, 0, V3::One));
         let sequences = vec![s0, s1];
         let scalar = resimulate(&c, &seq, &good, Some(&fault), sequences.clone());
-        let packed = resimulate_packed(&c, &seq, &good, Some(&fault), sequences);
+        let packed = resimulate_packed(&c, &seq, &good, Some(&fault), &sequences);
         assert_eq!(scalar.outcomes, packed.outcomes);
         assert_eq!(packed.undecided(), 1);
     }
@@ -538,7 +538,7 @@ mod tests {
         let cones = ConeCache::new(c);
 
         let mut m_full = BudgetMeter::unlimited();
-        let full = resimulate_packed_metered(c, seq, good, fault, sequences.to_vec(), &mut m_full);
+        let full = resimulate_packed_metered(c, seq, good, fault, sequences, &mut m_full);
         let mut m_diff = BudgetMeter::unlimited();
         let diff = resimulate_packed_differential_metered(
             c,
@@ -547,7 +547,7 @@ mod tests {
             fault,
             &cache,
             &cones,
-            sequences.to_vec(),
+            sequences,
             &mut m_diff,
         );
         assert_eq!(full.outcomes, diff.outcomes);
@@ -557,7 +557,7 @@ mod tests {
             let budget = FaultBudget::none().with_work_limit(limit);
             let mut m_full = BudgetMeter::new(&budget);
             let full =
-                resimulate_packed_metered(c, seq, good, fault, sequences.to_vec(), &mut m_full);
+                resimulate_packed_metered(c, seq, good, fault, sequences, &mut m_full);
             let mut m_diff = BudgetMeter::new(&budget);
             let diff = resimulate_packed_differential_metered(
                 c,
@@ -566,7 +566,7 @@ mod tests {
                 fault,
                 &cache,
                 &cones,
-                sequences.to_vec(),
+                sequences,
                 &mut m_diff,
             );
             assert_eq!(full.outcomes, diff.outcomes, "outcomes at limit {limit}");

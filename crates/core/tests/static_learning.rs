@@ -1,0 +1,162 @@
+//! Integration tests for the `moa_analyze` subsystems consumed by the core:
+//! statically learned implications (`MoaOptions::static_learning`) and
+//! static untestability pruning (`CampaignOptions::prune_untestable`).
+//!
+//! The parity contract for learning is *equivalent-or-stronger*: learned
+//! implications only ever add conflicts and detections to a run, so every
+//! per-fault verdict must be identical to the legacy engine's or an upgrade
+//! (undetected → detected, fewer undecided sequences). A downgrade is an
+//! engine-soundness bug. On the embedded suite the verdicts are in fact
+//! bit-identical — the learned implications prune work without changing any
+//! conclusion — and the tests lock that in.
+
+use moa_circuits::suite::entry;
+use moa_core::{run_campaign, CampaignOptions, FaultStatus, MoaOptions};
+use moa_netlist::{full_fault_list, Circuit};
+use moa_sim::TestSequence;
+use moa_tpg::random_sequence;
+
+/// `true` when `learned` is the same verdict as `legacy` or a sound upgrade.
+fn equivalent_or_stronger(legacy: &FaultStatus, learned: &FaultStatus) -> bool {
+    if legacy == learned {
+        return true;
+    }
+    match (legacy, learned) {
+        // Learning resolves a previously undetected fault.
+        (FaultStatus::NotDetected { .. }, s) if s.is_detected() => true,
+        // Learning rules out more faulty initial states (or whole sequences)
+        // without flipping the verdict.
+        (
+            FaultStatus::NotDetected {
+                undecided: u0,
+                sequences: s0,
+                ..
+            },
+            FaultStatus::NotDetected {
+                undecided: u1,
+                sequences: s1,
+                ..
+            },
+        ) => u1 <= u0 && s1 <= s0,
+        // A detection may be proven earlier in the pipeline (e.g. by
+        // implications instead of expansion) but never lost.
+        (a, b) if a.is_detected() && b.is_detected() => true,
+        _ => false,
+    }
+}
+
+fn fixture(name: &str, seq_len: usize) -> (Circuit, TestSequence) {
+    let e = entry(name).unwrap();
+    let c = e.build();
+    let seq = random_sequence(&c, seq_len, 0xC0FFEE ^ seq_len as u64);
+    (c, seq)
+}
+
+#[test]
+fn learning_parity_is_bit_identical_on_suite_stand_ins() {
+    for name in ["s208", "s298"] {
+        let (c, seq) = fixture(name, 48);
+        let faults = full_fault_list(&c);
+        let legacy = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let learned = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                moa: MoaOptions::default().with_static_learning(true),
+                ..CampaignOptions::new()
+            },
+        );
+        for (i, (a, b)) in legacy.statuses.iter().zip(&learned.statuses).enumerate() {
+            assert!(
+                equivalent_or_stronger(a, b),
+                "{name} fault {i}: learning downgraded {a:?} to {b:?}"
+            );
+        }
+        // The stronger empirical fact on the embedded suite: learning changes
+        // no verdict at all (it only short-circuits implication work). The
+        // Table-3 counters are allowed to differ — a learned conflict can
+        // legitimately specify more state variables per pair.
+        assert_eq!(
+            legacy.statuses, learned.statuses,
+            "{name}: learning changed a campaign verdict"
+        );
+        assert_eq!(legacy.detected_total(), learned.detected_total());
+    }
+}
+
+#[test]
+fn learning_reports_nonzero_hits_on_a_stand_in() {
+    // s298's stand-in has no statically constant nets, so its learned
+    // implication lists fire freely during backward implications.
+    let (c, seq) = fixture("s298", 32);
+    let faults = full_fault_list(&c);
+    let learned = run_campaign(
+        &c,
+        &seq,
+        &faults,
+        &CampaignOptions {
+            moa: MoaOptions::default().with_static_learning(true),
+            ..CampaignOptions::new()
+        },
+    );
+    assert!(
+        learned.perf.learned_hits > 0,
+        "expected learned-implication hits, got {:?}",
+        learned.perf
+    );
+    // The legacy engine never touches the database.
+    let legacy = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+    assert_eq!(legacy.perf.learned_hits, 0);
+}
+
+#[test]
+fn untestable_pruning_skips_proven_faults_with_zero_work() {
+    // The s208 stand-in has gates outside every primary-output cone, so some
+    // faults are statically unobservable.
+    let (c, seq) = fixture("s208", 24);
+    let faults = full_fault_list(&c);
+    let plain = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+    let pruned = run_campaign(
+        &c,
+        &seq,
+        &faults,
+        &CampaignOptions {
+            prune_untestable: true,
+            ..CampaignOptions::new()
+        },
+    );
+    assert!(pruned.untestable > 0, "expected statically untestable faults");
+    assert_eq!(plain.untestable, 0, "pruning must be off by default");
+
+    // Pruning is sound: a proven-untestable fault was indeed never detected,
+    // and every other fault's verdict is untouched.
+    let mut untestable_faults = Vec::new();
+    for (i, (a, b)) in plain.statuses.iter().zip(&pruned.statuses).enumerate() {
+        match b {
+            FaultStatus::Untestable { .. } => {
+                assert!(
+                    !a.is_detected(),
+                    "fault {i}: statically untestable but detected as {a:?}"
+                );
+                untestable_faults.push(faults[i]);
+            }
+            _ => assert_eq!(a, b, "fault {i}: pruning changed a testable fault's verdict"),
+        }
+    }
+
+    // Zero work charged: a campaign consisting only of proven faults does no
+    // simulation at all — no screening, no frames, no implication passes.
+    let only_untestable = run_campaign(
+        &c,
+        &seq,
+        &untestable_faults,
+        &CampaignOptions {
+            prune_untestable: true,
+            ..CampaignOptions::new()
+        },
+    );
+    assert_eq!(only_untestable.untestable, untestable_faults.len());
+    assert_eq!(only_untestable.perf.gate_evals, 0, "{:?}", only_untestable.perf);
+    assert_eq!(only_untestable.perf.learned_hits, 0);
+}

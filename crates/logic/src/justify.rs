@@ -351,7 +351,9 @@ mod tests {
             let choices: &[V3] = match v {
                 V3::X => &[V3::Zero, V3::One],
                 other => {
-                    out.iter_mut().for_each(|c| c.push(other));
+                    for c in &mut out {
+                        c.push(other);
+                    }
                     continue;
                 }
             };

@@ -87,6 +87,7 @@ impl V3 {
 
     /// Conditionally inverts a value: `X` stays `X`.
     #[inline]
+    #[must_use]
     pub fn invert_if(self, invert: bool) -> V3 {
         if invert {
             !self

@@ -215,6 +215,16 @@ fn parse_statement(
         if args.is_empty() {
             return Err(err(col_of(rhs), format!("gate `{out}` has no inputs")));
         }
+        // A combinational gate feeding itself is a zero-delay loop no matter
+        // what else the netlist contains — reject it here with a located
+        // error instead of letting it surface as an anonymous cycle later.
+        // (`q = DFF(q)` stays legal: the flip-flop breaks the loop.)
+        if args.iter().any(|a| a == out) {
+            return Err(err(
+                col_of(rhs),
+                format!("gate `{out}` lists itself as an input (combinational self-loop)"),
+            ));
+        }
         return Ok(Statement::Gate {
             out: out.to_owned(),
             kind,
@@ -506,6 +516,24 @@ z = NAND(b, q)
         // OUTPUT is a reference: repeating it is legal.
         let c = parse_bench("INPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n").unwrap();
         assert_eq!(c.num_outputs(), 2);
+    }
+
+    #[test]
+    fn rejects_combinational_self_loops() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(z)\nz = AND(a, z)\n").unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::Parse {
+                line: 3,
+                column: 5,
+                message: "gate `z` lists itself as an input (combinational self-loop)".into()
+            }
+        );
+        // Any pin position is caught, including a pure inverter loop.
+        assert!(parse_bench("OUTPUT(z)\nz = NOT(z)\n").is_err());
+        // A flip-flop feeding itself is sequential, not combinational: legal.
+        let c = parse_bench("OUTPUT(q)\nq = DFF(q)\n").unwrap();
+        assert_eq!(c.num_flip_flops(), 1);
     }
 
     #[test]

@@ -128,6 +128,76 @@ mod tests {
     }
 
     #[test]
+    fn single_unary_gate_circuit_has_no_relations() {
+        // The smallest possible circuit: one inverter. Unary gates admit no
+        // gate-local dominance, so the relation is empty — not a panic.
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "z", &["a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        assert!(dominance_relations(&c).is_empty());
+    }
+
+    #[test]
+    fn multi_sink_dominator_keeps_stem_fault() {
+        // w fans out to two sinks. The *dominated* pin faults on w become
+        // branch faults, but w's own role as a dominator (for a/b) stays a
+        // stem fault on w — fan-out of the output net does not weaken the
+        // gate-local rule at the driving gate.
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_input("c").unwrap();
+        b.add_gate(GateKind::And, "w", &["a", "b"]).unwrap();
+        b.add_gate(GateKind::Or, "u", &["w", "c"]).unwrap();
+        b.add_gate(GateKind::Nor, "v", &["w", "c"]).unwrap();
+        b.add_output("u");
+        b.add_output("v");
+        let c = b.finish().unwrap();
+        let doms = dominance_relations(&c);
+        let w = c.find_net("w").unwrap();
+        // AND gate: w/sa1 dominates a/sa1 and b/sa1 (a, b are single-sink).
+        let from_and: Vec<_> = doms
+            .iter()
+            .filter(|d| d.dominator == Fault::stem(w, true))
+            .collect();
+        assert_eq!(from_and.len(), 2);
+        // OR and NOR gates: w fans out, so their dominated pin faults on w
+        // are branch faults, never the shared stem.
+        for d in &doms {
+            if d.dominator != Fault::stem(w, true) {
+                match d.dominated.site {
+                    crate::FaultSite::GateInput { .. } => {}
+                    crate::FaultSite::Net(net) => {
+                        assert_ne!(net, w, "stem fault used for a fanout pin");
+                    }
+                    other @ crate::FaultSite::FlipFlopInput(_) => {
+                        panic!("unexpected site {other:?}")
+                    }
+                }
+            }
+        }
+        assert_eq!(doms.len(), 6);
+    }
+
+    #[test]
+    fn every_output_a_state_variable_still_enumerates() {
+        // All POs are flip-flop outputs; dominance comes from the next-state
+        // logic alone and must not require a gate-driven PO.
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_gate(GateKind::And, "d", &["a", "q"]).unwrap();
+        b.add_output("q");
+        let c = b.finish().unwrap();
+        let doms = dominance_relations(&c);
+        let d = c.find_net("d").unwrap();
+        assert_eq!(doms.len(), 2);
+        assert!(doms.iter().all(|r| r.dominator == Fault::stem(d, true)));
+    }
+
+    #[test]
     fn fanout_uses_branch_faults() {
         let mut b = CircuitBuilder::new("t");
         b.add_input("a").unwrap();

@@ -73,7 +73,7 @@ impl Fault {
     /// Human-readable description using the circuit's net names, e.g.
     /// `"G10 stuck-at-1"` or `"G9.in0 (G16) stuck-at-0"`.
     pub fn describe(&self, circuit: &Circuit) -> String {
-        let sa = if self.stuck { 1 } else { 0 };
+        let sa = i32::from(self.stuck);
         match self.site {
             FaultSite::Net(net) => {
                 format!("{} stuck-at-{sa}", circuit.net_name(net))
@@ -110,7 +110,7 @@ impl Fault {
 
 impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let sa = if self.stuck { 1 } else { 0 };
+        let sa = i32::from(self.stuck);
         match self.site {
             FaultSite::Net(net) => write!(f, "{net}/sa{sa}"),
             FaultSite::GateInput { gate, pin } => write!(f, "{gate}.in{pin}/sa{sa}"),

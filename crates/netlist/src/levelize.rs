@@ -94,6 +94,51 @@ mod tests {
     }
 
     #[test]
+    fn single_gate_circuit_levelizes() {
+        let mut b = CircuitBuilder::new("one");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "z", &["a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        assert_eq!(c.topo_order().len(), 1);
+        assert_eq!(c.topo_order()[0], GateId::new(0));
+    }
+
+    #[test]
+    fn gateless_circuit_has_empty_order() {
+        // Input → flip-flop → output with no combinational logic at all.
+        let mut b = CircuitBuilder::new("wire");
+        b.add_input("d").unwrap();
+        b.add_flip_flop("q", "d").unwrap();
+        b.add_output("q");
+        let c = b.finish().unwrap();
+        assert!(c.topo_order().is_empty());
+    }
+
+    #[test]
+    fn every_output_a_state_variable_levelizes() {
+        // Both primary outputs are flip-flop outputs, so no gate drives a PO:
+        // the next-state logic must still be fully ordered.
+        let mut b = CircuitBuilder::new("all-state");
+        b.add_input("a").unwrap();
+        b.add_flip_flop("q0", "d0").unwrap();
+        b.add_flip_flop("q1", "d1").unwrap();
+        b.add_gate(GateKind::Xor, "w", &["a", "q0"]).unwrap();
+        b.add_gate(GateKind::And, "d0", &["w", "q1"]).unwrap();
+        b.add_gate(GateKind::Or, "d1", &["w", "q0"]).unwrap();
+        b.add_output("q0");
+        b.add_output("q1");
+        let c = b.finish().unwrap();
+        let order = c.topo_order();
+        assert_eq!(order.len(), 3);
+        // w precedes both consumers.
+        let pos: Vec<usize> = (0..3)
+            .map(|g| order.iter().position(|&x| x == GateId::new(g)).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+    }
+
+    #[test]
     fn long_chain_orders_correctly() {
         let mut b = CircuitBuilder::new("chain");
         b.add_input("a").unwrap();

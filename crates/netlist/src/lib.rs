@@ -32,6 +32,8 @@
 //! # Ok::<(), moa_netlist::NetlistError>(())
 //! ```
 
+#![deny(unsafe_code)]
+
 mod bench_format;
 mod builder;
 mod circuit;

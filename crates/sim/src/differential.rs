@@ -123,7 +123,7 @@ pub fn simulate_differential_counted(
     (SimTrace { states, outputs }, sim.evaluations())
 }
 
-impl<'a> EventSim<'a> {
+impl EventSim<'_> {
     /// Replaces the current values wholesale (the caller provides a
     /// consistent frame, e.g. a cached good frame) without scheduling any
     /// events.
@@ -200,9 +200,8 @@ mod tests {
         let seq = TestSequence::from_words(&["10", "11", "01"]).unwrap();
         let good = GoodFrames::compute(&c, &seq);
         // Branch fault on w's q0 pin.
-        let w_gate = match c.driver(c.find_net("w").unwrap()) {
-            Driver::Gate(g) => g,
-            _ => unreachable!(),
+        let Driver::Gate(w_gate) = c.driver(c.find_net("w").unwrap()) else {
+            unreachable!()
         };
         for pin in 0..2 {
             for stuck in [false, true] {

@@ -255,9 +255,8 @@ mod tests {
         b.add_output("v");
         let c = b.finish().unwrap();
         // Branch fault on v's pin only.
-        let v_gate = match c.driver(c.find_net("v").unwrap()) {
-            moa_netlist::Driver::Gate(g) => g,
-            _ => unreachable!(),
+        let moa_netlist::Driver::Gate(v_gate) = c.driver(c.find_net("v").unwrap()) else {
+            unreachable!()
         };
         let fault = Fault::gate_input(v_gate, 0, true);
         let f = compute_frame(&c, &[V3::Zero], &[], Some(&fault));

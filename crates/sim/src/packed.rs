@@ -97,7 +97,7 @@ pub fn run_packed_frame(
             }
             values[gate.inputs()[pin_index]]
         };
-        use moa_logic::GateKind::*;
+        use moa_logic::GateKind::{And, Nand, Or, Nor, Xor, Xnor, Not, Buf};
         let n = gate.inputs().len();
         let mut out = match gate.kind() {
             And | Nand => {

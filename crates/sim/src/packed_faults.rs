@@ -131,21 +131,18 @@ impl FaultBatch {
                         .branches
                         .iter_mut()
                         .find(|b| b.gate == gate.index() && b.pin == pin);
-                    match existing {
-                        Some(b) => b.mask.add(slot, fault.stuck),
-                        None => {
-                            let mut mask = StuckMask::default();
-                            mask.add(slot, fault.stuck);
-                            batch.branches.push(BranchMask {
-                                gate: gate.index(),
-                                pin,
-                                mask,
-                            });
-                        }
+                    if let Some(b) = existing { b.mask.add(slot, fault.stuck) } else {
+                        let mut mask = StuckMask::default();
+                        mask.add(slot, fault.stuck);
+                        batch.branches.push(BranchMask {
+                            gate: gate.index(),
+                            pin,
+                            mask,
+                        });
                     }
                 }
                 FaultSite::FlipFlopInput(ff) => {
-                    batch.ff_input[ff.index()].add(slot, fault.stuck)
+                    batch.ff_input[ff.index()].add(slot, fault.stuck);
                 }
             }
         }

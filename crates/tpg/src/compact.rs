@@ -90,7 +90,7 @@ pub fn compact_sequence_by(
     let mut lo = 0usize;
     let mut hi = seq.len();
     while lo < hi {
-        let mid = (lo + hi) / 2;
+        let mid = usize::midpoint(lo, hi);
         let mut prefix = seq.clone();
         prefix.truncate(mid);
         if covers(&prefix) {

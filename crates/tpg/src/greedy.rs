@@ -131,7 +131,7 @@ pub fn generate_sequence(
         let mut best: Option<(usize, Vec<usize>)> = None; // (candidate, newly detected fault indices)
         for (ci, ext) in candidates.iter().enumerate() {
             let newly = evaluate_extension(circuit, faults, &good, &remaining, ext);
-            if best.as_ref().map(|(_, n)| n.len()).unwrap_or(0) < newly.len() {
+            if best.as_ref().map_or(0, |(_, n)| n.len()) < newly.len() {
                 best = Some((ci, newly));
             }
         }

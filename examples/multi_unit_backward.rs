@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // demonstrations; a permissive N_out profile keeps every pair eligible.
     let n_out = {
         let mut p = n_out_profile(&trace, &trace);
-        p.iter_mut().for_each(|v| *v = 1);
+        p.fill(1);
         p
     };
 
@@ -57,18 +57,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let info = coll.info(key).expect("pair collected");
         println!("backward_time_units = {depth}:");
         println!("  conf(2, p, 0) = {}, conf(2, p, 1) = {}", info.conf[0], info.conf[1]);
-        match depth {
-            1 => {
-                assert_eq!(info.conf, [false, false]);
-                println!("  depth 1 sees only `l2 = 1 at time 1` — no contradiction *there*.");
-            }
-            _ => {
-                assert_eq!(info.conf, [false, true]);
-                println!(
-                    "  depth 2 pushes l2 = 1 back to Y = l11 = 1 at time 0 — the Figure-4 \
-                     conflict: p can only be 0 at time 2, no state split needed."
-                );
-            }
+        if depth == 1 {
+            assert_eq!(info.conf, [false, false]);
+            println!("  depth 1 sees only `l2 = 1 at time 1` — no contradiction *there*.");
+        } else {
+            assert_eq!(info.conf, [false, true]);
+            println!(
+                "  depth 2 pushes l2 = 1 back to Y = l11 = 1 at time 0 — the Figure-4 \
+                 conflict: p can only be 0 at time 2, no state split needed."
+            );
         }
     }
     Ok(())

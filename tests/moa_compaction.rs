@@ -20,7 +20,7 @@ fn compaction_preserves_moa_coverage() {
         run_campaign(&circuit, candidate, &faults, &CampaignOptions::new())
             .statuses
             .iter()
-            .map(|s| s.is_detected())
+            .map(moa_repro::core::FaultStatus::is_detected)
             .collect()
     };
 

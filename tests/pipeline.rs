@@ -107,10 +107,10 @@ fn n_states_limit_bounds_sequences() {
         let result = simulate_fault(&circuit, &seq, &good, &fault, &opts);
         match result.status {
             FaultStatus::DetectedByExpansion { sequences } => {
-                assert!(sequences <= n_states, "n_states = {n_states}")
+                assert!(sequences <= n_states, "n_states = {n_states}");
             }
             FaultStatus::NotDetected { sequences, .. } => {
-                assert!(sequences <= n_states)
+                assert!(sequences <= n_states);
             }
             _ => {}
         }
