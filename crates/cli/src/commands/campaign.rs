@@ -16,9 +16,10 @@ use crate::{load_circuit, ArgParser, CliError};
 
 const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random L [--seed S]] \
 [--baseline | --proposed | --both] [--n-states N] [--depth K] [--rounds R] [--budget B] \
-[--threads T] [--deadline-ms MS] [--work-limit W] [--checkpoint FILE [--checkpoint-every N] \
-[--resume]] [--audit[=N]] [--no-collapse] [--packed] [--differential] [--no-screen] \
-[--learn] [--prune-untestable] [--verbose]";
+[--threads T] [--deadline-ms MS] [--work-limit W] [--max-frontier N] [--degrade] \
+[--checkpoint FILE [--checkpoint-every N] [--resume]] [--audit[=N]] [--chaos-seed S] \
+[--no-collapse] [--packed] [--differential] [--no-screen] [--learn] [--prune-untestable] \
+[--verbose]";
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     // `--audit[=N]` carries an optional inline value, which the flag parser
@@ -45,11 +46,12 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         USAGE,
         &[
             "words", "random", "seed", "seq-file", "n-states", "depth", "rounds", "budget",
-            "threads", "deadline-ms", "work-limit", "checkpoint", "checkpoint-every",
+            "threads", "deadline-ms", "work-limit", "max-frontier", "checkpoint",
+            "checkpoint-every", "chaos-seed",
         ],
         &[
             "baseline", "proposed", "both", "no-collapse", "packed", "differential", "no-screen",
-            "learn", "prune-untestable", "verbose", "resume",
+            "learn", "prune-untestable", "verbose", "resume", "degrade",
         ],
     )?;
     let circuit = load_circuit(parser.required(0, "bench file")?)?;
@@ -69,8 +71,32 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .with_max_implication_runs(parser.num("budget", 4096)?);
     moa.packed_resimulation = parser.switch("packed");
     moa.static_learning = parser.switch("learn");
+    if let Some(states) = parser.flag("max-frontier") {
+        let states: usize = states.parse().map_err(|_| {
+            CliError::Usage(format!("--max-frontier expects a number, got `{states}`"))
+        })?;
+        moa = moa.with_max_frontier_states(states);
+    }
+    moa.degrade = parser.switch("degrade");
     let prune_untestable = parser.switch("prune-untestable");
     let threads = parser.num("threads", 0usize)?;
+
+    if let Some(seed) = parser.flag("chaos-seed") {
+        let seed: u64 = seed.parse().map_err(|_| {
+            CliError::Usage(format!("--chaos-seed expects a number, got `{seed}`"))
+        })?;
+        #[cfg(feature = "failpoints")]
+        moa_core::failpoint::install(moa_core::failpoint::ChaosSchedule::seeded(seed));
+        #[cfg(not(feature = "failpoints"))]
+        {
+            let _ = seed;
+            return Err(CliError::Usage(
+                "--chaos-seed needs a binary built with the `failpoints` feature \
+                 (cargo build --features failpoints)"
+                    .into(),
+            ));
+        }
+    }
 
     let mut fault_budget = FaultBudget::none();
     if let Some(ms) = parser.flag("deadline-ms") {
@@ -156,6 +182,15 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         };
         report(out, "proposed (backward implications)", &circuit, &seq, &faults, &opts, &parser)?;
     }
+    #[cfg(feature = "failpoints")]
+    if moa_core::failpoint::is_armed() {
+        let combos = moa_core::failpoint::fired_combos();
+        moa_core::failpoint::clear();
+        writeln!(out, "\nchaos: {} site/action combination(s) fired", combos.len())?;
+        for ((site, kind), count) in combos {
+            writeln!(out, "    {site} {kind} x{count}")?;
+        }
+    }
     Ok(())
 }
 
@@ -198,8 +233,20 @@ fn print_summary(out: &mut dyn Write, r: &CampaignResult) -> Result<(), CliError
     if r.faulted > 0 {
         writeln!(out, "  faulted workers     : {}", r.faulted)?;
     }
+    if r.degraded > 0 {
+        writeln!(out, "  degraded (partial)  : {}", r.degraded)?;
+    }
     if r.audit_failed > 0 {
         writeln!(out, "  AUDIT FAILED        : {} (quarantined)", r.audit_failed)?;
+    }
+    if r.perf.worker_respawns > 0 {
+        writeln!(out, "  worker respawns     : {}", r.perf.worker_respawns)?;
+    }
+    for skip in &r.resume_skipped {
+        writeln!(
+            out,
+            "  warning: skipped corrupt checkpoint record ({skip}); the fault was re-simulated"
+        )?;
     }
     let avg = r.counter_averages();
     if avg.faults > 0 {
@@ -403,6 +450,78 @@ mod tests {
             summary(&base(&["--prune-untestable"])),
             "--prune-untestable changed verdicts (toggle has no untestable faults)"
         );
+    }
+
+    #[test]
+    fn degrade_flag_reports_partial_verdicts() {
+        let mut out = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--degrade".into(),
+                "--work-limit".into(),
+                "1".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("degraded (partial)"), "{text}");
+        assert!(!text.contains("budget-exceeded"), "every trip steps down: {text}");
+    }
+
+    #[test]
+    fn max_frontier_flag_is_parsed() {
+        let mut out = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--max-frontier".into(),
+                "64".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("detected total"), "{text}");
+
+        let mut out = Vec::new();
+        let err = run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--max-frontier".into(),
+                "x".into(),
+            ],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[cfg(not(feature = "failpoints"))]
+    #[test]
+    fn chaos_seed_without_the_feature_is_a_polite_error() {
+        let mut out = Vec::new();
+        let err = run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--chaos-seed".into(),
+                "42".into(),
+            ],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("failpoints"), "{err}");
     }
 
     #[test]

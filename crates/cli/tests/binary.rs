@@ -71,13 +71,71 @@ fn campaign_resume_from_missing_checkpoint_exits_one() {
     assert!(!err.contains("panicked"), "{err}");
 }
 
+/// Only with the `failpoints` feature: the chaos registry is process-global,
+/// so this runs against the binary (its own process) rather than in-process,
+/// keeping the library tests deterministic.
+#[cfg(feature = "failpoints")]
 #[test]
-fn campaign_resume_from_corrupt_checkpoint_exits_one() {
+fn campaign_chaos_seed_runs_and_reports_fired_sites() {
+    let out = moa()
+        .args([
+            "campaign",
+            &s27_path(),
+            "--random",
+            "16",
+            "--seed",
+            "7",
+            "--proposed",
+            "--chaos-seed",
+            "42",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{err}");
+    assert!(text.contains("chaos:"), "{text}");
+}
+
+#[test]
+fn campaign_resume_heals_a_corrupt_interior_record_with_a_warning() {
+    // A torn/garbage body record no longer aborts the resume: the record is
+    // skipped with a located warning and its fault is re-simulated.
     let dir = std::env::temp_dir().join("moa-bin-test");
     std::fs::create_dir_all(&dir).unwrap();
     let corrupt = dir.join("corrupt.checkpoint");
     std::fs::write(&corrupt, "moa-checkpoint v1\ncircuit s27\nfaults 32\nseq-len 8\nfault garbage\n")
         .unwrap();
+    let out = moa()
+        .args([
+            "campaign",
+            &s27_path(),
+            "--random",
+            "8",
+            "--seed",
+            "7",
+            "--proposed",
+            "--checkpoint",
+            &corrupt.to_string_lossy(),
+            "--resume",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "corruption is healed, not fatal: {err}");
+    assert!(text.contains("skipped corrupt checkpoint record"), "{text}");
+    assert!(text.contains("line 5"), "the warning locates the damage: {text}");
+}
+
+#[test]
+fn campaign_resume_from_damaged_header_exits_one() {
+    // Header damage is still a hard error — the file cannot be trusted to
+    // describe this campaign at all.
+    let dir = std::env::temp_dir().join("moa-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let corrupt = dir.join("bad-header.checkpoint");
+    std::fs::write(&corrupt, "not-a-checkpoint\n").unwrap();
     let out = moa()
         .args([
             "campaign",

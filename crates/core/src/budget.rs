@@ -141,11 +141,13 @@ impl BudgetMeter {
     #[must_use]
     pub fn charge(&mut self, units: u64) -> bool {
         self.spent += units;
-        if self.deadline.is_none() && self.max_work.is_none() {
-            return true;
-        }
+        // Stickiness is checked before the unlimited fast path so that
+        // `exhaust()` (the frontier-memory cap) works on unlimited budgets.
         if self.exhausted {
             return false;
+        }
+        if self.deadline.is_none() && self.max_work.is_none() {
+            return true;
         }
         if let Some(max) = self.max_work {
             if self.spent > max {
@@ -171,9 +173,48 @@ impl BudgetMeter {
         self.exhausted
     }
 
+    /// Marks the meter exhausted directly — used by resource caps that are
+    /// not work-unit counts, such as
+    /// [`MoaOptions::max_frontier_states`](crate::MoaOptions::max_frontier_states).
+    /// Works even on unlimited budgets.
+    pub fn exhaust(&mut self) {
+        self.exhausted = true;
+    }
+
     /// Total work units charged so far.
     pub fn spent(&self) -> u64 {
         self.spent
+    }
+
+    /// Records `states` as the current faulty-state frontier size, updating
+    /// the campaign-wide high-water mark
+    /// ([`PerfCounters::max_frontier`](crate::PerfCounters)).
+    pub fn note_frontier(&mut self, states: usize) {
+        self.perf.max_frontier = self.perf.max_frontier.max(states as u64);
+    }
+
+    /// A fresh meter with the same limits but zero spend and a restarted
+    /// deadline clock — the degradation ladder's per-rung budget slice.
+    /// Perf counters start empty; fold them back with [`absorb`](Self::absorb).
+    #[must_use]
+    pub fn fresh_like(&self) -> Self {
+        BudgetMeter {
+            start: Instant::now(),
+            deadline: self.deadline,
+            max_work: self.max_work,
+            spent: 0,
+            charges_since_deadline_check: 0,
+            exhausted: false,
+            perf: PerfCounters::new(),
+        }
+    }
+
+    /// Folds a ladder rung's meter back into this one: work spend adds up,
+    /// perf counters accumulate. Exhaustion of the rung does *not* re-exhaust
+    /// `self` — the caller decides what the rung's outcome means.
+    pub fn absorb(&mut self, rung: &BudgetMeter) {
+        self.spent += rung.spent;
+        self.perf += rung.perf;
     }
 }
 
@@ -222,6 +263,41 @@ mod tests {
         assert_eq!(b.max_work, Some(100));
         assert!(!b.is_unlimited());
         assert!(FaultBudget::default().is_unlimited());
+    }
+
+    #[test]
+    fn exhaust_sticks_even_when_unlimited() {
+        let mut m = BudgetMeter::unlimited();
+        assert!(m.charge(1));
+        m.exhaust();
+        assert!(m.is_exhausted());
+        assert!(!m.charge(1), "exhaust() must stick on unlimited budgets");
+    }
+
+    #[test]
+    fn fresh_like_and_absorb_slice_the_budget() {
+        let mut m = BudgetMeter::new(&FaultBudget::none().with_work_limit(5));
+        while m.charge(1) {}
+        assert!(m.is_exhausted());
+        let mut rung = m.fresh_like();
+        assert!(!rung.is_exhausted());
+        assert_eq!(rung.spent(), 0);
+        assert!(rung.charge(4));
+        rung.note_frontier(17);
+        let before = m.spent();
+        m.absorb(&rung);
+        assert_eq!(m.spent(), before + 4);
+        assert_eq!(m.perf.max_frontier, 17);
+        assert!(m.is_exhausted(), "absorb never clears exhaustion");
+    }
+
+    #[test]
+    fn note_frontier_tracks_the_high_water_mark() {
+        let mut m = BudgetMeter::unlimited();
+        m.note_frontier(4);
+        m.note_frontier(32);
+        m.note_frontier(8);
+        assert_eq!(m.perf.max_frontier, 32);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use moa_sim::{screen_faults, simulate, Detection, GoodFrames, SimTrace, TestSequ
 use crate::audit::{audit_certificate, AuditOptions, AuditStatus};
 use crate::budget::{BudgetMeter, FaultBudget};
 use crate::certificate::DetectionCertificate;
-use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointHeader};
+use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointHeader, CheckpointSkip};
 use crate::cones::ConeCache;
 use crate::counters::{CounterAverages, Counters, PerfCounters};
 use crate::error::Error;
@@ -96,6 +96,14 @@ pub struct CampaignOptions {
     /// [`FaultStatus::Faulted`] instead of crashing the campaign. On by
     /// default; turn off to let a panic propagate (e.g. to debug it).
     pub isolate_panics: bool,
+    /// Respawn a worker thread that dies (fails to spawn, or panics outside
+    /// per-fault isolation) up to this many times per work chunk, with a
+    /// short backoff between attempts. Faults already completed by the dead
+    /// worker are never re-simulated. After the retries are exhausted the
+    /// remaining faults of the chunk run inline on the coordinating thread,
+    /// so no fault is ever lost. Respawns are counted in
+    /// [`CampaignResult::perf`](PerfCounters::worker_respawns).
+    pub worker_retries: usize,
     /// Write a checkpoint of completed per-fault results to this file every
     /// [`checkpoint_every`](Self::checkpoint_every) faults (and after the
     /// final batch). `None` disables checkpointing.
@@ -127,6 +135,7 @@ impl std::fmt::Debug for CampaignOptions {
             .field("prune_untestable", &self.prune_untestable)
             .field("budget", &self.budget)
             .field("isolate_panics", &self.isolate_panics)
+            .field("worker_retries", &self.worker_retries)
             .field("checkpoint", &self.checkpoint)
             .field("checkpoint_every", &self.checkpoint_every)
             .field("resume", &self.resume)
@@ -149,6 +158,7 @@ impl Default for CampaignOptions {
             prune_untestable: false,
             budget: FaultBudget::none(),
             isolate_panics: true,
+            worker_retries: 2,
             checkpoint: None,
             checkpoint_every: 64,
             resume: false,
@@ -204,6 +214,12 @@ pub struct CampaignResult {
     pub budget_exceeded: usize,
     /// Faults whose isolated worker panicked.
     pub faulted: usize,
+    /// Faults that exhausted their budget under the full pipeline and were
+    /// re-tried down the graceful-degradation ladder
+    /// ([`MoaOptions::degrade`](crate::MoaOptions)), ending with a
+    /// [`FaultStatus::PartialVerdict`] lower bound instead of a bare
+    /// [`FaultStatus::BudgetExceeded`].
+    pub degraded: usize,
     /// Detections refuted by the certificate audit and quarantined
     /// ([`FaultStatus::AuditFailed`]). Always `0` without
     /// [`CampaignOptions::audit`]; any nonzero count is an engine-soundness
@@ -220,10 +236,18 @@ pub struct CampaignResult {
     /// from equality: two runs with identical verdicts compare equal even
     /// though their timings differ.
     pub perf: PerfCounters,
+    /// Checkpoint records that were skipped (with a located warning) while
+    /// resuming, because they were corrupt, out of range, or duplicated.
+    /// The faults behind them were simply re-simulated. Empty without
+    /// [`CampaignOptions::resume`]. Excluded from equality alongside
+    /// [`perf`](Self::perf): skips describe the journey, not the verdicts.
+    pub resume_skipped: Vec<CheckpointSkip>,
 }
 
 /// Equality by verdicts: every field except the wall-clock-dependent
-/// [`perf`](CampaignResult::perf) instrumentation.
+/// [`perf`](CampaignResult::perf) instrumentation and the
+/// [`resume_skipped`](CampaignResult::resume_skipped) warnings (a resumed
+/// run that healed a corrupt record still computes identical verdicts).
 impl PartialEq for CampaignResult {
     fn eq(&self, other: &Self) -> bool {
         self.circuit == other.circuit
@@ -237,6 +261,7 @@ impl PartialEq for CampaignResult {
             && self.aborted == other.aborted
             && self.budget_exceeded == other.budget_exceeded
             && self.faulted == other.faulted
+            && self.degraded == other.degraded
             && self.audit_failed == other.audit_failed
             && self.statuses == other.statuses
             && self.expansion_counters == other.expansion_counters
@@ -323,16 +348,18 @@ pub fn try_run_campaign(
         total_faults: faults.len(),
         seq_len: seq.len(),
     };
-    let mut slots: Vec<Option<FaultResult>> = if options.resume {
-        let path = options.checkpoint.as_ref().ok_or_else(|| Error::Checkpoint {
-            path: "<none>".into(),
-            line: None,
-            message: "resume requested without a checkpoint path".into(),
-        })?;
-        read_checkpoint(path, &header)?
-    } else {
-        vec![None; faults.len()]
-    };
+    let (mut slots, resume_skipped): (Vec<Option<FaultResult>>, Vec<CheckpointSkip>) =
+        if options.resume {
+            let path = options.checkpoint.as_ref().ok_or_else(|| Error::Checkpoint {
+                path: "<none>".into(),
+                line: None,
+                message: "resume requested without a checkpoint path".into(),
+            })?;
+            let load = read_checkpoint(path, &header)?;
+            (load.slots, load.skipped)
+        } else {
+            (vec![None; faults.len()], Vec::new())
+        };
 
     let mut perf = PerfCounters::new();
     run_all(
@@ -357,6 +384,7 @@ pub fn try_run_campaign(
         .collect::<Result<Vec<_>, _>>()?;
     let mut result = aggregate(circuit, faults.len(), results);
     result.perf = perf;
+    result.resume_skipped = resume_skipped;
     Ok(result)
 }
 
@@ -373,10 +401,12 @@ fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) 
         aborted: 0,
         budget_exceeded: 0,
         faulted: 0,
+        degraded: 0,
         audit_failed: 0,
         statuses: Vec::with_capacity(results.len()),
         expansion_counters: Vec::new(),
         perf: PerfCounters::new(),
+        resume_skipped: Vec::new(),
     };
     for r in results {
         match &r.status {
@@ -401,6 +431,7 @@ fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) 
             }
             FaultStatus::BudgetExceeded { .. } => campaign.budget_exceeded += 1,
             FaultStatus::Faulted { .. } => campaign.faulted += 1,
+            FaultStatus::PartialVerdict { .. } => campaign.degraded += 1,
             FaultStatus::AuditFailed { .. } => campaign.audit_failed += 1,
             _ => {}
         }
@@ -607,18 +638,102 @@ fn run_batch(
         return;
     }
 
-    let mut results: Vec<Option<(FaultResult, PerfCounters)>> = vec![None; batch.len()];
+    // Results live in per-fault `Mutex<Option<..>>` cells so a replacement
+    // worker can see (and skip) the faults its dead predecessor already
+    // finished: across any number of respawns each fault is simulated
+    // exactly once.
+    let cells: Vec<std::sync::Mutex<Option<(FaultResult, PerfCounters)>>> =
+        (0..batch.len()).map(|_| std::sync::Mutex::new(None)).collect();
     let chunk = batch.len().div_ceil(threads);
+    let mut respawns: u64 = 0;
     std::thread::scope(|scope| {
-        for (index_chunk, result_chunk) in batch.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (&index, slot) in index_chunk.iter().zip(result_chunk.iter_mut()) {
-                    *slot = Some(run_one(index));
+        // A work unit is one chunk of the batch plus its retry count. A
+        // worker that fails to spawn or dies mid-chunk puts its unit back on
+        // the queue (with backoff) until the retries run out, after which
+        // the coordinating thread finishes the chunk inline — no fault is
+        // ever lost to a dying worker.
+        let mut queue: Vec<(usize, &[usize], usize)> = batch
+            .chunks(chunk)
+            .enumerate()
+            .map(|(k, indices)| (k * chunk, indices, 0))
+            .collect();
+        while !queue.is_empty() {
+            let mut round = Vec::with_capacity(queue.len());
+            for (offset, indices, attempt) in queue.drain(..) {
+                if attempt > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2 * attempt as u64));
                 }
-            });
+                let cells = &cells;
+                let worker = move || {
+                    for (k, &index) in indices.iter().enumerate() {
+                        let cell = &cells[offset + k];
+                        let done = cell
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .is_some();
+                        if done {
+                            continue;
+                        }
+                        fail_hit!("fp/campaign.worker.run");
+                        let result = run_one(index);
+                        *cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some(result);
+                    }
+                };
+                let refused = {
+                    #[cfg(feature = "failpoints")]
+                    {
+                        crate::failpoint::fires_error("fp/campaign.worker.spawn")
+                    }
+                    #[cfg(not(feature = "failpoints"))]
+                    {
+                        false
+                    }
+                };
+                let handle = if refused {
+                    None
+                } else {
+                    std::thread::Builder::new().spawn_scoped(scope, worker).ok()
+                };
+                round.push((offset, indices, attempt, handle));
+            }
+            for (offset, indices, attempt, handle) in round {
+                let died = match handle {
+                    Some(h) => h.join().is_err(),
+                    None => true,
+                };
+                if !died {
+                    continue;
+                }
+                if attempt < options.worker_retries {
+                    respawns += 1;
+                    queue.push((offset, indices, attempt + 1));
+                } else {
+                    // Retries exhausted: finish the chunk inline. This path
+                    // does not hit the worker failpoints — it is the
+                    // last-resort guarantee that every fault completes.
+                    for (k, &index) in indices.iter().enumerate() {
+                        let cell = &cells[offset + k];
+                        let done = cell
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .is_some();
+                        if done {
+                            continue;
+                        }
+                        let result = run_one(index);
+                        *cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some(result);
+                    }
+                }
+            }
         }
     });
-    for (&index, result) in batch.iter().zip(results) {
+    perf.worker_respawns += respawns;
+    for (cell, &index) in cells.into_iter().zip(batch) {
+        let result = cell
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some((fault_result, fault_perf)) = result {
             *perf += fault_perf;
             slots[index] = Some(fault_result);
@@ -944,8 +1059,9 @@ mod tests {
             total_faults: faults.len(),
             seq_len: seq.len(),
         };
-        let slots = read_checkpoint(&path, &header).unwrap();
-        let done = slots.iter().filter(|s| s.is_some()).count();
+        let load = read_checkpoint(&path, &header).unwrap();
+        assert!(load.skipped.is_empty(), "{:?}", load.skipped);
+        let done = load.slots.iter().filter(|s| s.is_some()).count();
         assert!(done > 0 && done < faults.len(), "{done} of {}", faults.len());
 
         // Resume: the remaining faults (including the one that crashed) are
@@ -1153,5 +1269,125 @@ mod tests {
         };
         run_campaign(&c, &seq, &faults, &options);
         assert_eq!(calls.load(Ordering::Relaxed), faults.len());
+    }
+
+    #[test]
+    fn degrade_ladder_turns_budget_trips_into_partial_verdicts() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let unlimited = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let degraded = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                moa: MoaOptions::default().with_degrade(true),
+                budget: FaultBudget::none().with_work_limit(1),
+                audit: Some(CampaignAudit::default()),
+                ..Default::default()
+            },
+        );
+        assert!(degraded.degraded > 0, "the expansion faults must step down the ladder");
+        assert_eq!(
+            degraded.budget_exceeded, 0,
+            "every budget trip is upgraded to a partial verdict"
+        );
+        assert_eq!(
+            degraded.audit_failed, 0,
+            "partial detections carry replayable certificates"
+        );
+        // Degradation only ever removes detection power: sound.
+        assert!(degraded.detected_total() <= unlimited.detected_total());
+        // Conventional detections never consume budget.
+        assert_eq!(degraded.conventional, unlimited.conventional);
+        for status in &degraded.statuses {
+            if let FaultStatus::PartialVerdict { work_spent, .. } = status {
+                assert!(*work_spent > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_skips_corrupt_checkpoint_records_and_heals_them() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let dir = std::env::temp_dir().join("moa-campaign-corrupt-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let reference = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                ..Default::default()
+            },
+        );
+
+        // Flip one interior record to garbage, as a crashed writer might.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mangled: Vec<&str> = text
+            .lines()
+            .map(|line| {
+                if line.starts_with("fault 2 ") {
+                    "fault 2 garbage"
+                } else {
+                    line
+                }
+            })
+            .collect();
+        std::fs::write(&path, mangled.join("\n") + "\n").unwrap();
+
+        let resumed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(resumed.resume_skipped.len(), 1, "{:?}", resumed.resume_skipped);
+        assert!(resumed.resume_skipped[0].line > 4, "damage is in the body");
+        assert_eq!(reference, resumed, "the skipped record is simply re-simulated");
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn dying_workers_are_respawned_and_no_fault_is_lost() {
+        use crate::failpoint::{self, ChaosSchedule, FailAction, SitePlan};
+        let _serial = failpoint::test_lock();
+        failpoint::clear();
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let options = CampaignOptions {
+            threads: 4,
+            ..Default::default()
+        };
+        let clean = run_campaign(&c, &seq, &faults, &options);
+        // p=1.0 makes the outcome schedule-independent: the first two spawn
+        // attempts are refused and the first two workers to reach the run
+        // site die, regardless of thread interleaving.
+        failpoint::install(
+            ChaosSchedule::empty(11)
+                .with_site(
+                    "fp/campaign.worker.spawn",
+                    SitePlan::new(1.0, vec![FailAction::Error]).with_max_fires(2),
+                )
+                .with_site(
+                    "fp/campaign.worker.run",
+                    SitePlan::new(1.0, vec![FailAction::Panic]).with_max_fires(2),
+                ),
+        );
+        let chaotic = run_campaign(&c, &seq, &faults, &options);
+        let combos = failpoint::fired_combos();
+        failpoint::clear();
+        assert_eq!(clean, chaotic, "worker deaths must not change any verdict");
+        assert!(chaotic.perf.worker_respawns >= 4, "{:?}", chaotic.perf);
+        assert_eq!(combos.len(), 2, "{combos:?}");
     }
 }

@@ -85,6 +85,14 @@ pub struct PerfCounters {
     /// Nets newly specified by firing statically learned implications
     /// (`MoaOptions::static_learning`); zero when learning is off.
     pub learned_hits: u64,
+    /// Largest faulty-state frontier reached during expansion (a
+    /// high-water mark, merged by `max` rather than summed). The knob
+    /// bounding it is
+    /// [`MoaOptions::max_frontier_states`](crate::MoaOptions::max_frontier_states).
+    pub max_frontier: u64,
+    /// Campaign workers respawned after dying outside per-fault panic
+    /// isolation (see `CampaignOptions::worker_retries`).
+    pub worker_respawns: u64,
 }
 
 impl PerfCounters {
@@ -103,6 +111,8 @@ impl AddAssign for PerfCounters {
         self.expand_nanos += rhs.expand_nanos;
         self.resim_nanos += rhs.resim_nanos;
         self.learned_hits += rhs.learned_hits;
+        self.max_frontier = self.max_frontier.max(rhs.max_frontier);
+        self.worker_respawns += rhs.worker_respawns;
     }
 }
 
@@ -121,6 +131,12 @@ impl fmt::Display for PerfCounters {
         )?;
         if self.learned_hits > 0 {
             write!(f, " learned hits={}", self.learned_hits)?;
+        }
+        if self.max_frontier > 0 {
+            write!(f, " max frontier={}", self.max_frontier)?;
+        }
+        if self.worker_respawns > 0 {
+            write!(f, " worker respawns={}", self.worker_respawns)?;
         }
         Ok(())
     }
@@ -235,13 +251,33 @@ mod tests {
             expand_nanos: 3,
             resim_nanos: 4,
             learned_hits: 6,
+            max_frontier: 16,
+            worker_respawns: 1,
         };
         p += p;
         assert_eq!(p.gate_evals, 10);
         assert_eq!(p.resim_nanos, 8);
         assert_eq!(p.learned_hits, 12);
+        assert_eq!(p.max_frontier, 16, "high-water mark merges by max");
+        assert_eq!(p.worker_respawns, 2);
         assert!(p.to_string().contains("gate evals=10"));
         assert!(p.to_string().contains("learned hits=12"));
+        assert!(p.to_string().contains("max frontier=16"));
+        assert!(p.to_string().contains("worker respawns=2"));
         assert!(!PerfCounters::new().to_string().contains("learned"));
+        assert!(!PerfCounters::new().to_string().contains("frontier"));
+    }
+
+    #[test]
+    fn max_frontier_merges_by_max_both_directions() {
+        let mut a = PerfCounters {
+            max_frontier: 8,
+            ..PerfCounters::new()
+        };
+        a += PerfCounters {
+            max_frontier: 4,
+            ..PerfCounters::new()
+        };
+        assert_eq!(a.max_frontier, 8);
     }
 }

@@ -136,7 +136,18 @@ pub fn expand_metered(
     let mut sequences = vec![base];
     let mut selected = Vec::new();
     let mut exhausted = false;
+    meter.note_frontier(sequences.len());
     while sequences.len() * 2 <= options.n_states {
+        fail_hit!("fp/expand.split", meter);
+        // The frontier-memory cap refuses the split outright: doubling past
+        // it would commit unbounded memory, so the budget is declared
+        // exhausted (sound — same fallback as a work-limit trip).
+        if let Some(cap) = options.max_frontier_states {
+            if sequences.len() * 2 > cap {
+                meter.exhaust();
+                break;
+            }
+        }
         if !meter.charge(sequences.len() as u64) {
             break;
         }
@@ -164,6 +175,7 @@ pub fn expand_metered(
             next.push(one_copy);
         }
         sequences = next;
+        meter.note_frontier(sequences.len());
     }
 
     let aborted = !exhausted && select_pair(collection, &sequences, n_out, n_sv).is_some();
@@ -445,6 +457,52 @@ mod tests {
                 panic!("unexpected {other:?}")
             }
         }
+    }
+
+    #[test]
+    fn frontier_cap_exhausts_the_meter_instead_of_splitting() {
+        // Three independent pairs; N_STATES = 8 would allow three splits,
+        // but the frontier cap of 2 refuses the 2→4 split.
+        let coll = Collection {
+            pairs: vec![
+                two_way(1, 0, &[(0, V3::Zero)], &[(0, V3::One)]),
+                two_way(1, 1, &[(1, V3::Zero)], &[(1, V3::One)]),
+                two_way(1, 2, &[(2, V3::Zero)], &[(2, V3::One)]),
+            ],
+            ..Default::default()
+        };
+        let trace = x_trace(3, 2);
+        let opts = MoaOptions::default()
+            .with_n_states(8)
+            .with_max_frontier_states(2);
+        let mut meter = BudgetMeter::unlimited();
+        match expand_metered(&coll, &trace, &[2, 1, 0], &[3, 3, 3], &opts, &mut meter) {
+            ExpandOutcome::Expanded { sequences, .. } => {
+                assert_eq!(sequences.len(), 2, "stopped at the cap");
+            }
+            other @ ExpandOutcome::DetectedByForcedAssignments { .. } => {
+                panic!("unexpected {other:?}")
+            }
+        }
+        assert!(meter.is_exhausted(), "cap trip reads as budget exhaustion");
+        assert_eq!(meter.perf.max_frontier, 2, "high-water mark recorded");
+    }
+
+    #[test]
+    fn uncapped_expansion_records_peak_frontier() {
+        let coll = Collection {
+            pairs: vec![
+                two_way(1, 0, &[(0, V3::Zero)], &[(0, V3::One)]),
+                two_way(1, 1, &[(1, V3::Zero)], &[(1, V3::One)]),
+            ],
+            ..Default::default()
+        };
+        let trace = x_trace(2, 2);
+        let opts = MoaOptions::default().with_n_states(4);
+        let mut meter = BudgetMeter::unlimited();
+        let _ = expand_metered(&coll, &trace, &[2, 1, 0], &[2, 2, 2], &opts, &mut meter);
+        assert!(!meter.is_exhausted());
+        assert_eq!(meter.perf.max_frontier, 4);
     }
 
     #[test]

@@ -290,6 +290,7 @@ impl<'a> FrameContext<'a> {
         level: usize,
     ) -> bool {
         assert!(rounds > 0, "at least one implication round is required");
+        fail_hit!("fp/imply.pass");
         let started = Instant::now();
         if scratch.frames.len() <= level {
             scratch

@@ -82,6 +82,30 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![deny(unsafe_code)]
 
+/// Crate-internal chaos-injection site. `fail_hit!("fp/...")` marks a code
+/// path for deterministic failure injection; `fail_hit!("fp/...", meter)`
+/// additionally exposes the fault's [`BudgetMeter`] so a firing site can
+/// inflate its work spend. With the `failpoints` feature off this expands
+/// to nothing — zero code, zero strings in the binary.
+///
+/// Must be defined before the `mod` declarations below (textual scoping).
+#[cfg(feature = "failpoints")]
+macro_rules! fail_hit {
+    ($site:literal) => {
+        $crate::failpoint::apply($site, None)
+    };
+    ($site:literal, $meter:expr) => {
+        // Explicit reborrow: `Some(meter)` would move a `&mut` out of the
+        // caller's binding.
+        $crate::failpoint::apply($site, Some(&mut *$meter))
+    };
+}
+#[cfg(not(feature = "failpoints"))]
+macro_rules! fail_hit {
+    ($site:literal) => {};
+    ($site:literal, $meter:expr) => {};
+}
+
 mod audit;
 mod budget;
 mod campaign;
@@ -97,6 +121,8 @@ mod error;
 mod exact;
 mod expand;
 mod explain;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod imply;
 mod options;
 mod procedure;
@@ -112,7 +138,9 @@ pub use campaign::{
 pub use certificate::{
     CertificateClaim, CertificateSource, ClaimKind, DetectionCertificate, StateAssignment,
 };
-pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointHeader};
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, CheckpointHeader, CheckpointLoad, CheckpointSkip,
+};
 pub use collect::{
     collect_pairs, collect_pairs_metered, Collection, PairInfo, PairKey, SideEvidence,
 };
@@ -127,7 +155,7 @@ pub use explain::{explain_fault, Explanation};
 pub use options::MoaOptions;
 pub use procedure::{
     simulate_fault, simulate_fault_budgeted, simulate_fault_certified, simulate_fault_with,
-    try_simulate_fault_with, FaultResult, FaultStatus,
+    try_simulate_fault_with, DegradeStage, FaultResult, FaultStatus, PartialBound,
 };
 pub use resim::{resimulate, resimulate_metered, ResimVerdict, SequenceOutcome};
 pub use resim_packed::{resimulate_packed, resimulate_packed_metered};

@@ -76,6 +76,23 @@ pub struct MoaOptions {
     /// verdict is identical or upgraded from undecided to resolved, never
     /// downgraded.
     pub static_learning: bool,
+    /// Memory cap on the faulty-state frontier: expansion refuses any split
+    /// that would grow the live sequence set beyond this many states and
+    /// marks the fault's budget exhausted instead (the frontier can double
+    /// on every split, so its worst case is unbounded). `None` (the
+    /// default) leaves only `n_states` as the bound. The campaign-wide
+    /// high-water mark is reported in
+    /// [`PerfCounters::max_frontier`](crate::PerfCounters).
+    pub max_frontier_states: Option<usize>,
+    /// Graceful degradation: instead of collapsing an exhausted fault to
+    /// [`FaultStatus::BudgetExceeded`](crate::FaultStatus::BudgetExceeded),
+    /// step down the ladder — rerun the fault as the expansion-only
+    /// baseline (no backward implications, halved frontier), and failing
+    /// that fall back to the conventional single-observation verdict —
+    /// reporting a structured
+    /// [`FaultStatus::PartialVerdict`](crate::FaultStatus::PartialVerdict)
+    /// with a sound detection lower bound. Off by default.
+    pub degrade: bool,
 }
 
 impl MoaOptions {
@@ -92,6 +109,8 @@ impl MoaOptions {
             include_final_time_unit: false,
             cone_bounded: true,
             static_learning: false,
+            max_frontier_states: None,
+            degrade: false,
         }
     }
 
@@ -141,6 +160,21 @@ impl MoaOptions {
         self.static_learning = enabled;
         self
     }
+
+    /// Returns a copy capping the faulty-state frontier at `states`.
+    #[must_use]
+    pub fn with_max_frontier_states(mut self, states: usize) -> Self {
+        self.max_frontier_states = Some(states);
+        self
+    }
+
+    /// Returns a copy with the graceful-degradation ladder enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_degrade(mut self, enabled: bool) -> Self {
+        self.degrade = enabled;
+        self
+    }
 }
 
 impl Default for MoaOptions {
@@ -163,6 +197,8 @@ mod tests {
         assert_eq!(o.backward_time_units, 1);
         assert!(!o.include_final_time_unit);
         assert!(!o.static_learning);
+        assert_eq!(o.max_frontier_states, None);
+        assert!(!o.degrade);
         assert_eq!(o, MoaOptions::new());
     }
 
@@ -173,11 +209,15 @@ mod tests {
             .with_implication_rounds(3)
             .with_max_implication_runs(10)
             .with_backward_time_units(2)
-            .with_static_learning(true);
+            .with_static_learning(true)
+            .with_max_frontier_states(32)
+            .with_degrade(true);
         assert_eq!(o.n_states, 8);
         assert_eq!(o.implication_rounds, 3);
         assert_eq!(o.max_implication_runs, 10);
         assert_eq!(o.backward_time_units, 2);
         assert!(o.static_learning);
+        assert_eq!(o.max_frontier_states, Some(32));
+        assert!(o.degrade);
     }
 }

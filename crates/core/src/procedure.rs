@@ -77,6 +77,26 @@ pub enum FaultStatus {
         /// Work units charged by the time the fault was abandoned.
         work: u64,
     },
+    /// The budget (or the frontier cap,
+    /// [`MoaOptions::max_frontier_states`]) ran out, and
+    /// [`MoaOptions::degrade`] stepped down the ladder instead of
+    /// abandoning the fault: full MOA with implications → the
+    /// expansion-only baseline on a fresh budget slice → the bare
+    /// conventional verdict. The recorded lower bound is *sound*: a
+    /// detection found by a weaker rung is a genuine
+    /// multiple-observation-time detection (the rungs only remove
+    /// detection power, never add it), so [`PartialBound::Detected`]
+    /// counts as detected and is audit-compatible.
+    PartialVerdict {
+        /// The strongest claim the completed rung could make.
+        lower_bound: PartialBound,
+        /// The rung that produced the bound.
+        stage_reached: DegradeStage,
+        /// The pipeline stage in which the *original* budget was exhausted.
+        tripped: BudgetStage,
+        /// Total work units charged across all rungs.
+        work_spent: u64,
+    },
     /// The fault's worker panicked and
     /// [`CampaignOptions::isolate_panics`](crate::CampaignOptions::isolate_panics)
     /// contained it. Counted as not detected.
@@ -96,8 +116,66 @@ pub enum FaultStatus {
     },
 }
 
+/// How far down the graceful-degradation ladder a fault got before its
+/// [`FaultStatus::PartialVerdict`] was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeStage {
+    /// Rung 2: the expansion-only baseline of reference \[4] (backward
+    /// implications off, halved frontier) completed within a fresh budget
+    /// slice.
+    ExpansionOnly,
+    /// Rung 3: the baseline slice exhausted too; only the conventional
+    /// three-valued single-observation verdict stands.
+    Conventional,
+}
+
+impl std::fmt::Display for DegradeStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradeStage::ExpansionOnly => "expansion-only",
+            DegradeStage::Conventional => "conventional",
+        })
+    }
+}
+
+impl std::str::FromStr for DegradeStage {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "expansion-only" => Ok(DegradeStage::ExpansionOnly),
+            "conventional" => Ok(DegradeStage::Conventional),
+            _ => Err(()),
+        }
+    }
+}
+
+/// The sound detection lower bound carried by a
+/// [`FaultStatus::PartialVerdict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartialBound {
+    /// The completed rung proved the fault detected. Sound for the full
+    /// procedure: weaker rungs only remove detection power.
+    Detected {
+        /// State sequences resimulated by the proving rung (0 when the
+        /// proof came from contradicting forced assignments).
+        sequences: usize,
+    },
+    /// The completed rung finished undetected — the fault *might* still be
+    /// detectable by the full procedure with a larger budget.
+    NotDetected {
+        /// Sequences that survived the rung's resimulation undecided.
+        undecided: usize,
+        /// Total sequences the rung expanded to.
+        sequences: usize,
+    },
+    /// No rung completed; nothing beyond the conventional verdict is known.
+    Unknown,
+}
+
 impl FaultStatus {
-    /// `true` for any of the detected variants.
+    /// `true` for any of the detected variants, including a
+    /// [`PartialVerdict`](FaultStatus::PartialVerdict) whose lower bound is
+    /// a (sound) detection.
     pub fn is_detected(&self) -> bool {
         matches!(
             self,
@@ -105,6 +183,10 @@ impl FaultStatus {
                 | FaultStatus::DetectedByImplications(_)
                 | FaultStatus::DetectedByForcedAssignments
                 | FaultStatus::DetectedByExpansion { .. }
+                | FaultStatus::PartialVerdict {
+                    lower_bound: PartialBound::Detected { .. },
+                    ..
+                }
         )
     }
 
@@ -395,7 +477,125 @@ fn run_procedure(
     // Frame-construction work is accounted once, whichever stages consumed
     // the frames.
     meter.perf.gate_evals += (cache.frames_built() * circuit.num_gates()) as u64;
-    out
+    if options.degrade {
+        degrade_ladder(
+            out,
+            circuit,
+            seq,
+            good,
+            fault,
+            options,
+            &cache,
+            cones,
+            &n_out,
+            &n_sv,
+            meter,
+            want_certificate,
+        )
+    } else {
+        out
+    }
+}
+
+/// The graceful-degradation ladder ([`MoaOptions::degrade`]): when the full
+/// procedure exhausted its budget, retry as the expansion-only baseline of
+/// reference \[4] — no backward implications (collection becomes nearly
+/// free), frontier halved (halving both split and resimulation work) — on a
+/// fresh budget slice with the same limits. A detection found there is a
+/// genuine MOA detection, so the resulting [`FaultStatus::PartialVerdict`]
+/// carries a sound lower bound; if the baseline slice exhausts too, only
+/// the conventional verdict remains ([`DegradeStage::Conventional`]).
+#[allow(clippy::too_many_arguments)]
+fn degrade_ladder(
+    out: (FaultResult, Option<DetectionCertificate>),
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    fault: &Fault,
+    options: &MoaOptions,
+    cache: &FrameCache<'_>,
+    cones: &ConeCache<'_>,
+    n_out: &[usize],
+    n_sv: &[usize],
+    meter: &mut BudgetMeter,
+    want_certificate: bool,
+) -> (FaultResult, Option<DetectionCertificate>) {
+    let FaultStatus::BudgetExceeded { stage: tripped, .. } = out.0.status else {
+        return out;
+    };
+    let capped = options
+        .max_frontier_states
+        .map_or(options.n_states, |cap| cap.min(options.n_states));
+    let rung_options = MoaOptions {
+        backward_implications: false,
+        static_learning: false,
+        n_states: (capped / 2).max(1),
+        max_frontier_states: None,
+        degrade: false,
+        ..options.clone()
+    };
+    let mut rung_meter = meter.fresh_like();
+    let (rung, rung_certificate) = run_expansion_stages(
+        circuit,
+        seq,
+        good,
+        fault,
+        &rung_options,
+        cache,
+        cones,
+        n_out,
+        n_sv,
+        &mut rung_meter,
+        want_certificate,
+    );
+    meter.absorb(&rung_meter);
+    let work_spent = meter.spent();
+    let (lower_bound, stage_reached, certificate) = match rung.status {
+        FaultStatus::BudgetExceeded { .. } => {
+            (PartialBound::Unknown, DegradeStage::Conventional, None)
+        }
+        FaultStatus::DetectedByExpansion { sequences } => (
+            PartialBound::Detected { sequences },
+            DegradeStage::ExpansionOnly,
+            rung_certificate,
+        ),
+        // Without backward implications the baseline cannot force
+        // assignments or detect by implications, but stay total: any other
+        // detection is still sound.
+        ref s if s.is_detected() => (
+            PartialBound::Detected { sequences: 0 },
+            DegradeStage::ExpansionOnly,
+            rung_certificate,
+        ),
+        FaultStatus::NotDetected {
+            undecided,
+            sequences,
+            ..
+        } => (
+            PartialBound::NotDetected {
+                undecided,
+                sequences,
+            },
+            DegradeStage::ExpansionOnly,
+            None,
+        ),
+        // Remaining variants (conventional/skip/untestable/faulted/audit)
+        // are never produced by `run_expansion_stages`.
+        _ => (PartialBound::Unknown, DegradeStage::Conventional, None),
+    };
+    (
+        FaultResult {
+            status: FaultStatus::PartialVerdict {
+                lower_bound,
+                stage_reached,
+                tripped,
+                work_spent,
+            },
+            counters: rung.counters,
+            runs: out.0.runs.max(rung.runs),
+        },
+        certificate,
+    )
 }
 
 /// Steps 1–4 of the procedure, split out so the caller can fold the shared
@@ -715,5 +915,77 @@ mod tests {
         let fault = Fault::stem(c.find_net("nq").unwrap(), true);
         let result = simulate_fault(&c, &seq, &good, &fault, &MoaOptions::default());
         assert!(!result.status.is_detected(), "{:?}", result.status);
+    }
+
+    #[test]
+    fn frontier_cap_without_degrade_reports_budget_exceeded() {
+        // A cap of 1 forbids the very first split: the expansion stage must
+        // exhaust the meter (recording the frontier high-water mark) instead
+        // of growing past the cap.
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        let options = MoaOptions::baseline().with_max_frontier_states(1);
+        let mut meter = BudgetMeter::unlimited();
+        let result =
+            simulate_fault_budgeted(&c, &seq, &good, &fault, &options, None, &mut meter);
+        assert!(
+            matches!(
+                result.status,
+                FaultStatus::BudgetExceeded { stage: BudgetStage::Expansion, .. }
+            ),
+            "{:?}",
+            result.status
+        );
+        assert!(meter.perf.max_frontier >= 1, "{:?}", meter.perf);
+    }
+
+    #[test]
+    fn frontier_cap_with_degrade_yields_a_deterministic_partial_verdict() {
+        // Same trip as above, but with the ladder armed: the expansion-only
+        // rung reruns with a frontier of one state — the unsplit all-X
+        // sequence — whose resimulation cannot decide the fault. The verdict
+        // is the sound lower bound "not detected for 1 undecided of 1
+        // sequence", never a bare BudgetExceeded.
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        let options = MoaOptions::baseline()
+            .with_max_frontier_states(1)
+            .with_degrade(true);
+        let mut meter = BudgetMeter::unlimited();
+        let result =
+            simulate_fault_budgeted(&c, &seq, &good, &fault, &options, None, &mut meter);
+        match result.status {
+            FaultStatus::PartialVerdict {
+                lower_bound,
+                stage_reached,
+                tripped,
+                work_spent,
+            } => {
+                assert_eq!(
+                    lower_bound,
+                    PartialBound::NotDetected { undecided: 1, sequences: 1 }
+                );
+                assert_eq!(stage_reached, DegradeStage::ExpansionOnly);
+                assert_eq!(tripped, BudgetStage::Expansion);
+                assert!(work_spent > 0);
+            }
+            other => panic!("expected PartialVerdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn work_limit_with_degrade_never_reports_bare_budget_exceeded() {
+        let (c, seq, good) = toggle();
+        let fault = Fault::stem(c.find_net("r").unwrap(), true);
+        let options = MoaOptions::default().with_degrade(true);
+        let budget = crate::FaultBudget::none().with_work_limit(1);
+        let mut meter = BudgetMeter::new(&budget);
+        let result =
+            simulate_fault_budgeted(&c, &seq, &good, &fault, &options, None, &mut meter);
+        assert!(
+            matches!(result.status, FaultStatus::PartialVerdict { .. }),
+            "the ladder converts every budget trip: {:?}",
+            result.status
+        );
     }
 }

@@ -155,6 +155,7 @@ fn resimulate_one_differential(
 ) -> SequenceOutcome {
     let faulty = cache.faulty();
     for u in 0..seq.len() {
+        fail_hit!("fp/resim.frame", meter);
         // Same budget unit as the full-frame path: one per frame advanced.
         if !meter.charge(1) {
             return SequenceOutcome::Undecided;
@@ -201,6 +202,7 @@ fn resimulate_one(
     meter: &mut BudgetMeter,
 ) -> SequenceOutcome {
     for u in 0..seq.len() {
+        fail_hit!("fp/resim.frame", meter);
         // One unit per frame advanced, marked or not: the budget measures
         // progress through the sequence, not evaluation effort, so the
         // scalar and packed paths exhaust at identical work counts.

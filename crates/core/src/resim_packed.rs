@@ -110,6 +110,7 @@ fn resimulate_chunk(
         if resolved == valid {
             break;
         }
+        fail_hit!("fp/resim_packed.frame", meter);
         // One unit per still-undecided slot entering this frame — the same
         // count the scalar path charges, in the same unit increments, so
         // exhaustion trips at an identical spent value on both paths.
@@ -260,6 +261,7 @@ fn resimulate_chunk_differential(
         if resolved == valid {
             break;
         }
+        fail_hit!("fp/resim_packed.frame", meter);
         // Identical charging to the full-frame packed path (and, by its
         // parity lock, to the scalar path).
         for _ in 0..(valid & !resolved).count_ones() {

@@ -1,0 +1,172 @@
+//! Chaos soak: the whole campaign engine — screening, expansion, budgets,
+//! the degradation ladder, panic isolation, worker respawn, checkpoint
+//! write/resume — run under a deterministic failpoint schedule
+//! ([`moa_core::failpoint`]), with the process "killed" by injected
+//! checkpoint I/O errors and resumed until it completes.
+//!
+//! The contract asserted here is the resilience layer's soundness story:
+//!
+//! 1. no fault record is ever lost or duplicated across kill/resume cycles,
+//! 2. chaos only ever downgrades a verdict to [`FaultStatus::Faulted`] or
+//!    [`FaultStatus::PartialVerdict`] — every other status is bit-identical
+//!    to the clean run's,
+//! 3. the certificate audit never fails: even under injected work inflation
+//!    and panics, no unsound detection is reported.
+//!
+//! The pinned-seed test additionally asserts injection *breadth* (at least
+//! five distinct `(site, action)` combinations actually fired), so the soak
+//! cannot silently degenerate into testing nothing.
+
+#![cfg(feature = "failpoints")]
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use moa_circuits::iscas::s27;
+use moa_circuits::suite::entry;
+use moa_core::failpoint::{self, ChaosSchedule};
+use moa_core::{
+    run_campaign, try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, FaultBudget,
+    FaultStatus, MoaOptions,
+};
+use moa_netlist::{full_fault_list, Circuit, Fault};
+use moa_sim::TestSequence;
+use moa_tpg::random_sequence;
+use proptest::prelude::*;
+
+/// Runs one clean campaign and one chaotic kill/resume campaign over the
+/// same faults, returning both results plus the fired `(site, action)`
+/// combinations. Panics if the chaos run cannot converge.
+fn soak(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    faults: &[Fault],
+    chaos_seed: u64,
+    tag: &str,
+) -> (CampaignResult, CampaignResult, Vec<(String, &'static str)>) {
+    let dir = std::env::temp_dir().join("moa-chaos-soak");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}-{chaos_seed:x}.checkpoint"));
+    let _ = std::fs::remove_file(&path);
+    let base = CampaignOptions {
+        // The degradation ladder is armed and the work ceiling is low enough
+        // that injected `InflateWork` fires push faults over it.
+        moa: MoaOptions::default().with_degrade(true),
+        budget: FaultBudget::none().with_work_limit(1 << 13),
+        audit: Some(CampaignAudit::default()),
+        checkpoint: Some(path.clone()),
+        checkpoint_every: 8,
+        threads: 4,
+        ..Default::default()
+    };
+
+    failpoint::clear();
+    let clean = run_campaign(circuit, seq, faults, &base);
+
+    let _ = std::fs::remove_file(&path);
+    failpoint::install(ChaosSchedule::seeded(chaos_seed));
+    let mut attempts = 0;
+    let chaotic = loop {
+        attempts += 1;
+        assert!(attempts <= 200, "chaos campaign never converged");
+        let options = CampaignOptions {
+            // Until the first checkpoint write survives there is nothing to
+            // resume from; afterwards every retry picks up the survivors.
+            resume: path.exists(),
+            ..base.clone()
+        };
+        // An injected checkpoint write/rename/resume failure "kills" a run;
+        // the next attempt resumes from whatever was flushed.
+        if let Ok(result) = try_run_campaign(circuit, seq, faults, &options) {
+            break result;
+        }
+    };
+    let combos: Vec<(String, &'static str)> = failpoint::fired_combos()
+        .into_iter()
+        .map(|(combo, _count)| combo)
+        .collect();
+    failpoint::clear();
+
+    // The surviving checkpoint is complete, free of skips and duplicates,
+    // and a clean resume re-simulates nothing (the hook proves it) while
+    // reproducing the chaotic run's aggregate exactly.
+    let resumed = run_campaign(
+        circuit,
+        seq,
+        faults,
+        &CampaignOptions {
+            resume: true,
+            fault_hook: Some(Arc::new(|index, _fault: &Fault| {
+                panic!("fault {index} re-simulated after a completed chaos run");
+            })),
+            isolate_panics: false,
+            ..base
+        },
+    );
+    assert!(resumed.resume_skipped.is_empty(), "{:?}", resumed.resume_skipped);
+    assert_eq!(chaotic, resumed, "the final checkpoint holds the full result");
+    let _ = std::fs::remove_file(&path);
+    (clean, chaotic, combos)
+}
+
+/// The soak contract: complete, sound, audit-clean.
+fn assert_chaos_contract(clean: &CampaignResult, chaotic: &CampaignResult) {
+    assert_eq!(chaotic.total_faults, clean.total_faults);
+    assert_eq!(chaotic.statuses.len(), clean.statuses.len(), "no lost records");
+    assert_eq!(chaotic.audit_failed, 0, "chaos must never manufacture a detection");
+    for (index, (chaos, reference)) in
+        chaotic.statuses.iter().zip(&clean.statuses).enumerate()
+    {
+        if chaos == reference {
+            continue;
+        }
+        assert!(
+            matches!(
+                chaos,
+                FaultStatus::Faulted { .. } | FaultStatus::PartialVerdict { .. }
+            ),
+            "fault {index}: chaos may only downgrade to Faulted/PartialVerdict, \
+             got {chaos:?} where the clean run says {reference:?}"
+        );
+    }
+}
+
+#[test]
+fn pinned_seed_soak_covers_the_site_matrix_and_stays_sound() {
+    let _serial = failpoint::test_lock();
+    let mut distinct: BTreeSet<(String, &'static str)> = BTreeSet::new();
+
+    let s27 = s27();
+    let seq = random_sequence(&s27, 32, 0xFA17);
+    let faults = full_fault_list(&s27);
+    let (clean, chaotic, combos) = soak(&s27, &seq, &faults, 0xC4A0_5EED, "s27");
+    assert_chaos_contract(&clean, &chaotic);
+    distinct.extend(combos);
+
+    // A second, larger circuit reaches the hot per-frame sites more often.
+    // Every third fault keeps the runtime modest without thinning coverage.
+    let s208 = entry("s208").expect("suite circuit").build();
+    let seq = random_sequence(&s208, 48, 0xFA17);
+    let faults: Vec<Fault> = full_fault_list(&s208).into_iter().step_by(3).collect();
+    let (clean, chaotic, combos) = soak(&s208, &seq, &faults, 0xC4A0_5EED, "s208");
+    assert_chaos_contract(&clean, &chaotic);
+    distinct.extend(combos);
+
+    assert!(
+        distinct.len() >= 5,
+        "the pinned seed must exercise at least 5 site/action combos: {distinct:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn randomized_schedules_never_corrupt_verdicts(chaos_seed in 1u64..u64::MAX) {
+        let _serial = failpoint::test_lock();
+        let circuit = s27();
+        let seq = random_sequence(&circuit, 24, 0xBEEF);
+        let faults = full_fault_list(&circuit);
+        let (clean, chaotic, _combos) = soak(&circuit, &seq, &faults, chaos_seed, "prop");
+        assert_chaos_contract(&clean, &chaotic);
+    }
+}

@@ -153,6 +153,7 @@ fn screened_audited_campaign_resumes_identically_after_interruption() {
     };
     let done = read_checkpoint(&path, &header)
         .unwrap()
+        .slots
         .iter()
         .filter(|s| s.is_some())
         .count();
