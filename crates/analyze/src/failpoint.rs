@@ -1,0 +1,37 @@
+//! Failure-injection hook for the analysis passes (the `fp/analyze.pass`
+//! chaos site).
+//!
+//! Only compiled with the `failpoints` cargo feature. This crate cannot
+//! depend on the chaos registry in `moa-core` (the dependency points the
+//! other way), so the site is a function-pointer hook: the registry
+//! installs a callback here when a chaos schedule is armed, and
+//! [`run_passes`](crate::run_passes) invokes it before each pass. The
+//! armed action may sleep or panic; without an installed hook (or without
+//! the feature) the passes are unaffected.
+
+use std::sync::Mutex;
+
+/// The hook signature: invoked once per pass; the installed callback
+/// applies whatever chaos action is armed.
+pub type PassHook = fn();
+
+static PASS_HOOK: Mutex<Option<PassHook>> = Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the per-pass failure hook.
+pub fn set_pass_hook(hook: Option<PassHook>) {
+    *PASS_HOOK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = hook;
+}
+
+/// Consulted by [`run_passes`](crate::run_passes) before each pass.
+pub(crate) fn pass_hook_hit() {
+    // Copy the fn pointer out before calling: the hook may sleep or panic,
+    // and must not do so while holding the lock.
+    let hook = *PASS_HOOK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(h) = hook {
+        h();
+    }
+}

@@ -41,6 +41,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod diagnostic;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod learn;
 pub mod passes;
 pub mod untestable;

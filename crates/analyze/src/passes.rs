@@ -80,6 +80,8 @@ pub fn run_passes(circuit: &Circuit, passes: &[Box<dyn Pass>]) -> AnalysisReport
     let ctx = AnalysisContext::new(circuit);
     let mut report = AnalysisReport::default();
     for pass in passes {
+        #[cfg(feature = "failpoints")]
+        crate::failpoint::pass_hook_hit();
         report.diagnostics.extend(pass.run(&ctx));
     }
     report

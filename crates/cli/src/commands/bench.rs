@@ -50,6 +50,8 @@ struct BenchRow {
     legacy_gate_evals: u64,
     legacy_fps: f64,
     detected_total: usize,
+    partial: usize,
+    coverage_lower_bound: f64,
     audit_failed: Option<usize>,
 }
 
@@ -180,6 +182,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             legacy_gate_evals: legacy.perf.gate_evals,
             legacy_fps: fps(legacy_ms),
             detected_total: screened.detected_total(),
+            partial: screened.partial_summary().partial,
+            coverage_lower_bound: screened.coverage_lower_bound(),
             audit_failed,
         };
         writeln!(
@@ -195,6 +199,19 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         )?;
         rows.push(row);
     }
+
+    // The benched configurations run without a fault budget, so partial
+    // verdicts are the exception, not the rule — but when a future
+    // configuration produces them, the lower-bound floor must stay visible.
+    let proven: usize = rows.iter().map(|r| r.detected_total).sum();
+    let total: usize = rows.iter().map(|r| r.faults).sum();
+    let partial: usize = rows.iter().map(|r| r.partial).sum();
+    let pct = if total > 0 { 100.0 * proven as f64 / total as f64 } else { 0.0 };
+    writeln!(
+        out,
+        "coverage lower bound: {pct:.2}% ({proven} of {total} proven detected, \
+         {partial} partial verdict(s))"
+    )?;
 
     if let Some(path) = parser.flag("out") {
         std::fs::write(path, render_json(&rows, quick))
@@ -235,6 +252,11 @@ fn render_json(rows: &[BenchRow], quick: bool) -> String {
         ));
         s.push_str(&format!("      \"speedup\": {:.2},\n", r.speedup()));
         s.push_str(&format!("      \"detected_total\": {},\n", r.detected_total));
+        s.push_str(&format!("      \"partial\": {},\n", r.partial));
+        s.push_str(&format!(
+            "      \"coverage_lower_bound\": {:.4},\n",
+            r.coverage_lower_bound
+        ));
         match r.audit_failed {
             Some(n) => s.push_str(&format!("      \"audit_failed\": {n}\n")),
             None => s.push_str("      \"audit_failed\": null\n"),
@@ -327,9 +349,13 @@ mod tests {
         assert!(text.contains("s208"), "{text}");
         assert!(text.contains("speedup"), "{text}");
 
+        assert!(text.contains("coverage lower bound: "), "{text}");
+
         let report = std::fs::read_to_string(&json).unwrap();
         assert!(report.contains("\"name\": \"s208\""), "{report}");
         assert!(report.contains("\"faults_per_sec\""), "{report}");
+        assert!(report.contains("\"partial\": 0"), "{report}");
+        assert!(report.contains("\"coverage_lower_bound\": "), "{report}");
         let pairs = parse_baseline(&report);
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].0, "s208");

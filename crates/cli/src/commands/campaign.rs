@@ -6,7 +6,8 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use moa_core::{
-    try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, FaultBudget, MoaOptions,
+    merge_shards, run_shard, run_sharded, shard_path, try_run_campaign, CampaignAudit,
+    CampaignOptions, CampaignResult, FaultBudget, MoaOptions, ShardOptions,
 };
 use moa_netlist::{collapse_faults, full_fault_list, Circuit};
 use moa_sim::TestSequence;
@@ -17,9 +18,10 @@ use crate::{load_circuit, ArgParser, CliError};
 const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random L [--seed S]] \
 [--baseline | --proposed | --both] [--n-states N] [--depth K] [--rounds R] [--budget B] \
 [--threads T] [--deadline-ms MS] [--work-limit W] [--max-frontier N] [--degrade] \
-[--checkpoint FILE [--checkpoint-every N] [--resume]] [--audit[=N]] [--chaos-seed S] \
-[--no-collapse] [--packed] [--differential] [--no-screen] [--learn] [--prune-untestable] \
-[--verbose]";
+[--degrade-adaptive] [--checkpoint FILE [--checkpoint-every N] [--resume]] \
+[--shards N [--shard-id K | --merge] [--shard-dir DIR] [--shard-retries R] \
+[--shard-timeout-ms MS]] [--audit[=N]] [--chaos-seed S] [--no-collapse] [--packed] \
+[--differential] [--no-screen] [--learn] [--prune-untestable] [--verbose]";
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     // `--audit[=N]` carries an optional inline value, which the flag parser
@@ -47,11 +49,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         &[
             "words", "random", "seed", "seq-file", "n-states", "depth", "rounds", "budget",
             "threads", "deadline-ms", "work-limit", "max-frontier", "checkpoint",
-            "checkpoint-every", "chaos-seed",
+            "checkpoint-every", "chaos-seed", "shards", "shard-id", "shard-dir", "shard-retries",
+            "shard-timeout-ms",
         ],
         &[
             "baseline", "proposed", "both", "no-collapse", "packed", "differential", "no-screen",
-            "learn", "prune-untestable", "verbose", "resume", "degrade",
+            "learn", "prune-untestable", "verbose", "resume", "degrade", "degrade-adaptive",
+            "merge",
         ],
     )?;
     let circuit = load_circuit(parser.required(0, "bench file")?)?;
@@ -78,6 +82,12 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         moa = moa.with_max_frontier_states(states);
     }
     moa.degrade = parser.switch("degrade");
+    moa.degrade_adaptive = parser.switch("degrade-adaptive");
+    if moa.degrade_adaptive {
+        // The cost model only reorders the degradation ladder; asking for it
+        // implies the ladder itself.
+        moa.degrade = true;
+    }
     let prune_untestable = parser.switch("prune-untestable");
     let threads = parser.num("threads", 0usize)?;
 
@@ -120,6 +130,52 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         )));
     }
 
+    let shards: Option<usize> = match parser.flag("shards") {
+        None => None,
+        Some(n) => Some(n.parse().map_err(|_| {
+            CliError::Usage(format!("--shards expects a number, got `{n}`"))
+        })?),
+    };
+    let shard_id: Option<usize> = match parser.flag("shard-id") {
+        None => None,
+        Some(n) => Some(n.parse().map_err(|_| {
+            CliError::Usage(format!("--shard-id expects a number, got `{n}`"))
+        })?),
+    };
+    let merge_only = parser.switch("merge");
+    if shards.is_none()
+        && (shard_id.is_some()
+            || merge_only
+            || parser.flag("shard-dir").is_some()
+            || parser.flag("shard-retries").is_some()
+            || parser.flag("shard-timeout-ms").is_some())
+    {
+        return Err(CliError::Usage(format!(
+            "--shard-id/--merge/--shard-dir/--shard-retries/--shard-timeout-ms need \
+             --shards N\n\n{USAGE}"
+        )));
+    }
+    if shard_id.is_some() && merge_only {
+        return Err(CliError::Usage(format!(
+            "--shard-id runs one shard, --merge merges finished ones: pick one\n\n{USAGE}"
+        )));
+    }
+    if shards.is_some() && checkpoint.is_some() {
+        return Err(CliError::Usage(format!(
+            "--shards manages its own per-shard checkpoint files; drop --checkpoint\n\n{USAGE}"
+        )));
+    }
+    let shard_dir = parser
+        .flag("shard-dir")
+        .map_or_else(|| PathBuf::from("moa-shards"), PathBuf::from);
+    let shard_retries = parser.num("shard-retries", 6usize)?;
+    let shard_timeout = match parser.flag("shard-timeout-ms") {
+        None => None,
+        Some(ms) => Some(Duration::from_millis(ms.parse().map_err(|_| {
+            CliError::Usage(format!("--shard-timeout-ms expects a number, got `{ms}`"))
+        })?)),
+    };
+
     writeln!(
         out,
         "campaign on `{}`: {} faults, sequence length {}",
@@ -147,6 +203,118 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
     let differential = parser.switch("differential");
     let screen = !parser.switch("no-screen");
+
+    if let Some(shards) = shards {
+        if run_baseline && run_proposed {
+            return Err(CliError::Usage(format!(
+                "--shards needs a single campaign: pick --baseline or --proposed\n\n{USAGE}"
+            )));
+        }
+        let (label, moa) = if run_baseline {
+            (
+                "baseline [4] (expansion only)",
+                MoaOptions {
+                    backward_implications: false,
+                    ..moa
+                },
+            )
+        } else {
+            ("proposed (backward implications)", moa)
+        };
+        let opts = CampaignOptions {
+            moa,
+            threads,
+            differential,
+            screen,
+            prune_untestable,
+            budget: fault_budget,
+            checkpoint_every,
+            audit,
+            ..CampaignOptions::default()
+        };
+        let sharding = Sharding {
+            shards,
+            shard_id,
+            merge_only,
+            dir: shard_dir,
+            retries: shard_retries,
+            timeout: shard_timeout,
+        };
+        run_sharded_campaign(out, label, &circuit, &seq, &faults, &opts, &sharding)?;
+    } else {
+        run_plain_campaigns(
+            out,
+            &parser,
+            &circuit,
+            &seq,
+            &faults,
+            PlainArgs {
+                moa,
+                threads,
+                differential,
+                screen,
+                prune_untestable,
+                fault_budget,
+                checkpoint,
+                checkpoint_every,
+                resume,
+                audit,
+                run_baseline,
+                run_proposed,
+            },
+        )?;
+    }
+    #[cfg(feature = "failpoints")]
+    if moa_core::failpoint::is_armed() {
+        let combos = moa_core::failpoint::fired_combos();
+        moa_core::failpoint::clear();
+        writeln!(out, "\nchaos: {} site/action combination(s) fired", combos.len())?;
+        for ((site, kind), count) in combos {
+            writeln!(out, "    {site} {kind} x{count}")?;
+        }
+    }
+    Ok(())
+}
+
+/// The non-shard flags feeding [`run_plain_campaigns`].
+struct PlainArgs {
+    moa: MoaOptions,
+    threads: usize,
+    differential: bool,
+    screen: bool,
+    prune_untestable: bool,
+    fault_budget: FaultBudget,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
+    audit: Option<CampaignAudit>,
+    run_baseline: bool,
+    run_proposed: bool,
+}
+
+/// The original single-process flow: baseline and/or proposed, in-process.
+fn run_plain_campaigns(
+    out: &mut dyn Write,
+    parser: &ArgParser,
+    circuit: &Circuit,
+    seq: &TestSequence,
+    faults: &[moa_netlist::Fault],
+    args: PlainArgs,
+) -> Result<(), CliError> {
+    let PlainArgs {
+        moa,
+        threads,
+        differential,
+        screen,
+        prune_untestable,
+        fault_budget,
+        checkpoint,
+        checkpoint_every,
+        resume,
+        audit,
+        run_baseline,
+        run_proposed,
+    } = args;
     if run_baseline {
         let opts = CampaignOptions {
             moa: MoaOptions {
@@ -164,7 +332,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             audit: audit.clone(),
             ..CampaignOptions::default()
         };
-        report(out, "baseline [4] (expansion only)", &circuit, &seq, &faults, &opts, &parser)?;
+        report(out, "baseline [4] (expansion only)", circuit, seq, faults, &opts, parser)?;
     }
     if run_proposed {
         let opts = CampaignOptions {
@@ -180,17 +348,127 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             audit,
             ..CampaignOptions::default()
         };
-        report(out, "proposed (backward implications)", &circuit, &seq, &faults, &opts, &parser)?;
+        report(out, "proposed (backward implications)", circuit, seq, faults, &opts, parser)?;
     }
-    #[cfg(feature = "failpoints")]
-    if moa_core::failpoint::is_armed() {
-        let combos = moa_core::failpoint::fired_combos();
-        moa_core::failpoint::clear();
-        writeln!(out, "\nchaos: {} site/action combination(s) fired", combos.len())?;
-        for ((site, kind), count) in combos {
-            writeln!(out, "    {site} {kind} x{count}")?;
+    Ok(())
+}
+
+/// Whether a chaos schedule is armed in this process (always false without
+/// the `failpoints` feature — the compiler removes the retry arm entirely).
+#[cfg(feature = "failpoints")]
+fn chaos_armed() -> bool {
+    moa_core::failpoint::is_armed()
+}
+#[cfg(not(feature = "failpoints"))]
+fn chaos_armed() -> bool {
+    false
+}
+
+/// How `--shards` and its companions partition the work.
+struct Sharding {
+    shards: usize,
+    shard_id: Option<usize>,
+    merge_only: bool,
+    dir: PathBuf,
+    retries: usize,
+    timeout: Option<Duration>,
+}
+
+/// The sharded flow: one shard (`--shard-id`), merge-only (`--merge`), or
+/// supervise-then-merge (plain `--shards N`). Quarantined shards fail the
+/// command — their faults have no verdict on disk.
+fn run_sharded_campaign(
+    out: &mut dyn Write,
+    label: &str,
+    circuit: &Circuit,
+    seq: &TestSequence,
+    faults: &[moa_netlist::Fault],
+    opts: &CampaignOptions,
+    sharding: &Sharding,
+) -> Result<(), CliError> {
+    let failed = |e: moa_core::Error| CliError::Failed(e.to_string());
+    if let Some(id) = sharding.shard_id {
+        let start = Instant::now();
+        let result = run_shard(circuit, seq, faults, opts, sharding.shards, id, &sharding.dir)
+            .map_err(failed)?;
+        writeln!(
+            out,
+            "\n{label}, shard {id} of {} -> {} ({:.2?}):",
+            sharding.shards,
+            shard_path(&sharding.dir, id).display(),
+            start.elapsed()
+        )?;
+        print_summary(out, &result)?;
+        return Ok(());
+    }
+
+    let files: Vec<PathBuf>;
+    let mut retries_used = 0;
+    if sharding.merge_only {
+        files = (0..sharding.shards)
+            .map(|id| shard_path(&sharding.dir, id))
+            .collect();
+    } else {
+        let shard_opts = ShardOptions {
+            timeout: sharding.timeout,
+            retries: sharding.retries,
+            ..ShardOptions::new(sharding.shards, sharding.dir.clone())
+        };
+        let start = Instant::now();
+        let run = run_sharded(circuit, seq, faults, opts, &shard_opts).map_err(failed)?;
+        writeln!(
+            out,
+            "\nsupervised {} shard(s) into {} ({:.2?}, {} retried attempt(s))",
+            sharding.shards,
+            sharding.dir.display(),
+            start.elapsed(),
+            run.retries_used
+        )?;
+        if !run.quarantined.is_empty() {
+            for q in &run.quarantined {
+                writeln!(
+                    out,
+                    "  QUARANTINED shard {} after {} attempt(s): {}",
+                    q.shard_id, q.attempts, q.last_error
+                )?;
+            }
+            return Err(CliError::Failed(format!(
+                "{} shard(s) quarantined; their faults have no verdict",
+                run.quarantined.len()
+            )));
         }
+        files = run.files;
+        retries_used = run.retries_used;
     }
+
+    let start = Instant::now();
+    // Under an armed chaos schedule injected failures are transient by
+    // design (the soak proves a retried merge converges), so the merge is
+    // retried like a shard attempt; without chaos a merge failure is real
+    // damage and fails fast with its located error.
+    let mut merge_attempts = 0;
+    let merged = loop {
+        match merge_shards(circuit, seq, faults, opts, &files) {
+            Ok(m) => break m,
+            Err(e) if chaos_armed() && merge_attempts < 50 => {
+                merge_attempts += 1;
+                let _ = e;
+            }
+            Err(e) => return Err(failed(e)),
+        }
+    };
+    let mut result = merged.result;
+    result.perf.shard_retries = retries_used;
+    writeln!(
+        out,
+        "\nmerged {} record(s) from {} shard file(s), {} detection(s) re-audited ({:.2?})",
+        merged.records,
+        files.len(),
+        merged.audited,
+        start.elapsed()
+    )?;
+    writeln!(out, "\n{label} (merged):")?;
+    print_summary(out, &result)?;
     Ok(())
 }
 
@@ -234,7 +512,20 @@ fn print_summary(out: &mut dyn Write, r: &CampaignResult) -> Result<(), CliError
         writeln!(out, "  faulted workers     : {}", r.faulted)?;
     }
     if r.degraded > 0 {
+        let partial = r.partial_summary();
         writeln!(out, "  degraded (partial)  : {}", r.degraded)?;
+        writeln!(
+            out,
+            "    lower bounds      : {} detected, {} not-detected, {} unknown",
+            partial.detected, partial.not_detected, partial.unknown
+        )?;
+        writeln!(
+            out,
+            "  coverage lower bound: {:.2}% ({} of {} proven detected)",
+            r.coverage_lower_bound() * 100.0,
+            r.detected_total(),
+            r.total_faults
+        )?;
     }
     if r.audit_failed > 0 {
         writeln!(out, "  AUDIT FAILED        : {} (quarantined)", r.audit_failed)?;
@@ -522,6 +813,182 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("failpoints"), "{err}");
+    }
+
+    fn shard_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("moa-cli-campaign-shard-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Output with the timing/perf lines (anything containing parentheses)
+    /// and the shard bookkeeping lines removed, for verdict comparison.
+    fn verdict_lines(bytes: &[u8]) -> String {
+        String::from_utf8(bytes.to_vec())
+            .unwrap()
+            .lines()
+            .filter(|l| {
+                !l.is_empty()
+                    && !l.contains('(')
+                    && !l.starts_with("supervised")
+                    && !l.starts_with("merged")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn sharded_campaign_merges_to_the_unsharded_verdicts() {
+        let dir = shard_dir("supervise");
+        let mut plain = Vec::new();
+        run(
+            &[toggle_path(), "--words".into(), "0,0,0".into(), "--proposed".into(), "--audit".into()],
+            &mut plain,
+        )
+        .unwrap();
+        let mut sharded = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--audit".into(),
+                "--shards".into(),
+                "3".into(),
+                "--shard-dir".into(),
+                dir.to_string_lossy().into_owned(),
+            ],
+            &mut sharded,
+        )
+        .unwrap();
+        assert_eq!(verdict_lines(&plain), verdict_lines(&sharded));
+        let text = String::from_utf8(sharded).unwrap();
+        assert!(text.contains("supervised 3 shard(s)"), "{text}");
+        assert!(text.contains("re-audited"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_shard_runs_then_merge_reassembles() {
+        let dir = shard_dir("manual");
+        let dir_arg = dir.to_string_lossy().into_owned();
+        let base = |extra: &[&str]| -> Vec<String> {
+            let mut v = vec![
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--shards".into(),
+                "2".into(),
+                "--shard-dir".into(),
+                dir_arg.clone(),
+            ];
+            v.extend(extra.iter().map(std::string::ToString::to_string));
+            v
+        };
+        for id in ["0", "1"] {
+            let mut out = Vec::new();
+            run(&base(&["--shard-id", id]), &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains(&format!("shard {id} of 2")), "{text}");
+        }
+        let mut merged = Vec::new();
+        run(&base(&["--merge"]), &mut merged).unwrap();
+        let mut plain = Vec::new();
+        run(
+            &[toggle_path(), "--words".into(), "0,0,0".into(), "--proposed".into()],
+            &mut plain,
+        )
+        .unwrap();
+        assert_eq!(verdict_lines(&plain), verdict_lines(&merged));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_of_a_corrupt_shard_file_fails_with_a_located_error() {
+        let dir = shard_dir("corrupt");
+        let dir_arg = dir.to_string_lossy().into_owned();
+        let base = |extra: &[&str]| -> Vec<String> {
+            let mut v = vec![
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--shards".into(),
+                "2".into(),
+                "--shard-dir".into(),
+                dir_arg.clone(),
+            ];
+            v.extend(extra.iter().map(std::string::ToString::to_string));
+            v
+        };
+        let mut out = Vec::new();
+        run(&base(&[]), &mut out).unwrap();
+        let victim = dir.join("shard-1.ckpt");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let target = bytes.len() - 20;
+        bytes[target] ^= 0x20;
+        std::fs::write(&victim, &bytes).unwrap();
+        let mut out = Vec::new();
+        let err = run(&base(&["--merge"]), &mut out).unwrap_err();
+        let text = err.to_string();
+        assert!(matches!(err, CliError::Failed(_)), "{text}");
+        assert!(text.contains("checksum mismatch"), "{text}");
+        assert!(text.contains("shard-1.ckpt"), "locates the file: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_flag_conflicts_are_usage_errors() {
+        let base = |extra: &[&str]| -> Vec<String> {
+            let mut v = vec![toggle_path(), "--words".into(), "0,0,0".into()];
+            v.extend(extra.iter().map(std::string::ToString::to_string));
+            v
+        };
+        for args in [
+            base(&["--merge"]),                          // shard flags need --shards
+            base(&["--shard-id", "0"]),
+            base(&["--shard-dir", "/tmp/x"]),
+            base(&["--proposed", "--shards", "2", "--shard-id", "0", "--merge"]),
+            base(&["--proposed", "--shards", "2", "--checkpoint", "/tmp/x.ckpt"]),
+            base(&["--both", "--shards", "2"]),          // one campaign per shard set
+            base(&["--shards", "2"]),                    // default runs both
+            base(&["--proposed", "--shards", "x"]),
+        ] {
+            let mut out = Vec::new();
+            let err = run(&args, &mut out).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn degrade_adaptive_implies_the_ladder_and_keeps_detections() {
+        let summary = |extra: &[&str]| -> String {
+            let mut v = vec![
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--work-limit".into(),
+                "1".into(),
+            ];
+            v.extend(extra.iter().map(std::string::ToString::to_string));
+            let mut out = Vec::new();
+            run(&v, &mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let adaptive = summary(&["--degrade-adaptive"]);
+        assert!(adaptive.contains("degraded (partial)"), "{adaptive}");
+        assert!(adaptive.contains("coverage lower bound"), "{adaptive}");
+        let plain = summary(&["--degrade"]);
+        let detected = |text: &str| -> String {
+            text.lines()
+                .filter(|l| l.contains("detected total") || l.contains("conventional"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(detected(&plain), detected(&adaptive), "detections must not move");
     }
 
     #[test]

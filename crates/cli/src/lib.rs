@@ -75,7 +75,7 @@ moa — fault simulation under the multiple observation time approach
 USAGE:
     moa <COMMAND> [ARGS]
 
-COMMANDS:
+COMMANDS:          (<bench> is a .bench file path, or suite:NAME for an embedded circuit)
     stats     <bench>                circuit statistics
     analyze   <bench>... | --suite [NAME...] [--json]
               static lints, learned implications, untestability screening
@@ -87,12 +87,16 @@ COMMANDS:
               [--checkpoint FILE [--checkpoint-every N] [--resume]]
               [--audit[=N]]                audit detections by certificate replay
               [--learn] [--prune-untestable]   static learning / untestability pruning
+              [--degrade] [--degrade-adaptive]   budget-trip degradation ladder
+              [--shards N [--shard-id K | --merge] [--shard-dir DIR]
+               [--shard-retries R] [--shard-timeout-ms MS]]   crash-safe sharded campaign
     tpg       <bench> [--max-length L] [--seed S] [--compact]  deterministic test generation
     exact     <bench> [--random L] [--seed S]    exhaustive restricted-MOA check (small circuits)
     explain   <bench> --fault NET/saX            per-fault pipeline trace
     extract   <bench> --nets NAME[,NAME...]      cut a fan-in cone to a new bench file
     gen       --inputs N --outputs N --ffs N --gates N [--seed S] [-o FILE]
-    suite     [NAME...] [--audit]    run the paper's Table-2 stand-in suite
+    suite     [NAME...] [--audit] [--degrade] [--work-limit W]
+              run the paper's Table-2 stand-in suite
     bench     [NAME...] [--quick] [--threads T] [--out FILE] [--check FILE]
               benchmark the screened/cone-bounded engines against the legacy path
     help                             show this message
@@ -135,6 +139,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 /// Loads a circuit from a `.bench` file path.
 pub(crate) fn load_circuit(path: &str) -> Result<moa_netlist::Circuit, CliError> {
+    // `suite:NAME` loads an embedded suite circuit without needing a .bench
+    // file on disk (CI smoke jobs lean on this).
+    if let Some(name) = path.strip_prefix("suite:") {
+        let entry = moa_circuits::suite::entry(name)
+            .ok_or_else(|| CliError::Failed(format!("no embedded suite circuit `{name}`")))?;
+        return Ok(entry.build());
+    }
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Failed(format!("cannot read `{path}`: {e}")))?;
     moa_netlist::parse_bench(&text)
@@ -159,6 +170,17 @@ mod tests {
         run(&["help".to_owned()], &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("campaign"));
+    }
+
+    #[test]
+    fn suite_scheme_loads_embedded_circuits() {
+        let mut out = Vec::new();
+        run(&["stats".to_owned(), "suite:s298".to_owned()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("s298"), "{text}");
+
+        let err = load_circuit("suite:s9999").unwrap_err();
+        assert!(err.to_string().contains("no embedded suite circuit"), "{err}");
     }
 
     #[test]

@@ -275,6 +275,93 @@ fn campaign_audit_flag_via_binary() {
     assert!(!text.contains("AUDIT FAILED"), "{text}");
 }
 
+/// Keeps only the lines whose content must be identical between a sharded
+/// and an unsharded run: verdict and summary lines, not timings or the
+/// shard-orchestration narration.
+fn verdict_lines(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes)
+        .lines()
+        .filter(|l| {
+            !l.is_empty()
+                && !l.contains('(')
+                && !l.starts_with("supervised")
+                && !l.starts_with("merged")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn sharded_campaign_via_binary_is_bit_identical_to_unsharded() {
+    let dir = std::env::temp_dir().join("moa-bin-test-shards");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_str = dir.to_string_lossy().into_owned();
+    let common = [
+        "campaign",
+        &s27_path(),
+        "--random",
+        "24",
+        "--seed",
+        "7",
+        "--proposed",
+        "--audit",
+    ];
+
+    let plain = moa().args(common).output().unwrap();
+    assert!(plain.status.success(), "{}", String::from_utf8_lossy(&plain.stderr));
+
+    let sharded = moa()
+        .args(common)
+        .args(["--shards", "4", "--shard-dir", &dir_str])
+        .output()
+        .unwrap();
+    assert!(
+        sharded.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    let text = String::from_utf8_lossy(&sharded.stdout);
+    assert!(text.contains("supervised 4 shard(s)"), "{text}");
+    assert!(text.contains("re-audited"), "{text}");
+    assert_eq!(
+        verdict_lines(&plain.stdout),
+        verdict_lines(&sharded.stdout),
+        "the merged sharded campaign must reproduce the unsharded verdicts"
+    );
+
+    // The shard files survive the run, so a standalone --merge reassembles
+    // the same result without re-simulating anything.
+    let merged = moa()
+        .args(common)
+        .args(["--shards", "4", "--shard-dir", &dir_str, "--merge"])
+        .output()
+        .unwrap();
+    assert!(
+        merged.status.success(),
+        "{}",
+        String::from_utf8_lossy(&merged.stderr)
+    );
+    assert_eq!(verdict_lines(&plain.stdout), verdict_lines(&merged.stdout));
+
+    // Corrupt one record in one shard file: the merge must refuse with a
+    // located checksum error rather than quietly mis-merging.
+    let victim = dir.join("shard-2.ckpt");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let at = bytes.len() - 20;
+    bytes[at] ^= 0x40;
+    std::fs::write(&victim, &bytes).unwrap();
+    let refused = moa()
+        .args(common)
+        .args(["--shards", "4", "--shard-dir", &dir_str, "--merge"])
+        .output()
+        .unwrap();
+    assert_eq!(refused.status.code(), Some(1), "corrupt merge is a clean failure");
+    let err = String::from_utf8_lossy(&refused.stderr);
+    assert!(err.contains("checksum mismatch"), "{err}");
+    assert!(err.contains("shard-2.ckpt"), "the error locates the file: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn campaign_on_s27_detects_faults() {
     let out = moa()

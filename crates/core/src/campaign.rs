@@ -18,14 +18,18 @@ use moa_netlist::{Circuit, Fault};
 use moa_sim::{screen_faults, simulate, Detection, GoodFrames, SimTrace, TestSequence};
 
 use crate::audit::{audit_certificate, AuditOptions, AuditStatus};
-use crate::budget::{BudgetMeter, FaultBudget};
+use crate::budget::{BudgetMeter, FaultBudget, LadderStats};
 use crate::certificate::DetectionCertificate;
-use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointHeader, CheckpointSkip};
+use crate::checkpoint::{
+    read_checkpoint, read_checkpoint_sharded, write_checkpoint, write_checkpoint_v2,
+    CheckpointHeader, CheckpointSkip, ShardInfo,
+};
 use crate::cones::ConeCache;
 use crate::counters::{CounterAverages, Counters, PerfCounters};
 use crate::error::Error;
 use crate::procedure::{
     simulate_fault_cached, validate_fault, validate_inputs, FaultResult, FaultStatus,
+    PartialBound,
 };
 use crate::MoaOptions;
 
@@ -120,6 +124,12 @@ pub struct CampaignOptions {
     /// default) trusts the symbolic engine. Resumed faults keep their
     /// checkpointed status and are not re-audited.
     pub audit: Option<CampaignAudit>,
+    /// This campaign's place in a sharded partition ([`crate::shard`]).
+    /// When set, the fault list is one shard's slice: checkpoints are
+    /// written in format v2 with global fault indices, and a resume uses
+    /// the shard-aware reader. `None` (the default) is an ordinary
+    /// unsharded campaign writing v1 checkpoints.
+    pub shard: Option<ShardInfo>,
     /// Test instrumentation: called with `(index, fault)` before each fault
     /// is simulated, inside the worker (and inside panic isolation).
     pub fault_hook: Option<FaultHook>,
@@ -140,6 +150,7 @@ impl std::fmt::Debug for CampaignOptions {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("resume", &self.resume)
             .field("audit", &self.audit)
+            .field("shard", &self.shard)
             .field(
                 "fault_hook",
                 &self.fault_hook.as_ref().map(|_| "Fn(usize, &Fault)"),
@@ -163,6 +174,7 @@ impl Default for CampaignOptions {
             checkpoint_every: 64,
             resume: false,
             audit: None,
+            shard: None,
             fault_hook: None,
         }
     }
@@ -280,6 +292,54 @@ impl CampaignResult {
     pub fn counter_averages(&self) -> CounterAverages {
         CounterAverages::of(&self.expansion_counters)
     }
+
+    /// Tallies the [`FaultStatus::PartialVerdict`] lower bounds — what the
+    /// degradation ladder ([`MoaOptions::degrade`](crate::MoaOptions))
+    /// salvaged from budget-exhausted faults. All-zero for a run that never
+    /// degraded.
+    pub fn partial_summary(&self) -> PartialSummary {
+        let mut summary = PartialSummary::default();
+        for status in &self.statuses {
+            let FaultStatus::PartialVerdict { lower_bound, .. } = status else {
+                continue;
+            };
+            summary.partial += 1;
+            match lower_bound {
+                PartialBound::Detected { .. } => summary.detected += 1,
+                PartialBound::NotDetected { .. } => summary.not_detected += 1,
+                PartialBound::Unknown => summary.unknown += 1,
+            }
+        }
+        summary
+    }
+
+    /// Fraction of faults *proven* detected, `detected_total / total_faults`
+    /// — a lower bound on the true fault coverage whenever the run degraded
+    /// or ran out of budget (those faults might still be detectable). Zero
+    /// for an empty fault list.
+    pub fn coverage_lower_bound(&self) -> f64 {
+        if self.total_faults == 0 {
+            return 0.0;
+        }
+        self.detected_total() as f64 / self.total_faults as f64
+    }
+}
+
+/// Counts of the [`FaultStatus::PartialVerdict`] lower bounds in a campaign,
+/// from [`CampaignResult::partial_summary`]. `partial` is the sum of the
+/// three bound counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartialSummary {
+    /// Faults that ended with a partial verdict of any kind.
+    pub partial: usize,
+    /// Partial verdicts whose lower bound is [`PartialBound::Detected`]
+    /// (these also count toward [`CampaignResult::detected_total`]).
+    pub detected: usize,
+    /// Partial verdicts whose lower bound is [`PartialBound::NotDetected`].
+    pub not_detected: usize,
+    /// Partial verdicts with no usable lower bound
+    /// ([`PartialBound::Unknown`]).
+    pub unknown: usize,
 }
 
 /// Simulates every fault of `faults` under `seq` and aggregates the results.
@@ -343,6 +403,32 @@ pub fn try_run_campaign(
     };
     validate_inputs(circuit, seq, &good)?;
 
+    if let Some(info) = &options.shard {
+        let consistent = info.shard_count > 0
+            && info.shard_id < info.shard_count
+            && info.len as usize == faults.len()
+            && info
+                .offset
+                .checked_add(info.len)
+                .is_some_and(|end| end <= info.total_faults);
+        if !consistent {
+            return Err(Error::Shard {
+                shard_id: info.shard_id as usize,
+                message: format!(
+                    "inconsistent shard geometry: shard {} of {} covering [{}, {}+{}) of {} \
+                     faults, but the campaign's fault list has {}",
+                    info.shard_id,
+                    info.shard_count,
+                    info.offset,
+                    info.offset,
+                    info.len,
+                    info.total_faults,
+                    faults.len()
+                ),
+            });
+        }
+    }
+
     let header = CheckpointHeader {
         circuit: circuit.name().to_owned(),
         total_faults: faults.len(),
@@ -355,7 +441,10 @@ pub fn try_run_campaign(
                 line: None,
                 message: "resume requested without a checkpoint path".into(),
             })?;
-            let load = read_checkpoint(path, &header)?;
+            let load = match &options.shard {
+                Some(info) => read_checkpoint_sharded(path, &header, info)?,
+                None => read_checkpoint(path, &header)?,
+            };
             (load.slots, load.skipped)
         } else {
             (vec![None; faults.len()], Vec::new())
@@ -388,7 +477,11 @@ pub fn try_run_campaign(
     Ok(result)
 }
 
-fn aggregate(circuit: &Circuit, total_faults: usize, results: Vec<FaultResult>) -> CampaignResult {
+pub(crate) fn aggregate(
+    circuit: &Circuit,
+    total_faults: usize,
+    results: Vec<FaultResult>,
+) -> CampaignResult {
     let mut campaign = CampaignResult {
         circuit: circuit.name().to_owned(),
         total_faults,
@@ -491,13 +584,43 @@ fn run_all(
         pending.len().max(1)
     };
 
+    // Rung-cost statistics for adaptive degradation are campaign-wide: one
+    // accumulator shared by every fault's meter, so late faults can skip a
+    // rung the early faults proved hopeless.
+    let ladder = (options.moa.degrade && options.moa.degrade_adaptive)
+        .then(|| Arc::new(LadderStats::new()));
+
+    let flush = |slots: &[Option<FaultResult>]| -> Result<(), Error> {
+        if let Some(path) = &options.checkpoint {
+            match &options.shard {
+                Some(info) => write_checkpoint_v2(path, header, Some(info), slots)?,
+                None => write_checkpoint(path, header, slots)?,
+            }
+        }
+        Ok(())
+    };
     for batch in pending.chunks(batch_size) {
         run_batch(
-            circuit, seq, good, faults, options, frames, &screened, &cones, batch, slots, perf,
+            circuit,
+            seq,
+            good,
+            faults,
+            options,
+            frames,
+            &screened,
+            &cones,
+            ladder.as_ref(),
+            batch,
+            slots,
+            perf,
         );
-        if let Some(path) = &options.checkpoint {
-            write_checkpoint(path, header, slots)?;
-        }
+        flush(slots)?;
+    }
+    // With nothing pending (a fully-resumed or fully-pruned campaign, or an
+    // empty shard) the loop above never runs; a shard must still publish its
+    // file so the merge sees every member of the partition.
+    if pending.is_empty() {
+        flush(slots)?;
     }
     Ok(())
 }
@@ -544,6 +667,7 @@ fn run_batch(
     frames: Option<&GoodFrames>,
     screened: &[Option<Detection>],
     cones: &ConeCache<'_>,
+    ladder: Option<&Arc<LadderStats>>,
     batch: &[usize],
     slots: &mut [Option<FaultResult>],
     perf: &mut PerfCounters,
@@ -578,6 +702,9 @@ fn run_batch(
                 return (result, PerfCounters::new());
             }
             let mut meter = BudgetMeter::new(&options.budget);
+            if let Some(stats) = ladder {
+                meter.set_ladder(Arc::clone(stats));
+            }
             let (mut result, certificate) = simulate_fault_cached(
                 circuit,
                 seq,
@@ -769,7 +896,7 @@ fn apply_audit(
 }
 
 /// Renders a panic payload into the stored [`FaultStatus::Faulted`] message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -1305,6 +1432,85 @@ mod tests {
                 assert!(*work_spent > 0);
             }
         }
+        let summary = degraded.partial_summary();
+        assert_eq!(summary.partial, degraded.degraded);
+        assert_eq!(
+            summary.detected + summary.not_detected + summary.unknown,
+            summary.partial
+        );
+        assert!(
+            degraded.coverage_lower_bound() <= unlimited.coverage_lower_bound(),
+            "the lower bound never exceeds the full-pipeline coverage"
+        );
+    }
+
+    #[test]
+    fn adaptive_degradation_is_inert_under_a_generous_budget() {
+        // With a budget no rung ever trips, the ladder is never entered, so
+        // the cost model must change nothing: results are fully identical.
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let base = CampaignOptions {
+            moa: MoaOptions::default().with_degrade(true),
+            budget: FaultBudget::none().with_work_limit(1 << 20),
+            threads: 1,
+            ..Default::default()
+        };
+        let plain = run_campaign(&c, &seq, &faults, &base);
+        let adaptive = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                moa: base.moa.clone().with_degrade_adaptive(true),
+                ..base
+            },
+        );
+        assert_eq!(plain, adaptive);
+        assert_eq!(plain.degraded, 0);
+    }
+
+    #[test]
+    fn adaptive_degradation_locks_the_detected_set_under_pressure() {
+        // Under a starvation budget the adaptive skip may relabel *how* a
+        // fault degraded, but which faults count as detected must not move:
+        // skipping only ever happens on rungs predicted to trip the budget.
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let base = CampaignOptions {
+            moa: MoaOptions::default().with_degrade(true),
+            budget: FaultBudget::none().with_work_limit(1),
+            threads: 1,
+            audit: Some(CampaignAudit::default()),
+            ..Default::default()
+        };
+        let plain = run_campaign(&c, &seq, &faults, &base);
+        let adaptive = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                moa: base.moa.clone().with_degrade_adaptive(true),
+                ..base
+            },
+        );
+        assert_eq!(plain.total_faults, adaptive.total_faults);
+        assert_eq!(plain.conventional, adaptive.conventional);
+        assert_eq!(plain.detected_total(), adaptive.detected_total());
+        for (index, (p, a)) in plain
+            .statuses
+            .iter()
+            .zip(&adaptive.statuses)
+            .enumerate()
+        {
+            assert_eq!(
+                p.is_detected(),
+                a.is_detected(),
+                "fault {index} changed detection verdict under adaptive skipping"
+            );
+        }
+        assert_eq!(adaptive.audit_failed, 0);
+        assert_eq!(adaptive.budget_exceeded, 0, "trips still become partials");
     }
 
     #[test]

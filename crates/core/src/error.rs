@@ -49,6 +49,21 @@ pub enum Error {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// One shard of a partitioned campaign failed (bad partition geometry,
+    /// a timed-out or panicked shard worker, an unpublishable shard file).
+    Shard {
+        /// The failing shard's id.
+        shard_id: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A set of shard files could not be merged into one campaign result
+    /// (disagreeing headers, missing/duplicate fault records, or a merged
+    /// detection refuted by the certificate-audit replay).
+    Merge {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -72,6 +87,8 @@ impl fmt::Display for Error {
             Error::CheckpointWrite { path, source } => {
                 write!(f, "cannot write checkpoint {path}: {source}")
             }
+            Error::Shard { shard_id, message } => write!(f, "shard {shard_id}: {message}"),
+            Error::Merge { message } => write!(f, "shard merge: {message}"),
         }
     }
 }
@@ -106,5 +123,14 @@ mod tests {
         };
         assert!(e.to_string().contains("cp.txt"));
         assert!(std::error::Error::source(&e).is_some());
+        let e = Error::Shard {
+            shard_id: 3,
+            message: "timed out after 2s".into(),
+        };
+        assert_eq!(e.to_string(), "shard 3: timed out after 2s");
+        let e = Error::Merge {
+            message: "fault 7 has no record in any shard".into(),
+        };
+        assert_eq!(e.to_string(), "shard merge: fault 7 has no record in any shard");
     }
 }

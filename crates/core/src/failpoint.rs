@@ -29,6 +29,16 @@
 //! | `fp/checkpoint.resume` | checkpoint parsing on resume | error, panic, delay |
 //! | `fp/campaign.worker.spawn` | campaign worker thread creation | error (spawn refusal) |
 //! | `fp/campaign.worker.run` | worker loop, *outside* per-fault isolation | panic, delay |
+//! | `fp/bench.parse` | `.bench` ingestion (`moa_netlist::parse_bench`) | error, panic, delay |
+//! | `fp/analyze.pass` | each `moa_analyze` pass in `run_passes` | panic, delay |
+//! | `fp/shard.write` | v2 shard-file serialization + fsync | error, panic, delay |
+//! | `fp/shard.read` | strict shard reading during merge | error, panic, delay |
+//! | `fp/shard.run` | shard-worker entry, under the supervisor | panic, delay |
+//!
+//! The `fp/bench.parse` and `fp/analyze.pass` sites live in crates that
+//! cannot depend on this one; [`install`]/[`clear`] wire them up through
+//! function-pointer hooks those crates expose behind their own
+//! `failpoints` features (enabled transitively by this crate's).
 //!
 //! # Example
 //!
@@ -58,6 +68,11 @@ pub const SITES: &[&str] = &[
     "fp/checkpoint.resume",
     "fp/campaign.worker.spawn",
     "fp/campaign.worker.run",
+    "fp/bench.parse",
+    "fp/analyze.pass",
+    "fp/shard.write",
+    "fp/shard.read",
+    "fp/shard.run",
 ];
 
 /// What a firing failpoint does to its call site.
@@ -205,6 +220,31 @@ impl ChaosSchedule {
                 "fp/campaign.worker.run",
                 SitePlan::new(0.03, vec![FailAction::Panic, FailAction::Delay(ms(1))]),
             )
+            .with_site(
+                "fp/bench.parse",
+                SitePlan::new(0.2, vec![FailAction::Error]).with_max_fires(2),
+            )
+            // Delay only: a panic here would kill `moa analyze` outright
+            // (the passes run outside any isolation); the panic path is
+            // exercised by a targeted unit test instead.
+            .with_site(
+                "fp/analyze.pass",
+                SitePlan::new(0.05, vec![FailAction::Delay(ms(1))]).with_max_fires(8),
+            )
+            .with_site(
+                "fp/shard.write",
+                SitePlan::new(0.2, vec![FailAction::Error, FailAction::Delay(ms(2))])
+                    .with_max_fires(6),
+            )
+            .with_site(
+                "fp/shard.read",
+                SitePlan::new(0.2, vec![FailAction::Error]).with_max_fires(4),
+            )
+            .with_site(
+                "fp/shard.run",
+                SitePlan::new(0.1, vec![FailAction::Panic, FailAction::Delay(ms(1))])
+                    .with_max_fires(3),
+            )
     }
 
     /// Returns a copy with `site` armed under `plan` (replacing any prior
@@ -233,18 +273,35 @@ fn lock() -> std::sync::MutexGuard<'static, Option<Armed>> {
     ARMED.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Installs `schedule` globally, resetting all hit and fire counters.
+/// Installs `schedule` globally, resetting all hit and fire counters, and
+/// wires up the cross-crate hook sites (`fp/bench.parse`,
+/// `fp/analyze.pass`).
 pub fn install(schedule: ChaosSchedule) {
     *lock() = Some(Armed {
         schedule,
         hits: HashMap::new(),
         fired: BTreeMap::new(),
     });
+    moa_netlist::failpoint::set_parse_hook(Some(bench_parse_hook));
+    moa_analyze::failpoint::set_pass_hook(Some(analyze_pass_hook));
 }
 
-/// Disarms every site. Idempotent.
+/// Disarms every site (including the cross-crate hooks). Idempotent.
 pub fn clear() {
     *lock() = None;
+    moa_netlist::failpoint::set_parse_hook(None);
+    moa_analyze::failpoint::set_pass_hook(None);
+}
+
+/// Bridge for the `fp/bench.parse` site: drawn through this crate's
+/// registry, surfaced to `moa_netlist` as an injected parse-error message.
+fn bench_parse_hook() -> Option<String> {
+    io_error("fp/bench.parse").map(|e| e.to_string())
+}
+
+/// Bridge for the `fp/analyze.pass` site.
+fn analyze_pass_hook() {
+    apply("fp/analyze.pass", None);
 }
 
 /// `true` while a schedule is installed.
@@ -456,5 +513,55 @@ mod tests {
             assert!(schedule.sites.contains_key(*site), "{site} unarmed");
         }
         assert_eq!(schedule.sites.len(), SITES.len(), "no unknown sites");
+    }
+
+    #[test]
+    fn bench_parse_site_injects_a_located_parse_error() {
+        let _g = guard();
+        // Parse once before arming to prove the baseline succeeds.
+        let src = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+        assert!(moa_netlist::parse_bench(src).is_ok());
+        install(ChaosSchedule::empty(5).with_site(
+            "fp/bench.parse",
+            SitePlan::new(1.0, vec![FailAction::Error]).with_max_fires(1),
+        ));
+        let err = moa_netlist::parse_bench(src).expect_err("armed parse must fail");
+        assert!(
+            err.to_string().contains("injected I/O error"),
+            "the injected message must surface: {err}"
+        );
+        // The fire cap is spent: parsing works again even while armed.
+        assert!(moa_netlist::parse_bench(src).is_ok());
+        clear();
+        assert!(moa_netlist::parse_bench(src).is_ok());
+    }
+
+    #[test]
+    fn analyze_pass_site_fires_through_the_hook() {
+        let _g = guard();
+        let circuit =
+            moa_netlist::parse_bench("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").expect("valid bench");
+        install(ChaosSchedule::empty(6).with_site(
+            "fp/analyze.pass",
+            SitePlan::new(1.0, vec![FailAction::Delay(Duration::from_millis(1))]),
+        ));
+        let _report = moa_analyze::analyze_circuit(&circuit);
+        let combos = fired_combos();
+        assert!(
+            combos
+                .iter()
+                .any(|((site, kind), n)| site == "fp/analyze.pass" && *kind == "delay" && *n > 0),
+            "every pass consults the hook: {combos:?}"
+        );
+        // The panic path: a pass hook panic propagates out of run_passes
+        // (there is no isolation inside `moa analyze`).
+        install(ChaosSchedule::empty(6).with_site(
+            "fp/analyze.pass",
+            SitePlan::new(1.0, vec![FailAction::Panic]).with_max_fires(1),
+        ));
+        let result = std::panic::catch_unwind(|| moa_analyze::analyze_circuit(&circuit));
+        assert!(result.is_err(), "the injected panic must propagate");
+        clear();
+        let _report = moa_analyze::analyze_circuit(&circuit);
     }
 }

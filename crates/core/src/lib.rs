@@ -48,7 +48,12 @@
 //!   certificate ([`simulate_fault_certified`]), validated by exhaustive
 //!   two-valued replay; campaigns in audit mode
 //!   ([`CampaignOptions::audit`]) quarantine any refuted detection as
-//!   [`FaultStatus::AuditFailed`] instead of reporting it.
+//!   [`FaultStatus::AuditFailed`] instead of reporting it,
+//! - [`shard`] — crash-safe sharded campaigns: a deterministic fault-list
+//!   [`partition`], per-shard supervision with timeouts/retries/quarantine
+//!   ([`run_sharded`]), checksummed v2 shard files ([`write_checkpoint_v2`])
+//!   and an integrity-verified [`merge_shards`] proven bit-identical to the
+//!   unsharded run.
 //!
 //! The expansion-only baseline of the paper's reference \[4] is the same
 //! pipeline with [`MoaOptions::baseline`] (backward implications disabled).
@@ -128,18 +133,21 @@ mod options;
 mod procedure;
 mod resim;
 mod resim_packed;
+pub mod shard;
 mod stateseq;
 
 pub use audit::{audit_certificate, AuditOptions, AuditStatus};
 pub use budget::{BudgetMeter, BudgetStage, FaultBudget};
 pub use campaign::{
     run_campaign, try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, FaultHook,
+    PartialSummary,
 };
 pub use certificate::{
     CertificateClaim, CertificateSource, ClaimKind, DetectionCertificate, StateAssignment,
 };
 pub use checkpoint::{
-    read_checkpoint, write_checkpoint, CheckpointHeader, CheckpointLoad, CheckpointSkip,
+    read_checkpoint, read_checkpoint_sharded, read_shard, write_checkpoint, write_checkpoint_v2,
+    CheckpointHeader, CheckpointLoad, CheckpointSkip, ShardFile, ShardInfo,
 };
 pub use collect::{
     collect_pairs, collect_pairs_metered, Collection, PairInfo, PairKey, SideEvidence,
@@ -159,6 +167,10 @@ pub use procedure::{
 };
 pub use resim::{resimulate, resimulate_metered, ResimVerdict, SequenceOutcome};
 pub use resim_packed::{resimulate_packed, resimulate_packed_metered};
+pub use shard::{
+    merge_shards, partition, run_shard, run_sharded, shard_info, shard_path, MergeOutcome,
+    ShardFailure, ShardOptions, ShardRun,
+};
 pub use stateseq::StateSequence;
 
 // The static analyses consumed by the procedure (learned implications) and

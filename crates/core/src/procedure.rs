@@ -523,6 +523,24 @@ fn degrade_ladder(
     let FaultStatus::BudgetExceeded { stage: tripped, .. } = out.0.status else {
         return out;
     };
+    // Adaptive ordering: when the campaign-wide average rung cost predicts
+    // this fault's budget slice could not carry the rung anyway, skip it and
+    // report the conventional-only bound directly.
+    if options.degrade_adaptive && meter.rung_predicted_hopeless() {
+        return (
+            FaultResult {
+                status: FaultStatus::PartialVerdict {
+                    lower_bound: PartialBound::Unknown,
+                    stage_reached: DegradeStage::Conventional,
+                    tripped,
+                    work_spent: meter.spent(),
+                },
+                counters: Counters::new(),
+                runs: out.0.runs,
+            },
+            None,
+        );
+    }
     let capped = options
         .max_frontier_states
         .map_or(options.n_states, |cap| cap.min(options.n_states));
@@ -549,6 +567,7 @@ fn degrade_ladder(
         want_certificate,
     );
     meter.absorb(&rung_meter);
+    meter.record_rung_cost(rung_meter.spent());
     let work_spent = meter.spent();
     let (lower_bound, stage_reached, certificate) = match rung.status {
         FaultStatus::BudgetExceeded { .. } => {

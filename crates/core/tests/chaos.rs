@@ -26,8 +26,9 @@ use moa_circuits::iscas::s27;
 use moa_circuits::suite::entry;
 use moa_core::failpoint::{self, ChaosSchedule};
 use moa_core::{
-    run_campaign, try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, FaultBudget,
-    FaultStatus, MoaOptions,
+    merge_shards, run_campaign, run_shard, run_sharded, shard_path, try_run_campaign,
+    CampaignAudit, CampaignOptions, CampaignResult, FaultBudget, FaultStatus, MoaOptions,
+    ShardOptions,
 };
 use moa_netlist::{full_fault_list, Circuit, Fault};
 use moa_sim::TestSequence;
@@ -156,6 +157,85 @@ fn pinned_seed_soak_covers_the_site_matrix_and_stays_sound() {
         distinct.len() >= 5,
         "the pinned seed must exercise at least 5 site/action combos: {distinct:?}"
     );
+}
+
+/// The sharded campaign under the same chaos schedule: shard writes fail,
+/// shard workers panic and stall, shard files come back through an
+/// injected-error read path — and the merged result must still carry
+/// exactly one verdict per fault, audit-clean, soundly downgraded at worst.
+/// The post-merge legs then corrupt and truncate a shard file on disk and
+/// assert the strict merge refuses each with a located error until the
+/// shard is healed by re-running it.
+#[test]
+fn sharded_chaos_soak_merges_exactly_once() {
+    let _serial = failpoint::test_lock();
+    let circuit = s27();
+    let seq = random_sequence(&circuit, 32, 0xFA17);
+    let faults = full_fault_list(&circuit);
+    let dir = std::env::temp_dir().join("moa-chaos-shard-soak");
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = CampaignOptions {
+        moa: MoaOptions::default().with_degrade(true),
+        budget: FaultBudget::none().with_work_limit(1 << 13),
+        audit: Some(CampaignAudit::default()),
+        threads: 2,
+        ..Default::default()
+    };
+
+    failpoint::clear();
+    let clean = run_campaign(&circuit, &seq, &faults, &base);
+
+    failpoint::install(ChaosSchedule::seeded(0x5AAD_C4A0));
+    let shard_opts = ShardOptions {
+        // Generous enough to outlast every bounded injection plan.
+        retries: 25,
+        ..ShardOptions::new(4, dir.clone())
+    };
+    let run = run_sharded(&circuit, &seq, &faults, &base, &shard_opts).unwrap();
+    assert!(
+        run.quarantined.is_empty(),
+        "no shard may be lost under a bounded schedule: {:?}",
+        run.quarantined
+    );
+    // `fp/shard.read` and engine sites can still fire inside the merge; a
+    // transient failure there is retried just like a shard attempt.
+    let mut attempts = 0;
+    let merged = loop {
+        attempts += 1;
+        assert!(attempts <= 50, "merge never converged under chaos");
+        if let Ok(m) = merge_shards(&circuit, &seq, &faults, &base, &run.files) {
+            break m;
+        }
+    };
+    failpoint::clear();
+
+    assert_eq!(merged.records, faults.len(), "exactly one record per fault");
+    assert!(merged.audited > 0, "the merge re-audits detections");
+    assert_chaos_contract(&clean, &merged.result);
+
+    // Corruption leg: a flipped bit inside a record is refused by checksum,
+    // with the damage located.
+    let victim = shard_path(&dir, 2);
+    let good = std::fs::read(&victim).unwrap();
+    let mut corrupt = good.clone();
+    let target = corrupt.len() - 20;
+    corrupt[target] ^= 0x04;
+    std::fs::write(&victim, &corrupt).unwrap();
+    let e = merge_shards(&circuit, &seq, &faults, &base, &run.files).unwrap_err();
+    assert!(e.to_string().contains("checksum mismatch"), "{e}");
+
+    // Truncation leg: a torn file is refused outright.
+    std::fs::write(&victim, &good[..good.len() - 9]).unwrap();
+    let e = merge_shards(&circuit, &seq, &faults, &base, &run.files).unwrap_err();
+    assert!(e.to_string().contains("torn"), "{e}");
+
+    // Healing: re-running the shard resumes the intact records, re-simulates
+    // the rest cleanly, and the merge completes exactly-once again.
+    run_shard(&circuit, &seq, &faults, &base, 4, 2, &dir).unwrap();
+    let healed = merge_shards(&circuit, &seq, &faults, &base, &run.files).unwrap();
+    assert_eq!(healed.records, faults.len());
+    assert_chaos_contract(&clean, &healed.result);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 proptest! {

@@ -49,6 +49,14 @@ pub const MAX_FANIN: usize = 1024;
 /// # Ok::<(), moa_netlist::NetlistError>(())
 /// ```
 pub fn parse_bench(source: &str) -> Result<Circuit, NetlistError> {
+    #[cfg(feature = "failpoints")]
+    if let Some(message) = crate::failpoint::injected_parse_error() {
+        return Err(NetlistError::Parse {
+            line: 0,
+            column: 0,
+            message,
+        });
+    }
     let mut name = None;
     let mut builder: Option<CircuitBuilder> = None;
     // Deferred so the builder can be created with the name from a comment.

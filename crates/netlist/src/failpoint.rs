@@ -1,0 +1,36 @@
+//! Failure-injection hook for `.bench` ingestion (the `fp/bench.parse`
+//! chaos site).
+//!
+//! Only compiled with the `failpoints` cargo feature. This crate cannot
+//! depend on the chaos registry in `moa-core` (the dependency points the
+//! other way), so the site is a function-pointer hook: the registry
+//! installs a callback here when a chaos schedule is armed, and
+//! [`parse_bench`](crate::parse_bench) consults it at entry. Without an
+//! installed hook (or without the feature) parsing is unaffected.
+
+use std::sync::Mutex;
+
+/// The hook signature: returns `Some(message)` when the site fires with an
+/// injected error, `None` to let the parse proceed. The hook itself may
+/// also panic or sleep, depending on the armed action.
+pub type ParseHook = fn() -> Option<String>;
+
+static PARSE_HOOK: Mutex<Option<ParseHook>> = Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the parse failure hook.
+pub fn set_parse_hook(hook: Option<ParseHook>) {
+    *PARSE_HOOK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = hook;
+}
+
+/// Consulted by [`parse_bench`](crate::parse_bench): the injected error
+/// message, if the armed hook fires.
+pub(crate) fn injected_parse_error() -> Option<String> {
+    // Copy the fn pointer out before calling: the hook may sleep or panic,
+    // and must not do so while holding the lock.
+    let hook = *PARSE_HOOK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    hook.and_then(|h| h())
+}

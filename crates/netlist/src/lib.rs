@@ -36,6 +36,8 @@
 
 mod bench_format;
 mod builder;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 mod circuit;
 mod collapse;
 mod cone;
