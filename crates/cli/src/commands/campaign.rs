@@ -6,14 +6,17 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use moa_core::{
-    merge_shards, run_shard, run_sharded, shard_path, try_run_campaign, CampaignAudit,
-    CampaignOptions, CampaignResult, FaultBudget, MoaOptions, ShardOptions,
+    merge_shards, run_shard, run_sharded, shard_path, try_run_campaign, verdict_digest,
+    CampaignAudit, CampaignOptions, CampaignResult, FaultBudget, MoaOptions, ShardOptions,
 };
 use moa_netlist::{collapse_faults, full_fault_list, Circuit};
 use moa_sim::TestSequence;
 
-use crate::commands::sequence_from_args;
-use crate::{load_circuit, ArgParser, CliError};
+use crate::commands::{
+    audit_peeled, fault_budget_from_args, moa_options_from_args, sequence_from_args,
+    shard_retries_from_args, shard_timeout_from_args,
+};
+use crate::{load_circuit, signals, ArgParser, CliError};
 
 const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random L [--seed S]] \
 [--baseline | --proposed | --both] [--n-states N] [--depth K] [--rounds R] [--budget B] \
@@ -26,23 +29,7 @@ const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     // `--audit[=N]` carries an optional inline value, which the flag parser
     // cannot express; peel it off before parsing the rest.
-    let mut audit: Option<CampaignAudit> = None;
-    let mut filtered = Vec::with_capacity(args.len());
-    for arg in args {
-        if arg == "--audit" {
-            audit = Some(CampaignAudit::default());
-        } else if let Some(rate) = arg.strip_prefix("--audit=") {
-            let rate: usize = rate.parse().map_err(|_| {
-                CliError::Usage(format!("--audit expects a sample rate, got `{rate}`\n\n{USAGE}"))
-            })?;
-            audit = Some(CampaignAudit {
-                sample_rate: rate.max(1),
-                ..CampaignAudit::default()
-            });
-        } else {
-            filtered.push(arg.clone());
-        }
-    }
+    let (audit, filtered) = audit_peeled(args, USAGE)?;
     let parser = ArgParser::parse(
         &filtered,
         USAGE,
@@ -68,26 +55,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         collapse_faults(&circuit, &full).representatives().to_vec()
     };
 
-    let mut moa = MoaOptions::default()
-        .with_n_states(parser.num("n-states", 64)?)
-        .with_backward_time_units(parser.num("depth", 1)?)
-        .with_implication_rounds(parser.num("rounds", 1)?)
-        .with_max_implication_runs(parser.num("budget", 4096)?);
-    moa.packed_resimulation = parser.switch("packed");
-    moa.static_learning = parser.switch("learn");
-    if let Some(states) = parser.flag("max-frontier") {
-        let states: usize = states.parse().map_err(|_| {
-            CliError::Usage(format!("--max-frontier expects a number, got `{states}`"))
-        })?;
-        moa = moa.with_max_frontier_states(states);
-    }
-    moa.degrade = parser.switch("degrade");
-    moa.degrade_adaptive = parser.switch("degrade-adaptive");
-    if moa.degrade_adaptive {
-        // The cost model only reorders the degradation ladder; asking for it
-        // implies the ladder itself.
-        moa.degrade = true;
-    }
+    let moa = moa_options_from_args(&parser)?;
     let prune_untestable = parser.switch("prune-untestable");
     let threads = parser.num("threads", 0usize)?;
 
@@ -108,19 +76,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
     }
 
-    let mut fault_budget = FaultBudget::none();
-    if let Some(ms) = parser.flag("deadline-ms") {
-        let ms: u64 = ms
-            .parse()
-            .map_err(|_| CliError::Usage(format!("--deadline-ms expects a number, got `{ms}`")))?;
-        fault_budget = fault_budget.with_deadline(Duration::from_millis(ms));
-    }
-    if let Some(limit) = parser.flag("work-limit") {
-        let limit: u64 = limit.parse().map_err(|_| {
-            CliError::Usage(format!("--work-limit expects a number, got `{limit}`"))
-        })?;
-        fault_budget = fault_budget.with_work_limit(limit);
-    }
+    let fault_budget = fault_budget_from_args(&parser)?;
     let checkpoint = parser.flag("checkpoint").map(PathBuf::from);
     let checkpoint_every = parser.num("checkpoint-every", 256usize)?;
     let resume = parser.switch("resume");
@@ -168,13 +124,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let shard_dir = parser
         .flag("shard-dir")
         .map_or_else(|| PathBuf::from("moa-shards"), PathBuf::from);
-    let shard_retries = parser.num("shard-retries", 6usize)?;
-    let shard_timeout = match parser.flag("shard-timeout-ms") {
-        None => None,
-        Some(ms) => Some(Duration::from_millis(ms.parse().map_err(|_| {
-            CliError::Usage(format!("--shard-timeout-ms expects a number, got `{ms}`"))
-        })?)),
-    };
+    let shard_retries = shard_retries_from_args(&parser, 6)?;
+    let shard_timeout = shard_timeout_from_args(&parser)?;
 
     writeln!(
         out,
@@ -204,6 +155,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let differential = parser.switch("differential");
     let screen = !parser.switch("no-screen");
 
+    // First SIGINT/SIGTERM: the campaign checkpoints at its next batch
+    // boundary and exits cleanly (see `report`). Second: force-quit.
+    signals::install();
+
     if let Some(shards) = shards {
         if run_baseline && run_proposed {
             return Err(CliError::Usage(format!(
@@ -230,6 +185,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             budget: fault_budget,
             checkpoint_every,
             audit,
+            cancel: Some(signals::cancel_flag()),
             ..CampaignOptions::default()
         };
         let sharding = Sharding {
@@ -330,6 +286,7 @@ fn run_plain_campaigns(
             checkpoint_every,
             resume,
             audit: audit.clone(),
+            cancel: Some(signals::cancel_flag()),
             ..CampaignOptions::default()
         };
         report(out, "baseline [4] (expansion only)", circuit, seq, faults, &opts, parser)?;
@@ -346,6 +303,7 @@ fn run_plain_campaigns(
             checkpoint_every,
             resume,
             audit,
+            cancel: Some(signals::cancel_flag()),
             ..CampaignOptions::default()
         };
         report(out, "proposed (backward implications)", circuit, seq, faults, &opts, parser)?;
@@ -387,10 +345,28 @@ fn run_sharded_campaign(
     sharding: &Sharding,
 ) -> Result<(), CliError> {
     let failed = |e: moa_core::Error| CliError::Failed(e.to_string());
+    let interrupted = |out: &mut dyn Write, completed: usize, total: usize| -> Result<(), CliError> {
+        writeln!(
+            out,
+            "\n{label}: interrupted by signal after {completed} of {total} fault(s)"
+        )?;
+        writeln!(
+            out,
+            "  finished work is checkpointed under `{}`; re-run the same command to resume",
+            sharding.dir.display()
+        )?;
+        Ok(())
+    };
     if let Some(id) = sharding.shard_id {
         let start = Instant::now();
-        let result = run_shard(circuit, seq, faults, opts, sharding.shards, id, &sharding.dir)
-            .map_err(failed)?;
+        let result = match run_shard(circuit, seq, faults, opts, sharding.shards, id, &sharding.dir)
+        {
+            Ok(result) => result,
+            Err(moa_core::Error::Interrupted { completed, total }) => {
+                return interrupted(out, completed, total);
+            }
+            Err(e) => return Err(failed(e)),
+        };
         writeln!(
             out,
             "\n{label}, shard {id} of {} -> {} ({:.2?}):",
@@ -408,6 +384,18 @@ fn run_sharded_campaign(
         files = (0..sharding.shards)
             .map(|id| shard_path(&sharding.dir, id))
             .collect();
+        // A wrong --shard-dir (or shards never run) should say where it
+        // looked, not let the merge fail on an opaque missing file. Partial
+        // sets fall through: the merge's own error locates the gap exactly.
+        if !files.iter().any(|f| f.exists()) {
+            return Err(CliError::Failed(format!(
+                "--merge found no shard files in `{}` (expected {} file(s) like `{}`); \
+                 run the shards first or check --shard-dir",
+                sharding.dir.display(),
+                sharding.shards,
+                shard_path(&sharding.dir, 0).display()
+            )));
+        }
     } else {
         let shard_opts = ShardOptions {
             timeout: sharding.timeout,
@@ -415,7 +403,13 @@ fn run_sharded_campaign(
             ..ShardOptions::new(sharding.shards, sharding.dir.clone())
         };
         let start = Instant::now();
-        let run = run_sharded(circuit, seq, faults, opts, &shard_opts).map_err(failed)?;
+        let run = match run_sharded(circuit, seq, faults, opts, &shard_opts) {
+            Ok(run) => run,
+            Err(moa_core::Error::Interrupted { completed, total }) => {
+                return interrupted(out, completed, total);
+            }
+            Err(e) => return Err(failed(e)),
+        };
         writeln!(
             out,
             "\nsupervised {} shard(s) into {} ({:.2?}, {} retried attempt(s))",
@@ -482,8 +476,29 @@ fn report(
     parser: &ArgParser,
 ) -> Result<(), CliError> {
     let start = Instant::now();
-    let result = try_run_campaign(circuit, seq, faults, opts)
-        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let result = match try_run_campaign(circuit, seq, faults, opts) {
+        Ok(result) => result,
+        // First SIGINT/SIGTERM: the campaign already flushed its
+        // checkpoint; report, hint at resume, and exit 0 — a clean
+        // interruption is not a failure.
+        Err(moa_core::Error::Interrupted { completed, total }) => {
+            writeln!(
+                out,
+                "\n{label}: interrupted by signal after {completed} of {total} fault(s)"
+            )?;
+            if opts.checkpoint.is_some() {
+                writeln!(out, "  progress is checkpointed; resume with --resume")?;
+            } else {
+                writeln!(
+                    out,
+                    "  progress was not saved; run with --checkpoint FILE to make \
+                     interrupts resumable"
+                )?;
+            }
+            return Ok(());
+        }
+        Err(e) => return Err(CliError::Failed(e.to_string())),
+    };
     writeln!(out, "\n{label} ({:.2?}):", start.elapsed())?;
     print_summary(out, &result)?;
     if parser.switch("verbose") {
@@ -547,6 +562,11 @@ fn print_summary(out: &mut dyn Write, r: &CampaignResult) -> Result<(), CliError
             avg.faults, avg.det, avg.conf, avg.extra
         )?;
     }
+    // The canonical per-fault-status digest: two runs printing the same
+    // digest produced bit-identical verdicts (the CI recovery smoke
+    // compares this line against the daemon's). Deliberately free of
+    // parentheses so verdict-comparison filters keep it.
+    writeln!(out, "  verdict digest      : {}", verdict_digest(r))?;
     writeln!(out, "  perf                : {}", r.perf)?;
     Ok(())
 }
@@ -937,6 +957,74 @@ mod tests {
         assert!(text.contains("checksum mismatch"), "{text}");
         assert!(text.contains("shard-1.ckpt"), "locates the file: {text}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_shard_retries_and_zero_timeout_are_rejected_with_reasons() {
+        for extra in [["--shard-retries", "0"], ["--shard-timeout-ms", "0"]] {
+            let mut args = vec![
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--shards".into(),
+                "2".into(),
+            ];
+            args.extend(extra.iter().map(std::string::ToString::to_string));
+            let mut out = Vec::new();
+            let err = run(&args, &mut out).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{extra:?}: {err}");
+            assert!(err.to_string().contains("at least 1"), "{extra:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn merge_with_no_shard_files_names_the_directory_searched() {
+        let dir = shard_dir("merge-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut out = Vec::new();
+        let err = run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--shards".into(),
+                "2".into(),
+                "--shard-dir".into(),
+                dir.to_string_lossy().into_owned(),
+                "--merge".into(),
+            ],
+            &mut out,
+        )
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(matches!(err, CliError::Failed(_)), "{text}");
+        assert!(text.contains("no shard files"), "{text}");
+        assert!(
+            text.contains(&dir.to_string_lossy().into_owned()),
+            "must name the directory searched: {text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_prints_the_verdict_digest() {
+        let mut out = Vec::new();
+        run(
+            &[toggle_path(), "--words".into(), "0,0,0".into(), "--proposed".into()],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let digest_line = text
+            .lines()
+            .find(|l| l.contains("verdict digest"))
+            .expect("summary must print a digest line");
+        let digest = digest_line.split(':').nth(1).unwrap().trim();
+        assert_eq!(digest.len(), 32, "32-hex canon hash: {digest_line}");
+        assert!(digest.chars().all(|c| c.is_ascii_hexdigit()), "{digest_line}");
+        assert!(!digest_line.contains('('), "no parens: comparison filters keep it");
     }
 
     #[test]

@@ -8,11 +8,15 @@ pub mod explain;
 pub mod extract;
 pub mod faults;
 pub mod gen;
+pub mod serve;
 pub mod sim;
 pub mod stats;
 pub mod suite;
 pub mod tpg;
 
+use std::time::Duration;
+
+use moa_core::{CampaignAudit, FaultBudget, MoaOptions};
 use moa_netlist::Circuit;
 use moa_sim::TestSequence;
 
@@ -60,5 +64,121 @@ pub(crate) fn sequence_from_args(
         let len = parser.num("random", default_len)?;
         let seed = parser.num("seed", 0u64)?;
         Ok(moa_tpg::random_sequence(circuit, len, seed))
+    }
+}
+
+/// Peels `--audit[=N]` off the raw argument list (the flag parser cannot
+/// express an optional inline value). Returns the audit config and the
+/// remaining arguments.
+pub(crate) fn audit_peeled(
+    args: &[String],
+    usage: &'static str,
+) -> Result<(Option<CampaignAudit>, Vec<String>), CliError> {
+    let mut audit: Option<CampaignAudit> = None;
+    let mut filtered = Vec::with_capacity(args.len());
+    for arg in args {
+        if arg == "--audit" {
+            audit = Some(CampaignAudit::default());
+        } else if let Some(rate) = arg.strip_prefix("--audit=") {
+            let rate: usize = rate.parse().map_err(|_| {
+                CliError::Usage(format!(
+                    "--audit expects a sample rate, got `{rate}`\n\n{usage}"
+                ))
+            })?;
+            audit = Some(CampaignAudit {
+                sample_rate: rate.max(1),
+                ..CampaignAudit::default()
+            });
+        } else {
+            filtered.push(arg.clone());
+        }
+    }
+    Ok((audit, filtered))
+}
+
+/// Builds [`MoaOptions`] from the campaign-style tuning flags
+/// (`--n-states`, `--depth`, `--rounds`, `--budget`, `--max-frontier`,
+/// `--packed`, `--learn`, `--degrade`, `--degrade-adaptive`). Flags the
+/// caller did not declare simply keep their defaults.
+pub(crate) fn moa_options_from_args(parser: &ArgParser) -> Result<MoaOptions, CliError> {
+    let mut moa = MoaOptions::default()
+        .with_n_states(parser.num("n-states", 64)?)
+        .with_backward_time_units(parser.num("depth", 1)?)
+        .with_implication_rounds(parser.num("rounds", 1)?)
+        .with_max_implication_runs(parser.num("budget", 4096)?);
+    moa.packed_resimulation = parser.switch("packed");
+    moa.static_learning = parser.switch("learn");
+    if let Some(states) = parser.flag("max-frontier") {
+        let states: usize = states.parse().map_err(|_| {
+            CliError::Usage(format!("--max-frontier expects a number, got `{states}`"))
+        })?;
+        moa = moa.with_max_frontier_states(states);
+    }
+    moa.degrade = parser.switch("degrade");
+    moa.degrade_adaptive = parser.switch("degrade-adaptive");
+    if moa.degrade_adaptive {
+        // The cost model only reorders the degradation ladder; asking for it
+        // implies the ladder itself.
+        moa.degrade = true;
+    }
+    Ok(moa)
+}
+
+/// Builds the per-fault budget from `--deadline-ms` / `--work-limit`.
+pub(crate) fn fault_budget_from_args(parser: &ArgParser) -> Result<FaultBudget, CliError> {
+    let mut budget = FaultBudget::none();
+    if let Some(ms) = parser.flag("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--deadline-ms expects a number, got `{ms}`")))?;
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(limit) = parser.flag("work-limit") {
+        let limit: u64 = limit.parse().map_err(|_| {
+            CliError::Usage(format!("--work-limit expects a number, got `{limit}`"))
+        })?;
+        budget = budget.with_work_limit(limit);
+    }
+    Ok(budget)
+}
+
+/// `--shard-retries`, rejecting 0: retries below one would quarantine a
+/// shard on its first transient hiccup, which is never what an operator
+/// wants from a crash-safety flag.
+pub(crate) fn shard_retries_from_args(
+    parser: &ArgParser,
+    default: usize,
+) -> Result<usize, CliError> {
+    let retries = parser.num("shard-retries", default)?;
+    if retries == 0 {
+        return Err(CliError::Usage(
+            "--shard-retries must be at least 1: with 0 retries a single transient \
+             failure (timeout, injected fault, OOM kill) would quarantine the shard \
+             instead of re-running it"
+                .into(),
+        ));
+    }
+    Ok(retries)
+}
+
+/// `--shard-timeout-ms`, rejecting 0: a zero timeout would kill every
+/// shard attempt at birth. Omitting the flag means no timeout.
+pub(crate) fn shard_timeout_from_args(parser: &ArgParser) -> Result<Option<Duration>, CliError> {
+    match parser.flag("shard-timeout-ms") {
+        None => Ok(None),
+        Some(ms) => {
+            let ms: u64 = ms.parse().map_err(|_| {
+                CliError::Usage(format!("--shard-timeout-ms expects a number, got `{ms}`"))
+            })?;
+            if ms == 0 {
+                return Err(CliError::Usage(
+                    "--shard-timeout-ms must be at least 1: a zero timeout would kill \
+                     every shard attempt immediately; omit the flag to run without a \
+                     timeout"
+                        .into(),
+                ));
+            }
+            Ok(Some(Duration::from_millis(ms)))
+        }
     }
 }

@@ -1,0 +1,823 @@
+//! `moa serve` / `moa submit` / `moa status` — the campaign daemon and its
+//! clients.
+//!
+//! The daemon wraps the in-process engine ([`moa_core::serve`]) in a TCP
+//! transport: newline-delimited JSON requests on a `std::net` listener, one
+//! handler thread per connection. All robustness properties (bounded
+//! admission, dedupe cache, poison quarantine, crash recovery) live in the
+//! engine; this module only frames requests, installs the two-stage signal
+//! handler, and turns the first SIGINT/SIGTERM into a graceful
+//! [`drain`](Server::drain).
+//!
+//! ## Protocol
+//!
+//! One JSON object per line, in both directions:
+//!
+//! ```text
+//! -> {"op":"submit","spec":"moa-job-spec v1\n..."}
+//! <- {"ok":true,"outcome":"accepted","job":"<32-hex hash>"}
+//! <- {"ok":true,"outcome":"cached","job":"…","digest":"…","detected":N,
+//!     "total":N,"gate_evals":0}
+//! -> {"op":"status"}              |  {"op":"status","job":"<hash>"}
+//! <- {"ok":true,"queued":N,...}   |  {"ok":true,"job":"…","state":"done",...}
+//! -> {"op":"watch","job":"<hash>"}
+//! <- {"ok":true,"event":"started","job":"…"}   (streamed until terminal)
+//! <- {"ok":true,"event":"done","job":"…","digest":"…"}
+//! ```
+//!
+//! Submissions reuse the spool's [`JobSpec`] text as their wire payload, so
+//! the daemon validates them with exactly the parser that guards the spool,
+//! and client and server compute the same canonical job hash.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use moa_core::{
+    verdict_digest, CampaignOptions, CanonHash, Event, JobSpec, JobStatus, ServeOptions, Server,
+    Submit,
+};
+use moa_netlist::write_bench;
+
+use crate::commands::{
+    audit_peeled, fault_budget_from_args, moa_options_from_args, sequence_from_args,
+    shard_retries_from_args, shard_timeout_from_args,
+};
+use crate::jsonx::Json;
+use crate::{load_circuit, signals, ArgParser, CliError};
+
+const SERVE_USAGE: &str = "usage: moa serve --spool DIR [--addr HOST:PORT] [--workers N] \
+[--queue-depth N] [--job-attempts N] [--shards N] [--shard-retries R] [--shard-timeout-ms MS] \
+[--retry-after-ms MS]";
+
+const SUBMIT_USAGE: &str = "usage: moa submit <bench-file> [--addr HOST:PORT | --spool DIR] \
+[--words p,... | --random L [--seed S] | --seq-file F] [--wait] [--n-states N] [--depth K] \
+[--rounds R] [--budget B] [--threads T] [--deadline-ms MS] [--work-limit W] [--max-frontier N] \
+[--audit[=N]] [--baseline] [--learn] [--prune-untestable] [--degrade] [--degrade-adaptive]";
+
+const STATUS_USAGE: &str = "usage: moa status [--addr HOST:PORT | --spool DIR] [--job HASH]";
+
+/// The name of the address-discovery file the daemon drops into its spool.
+const ADDR_FILE: &str = "daemon.addr";
+
+// ---------------------------------------------------------------------------
+// moa serve
+// ---------------------------------------------------------------------------
+
+pub fn run_serve(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let parser = ArgParser::parse(
+        args,
+        SERVE_USAGE,
+        &[
+            "spool",
+            "addr",
+            "workers",
+            "queue-depth",
+            "job-attempts",
+            "shards",
+            "shard-retries",
+            "shard-timeout-ms",
+            "retry-after-ms",
+        ],
+        &[],
+    )?;
+    let spool_dir = parser.flag("spool").ok_or_else(|| {
+        CliError::Usage(format!("--spool DIR is required\n\n{SERVE_USAGE}"))
+    })?;
+    let mut options = ServeOptions::new(spool_dir);
+    options.queue_depth = parser.num("queue-depth", options.queue_depth)?;
+    options.workers = parser.num("workers", options.workers)?;
+    options.job_attempts = parser.num("job-attempts", options.job_attempts)?;
+    options.shards = parser.num("shards", options.shards)?;
+    options.shard_retries = shard_retries_from_args(&parser, options.shard_retries)?;
+    options.shard_timeout = shard_timeout_from_args(&parser)?;
+    options.retry_after_ms = parser.num("retry-after-ms", options.retry_after_ms)?;
+    let bind_addr = parser.flag("addr").unwrap_or("127.0.0.1:0").to_owned();
+
+    let failed = |e: moa_core::Error| CliError::Failed(e.to_string());
+    let server = Server::start(options).map_err(failed)?;
+
+    // Crash-recovery report first: an operator restarting after a crash
+    // (or a CI smoke grepping for re-adoption) sees what the spool held.
+    let recovery = server.recovery().clone();
+    writeln!(
+        out,
+        "spool recovery: {} cached result(s), {} previously poisoned job(s)",
+        recovery.cached, recovery.poisoned
+    )?;
+    for hash in &recovery.adopted {
+        writeln!(out, "re-adopted job {hash}")?;
+    }
+    for hash in &recovery.newly_poisoned {
+        writeln!(
+            out,
+            "poisoned on recovery: job {hash} (attempt budget exhausted by earlier daemons)"
+        )?;
+    }
+
+    let listener = TcpListener::bind(&bind_addr)
+        .map_err(|e| CliError::Failed(format!("cannot bind `{bind_addr}`: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::Failed(format!("cannot read the bound address: {e}")))?;
+    // Polling accept keeps the loop responsive to the signal flag without
+    // any async machinery.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::Failed(format!("cannot set the listener non-blocking: {e}")))?;
+
+    // Discovery hint for `moa submit/status --spool DIR` and for CI jobs
+    // that bind port 0.
+    let addr_file = server.spool().root().join(ADDR_FILE);
+    std::fs::write(&addr_file, format!("{local}\n"))
+        .map_err(|e| CliError::Failed(format!("cannot write `{}`: {e}", addr_file.display())))?;
+
+    writeln!(out, "listening on {local}")?;
+    out.flush()?;
+
+    signals::install();
+    let server = Arc::new(server);
+    while !signals::interrupted() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let server = Arc::clone(&server);
+                // Handler threads are detached: they die with the process
+                // (after drain the main thread returns and the process
+                // exits; in-flight responses get best-effort completion).
+                let _ = std::thread::Builder::new()
+                    .name("moa-serve-conn".into())
+                    .spawn(move || handle_connection(&server, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            // Transient accept errors (EMFILE, ECONNABORTED): keep serving.
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+
+    writeln!(out, "signal received: draining (a second signal force-quits)")?;
+    out.flush()?;
+    let leftover = server.drain().map_err(failed)?;
+    let _ = std::fs::remove_file(&addr_file);
+    writeln!(
+        out,
+        "drained; {leftover} job(s) left queued for the next daemon to adopt"
+    )?;
+    Ok(())
+}
+
+/// Serves one client connection: one JSON request per line, one (or for
+/// `watch`, many) JSON response line(s) each.
+fn handle_connection(server: &Server, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = match dispatch(server, &line, &mut writer) {
+            Ok(Some(reply)) => send(&mut writer, &reply),
+            Ok(None) => Ok(()), // `watch` wrote its own stream
+            Err(message) => send(
+                &mut writer,
+                &Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::str(message)),
+                ]),
+            ),
+        };
+        if outcome.is_err() {
+            break; // client went away
+        }
+    }
+}
+
+fn send(writer: &mut TcpStream, value: &Json) -> std::io::Result<()> {
+    let mut line = value.render();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Handles one request. `Ok(Some(_))` is a single reply, `Ok(None)` means
+/// the op streamed its own lines, `Err` becomes an `{"ok":false}` reply.
+fn dispatch(server: &Server, line: &str, writer: &mut TcpStream) -> Result<Option<Json>, String> {
+    let request = Json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    let op = request
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request needs an `op` string".to_owned())?;
+    match op {
+        "submit" => {
+            let text = request
+                .get("spec")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "submit needs a `spec` string (job-spec text)".to_owned())?;
+            let spec = JobSpec::parse(text).map_err(|e| e.to_string())?;
+            let submit = server.submit(&spec).map_err(|e| e.to_string())?;
+            Ok(Some(submit_reply(&submit)))
+        }
+        "status" => match request.get("job") {
+            None => {
+                let stats = server.stats().map_err(|e| e.to_string())?;
+                Ok(Some(Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("queued", Json::num(stats.queued as u64)),
+                    ("running", Json::num(stats.running as u64)),
+                    ("done", Json::num(stats.done as u64)),
+                    ("poisoned", Json::num(stats.poisoned as u64)),
+                ])))
+            }
+            Some(job) => {
+                let hash = parse_hash(job)?;
+                let status = server.job_status(hash).map_err(|e| e.to_string())?;
+                Ok(Some(status_reply(hash, &status)))
+            }
+        },
+        "watch" => {
+            let hash = parse_hash(
+                request
+                    .get("job")
+                    .ok_or_else(|| "watch needs a `job` hash".to_owned())?,
+            )?;
+            watch(server, hash, writer)?;
+            Ok(None)
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn parse_hash(value: &Json) -> Result<CanonHash, String> {
+    let text = value
+        .as_str()
+        .ok_or_else(|| "`job` must be a 32-hex-digit string".to_owned())?;
+    CanonHash::parse(text).ok_or_else(|| format!("`{text}` is not a 32-hex-digit job hash"))
+}
+
+fn submit_reply(submit: &Submit) -> Json {
+    match submit {
+        Submit::Accepted { hash } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("outcome", Json::str("accepted")),
+            ("job", Json::str(hash.to_string())),
+        ]),
+        Submit::Coalesced { hash } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("outcome", Json::str("coalesced")),
+            ("job", Json::str(hash.to_string())),
+        ]),
+        Submit::Cached { hash, result } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("outcome", Json::str("cached")),
+            ("job", Json::str(hash.to_string())),
+            ("digest", Json::str(verdict_digest(result).to_string())),
+            ("detected", Json::num(result.detected_total() as u64)),
+            ("total", Json::num(result.total_faults as u64)),
+            ("gate_evals", Json::num(result.perf.gate_evals)),
+        ]),
+        Submit::Poisoned { hash, reason } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("outcome", Json::str("poisoned")),
+            ("job", Json::str(hash.to_string())),
+            ("reason", Json::str(reason.clone())),
+        ]),
+        Submit::Rejected {
+            retry_after_ms,
+            reason,
+        } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("outcome", Json::str("rejected")),
+            ("retry_after_ms", Json::num(*retry_after_ms)),
+            ("reason", Json::str(reason.clone())),
+        ]),
+    }
+}
+
+fn status_reply(hash: CanonHash, status: &JobStatus) -> Json {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("job", Json::str(hash.to_string())),
+    ];
+    match status {
+        JobStatus::Queued => pairs.push(("state", Json::str("queued"))),
+        JobStatus::Running => pairs.push(("state", Json::str("running"))),
+        JobStatus::Done { digest } => {
+            pairs.push(("state", Json::str("done")));
+            pairs.push(("digest", Json::str(digest.to_string())));
+        }
+        JobStatus::Poisoned { reason } => {
+            pairs.push(("state", Json::str("poisoned")));
+            pairs.push(("reason", Json::str(reason.clone())));
+        }
+        JobStatus::Unknown => pairs.push(("state", Json::str("unknown"))),
+    }
+    Json::obj(pairs)
+}
+
+/// Streams the job's progress events until it reaches a terminal state.
+/// Subscribe-then-check ordering closes the race where the job finishes
+/// between the two.
+fn watch(server: &Server, hash: CanonHash, writer: &mut TcpStream) -> Result<(), String> {
+    let events = server.subscribe().map_err(|e| e.to_string())?;
+    let gone = |_| "client disconnected".to_owned();
+    loop {
+        match server.job_status(hash).map_err(|e| e.to_string())? {
+            JobStatus::Done { digest } => {
+                send(
+                    writer,
+                    &Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("event", Json::str("done")),
+                        ("job", Json::str(hash.to_string())),
+                        ("digest", Json::str(digest.to_string())),
+                    ]),
+                )
+                .map_err(gone)?;
+                return Ok(());
+            }
+            JobStatus::Poisoned { reason } => {
+                send(
+                    writer,
+                    &Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("event", Json::str("poisoned")),
+                        ("job", Json::str(hash.to_string())),
+                        ("reason", Json::str(reason)),
+                    ]),
+                )
+                .map_err(gone)?;
+                return Ok(());
+            }
+            JobStatus::Unknown => return Err(format!("unknown job {hash}")),
+            JobStatus::Queued | JobStatus::Running => {}
+        }
+        match events.recv_timeout(Duration::from_millis(500)) {
+            Ok(event) => {
+                let (name, event_hash) = event_parts(&event);
+                if event_hash != hash {
+                    continue;
+                }
+                send(
+                    writer,
+                    &Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("event", Json::str(name)),
+                        ("job", Json::str(hash.to_string())),
+                    ]),
+                )
+                .map_err(gone)?;
+                if matches!(event, Event::Interrupted(_)) {
+                    // The daemon is draining; the job stays queued on disk
+                    // for the next daemon. End the stream so the client is
+                    // not left hanging on a dying process.
+                    return Ok(());
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {} // re-poll status
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                return Err("the daemon is shutting down".into());
+            }
+        }
+    }
+}
+
+fn event_parts(event: &Event) -> (&'static str, CanonHash) {
+    match *event {
+        Event::Queued(h) => ("queued", h),
+        Event::Started(h) => ("started", h),
+        Event::Finished(h) => ("finished", h),
+        Event::Retried(h) => ("retried", h),
+        Event::Poisoned(h) => ("poisoned", h),
+        Event::Interrupted(h) => ("interrupted", h),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client plumbing
+// ---------------------------------------------------------------------------
+
+/// One client connection speaking the newline-JSON protocol.
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Result<Connection, CliError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| CliError::Failed(format!("cannot connect to the daemon at `{addr}`: {e}")))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| CliError::Failed(format!("cannot clone the connection: {e}")))?;
+        Ok(Connection {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, value: &Json) -> Result<(), CliError> {
+        let mut line = value.render();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| CliError::Failed(format!("cannot send to the daemon: {e}")))
+    }
+
+    fn read_reply(&mut self) -> Result<Json, CliError> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| CliError::Failed(format!("cannot read from the daemon: {e}")))?;
+        if n == 0 {
+            return Err(CliError::Failed(
+                "the daemon closed the connection".into(),
+            ));
+        }
+        let reply = Json::parse(line.trim_end())
+            .map_err(|e| CliError::Failed(format!("bad reply from the daemon: {e}")))?;
+        if reply.get("ok").and_then(Json::as_bool) == Some(false) {
+            let message = reply
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error");
+            return Err(CliError::Failed(format!("daemon error: {message}")));
+        }
+        Ok(reply)
+    }
+
+    fn request(&mut self, value: &Json) -> Result<Json, CliError> {
+        self.send(value)?;
+        self.read_reply()
+    }
+}
+
+/// `--addr HOST:PORT` wins; otherwise `--spool DIR` reads the daemon's
+/// discovery file.
+fn resolve_addr(parser: &ArgParser, usage: &'static str) -> Result<String, CliError> {
+    if let Some(addr) = parser.flag("addr") {
+        return Ok(addr.to_owned());
+    }
+    if let Some(spool) = parser.flag("spool") {
+        let path = Path::new(spool).join(ADDR_FILE);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            CliError::Failed(format!(
+                "cannot read `{}` (is the daemon running with --spool {spool}?): {e}",
+                path.display()
+            ))
+        })?;
+        return Ok(text.trim().to_owned());
+    }
+    Err(CliError::Usage(format!(
+        "need --addr HOST:PORT or --spool DIR to find the daemon\n\n{usage}"
+    )))
+}
+
+fn field<'a>(reply: &'a Json, key: &str) -> &'a str {
+    reply.get(key).and_then(Json::as_str).unwrap_or("?")
+}
+
+// ---------------------------------------------------------------------------
+// moa submit
+// ---------------------------------------------------------------------------
+
+pub fn run_submit(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (audit, filtered) = audit_peeled(args, SUBMIT_USAGE)?;
+    let parser = ArgParser::parse(
+        &filtered,
+        SUBMIT_USAGE,
+        &[
+            "addr",
+            "spool",
+            "words",
+            "random",
+            "seed",
+            "seq-file",
+            "n-states",
+            "depth",
+            "rounds",
+            "budget",
+            "threads",
+            "deadline-ms",
+            "work-limit",
+            "max-frontier",
+        ],
+        &[
+            "wait",
+            "baseline",
+            "learn",
+            "prune-untestable",
+            "degrade",
+            "degrade-adaptive",
+        ],
+    )?;
+    let circuit = load_circuit(parser.required(0, "bench file")?)?;
+    let seq = sequence_from_args(&parser, &circuit, 64)?;
+    let mut moa = moa_options_from_args(&parser)?;
+    if parser.switch("baseline") {
+        moa.backward_implications = false;
+    }
+    let options = CampaignOptions {
+        moa,
+        threads: parser.num("threads", 0usize)?,
+        prune_untestable: parser.switch("prune-untestable"),
+        budget: fault_budget_from_args(&parser)?,
+        audit,
+        ..CampaignOptions::default()
+    };
+    let spec = JobSpec::new(&write_bench(&circuit), &seq.to_text(), options)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let hash = spec.hash();
+
+    let addr = resolve_addr(&parser, SUBMIT_USAGE)?;
+    let mut conn = Connection::open(&addr)?;
+    let reply = conn.request(&Json::obj(vec![
+        ("op", Json::str("submit")),
+        ("spec", Json::str(spec.to_text())),
+    ]))?;
+
+    match field(&reply, "outcome") {
+        "accepted" => writeln!(out, "accepted: job {hash}")?,
+        "coalesced" => writeln!(out, "coalesced: job {hash} is already queued or running")?,
+        "cached" => {
+            writeln!(
+                out,
+                "cached: job {hash} was already done; verdict digest {}, detected {} of {}, \
+                 gate evals {}",
+                field(&reply, "digest"),
+                reply.get("detected").and_then(Json::as_u64).unwrap_or(0),
+                reply.get("total").and_then(Json::as_u64).unwrap_or(0),
+                reply.get("gate_evals").and_then(Json::as_u64).unwrap_or(0),
+            )?;
+            return Ok(());
+        }
+        "poisoned" => {
+            return Err(CliError::Failed(format!(
+                "job {hash} is quarantined: {}",
+                field(&reply, "reason")
+            )));
+        }
+        "rejected" => {
+            return Err(CliError::Failed(format!(
+                "rejected: {}; retry after {} ms",
+                field(&reply, "reason"),
+                reply
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+            )));
+        }
+        other => {
+            return Err(CliError::Failed(format!(
+                "unexpected submit outcome `{other}`"
+            )));
+        }
+    }
+
+    if !parser.switch("wait") {
+        writeln!(
+            out,
+            "poll with: moa status --addr {addr} --job {hash}"
+        )?;
+        return Ok(());
+    }
+
+    // Stream progress on the same connection until the job is terminal.
+    conn.send(&Json::obj(vec![
+        ("op", Json::str("watch")),
+        ("job", Json::str(hash.to_string())),
+    ]))?;
+    loop {
+        let event = conn.read_reply()?;
+        match field(&event, "event") {
+            "done" => {
+                writeln!(out, "done: job {hash}, verdict digest {}", field(&event, "digest"))?;
+                return Ok(());
+            }
+            "poisoned" => {
+                return Err(CliError::Failed(format!(
+                    "job {hash} was quarantined while waiting"
+                )));
+            }
+            "interrupted" => {
+                return Err(CliError::Failed(format!(
+                    "the daemon is draining; job {hash} stays queued and resumes under \
+                     the next daemon"
+                )));
+            }
+            name => writeln!(out, "event: {name}")?,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// moa status
+// ---------------------------------------------------------------------------
+
+pub fn run_status(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let parser = ArgParser::parse(args, STATUS_USAGE, &["addr", "spool", "job"], &[])?;
+    let addr = resolve_addr(&parser, STATUS_USAGE)?;
+    let mut conn = Connection::open(&addr)?;
+    match parser.flag("job") {
+        None => {
+            let reply = conn.request(&Json::obj(vec![("op", Json::str("status"))]))?;
+            let count = |key: &str| reply.get(key).and_then(Json::as_u64).unwrap_or(0);
+            writeln!(
+                out,
+                "queued {} / running {} / done {} / poisoned {}",
+                count("queued"),
+                count("running"),
+                count("done"),
+                count("poisoned"),
+            )?;
+        }
+        Some(job) => {
+            let reply = conn.request(&Json::obj(vec![
+                ("op", Json::str("status")),
+                ("job", Json::str(job)),
+            ]))?;
+            match field(&reply, "state") {
+                "done" => writeln!(
+                    out,
+                    "job {job}: done, verdict digest {}",
+                    field(&reply, "digest")
+                )?,
+                "poisoned" => writeln!(
+                    out,
+                    "job {job}: poisoned — {}",
+                    field(&reply, "reason")
+                )?,
+                state => writeln!(out, "job {job}: {state}")?,
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_circuits::iscas::S27_BENCH;
+    use moa_tpg::random_sequence;
+
+    fn temp_spool(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "moa-cli-serve-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn s27_spec() -> JobSpec {
+        let circuit = moa_circuits::iscas::s27();
+        let seq = random_sequence(&circuit, 12, 7);
+        JobSpec::new(S27_BENCH, &seq.to_text(), CampaignOptions::new()).expect("valid spec")
+    }
+
+    /// Full protocol round trip over a real socket, without the accept
+    /// loop: submit → watch to completion → status → dedupe → bad requests.
+    #[test]
+    fn protocol_round_trip_over_a_socket() {
+        let dir = temp_spool("proto");
+        let server = Arc::new(Server::start(ServeOptions::new(&dir)).expect("start"));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let handler = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let (stream, _) = listener.accept().expect("accept");
+                handle_connection(&server, stream);
+            })
+        };
+
+        let spec = s27_spec();
+        let hash = spec.hash();
+        let mut conn = Connection::open(&addr).expect("connect");
+
+        // Malformed requests answer with structured errors, not hangups —
+        // the same connection keeps working afterwards.
+        let err = conn
+            .request(&Json::obj(vec![("op", Json::str("frobnicate"))]))
+            .expect_err("unknown op");
+        assert!(err.to_string().contains("unknown op"), "{err}");
+        let err = conn
+            .request(&Json::obj(vec![
+                ("op", Json::str("status")),
+                ("job", Json::str("zz")),
+            ]))
+            .expect_err("bad hash");
+        assert!(err.to_string().contains("32-hex"), "{err}");
+        let err = conn
+            .request(&Json::obj(vec![
+                ("op", Json::str("submit")),
+                ("spec", Json::str("garbage")),
+            ]))
+            .expect_err("bad spec");
+        assert!(err.to_string().contains("daemon error"), "{err}");
+
+        // Submit, then watch to completion on the same connection.
+        let reply = conn
+            .request(&Json::obj(vec![
+                ("op", Json::str("submit")),
+                ("spec", Json::str(spec.to_text())),
+            ]))
+            .expect("submit");
+        assert_eq!(field(&reply, "outcome"), "accepted");
+        assert_eq!(field(&reply, "job"), hash.to_string());
+
+        conn.send(&Json::obj(vec![
+            ("op", Json::str("watch")),
+            ("job", Json::str(hash.to_string())),
+        ]))
+        .expect("watch");
+        let digest = loop {
+            let event = conn.read_reply().expect("event");
+            match field(&event, "event") {
+                "done" => break field(&event, "digest").to_owned(),
+                "poisoned" => panic!("job must not poison: {event:?}"),
+                _ => {}
+            }
+        };
+        assert_eq!(digest.len(), 32, "digest is a 32-hex canon hash: {digest}");
+
+        // Status agrees, and a duplicate submission is served from cache.
+        let reply = conn
+            .request(&Json::obj(vec![
+                ("op", Json::str("status")),
+                ("job", Json::str(hash.to_string())),
+            ]))
+            .expect("status");
+        assert_eq!(field(&reply, "state"), "done");
+        assert_eq!(field(&reply, "digest"), digest);
+        let reply = conn
+            .request(&Json::obj(vec![
+                ("op", Json::str("submit")),
+                ("spec", Json::str(spec.to_text())),
+            ]))
+            .expect("resubmit");
+        assert_eq!(field(&reply, "outcome"), "cached");
+        assert_eq!(field(&reply, "digest"), digest);
+        assert_eq!(reply.get("gate_evals").and_then(Json::as_u64), Some(0));
+
+        let reply = conn
+            .request(&Json::obj(vec![("op", Json::str("status"))]))
+            .expect("stats");
+        assert_eq!(reply.get("done").and_then(Json::as_u64), Some(1));
+
+        drop(conn);
+        handler.join().expect("handler");
+        assert_eq!(server.drain().expect("drain"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_flag_validation_rejects_zeroes_and_missing_spool() {
+        let mut out = Vec::new();
+        let err = run_serve(&[], &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("--spool"), "{err}");
+
+        for (flag, value) in [("--shard-retries", "0"), ("--shard-timeout-ms", "0")] {
+            let dir = temp_spool("flags");
+            let args: Vec<String> = vec![
+                "--spool".into(),
+                dir.to_string_lossy().into_owned(),
+                flag.into(),
+                value.into(),
+            ];
+            let mut out = Vec::new();
+            let err = run_serve(&args, &mut out).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{flag}: {err}");
+            assert!(err.to_string().contains("at least 1"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn clients_without_a_daemon_fail_with_located_errors() {
+        let mut out = Vec::new();
+        let err = run_status(&[], &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+
+        let dir = temp_spool("noaddr");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut out = Vec::new();
+        let err = run_status(
+            &["--spool".into(), dir.to_string_lossy().into_owned()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("daemon.addr"), "{err}");
+        assert!(err.to_string().contains("is the daemon running"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,6 +19,8 @@
 
 mod args;
 pub mod commands;
+mod jsonx;
+mod signals;
 
 use std::fmt;
 use std::io::Write;
@@ -95,6 +97,15 @@ COMMANDS:          (<bench> is a .bench file path, or suite:NAME for an embedded
     explain   <bench> --fault NET/saX            per-fault pipeline trace
     extract   <bench> --nets NAME[,NAME...]      cut a fan-in cone to a new bench file
     gen       --inputs N --outputs N --ffs N --gates N [--seed S] [-o FILE]
+    serve     --spool DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
+              [--job-attempts N] [--shards N] [--shard-retries R] [--shard-timeout-ms MS]
+              campaign daemon: bounded admission, dedupe cache, poison quarantine,
+              crash recovery from the spool; first SIGINT/SIGTERM drains gracefully
+    submit    <bench> [--addr HOST:PORT | --spool DIR] [--random L [--seed S] |
+              --seq-file F | --words p,...] [--wait] [campaign tuning flags]
+              submit a campaign job to a daemon (prints the job's canonical hash)
+    status    [--addr HOST:PORT | --spool DIR] [--job HASH]
+              daemon queue stats, or one job's state and verdict digest
     suite     [NAME...] [--audit] [--degrade] [--work-limit W]
               run the paper's Table-2 stand-in suite
     bench     [NAME...] [--quick] [--threads T] [--out FILE] [--check FILE]
@@ -125,6 +136,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "explain" => commands::explain::run(rest, out),
         "extract" => commands::extract::run(rest, out),
         "gen" => commands::gen::run(rest, out),
+        "serve" => commands::serve::run_serve(rest, out),
+        "submit" => commands::serve::run_submit(rest, out),
+        "status" => commands::serve::run_status(rest, out),
         "suite" => commands::suite::run(rest, out),
         "bench" => commands::bench::run(rest, out),
         "help" | "--help" | "-h" => {
@@ -140,11 +154,17 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// Loads a circuit from a `.bench` file path.
 pub(crate) fn load_circuit(path: &str) -> Result<moa_netlist::Circuit, CliError> {
     // `suite:NAME` loads an embedded suite circuit without needing a .bench
-    // file on disk (CI smoke jobs lean on this).
+    // file on disk (CI smoke jobs lean on this). The built circuit is
+    // normalized through the `.bench` serialization so it is bit-identical
+    // (net ids, fault enumeration order) whether it reaches a simulation
+    // directly, from a saved file, or over the daemon's wire format —
+    // verdict digests then compare equal across all three paths.
     if let Some(name) = path.strip_prefix("suite:") {
         let entry = moa_circuits::suite::entry(name)
             .ok_or_else(|| CliError::Failed(format!("no embedded suite circuit `{name}`")))?;
-        return Ok(entry.build());
+        let text = moa_netlist::write_bench(&entry.build());
+        return moa_netlist::parse_bench(&text)
+            .map_err(|e| CliError::Failed(format!("suite circuit `{name}` round trip: {e}")));
     }
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Failed(format!("cannot read `{path}`: {e}")))?;

@@ -1,0 +1,88 @@
+//! SIGINT/SIGTERM handling for the long-running commands (`moa serve`,
+//! `moa campaign`), via raw `signal(2)` FFI — the workspace takes no
+//! dependency on the `libc` crate.
+//!
+//! The contract is two-stage:
+//!
+//! 1. The **first** signal only sets an atomic flag. Long-running code
+//!    polls it through [`cancel_flag`] (threaded into campaigns as their
+//!    [`CancelFlag`](moa_core::CancelFlag) probe) and shuts down
+//!    gracefully: campaigns checkpoint at the next batch boundary, the
+//!    daemon drains its queue.
+//! 2. The **second** signal force-quits via `_exit` (async-signal-safe,
+//!    no atexit hooks) with the shell convention `128 + signo` — the
+//!    escape hatch when graceful shutdown itself is stuck.
+
+use std::os::raw::c_int;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+
+use moa_core::CancelFlag;
+
+/// Signals received so far (only ever incremented from the handler).
+static RECEIVED: AtomicUsize = AtomicUsize::new(0);
+static INSTALL: Once = Once::new();
+
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+
+#[allow(unsafe_code)]
+extern "C" {
+    fn signal(signum: c_int, handler: usize) -> usize;
+    fn _exit(status: c_int) -> !;
+}
+
+/// The handler: async-signal-safe by construction (one atomic RMW, and on
+/// the second signal a direct `_exit`).
+extern "C" fn on_signal(signo: c_int) {
+    let prior = RECEIVED.fetch_add(1, Ordering::SeqCst);
+    if prior >= 1 {
+        // Second signal: the graceful path did not finish (or the user is
+        // impatient). Force-quit the conventional way: 130 for SIGINT.
+        #[allow(unsafe_code)]
+        unsafe {
+            _exit(128 + signo)
+        };
+    }
+}
+
+/// Installs the two-stage handler for SIGINT and SIGTERM. Idempotent;
+/// installation failures are ignored (the command still works, it just
+/// dies un-gracefully on a signal, which is the status quo ante).
+pub fn install() {
+    INSTALL.call_once(|| {
+        let handler = on_signal as extern "C" fn(c_int) as usize;
+        #[allow(unsafe_code)]
+        // SAFETY: `on_signal` is async-signal-safe (see its doc comment)
+        // and has the exact type `signal(2)` expects.
+        unsafe {
+            let _ = signal(SIGINT, handler);
+            let _ = signal(SIGTERM, handler);
+        }
+    });
+}
+
+/// Whether a first signal has arrived (the graceful-shutdown request).
+pub fn interrupted() -> bool {
+    RECEIVED.load(Ordering::SeqCst) > 0
+}
+
+/// A campaign cancel probe backed by the signal flag: the campaign
+/// checkpoints and stops at the next batch boundary once a signal lands.
+pub fn cancel_flag() -> CancelFlag {
+    Arc::new(interrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_flag_starts_clear() {
+        install();
+        install();
+        // No signal has been delivered to the test process.
+        assert!(!interrupted());
+        assert!(!cancel_flag()());
+    }
+}

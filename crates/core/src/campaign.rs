@@ -38,6 +38,14 @@ use crate::MoaOptions;
 /// delays) into campaign workers; production campaigns leave it `None`.
 pub type FaultHook = Arc<dyn Fn(usize, &Fault) + Send + Sync>;
 
+/// A cooperative cancellation probe: returns `true` once the campaign
+/// should stop. Polled at batch boundaries — between checkpoint flushes —
+/// so cancellation never tears a record in half: either a fault's result is
+/// in the checkpoint, or the fault is untouched. A closure (rather than a
+/// bare `AtomicBool`) lets callers cancel on any condition: a signal-count
+/// cell, a daemon drain flag, a deadline.
+pub type CancelFlag = Arc<dyn Fn() -> bool + Send + Sync>;
+
 /// Configuration of a campaign's self-audit pass
 /// ([`CampaignOptions::audit`]): every detected fault (or a deterministic
 /// sample of them) has its [`DetectionCertificate`](crate::DetectionCertificate)
@@ -133,6 +141,12 @@ pub struct CampaignOptions {
     /// Test instrumentation: called with `(index, fault)` before each fault
     /// is simulated, inside the worker (and inside panic isolation).
     pub fault_hook: Option<FaultHook>,
+    /// Cooperative cancellation, polled before each batch. When the probe
+    /// returns `true` the campaign writes a final checkpoint (if one is
+    /// configured) and returns [`Error::Interrupted`] with the completed
+    /// count — a rerun with [`resume`](Self::resume) continues from there,
+    /// bit-identically. `None` (the default) never cancels.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl std::fmt::Debug for CampaignOptions {
@@ -155,6 +169,7 @@ impl std::fmt::Debug for CampaignOptions {
                 "fault_hook",
                 &self.fault_hook.as_ref().map(|_| "Fn(usize, &Fault)"),
             )
+            .field("cancel", &self.cancel.as_ref().map(|_| "Fn() -> bool"))
             .finish()
     }
 }
@@ -176,6 +191,7 @@ impl Default for CampaignOptions {
             audit: None,
             shard: None,
             fault_hook: None,
+            cancel: None,
         }
     }
 }
@@ -599,7 +615,18 @@ fn run_all(
         }
         Ok(())
     };
+    let cancelled = || options.cancel.as_ref().is_some_and(|probe| probe());
     for batch in pending.chunks(batch_size) {
+        // Cancellation is only observed here, at a batch boundary: every
+        // completed batch is already flushed, so the checkpoint on disk is
+        // consistent and a resume re-simulates nothing it already has.
+        if cancelled() {
+            flush(slots)?;
+            return Err(Error::Interrupted {
+                completed: slots.iter().filter(|slot| slot.is_some()).count(),
+                total: slots.len(),
+            });
+        }
         run_batch(
             circuit,
             seq,
@@ -1205,6 +1232,89 @@ mod tests {
             },
         );
         assert_eq!(reference, resumed);
+    }
+
+    #[test]
+    fn cancelled_campaign_checkpoints_and_resumes_to_identical_result() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let dir = std::env::temp_dir().join("moa-campaign-cancel-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cancelled.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let reference = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+
+        // The probe trips after the first poll: batch 1 runs, then the
+        // campaign flushes and reports Interrupted at the next boundary.
+        let polls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let probe_polls = Arc::clone(&polls);
+        let err = try_run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 2,
+                threads: 1,
+                cancel: Some(Arc::new(move || {
+                    probe_polls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) >= 1
+                })),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        let Error::Interrupted { completed, total } = err else {
+            panic!("expected Interrupted, got {err}");
+        };
+        assert_eq!(total, faults.len());
+        assert!(completed > 0 && completed < total, "{completed} of {total}");
+
+        // The checkpoint holds exactly the completed records; a resume with
+        // no cancel probe finishes the rest bit-identically.
+        let header = CheckpointHeader {
+            circuit: c.name().to_owned(),
+            total_faults: faults.len(),
+            seq_len: seq.len(),
+        };
+        let load = read_checkpoint(&path, &header).unwrap();
+        assert_eq!(
+            load.slots.iter().filter(|s| s.is_some()).count(),
+            completed
+        );
+        let resumed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(reference, resumed);
+    }
+
+    #[test]
+    fn cancel_probe_already_tripped_interrupts_before_any_work() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let err = try_run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                cancel: Some(Arc::new(|| true)),
+                screen: false,
+                fault_hook: Some(Arc::new(|index, _fault: &Fault| {
+                    panic!("fault {index} simulated under a tripped cancel probe");
+                })),
+                isolate_panics: false,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Interrupted { completed: 0, .. }), "{err}");
     }
 
     #[test]

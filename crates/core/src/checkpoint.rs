@@ -472,7 +472,7 @@ fn degrade_stage_from_code(code: u8) -> Result<DegradeStage, String> {
 }
 
 /// Appends the binary encoding of `status` (code byte + fields).
-fn encode_status(buf: &mut Vec<u8>, status: &FaultStatus) {
+pub(crate) fn encode_status(buf: &mut Vec<u8>, status: &FaultStatus) {
     match status {
         FaultStatus::DetectedConventional(d) => {
             buf.push(0);

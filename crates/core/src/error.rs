@@ -64,6 +64,30 @@ pub enum Error {
         /// What went wrong.
         message: String,
     },
+    /// The campaign was cancelled cooperatively (operator interrupt or
+    /// daemon drain). Completed work up to the last batch boundary has been
+    /// checkpointed when a checkpoint path was configured, so a rerun with
+    /// `resume` picks up where this run stopped.
+    Interrupted {
+        /// Fault records already completed and checkpointed.
+        completed: usize,
+        /// Total faults in the campaign.
+        total: usize,
+    },
+    /// A job-spool operation failed (unreadable spool directory, a
+    /// malformed or unwritable job spec, a corrupt result file).
+    Spool {
+        /// Path of the offending spool entry or directory.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A daemon-level serving failure (bind error, protocol violation, or
+    /// an internal worker-pool invariant breach).
+    Serve {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -89,6 +113,12 @@ impl fmt::Display for Error {
             }
             Error::Shard { shard_id, message } => write!(f, "shard {shard_id}: {message}"),
             Error::Merge { message } => write!(f, "shard merge: {message}"),
+            Error::Interrupted { completed, total } => write!(
+                f,
+                "campaign interrupted after {completed} of {total} fault(s)"
+            ),
+            Error::Spool { path, message } => write!(f, "spool {path}: {message}"),
+            Error::Serve { message } => write!(f, "serve: {message}"),
         }
     }
 }
@@ -132,5 +162,14 @@ mod tests {
             message: "fault 7 has no record in any shard".into(),
         };
         assert_eq!(e.to_string(), "shard merge: fault 7 has no record in any shard");
+        let e = Error::Interrupted { completed: 12, total: 40 };
+        assert_eq!(e.to_string(), "campaign interrupted after 12 of 40 fault(s)");
+        let e = Error::Spool {
+            path: "spool/job-ab".into(),
+            message: "spec line 2: unknown key".into(),
+        };
+        assert_eq!(e.to_string(), "spool spool/job-ab: spec line 2: unknown key");
+        let e = Error::Serve { message: "queue full".into() };
+        assert_eq!(e.to_string(), "serve: queue full");
     }
 }

@@ -73,6 +73,12 @@ pub const SITES: &[&str] = &[
     "fp/shard.write",
     "fp/shard.read",
     "fp/shard.run",
+    "fp/spool.admit",
+    "fp/spool.store",
+    "fp/spool.scan",
+    "fp/serve.submit",
+    "fp/serve.worker",
+    "fp/serve.recover",
 ];
 
 /// What a firing failpoint does to its call site.
@@ -244,6 +250,39 @@ impl ChaosSchedule {
                 "fp/shard.run",
                 SitePlan::new(0.1, vec![FailAction::Panic, FailAction::Delay(ms(1))])
                     .with_max_fires(3),
+            )
+            // Spool I/O sites honour `Error` (admit/store/scan all return
+            // structured errors); the daemon surfaces them as rejected
+            // submissions or poisoned jobs, never a crash.
+            .with_site(
+                "fp/spool.admit",
+                SitePlan::new(0.2, vec![FailAction::Error]).with_max_fires(4),
+            )
+            .with_site(
+                "fp/spool.store",
+                SitePlan::new(0.2, vec![FailAction::Error, FailAction::Delay(ms(2))])
+                    .with_max_fires(4),
+            )
+            .with_site(
+                "fp/spool.scan",
+                SitePlan::new(0.2, vec![FailAction::Error]).with_max_fires(2),
+            )
+            // Daemon sites: a panicking submit handler must only drop that
+            // connection; a panicking worker run must count against the
+            // job's poison limit, not kill the daemon.
+            .with_site(
+                "fp/serve.submit",
+                SitePlan::new(0.1, vec![FailAction::Panic, FailAction::Delay(ms(1))])
+                    .with_max_fires(4),
+            )
+            .with_site(
+                "fp/serve.worker",
+                SitePlan::new(0.15, vec![FailAction::Panic, FailAction::Delay(ms(1))])
+                    .with_max_fires(4),
+            )
+            .with_site(
+                "fp/serve.recover",
+                SitePlan::new(0.2, vec![FailAction::Delay(ms(1))]).with_max_fires(2),
             )
     }
 

@@ -114,6 +114,7 @@ macro_rules! fail_hit {
 mod audit;
 mod budget;
 mod campaign;
+mod canon;
 mod certificate;
 mod chain;
 mod checkpoint;
@@ -133,14 +134,19 @@ mod options;
 mod procedure;
 mod resim;
 mod resim_packed;
+pub mod serve;
 pub mod shard;
+pub mod spool;
 mod stateseq;
 
 pub use audit::{audit_certificate, AuditOptions, AuditStatus};
 pub use budget::{BudgetMeter, BudgetStage, FaultBudget};
 pub use campaign::{
-    run_campaign, try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, FaultHook,
-    PartialSummary,
+    run_campaign, try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, CancelFlag,
+    FaultHook, PartialSummary,
+};
+pub use canon::{
+    canonical_circuit_text, canonical_fault_text, request_hash, verdict_digest, CanonHash,
 };
 pub use certificate::{
     CertificateClaim, CertificateSource, ClaimKind, DetectionCertificate, StateAssignment,
@@ -167,10 +173,12 @@ pub use procedure::{
 };
 pub use resim::{resimulate, resimulate_metered, ResimVerdict, SequenceOutcome};
 pub use resim_packed::{resimulate_packed, resimulate_packed_metered};
+pub use serve::{Event, JobStatus, Recovery, ServeOptions, ServeStats, Server, Submit};
 pub use shard::{
     merge_shards, partition, run_shard, run_sharded, shard_info, shard_path, MergeOutcome,
     ShardFailure, ShardOptions, ShardRun,
 };
+pub use spool::{JobEntry, JobSpec, JobState, Spool};
 pub use stateseq::StateSequence;
 
 // The static analyses consumed by the procedure (learned implications) and

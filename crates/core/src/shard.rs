@@ -278,7 +278,25 @@ pub fn run_sharded(
         quarantined: Vec::new(),
         retries_used: 0,
     };
+    // Cooperative cancellation (the daemon's drain, an operator interrupt):
+    // checked before each shard launches, and honored mid-shard because the
+    // per-shard campaign carries the same probe. Completed shards keep their
+    // published files; an interrupted shard publishes its partial checkpoint
+    // so a rerun resumes it instead of restarting.
+    let done_so_far = |run: &ShardRun| -> usize {
+        run.results
+            .iter()
+            .flatten()
+            .map(|r| r.total_faults)
+            .sum()
+    };
     for shard_id in 0..options.shards {
+        if base.cancel.as_ref().is_some_and(|probe| probe()) {
+            return Err(Error::Interrupted {
+                completed: done_so_far(&run),
+                total: faults.len(),
+            });
+        }
         let canonical = shard_path(&options.dir, shard_id);
         let attempts = options.retries + 1;
         let mut outcome = None;
@@ -300,6 +318,20 @@ pub fn run_sharded(
                                 format!("cannot publish shard file {}: {e}", canonical.display());
                         }
                     }
+                }
+                // An interrupted attempt is not a failure: the worker
+                // checkpointed and stopped on request. Publish the partial
+                // file (it seeds the rerun's resume) and stop supervising —
+                // retrying would defeat the cancellation.
+                Err(Error::Interrupted { completed, .. }) => {
+                    let _ = fs::rename(&scratch, &canonical);
+                    for n in 1..=attempts {
+                        let _ = fs::remove_file(attempt_path(&options.dir, shard_id, n));
+                    }
+                    return Err(Error::Interrupted {
+                        completed: done_so_far(&run) + completed,
+                        total: faults.len(),
+                    });
                 }
                 Err(e) => last_error = e.to_string(),
             }
@@ -819,6 +851,46 @@ mod tests {
         let files: Vec<PathBuf> = (0..2).map(|k| shard_path(&dir, k)).collect();
         let merged = merge_shards(&c, &seq, &faults, &base, &files).expect("merge");
         assert_eq!(merged.result, run_campaign(&c, &seq, &faults, &base));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_sharded_run_resumes_bit_identical_after_rerun() {
+        let c = toggle();
+        let seq = TestSequence::from_words(&["0", "0", "0"]).expect("valid sequence");
+        let faults = full_fault_list(&c);
+        let unsharded = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let dir = temp_dir("cancel");
+        let options = ShardOptions::new(3, &dir);
+
+        // The probe is polled by the supervisor (before each shard) and by
+        // each shard's campaign (before each batch); tripping it after a few
+        // polls lands the interrupt mid-run, wherever that happens to be.
+        let polls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let probe_polls = std::sync::Arc::clone(&polls);
+        let base = CampaignOptions {
+            checkpoint_every: 2,
+            threads: 1,
+            cancel: Some(std::sync::Arc::new(move || {
+                probe_polls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) >= 2
+            })),
+            ..CampaignOptions::new()
+        };
+        let err = run_sharded(&c, &seq, &faults, &base, &options)
+            .expect_err("the tripped probe must interrupt the supervisor");
+        assert!(matches!(err, Error::Interrupted { .. }), "{err}");
+
+        // Rerun without the probe: published shard files (complete and
+        // partial alike) seed resumes, and the merge is bit-identical.
+        let base = CampaignOptions {
+            checkpoint_every: 2,
+            ..CampaignOptions::new()
+        };
+        let run = run_sharded(&c, &seq, &faults, &base, &options).expect("rerun");
+        assert!(run.quarantined.is_empty(), "{:?}", run.quarantined);
+        let merged = merge_shards(&c, &seq, &faults, &base, &run.files).expect("merge");
+        assert_eq!(merged.result, unsharded);
+        assert_eq!(merged.records, faults.len());
         let _ = fs::remove_dir_all(&dir);
     }
 

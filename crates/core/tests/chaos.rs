@@ -238,6 +238,102 @@ fn sharded_chaos_soak_merges_exactly_once() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The daemon under chaos: spool I/O errors on admit/store, panics and
+/// delays in the submit handler and the worker loop. The contract is the
+/// service-level degradation ladder — a submission either lands (and then
+/// completes bit-identically, possibly after retries) or is refused with a
+/// structured error; a job is either finished, still queued, or poisoned
+/// with a reason; the daemon itself never dies and always drains cleanly.
+#[test]
+fn serve_chaos_soak_survives_spool_and_worker_failures() {
+    use moa_core::{JobSpec, JobStatus, ServeOptions, Server, Submit};
+
+    let _serial = failpoint::test_lock();
+    let circuit = s27();
+    let seq = random_sequence(&circuit, 16, 0x5E12);
+    let spec = JobSpec::new(
+        moa_circuits::iscas::S27_BENCH,
+        &seq.to_text(),
+        CampaignOptions::new(),
+    )
+    .expect("valid spec");
+    let clean = run_campaign(&circuit, &seq, &full_fault_list(&circuit), &spec.options);
+
+    let dir = std::env::temp_dir().join("moa-chaos-serve-soak");
+    let _ = std::fs::remove_dir_all(&dir);
+    failpoint::install(ChaosSchedule::seeded(0xC4A0_5EED));
+
+    let server = Server::start(ServeOptions {
+        workers: 1,
+        job_attempts: 10,
+        ..ServeOptions::new(&dir)
+    })
+    .expect("the daemon must start under chaos");
+    // Submissions may be refused by injected spool errors or killed by
+    // injected submit-handler panics (the catch is process-level in the
+    // CLI; here an injected panic unwinds out of submit) — keep trying,
+    // the daemon itself must stay serviceable.
+    let mut hash = None;
+    for _ in 0..32 {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.submit(&spec))) {
+            Ok(Ok(Submit::Accepted { hash: h } | Submit::Coalesced { hash: h })) => {
+                hash = Some(h);
+                break;
+            }
+            Ok(Ok(Submit::Cached { hash: h, .. })) => {
+                hash = Some(h);
+                break;
+            }
+            Ok(Ok(other)) => panic!("unexpected submit outcome under chaos: {other:?}"),
+            Ok(Err(_)) | Err(_) => {}
+        }
+    }
+    let hash = hash.expect("32 tries must beat a p<=0.2 injection");
+
+    // Poll until the job settles: chaos panics in the worker re-queue it
+    // (bounded by job_attempts), injected store errors retry it. Poisoning
+    // is an acceptable terminal state only if the attempt budget was truly
+    // eaten by injections.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let final_status = loop {
+        assert!(std::time::Instant::now() < deadline, "daemon never settled");
+        // An Err here is an *injected* I/O failure on the cache-read path
+        // (fp/checkpoint.resume, fp/spool.*): structured, located, and
+        // transient — retrying is the client contract under chaos.
+        match server.job_status(hash) {
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            Ok(JobStatus::Done { digest }) => break digest,
+            Ok(JobStatus::Poisoned { reason }) => {
+                assert!(
+                    reason.contains("attempt"),
+                    "poison must carry a structured reason: {reason}"
+                );
+                failpoint::clear();
+                assert!(server.drain().is_ok());
+                let _ = std::fs::remove_dir_all(&dir);
+                return;
+            }
+            Ok(JobStatus::Queued | JobStatus::Running) => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Ok(JobStatus::Unknown) => panic!("an admitted job cannot be unknown"),
+        }
+    };
+    // Chaos may soundly downgrade individual verdicts (injected worker
+    // panics become Faulted under isolation) — hold the completed job to
+    // the same contract as every other soak: no lost/duplicated records,
+    // downgrades only, audits clean. The digest must match the *cached*
+    // result exactly: what status reported is what the cache serves.
+    failpoint::clear();
+    let Submit::Cached { result, .. } = server.submit(&spec).expect("cache hit") else {
+        panic!("a done job must answer from the cache");
+    };
+    assert_eq!(final_status, moa_core::verdict_digest(&result));
+    assert_chaos_contract(&clean, &result);
+    assert_eq!(server.drain().expect("drain"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
     #[test]
