@@ -18,19 +18,28 @@
 //! `--out FILE` writes a JSON report; `--check FILE` compares the screened
 //! faults/sec of this run against a previously committed report and fails on
 //! a more-than-2x regression for any shared circuit.
+//!
+//! A separate *screening kernel* micro-benchmark isolates the packed
+//! parallel-fault pre-pass: the full fault list is screened once with the
+//! 64-lane single-threaded reference kernel and once at the configured
+//! `--screen-lanes`/`--screen-threads`, the detections are asserted
+//! bit-identical, and both throughputs (plus their ratio) are reported per
+//! circuit and in aggregate.
 
 use std::io::Write;
 use std::time::Instant;
 
 use moa_circuits::suite::suite;
-use moa_core::{try_run_campaign, CampaignAudit, CampaignOptions, MoaOptions};
+use moa_core::{try_run_campaign, CampaignAudit, CampaignOptions, MoaOptions, ScreenLanes};
 use moa_netlist::{collapse_faults, full_fault_list};
+use moa_sim::{screen_faults_wide, simulate, ScreenOutcome};
 use moa_tpg::random_sequence;
 
+use crate::commands::{screen_lanes_from_args, screen_threads_from_args};
 use crate::{ArgParser, CliError};
 
-const USAGE: &str = "usage: moa bench [NAME...] [--quick] [--threads T] [--out FILE] \
-[--check FILE] [--no-audit]";
+const USAGE: &str = "usage: moa bench [NAME...] [--quick] [--threads T] \
+[--screen-lanes 64|128|256] [--screen-threads T] [--out FILE] [--check FILE] [--no-audit]";
 
 /// The `--quick` subset: the two smallest entries plus the largest, so a CI
 /// smoke run still exercises the hot path that dominates full-bench time.
@@ -53,6 +62,10 @@ struct BenchRow {
     partial: usize,
     coverage_lower_bound: f64,
     audit_failed: Option<usize>,
+    screen_lanes: usize,
+    screen_threads: usize,
+    screen_base_ms: f64,
+    screen_wide_ms: f64,
 }
 
 impl BenchRow {
@@ -63,19 +76,58 @@ impl BenchRow {
             f64::INFINITY
         }
     }
+
+    fn kernel_fps(&self, ms: f64) -> f64 {
+        if ms > 0.0 {
+            self.faults as f64 / (ms / 1e3)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn kernel_speedup(&self) -> f64 {
+        if self.screen_wide_ms > 0.0 {
+            self.screen_base_ms / self.screen_wide_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Times one screening-kernel configuration. Sub-10ms runs are repeated and
+/// averaged so small circuits report a stable per-run time instead of timer
+/// noise.
+fn time_kernel(mut run: impl FnMut() -> ScreenOutcome) -> (f64, ScreenOutcome) {
+    let started = Instant::now();
+    let outcome = run();
+    let first_ms = started.elapsed().as_secs_f64() * 1e3;
+    if first_ms >= 10.0 {
+        return (first_ms, outcome);
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let reps = ((50.0 / first_ms.max(1e-3)).ceil() as usize).min(1000);
+    let started = Instant::now();
+    for _ in 0..reps {
+        let repeat = run();
+        assert_eq!(repeat.detections, outcome.detections, "kernel must be deterministic");
+    }
+    let ms = started.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    (ms, outcome)
 }
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let parser = ArgParser::parse(
         args,
         USAGE,
-        &["threads", "out", "check"],
+        &["threads", "out", "check", "screen-lanes", "screen-threads"],
         &["quick", "no-audit"],
     )?;
     let filter = parser.positional();
     let quick = parser.switch("quick");
     let threads = parser.num("threads", 1usize)?.max(1);
     let audit = !parser.switch("no-audit");
+    let screen_lanes = screen_lanes_from_args(&parser)?;
+    let screen_threads = screen_threads_from_args(&parser)?;
 
     let entries: Vec<_> = suite()
         .into_iter()
@@ -113,6 +165,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             threads,
             differential: true,
             screen: true,
+            screen_lanes,
+            screen_threads,
             ..CampaignOptions::new()
         };
         let legacy_opts = CampaignOptions {
@@ -162,6 +216,24 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             None
         };
 
+        // Screening-kernel micro-benchmark: the same full fault list through
+        // the packed pre-pass alone, at the 64-lane single-threaded
+        // reference and at the configured width/threads. Identical
+        // detections are a hard requirement, not a statistic.
+        let good = simulate(&circuit, &seq, None);
+        let (screen_base_ms, base_outcome) =
+            time_kernel(|| screen_faults_wide(&circuit, &seq, &good, &faults, ScreenLanes::L64, 1));
+        let (screen_wide_ms, wide_outcome) = time_kernel(|| {
+            screen_faults_wide(&circuit, &seq, &good, &faults, screen_lanes, screen_threads)
+        });
+        if wide_outcome.detections != base_outcome.detections {
+            return Err(CliError::Failed(format!(
+                "{}: {screen_lanes}-lane x{screen_threads}-thread screening disagrees \
+                 with the 64-lane reference kernel",
+                e.name
+            )));
+        }
+
         let fps = |ms: f64| {
             if ms > 0.0 {
                 faults.len() as f64 / (ms / 1e3)
@@ -185,6 +257,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             partial: screened.partial_summary().partial,
             coverage_lower_bound: screened.coverage_lower_bound(),
             audit_failed,
+            screen_lanes: screen_lanes.lanes(),
+            screen_threads,
+            screen_base_ms,
+            screen_wide_ms,
         };
         writeln!(
             out,
@@ -211,6 +287,37 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out,
         "coverage lower bound: {pct:.2}% ({proven} of {total} proven detected, \
          {partial} partial verdict(s))"
+    )?;
+
+    writeln!(
+        out,
+        "\nscreening kernel ({} lanes x {} thread(s) vs 64 x 1):",
+        screen_lanes.lanes(),
+        screen_threads
+    )?;
+    writeln!(
+        out,
+        "{:<10} {:>9} {:>11} {:>11} {:>8}",
+        "circuit", "faults", "base fps", "wide fps", "speedup"
+    )?;
+    for r in &rows {
+        writeln!(
+            out,
+            "{:<10} {:>9} {:>11.0} {:>11.0} {:>7.2}x",
+            r.name,
+            r.faults,
+            r.kernel_fps(r.screen_base_ms),
+            r.kernel_fps(r.screen_wide_ms),
+            r.kernel_speedup()
+        )?;
+    }
+    let base_total_ms: f64 = rows.iter().map(|r| r.screen_base_ms).sum();
+    let wide_total_ms: f64 = rows.iter().map(|r| r.screen_wide_ms).sum();
+    let aggregate = if wide_total_ms > 0.0 { base_total_ms / wide_total_ms } else { f64::INFINITY };
+    writeln!(
+        out,
+        "screening kernel aggregate speedup: {aggregate:.2}x \
+         ({base_total_ms:.1} ms base vs {wide_total_ms:.1} ms wide)"
     )?;
 
     if let Some(path) = parser.flag("out") {
@@ -250,6 +357,21 @@ fn render_json(rows: &[BenchRow], quick: bool) -> String {
             "      \"legacy\": {{\"wall_ms\": {:.3}, \"gate_evals\": {}, \"faults_per_sec\": {:.1}}},\n",
             r.legacy_ms, r.legacy_gate_evals, r.legacy_fps
         ));
+        // Kernel keys deliberately avoid the exact `"faults_per_sec"` string
+        // so the tolerant baseline scanner keeps pairing each circuit name
+        // with its *screened* throughput above.
+        s.push_str(&format!(
+            "      \"screen_kernel\": {{\"lanes\": {}, \"threads\": {}, \
+             \"base_wall_ms\": {:.4}, \"base_fps\": {:.1}, \
+             \"wide_wall_ms\": {:.4}, \"wide_fps\": {:.1}, \"speedup\": {:.2}}},\n",
+            r.screen_lanes,
+            r.screen_threads,
+            r.screen_base_ms,
+            r.kernel_fps(r.screen_base_ms),
+            r.screen_wide_ms,
+            r.kernel_fps(r.screen_wide_ms),
+            r.kernel_speedup()
+        ));
         s.push_str(&format!("      \"speedup\": {:.2},\n", r.speedup()));
         s.push_str(&format!("      \"detected_total\": {},\n", r.detected_total));
         s.push_str(&format!("      \"partial\": {},\n", r.partial));
@@ -263,7 +385,15 @@ fn render_json(rows: &[BenchRow], quick: bool) -> String {
         }
         s.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let base_total_ms: f64 = rows.iter().map(|r| r.screen_base_ms).sum();
+    let wide_total_ms: f64 = rows.iter().map(|r| r.screen_wide_ms).sum();
+    let aggregate = if wide_total_ms > 0.0 { base_total_ms / wide_total_ms } else { f64::INFINITY };
+    s.push_str(&format!(
+        "  \"screen_kernel_aggregate\": {{\"base_wall_ms\": {base_total_ms:.4}, \
+         \"wide_wall_ms\": {wide_total_ms:.4}, \"speedup\": {aggregate:.2}}}\n"
+    ));
+    s.push_str("}\n");
     s
 }
 
@@ -399,6 +529,47 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn wide_kernel_bench_reports_and_checks_against_narrow_baseline() {
+        let dir = std::env::temp_dir().join("moa-cli-bench-wide-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("wide.json").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        run(
+            &[
+                "s208".into(),
+                "--screen-lanes".into(),
+                "256".into(),
+                "--screen-threads".into(),
+                "2".into(),
+                "--out".into(),
+                json.clone(),
+                "--no-audit".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("screening kernel (256 lanes x 2 thread(s) vs 64 x 1)"), "{text}");
+        assert!(text.contains("screening kernel aggregate speedup"), "{text}");
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"screen_kernel\": {\"lanes\": 256, \"threads\": 2"), "{report}");
+        assert!(report.contains("\"screen_kernel_aggregate\""), "{report}");
+        // The kernel keys must not confuse the screened-fps baseline scanner.
+        let pairs = parse_baseline(&report);
+        assert_eq!(pairs.len(), 1, "{report}");
+        assert_eq!(pairs[0].0, "s208");
+    }
+
+    #[test]
+    fn bad_screen_lanes_is_usage_error() {
+        let mut out = Vec::new();
+        let err = run(&["s208".into(), "--screen-lanes".into(), "7".into()], &mut out)
+            .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("64, 128 or 256"), "{err}");
     }
 
     #[test]

@@ -13,8 +13,9 @@ use moa_netlist::{collapse_faults, full_fault_list, Circuit};
 use moa_sim::TestSequence;
 
 use crate::commands::{
-    audit_peeled, fault_budget_from_args, moa_options_from_args, sequence_from_args,
-    shard_retries_from_args, shard_timeout_from_args,
+    audit_peeled, fault_budget_from_args, moa_options_from_args, screen_lanes_from_args,
+    screen_threads_from_args, sequence_from_args, shard_retries_from_args,
+    shard_timeout_from_args,
 };
 use crate::{load_circuit, signals, ArgParser, CliError};
 
@@ -24,7 +25,8 @@ const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random 
 [--degrade-adaptive] [--checkpoint FILE [--checkpoint-every N] [--resume]] \
 [--shards N [--shard-id K | --merge] [--shard-dir DIR] [--shard-retries R] \
 [--shard-timeout-ms MS]] [--audit[=N]] [--chaos-seed S] [--no-collapse] [--packed] \
-[--differential] [--no-screen] [--learn] [--prune-untestable] [--verbose]";
+[--differential] [--no-screen] [--screen-lanes 64|128|256] [--screen-threads T] [--learn] \
+[--prune-untestable] [--verbose]";
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     // `--audit[=N]` carries an optional inline value, which the flag parser
@@ -37,7 +39,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "words", "random", "seed", "seq-file", "n-states", "depth", "rounds", "budget",
             "threads", "deadline-ms", "work-limit", "max-frontier", "checkpoint",
             "checkpoint-every", "chaos-seed", "shards", "shard-id", "shard-dir", "shard-retries",
-            "shard-timeout-ms",
+            "shard-timeout-ms", "screen-lanes", "screen-threads",
         ],
         &[
             "baseline", "proposed", "both", "no-collapse", "packed", "differential", "no-screen",
@@ -154,6 +156,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
     let differential = parser.switch("differential");
     let screen = !parser.switch("no-screen");
+    let screen_lanes = screen_lanes_from_args(&parser)?;
+    let screen_threads = screen_threads_from_args(&parser)?;
 
     // First SIGINT/SIGTERM: the campaign checkpoints at its next batch
     // boundary and exits cleanly (see `report`). Second: force-quit.
@@ -181,6 +185,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             threads,
             differential,
             screen,
+            screen_lanes,
+            screen_threads,
             prune_untestable,
             budget: fault_budget,
             checkpoint_every,
@@ -209,6 +215,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 threads,
                 differential,
                 screen,
+                screen_lanes,
+                screen_threads,
                 prune_untestable,
                 fault_budget,
                 checkpoint,
@@ -238,6 +246,8 @@ struct PlainArgs {
     threads: usize,
     differential: bool,
     screen: bool,
+    screen_lanes: moa_core::ScreenLanes,
+    screen_threads: usize,
     prune_untestable: bool,
     fault_budget: FaultBudget,
     checkpoint: Option<PathBuf>,
@@ -262,6 +272,8 @@ fn run_plain_campaigns(
         threads,
         differential,
         screen,
+        screen_lanes,
+        screen_threads,
         prune_untestable,
         fault_budget,
         checkpoint,
@@ -280,6 +292,8 @@ fn run_plain_campaigns(
             threads,
             differential,
             screen,
+            screen_lanes,
+            screen_threads,
             prune_untestable,
             budget: fault_budget.clone(),
             checkpoint: checkpoint.clone(),
@@ -297,6 +311,8 @@ fn run_plain_campaigns(
             threads,
             differential,
             screen,
+            screen_lanes,
+            screen_threads,
             prune_untestable,
             budget: fault_budget,
             checkpoint,
@@ -1006,6 +1022,60 @@ mod tests {
             "must name the directory searched: {text}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_screen_lanes_and_zero_screen_threads_are_rejected_with_reasons() {
+        for (flag, value, hint) in [
+            ("--screen-lanes", "96", "64, 128 or 256"),
+            ("--screen-lanes", "0", "64, 128 or 256"),
+            ("--screen-lanes", "x", "expects a number"),
+            ("--screen-threads", "0", "at least 1"),
+        ] {
+            let mut out = Vec::new();
+            let err = run(
+                &[
+                    toggle_path(),
+                    "--words".into(),
+                    "0,0,0".into(),
+                    "--proposed".into(),
+                    flag.into(),
+                    value.into(),
+                ],
+                &mut out,
+            )
+            .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{flag} {value}: {err}");
+            assert!(err.to_string().contains(hint), "{flag} {value}: {err}");
+        }
+    }
+
+    #[test]
+    fn screen_knobs_never_move_the_verdict_digest() {
+        let digest = |extra: &[&str]| -> String {
+            let mut v = vec![toggle_path(), "--words".into(), "0,0,0".into(), "--proposed".into()];
+            v.extend(extra.iter().map(std::string::ToString::to_string));
+            let mut out = Vec::new();
+            run(&v, &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            text.lines()
+                .find(|l| l.contains("verdict digest"))
+                .unwrap()
+                .split(':')
+                .nth(1)
+                .unwrap()
+                .trim()
+                .to_string()
+        };
+        let base = digest(&[]);
+        for extra in [
+            &["--screen-lanes", "128"][..],
+            &["--screen-lanes", "256"],
+            &["--screen-threads", "4"],
+            &["--screen-lanes", "256", "--screen-threads", "3"],
+        ] {
+            assert_eq!(base, digest(extra), "{extra:?} moved the digest");
+        }
     }
 
     #[test]

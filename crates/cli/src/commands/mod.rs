@@ -16,7 +16,7 @@ pub mod tpg;
 
 use std::time::Duration;
 
-use moa_core::{CampaignAudit, FaultBudget, MoaOptions};
+use moa_core::{CampaignAudit, FaultBudget, MoaOptions, ScreenLanes};
 use moa_netlist::Circuit;
 use moa_sim::TestSequence;
 
@@ -159,6 +159,45 @@ pub(crate) fn shard_retries_from_args(
         ));
     }
     Ok(retries)
+}
+
+/// `--screen-lanes`, rejecting anything but 64/128/256: the screening
+/// kernel is monomorphized at exactly those machine-word widths, so any
+/// other number has no kernel to run — better to say so than to silently
+/// round.
+pub(crate) fn screen_lanes_from_args(parser: &ArgParser) -> Result<ScreenLanes, CliError> {
+    match parser.flag("screen-lanes") {
+        None => Ok(ScreenLanes::default()),
+        Some(lanes) => {
+            let n: usize = lanes.parse().map_err(|_| {
+                CliError::Usage(format!("--screen-lanes expects a number, got `{lanes}`"))
+            })?;
+            ScreenLanes::from_lanes(n).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "--screen-lanes must be 64, 128 or 256 (got {n}): the screening \
+                     kernel only exists at those machine-word widths (u64 blocks), \
+                     and rounding silently would misreport the benchmarked \
+                     configuration"
+                ))
+            })
+        }
+    }
+}
+
+/// `--screen-threads`, rejecting 0 when spelled explicitly: inside the
+/// library 0 means "use every core", but an operator typing 0 almost always
+/// meant to disable screening (`--no-screen`) — make them say which.
+pub(crate) fn screen_threads_from_args(parser: &ArgParser) -> Result<usize, CliError> {
+    let threads = parser.num("screen-threads", 1usize)?;
+    if threads == 0 {
+        return Err(CliError::Usage(
+            "--screen-threads must be at least 1: 0 would not disable screening \
+             (use --no-screen for that), and auto-detection is the library \
+             default only — spell out the worker count you want benchmarked"
+                .into(),
+        ));
+    }
+    Ok(threads)
 }
 
 /// `--shard-timeout-ms`, rejecting 0: a zero timeout would kill every

@@ -12,6 +12,14 @@
 //! [`MoaOptions::max_implication_runs`](crate::MoaOptions::max_implication_runs)
 //! alone does not bound.
 //!
+//! Work units, like [`PerfCounters::gate_evals`], are **lane-invariant**: a
+//! packed frame charges per word pass, never per lane, so changing the
+//! screening lane width ([`ScreenLanes`](crate::ScreenLanes)) or thread
+//! count never shifts when a budget runs out. A budget therefore decides
+//! the same faults the same way under every execution configuration —
+//! budgets bound *work*, and execution knobs only change how fast the same
+//! work happens.
+//!
 //! Exceeding a budget is not an error: the fault is reported as
 //! [`FaultStatus::BudgetExceeded`](crate::FaultStatus::BudgetExceeded), which
 //! is a *not detected* verdict — the sound fallback, identical to what

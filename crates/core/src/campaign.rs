@@ -15,7 +15,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use moa_netlist::{Circuit, Fault};
-use moa_sim::{screen_faults, simulate, Detection, GoodFrames, SimTrace, TestSequence};
+use moa_sim::{
+    screen_faults_wide, simulate, Detection, GoodFrames, ScreenLanes, SimTrace, TestSequence,
+};
 
 use crate::audit::{audit_certificate, AuditOptions, AuditStatus};
 use crate::budget::{BudgetMeter, FaultBudget, LadderStats};
@@ -92,6 +94,18 @@ pub struct CampaignOptions {
     /// mates), so results are unchanged — including across checkpoint/resume,
     /// which screens only the still-unresolved faults. On by default.
     pub screen: bool,
+    /// Lane width of the screening kernel: 64 faults per `u64` word (the
+    /// default), or 128/256 per `[u64; N]` block word
+    /// ([`moa_sim::ScreenLanes`]). Purely an execution knob — verdicts and
+    /// the gate-eval charge per word pass are lane-invariant (see
+    /// [`PerfCounters::gate_evals`]), a wider word just screens the same
+    /// faults in fewer passes.
+    pub screen_lanes: ScreenLanes,
+    /// Worker threads for the screening pre-pass. `0` uses the machine's
+    /// available parallelism; `1` (the default) screens on the calling
+    /// thread. Word-sized fault batches are partitioned across workers and
+    /// merged positionally, so verdicts are independent of the thread count.
+    pub screen_threads: usize,
     /// Statically prove faults untestable before simulating anything: a fault
     /// whose effect cannot reach any primary output, or whose fault-free line
     /// is tied to the stuck value, is recorded as
@@ -156,6 +170,8 @@ impl std::fmt::Debug for CampaignOptions {
             .field("threads", &self.threads)
             .field("differential", &self.differential)
             .field("screen", &self.screen)
+            .field("screen_lanes", &self.screen_lanes)
+            .field("screen_threads", &self.screen_threads)
             .field("prune_untestable", &self.prune_untestable)
             .field("budget", &self.budget)
             .field("isolate_panics", &self.isolate_panics)
@@ -181,6 +197,8 @@ impl Default for CampaignOptions {
             threads: 0,
             differential: false,
             screen: true,
+            screen_lanes: ScreenLanes::L64,
+            screen_threads: 1,
             prune_untestable: false,
             budget: FaultBudget::none(),
             isolate_panics: true,
@@ -652,12 +670,14 @@ fn run_all(
     Ok(())
 }
 
-/// Conventionally screens the still-unresolved faults 64 at a time with the
-/// parallel-fault packed kernel. Returns each fault's earliest conventional
-/// detection, indexed by fault-list position; all `None` when screening is
-/// disabled. Each slot's verdict depends only on its own fault, so the
-/// result is independent of batch composition — a resumed campaign screening
-/// a different subset reaches identical per-fault conclusions.
+/// Conventionally screens the still-unresolved faults a word at a time with
+/// the parallel-fault packed kernel, at the configured lane width and thread
+/// count. Returns each fault's earliest conventional detection, indexed by
+/// fault-list position; all `None` when screening is disabled. Each slot's
+/// verdict depends only on its own fault, so the result is independent of
+/// batch composition, lane width, and thread count — a resumed campaign
+/// screening a different subset (or with different knobs) reaches identical
+/// per-fault conclusions.
 fn screen_pending(
     circuit: &Circuit,
     seq: &TestSequence,
@@ -673,7 +693,12 @@ fn screen_pending(
     }
     let started = Instant::now();
     let batch: Vec<Fault> = pending.iter().map(|&i| faults[i]).collect();
-    let outcome = screen_faults(circuit, seq, good, &batch);
+    let threads = if options.screen_threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        options.screen_threads
+    };
+    let outcome = screen_faults_wide(circuit, seq, good, &batch, options.screen_lanes, threads);
     for (&index, det) in pending.iter().zip(outcome.detections) {
         screened[index] = det;
     }

@@ -178,10 +178,10 @@ pub fn canonical_fault_text(circuit: &Circuit, fault: &Fault) -> String {
 }
 
 /// Hashes the verdict-relevant slice of the options. Execution-strategy
-/// fields (threads, screening, differential, packed resimulation, cone
-/// bounding) are deliberately absent: the parity test suite locks them
-/// verdict-identical, so requests differing only in strategy share a cache
-/// entry. Every field is written tagged, fixed-width, in a fixed order —
+/// fields (threads, screening and its lane width / thread count,
+/// differential, packed resimulation, cone bounding) are deliberately
+/// absent: the parity test suite locks them verdict-identical, so requests
+/// differing only in strategy share a cache entry. Every field is written tagged, fixed-width, in a fixed order —
 /// a request with defaulted fields hashes identically to one spelling the
 /// same values out, because both hash the resolved struct.
 fn hash_options(h: &mut Fnv128, options: &CampaignOptions) {
@@ -359,6 +359,8 @@ mod tests {
         neutral.threads = 7;
         neutral.differential = true;
         neutral.screen = false;
+        neutral.screen_lanes = crate::ScreenLanes::L256;
+        neutral.screen_threads = 4;
         neutral.moa.packed_resimulation = true;
         neutral.moa.cone_bounded = false;
         assert_eq!(base, request_hash(&c, &seq(), &faults, &neutral));

@@ -62,15 +62,25 @@ impl fmt::Display for Counters {
 /// different wall time — and from the checkpoint format.
 ///
 /// A *gate evaluation* is one gate visited by any engine: a scalar or
-/// event-driven frame evaluation, one gate-word of a packed frame (64 slots
-/// per visit), or one justification/forward step of the implication engine.
+/// event-driven frame evaluation, one gate-word of a packed frame, or one
+/// justification/forward step of the implication engine.
+///
+/// The packed charge is **lane-invariant**: one evaluation per gate per
+/// *word pass*, regardless of how many lanes the word carries (64, 128 or
+/// 256 — see [`ScreenLanes`](crate::ScreenLanes)). The unit meters machine
+/// work, and one pass over a gate costs roughly one word operation whatever
+/// the word's width; charging per lane would make a wider kernel look more
+/// expensive exactly when it is cheaper. Consequently a wider screen
+/// reports proportionally *fewer* gate evals for the same fault list (same
+/// frames, fewer passes) — compare throughput in faults per second, not in
+/// evals.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PerfCounters {
     /// Total gate evaluations (see above for the unit).
     pub gate_evals: u64,
-    /// Conventional screening: the campaign's 64-way parallel-fault pre-pass
-    /// plus each surviving fault's scalar/differential faulty-trace
-    /// simulation.
+    /// Conventional screening: the campaign's word-parallel fault pre-pass
+    /// (64–256 lanes, possibly multi-threaded) plus each surviving fault's
+    /// scalar/differential faulty-trace simulation.
     pub screen_nanos: u64,
     /// Section 3.1 collection sweeps (includes the implication-engine time
     /// below).

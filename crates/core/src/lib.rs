@@ -145,6 +145,7 @@ pub use campaign::{
     run_campaign, try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, CancelFlag,
     FaultHook, PartialSummary,
 };
+pub use moa_sim::ScreenLanes;
 pub use canon::{
     canonical_circuit_text, canonical_fault_text, request_hash, verdict_digest, CanonHash,
 };

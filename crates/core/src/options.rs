@@ -1,4 +1,10 @@
 //! Configuration of the fault-simulation procedure.
+//!
+//! [`MoaOptions`] holds the per-fault *semantic* knobs of the paper's
+//! procedure. Campaign-level execution knobs — worker threads, the
+//! screening pre-pass and its lane width / thread count
+//! ([`ScreenLanes`](crate::ScreenLanes)), checkpointing, auditing — live on
+//! [`CampaignOptions`](crate::CampaignOptions) and never change verdicts.
 
 /// Options controlling the multiple-observation-time fault simulation.
 ///

@@ -14,7 +14,10 @@
 //!   *binary* simulation used by the exact restricted-MOA checker,
 //! - [`screen_faults`] / [`FaultBatch`] — 64-way *parallel-fault* screening
 //!   (one distinct fault per bit slot) used by the campaign's conventional
-//!   pre-pass.
+//!   pre-pass,
+//! - [`Word`] / [`ScreenLanes`] / [`screen_faults_wide`] — the machine-word
+//!   abstraction that instantiates the same kernels at 64, 128 or 256 lanes
+//!   per word, and the widened multi-threaded screening driver built on it.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ mod sequence;
 mod sequence_io;
 mod trace;
 mod vcd;
+mod word;
 
 pub use conventional::{conventional_detection, run_conventional, Detection};
 pub use differential::{simulate_differential, simulate_differential_counted, GoodFrames};
@@ -49,9 +53,12 @@ pub use frame::{compute_frame, frame_next_state, frame_outputs, NetValues};
 pub use packed::{packed_next_state, packed_outputs, run_packed_frame, PackedValues};
 pub use packed3::{
     packed3_next_state, packed3_outputs, run_packed3_frame, run_packed3_gates, Packed3,
-    Packed3Values,
+    Packed3Values, PackedV3, PackedV3Values,
 };
-pub use packed_faults::{screen_faults, FaultBatch, ScreenOutcome, SCREEN_LANES};
+pub use packed_faults::{
+    screen_faults, screen_faults_wide, FaultBatch, ScreenLanes, ScreenOutcome, SCREEN_LANES,
+};
 pub use sequence::{ParseSequenceError, TestSequence};
 pub use trace::{simulate, simulate_from, SimTrace};
 pub use vcd::vcd_dump;
+pub use word::Word;

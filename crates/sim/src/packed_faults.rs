@@ -1,14 +1,29 @@
-//! Parallel-fault screening: one *distinct* fault per bit slot.
+//! Parallel-fault screening: one *distinct* fault per bit lane.
 //!
-//! [`packed3`](crate::packed3) injects a single fault into all 64 slots of a
-//! word (64 scenarios, one faulty machine). This module is the transpose:
-//! each bit slot carries a *different* faulty machine under the *same* input
+//! [`packed3`](crate::packed3) injects a single fault into all slots of a
+//! word (many scenarios, one faulty machine). This module is the transpose:
+//! each bit lane carries a *different* faulty machine under the *same* input
 //! sequence and the same all-`X` initial state, so one pass over the sequence
-//! conventionally screens up to 64 faults at the cost of roughly one scalar
-//! simulation. The campaign uses it as a pre-pass that detects and drops
-//! faults in batches before the expensive per-fault MOA procedure runs.
+//! conventionally screens a whole word of faults at the cost of roughly one
+//! scalar simulation. The campaign uses it as a pre-pass that detects and
+//! drops faults in batches before the expensive per-fault MOA procedure runs.
 //!
-//! Fault injection is expressed as per-slot masks. For a net whose slot-`k`
+//! The kernel is generic over the [`Word`] carrying the lanes: `u64` packs
+//! 64 faults per word (the original configuration, kept verbatim behind
+//! [`screen_faults`] and [`SCREEN_LANES`]), `[u64; 2]` packs 128 and
+//! `[u64; 4]` packs 256. A wider word amortizes the per-gate bookkeeping of
+//! a kernel pass — topological iteration, mask lookups, output scanning —
+//! over more faults, and its block operations auto-vectorize. On top of the
+//! lane axis, [`screen_faults_wide`] adds a thread axis: pending faults are
+//! chunked into word-sized batches, the batches are partitioned across
+//! worker threads (each with its own scratch buffers), and the per-batch
+//! results are merged positionally. Because every lane's verdict depends
+//! only on its own fault (lanes never interact, and batch membership is a
+//! pure function of fault-list order and lane width), the merged detections
+//! are bit-identical for every lane width and thread count — the tests
+//! assert this against the scalar simulation fault by fault.
+//!
+//! Fault injection is expressed as per-lane masks. For a net whose lane-`k`
 //! fault pins it to 1 (`f1` mask bit) or 0 (`f0` mask bit), every write of a
 //! dual-rail value `v` to that net is filtered through
 //!
@@ -18,11 +33,12 @@
 //! v.zeros = (v.zeros & !m) | f0
 //! ```
 //!
-//! which leaves all healthy slots untouched. Because every dual-rail gate
-//! operation is bitwise (slot columns never interact), slot `k` of the packed
-//! run is exactly the scalar three-valued simulation of fault `k`'s machine —
-//! the verdicts are bit-identical to [`conventional_detection`] on a scalar
-//! [`simulate`](crate::simulate) trace, which the tests assert fault by fault.
+//! which leaves all healthy lanes untouched. Because every dual-rail gate
+//! operation is lane-wise (lane columns never interact), lane `k` of the
+//! packed run is exactly the scalar three-valued simulation of fault `k`'s
+//! machine — the verdicts are bit-identical to [`conventional_detection`] on
+//! a scalar [`simulate`](crate::simulate) trace, which the tests assert
+//! fault by fault.
 //!
 //! [`conventional_detection`]: crate::conventional_detection
 
@@ -30,97 +46,154 @@ use moa_logic::{GateKind, V3};
 use moa_netlist::{Circuit, Fault, FaultSite};
 
 use crate::conventional::Detection;
-use crate::packed3::{Packed3, Packed3Values};
+use crate::packed3::{PackedV3, PackedV3Values};
 use crate::sequence::TestSequence;
 use crate::trace::SimTrace;
+use crate::word::Word;
 
-/// The number of faults screened per packed word.
+/// The number of faults screened per `u64` packed word — the width of the
+/// default [`screen_faults`] kernel. Wider kernels screen
+/// [`ScreenLanes::lanes`] faults per word.
 pub const SCREEN_LANES: usize = 64;
 
-/// Per-slot dual-rail stuck masks: bit `k` of `ones` pins slot `k` to 1, bit
-/// `k` of `zeros` pins it to 0.
-#[derive(Debug, Clone, Copy, Default)]
-struct StuckMask {
-    ones: u64,
-    zeros: u64,
+/// The lane widths the screening kernel instantiates at.
+///
+/// Only these three widths exist: each is a monomorphized kernel over one
+/// machine-word shape (`u64`, `[u64; 2]`, `[u64; 4]`). The width is an
+/// execution knob, never a semantic one — verdicts are bit-identical across
+/// all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScreenLanes {
+    /// 64 faults per word (`u64`) — the original kernel.
+    #[default]
+    L64,
+    /// 128 faults per word (`[u64; 2]`).
+    L128,
+    /// 256 faults per word (`[u64; 4]`).
+    L256,
 }
 
-impl StuckMask {
-    #[inline]
-    fn add(&mut self, slot: usize, stuck: bool) {
-        let bit = 1u64 << slot;
-        if stuck {
-            self.ones |= bit;
-        } else {
-            self.zeros |= bit;
+impl ScreenLanes {
+    /// Every instantiated width, narrowest first.
+    pub const ALL: [ScreenLanes; 3] = [ScreenLanes::L64, ScreenLanes::L128, ScreenLanes::L256];
+
+    /// The number of faults per word.
+    pub const fn lanes(self) -> usize {
+        match self {
+            ScreenLanes::L64 => 64,
+            ScreenLanes::L128 => 128,
+            ScreenLanes::L256 => 256,
         }
     }
 
-    /// Filters a written value through the stuck slots.
+    /// The width screening `lanes` faults per word, if instantiated.
+    pub const fn from_lanes(lanes: usize) -> Option<ScreenLanes> {
+        match lanes {
+            64 => Some(ScreenLanes::L64),
+            128 => Some(ScreenLanes::L128),
+            256 => Some(ScreenLanes::L256),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScreenLanes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.lanes())
+    }
+}
+
+/// Per-lane dual-rail stuck masks: lane `k` of `ones` pins slot `k` to 1,
+/// lane `k` of `zeros` pins it to 0.
+#[derive(Debug, Clone, Copy, Default)]
+struct StuckMask<W: Word> {
+    ones: W,
+    zeros: W,
+}
+
+impl<W: Word> StuckMask<W> {
     #[inline]
-    fn apply(self, v: Packed3) -> Packed3 {
-        let m = self.ones | self.zeros;
-        Packed3 {
-            ones: (v.ones & !m) | self.ones,
-            zeros: (v.zeros & !m) | self.zeros,
+    fn add(&mut self, slot: usize, stuck: bool) {
+        if stuck {
+            self.ones.set_lane(slot);
+        } else {
+            self.zeros.set_lane(slot);
+        }
+    }
+
+    /// Filters a written value through the stuck lanes.
+    #[inline]
+    fn apply(self, v: PackedV3<W>) -> PackedV3<W> {
+        let m = self.ones.or(self.zeros);
+        PackedV3 {
+            ones: v.ones.and_not(m).or(self.ones),
+            zeros: v.zeros.and_not(m).or(self.zeros),
         }
     }
 
     #[inline]
     fn is_empty(self) -> bool {
-        self.ones | self.zeros == 0
+        self.ones.or(self.zeros).is_zero()
     }
 }
 
-/// A branch (gate-input) fault's per-slot mask, applied to the pin's *view*
+/// A branch (gate-input) fault's per-lane mask, applied to the pin's *view*
 /// of its net without disturbing the net itself.
 #[derive(Debug, Clone, Copy)]
-struct BranchMask {
+struct BranchMask<W: Word> {
     gate: usize,
     pin: usize,
-    mask: StuckMask,
+    mask: StuckMask<W>,
 }
 
-/// Up to [`SCREEN_LANES`] distinct faults compiled into per-slot injection
-/// masks over one circuit.
+/// Up to `W::LANES` distinct faults compiled into per-lane injection masks
+/// over one circuit. The default word keeps the original 64-fault shape.
 #[derive(Debug, Clone)]
-pub struct FaultBatch {
+pub struct FaultBatch<W: Word = u64> {
     /// Number of occupied slots.
     width: usize,
     /// Per-net stem masks, applied after every write to the net.
-    stem: Vec<StuckMask>,
+    stem: Vec<StuckMask<W>>,
+    /// Nets with a nonempty stem mask (fast guard: at most `W::LANES` nets
+    /// are faulted per batch, so almost every write skips the mask loads).
+    stem_active: Vec<bool>,
     /// Gates with at least one branch-faulted input pin (fast guard).
     has_branch: Vec<bool>,
     /// Sparse branch-fault masks.
-    branches: Vec<BranchMask>,
+    branches: Vec<BranchMask<W>>,
     /// Per-flip-flop input masks, applied when the next state is read.
-    ff_input: Vec<StuckMask>,
+    ff_input: Vec<StuckMask<W>>,
 }
 
-impl FaultBatch {
-    /// Compiles `faults` (at most [`SCREEN_LANES`]) into slot masks; fault
-    /// `k` occupies bit slot `k`.
+impl<W: Word> FaultBatch<W> {
+    /// Compiles `faults` (at most `W::LANES`) into lane masks; fault `k`
+    /// occupies bit lane `k`.
     ///
     /// # Panics
     ///
-    /// Panics if more than [`SCREEN_LANES`] faults are given or a fault
-    /// references a net/gate/flip-flop outside `circuit`.
+    /// Panics if more than `W::LANES` faults are given or a fault references
+    /// a net/gate/flip-flop outside `circuit`.
     pub fn new(circuit: &Circuit, faults: &[Fault]) -> Self {
         assert!(
-            faults.len() <= SCREEN_LANES,
-            "at most {SCREEN_LANES} faults per batch (got {})",
+            faults.len() <= W::LANES,
+            "at most {} faults per batch (got {})",
+            W::LANES,
             faults.len()
         );
         let mut batch = FaultBatch {
             width: faults.len(),
             stem: vec![StuckMask::default(); circuit.num_nets()],
+            stem_active: vec![false; circuit.num_nets()],
             has_branch: vec![false; circuit.num_gates()],
             branches: Vec::new(),
             ff_input: vec![StuckMask::default(); circuit.num_flip_flops()],
         };
         for (slot, fault) in faults.iter().enumerate() {
             match fault.site {
-                FaultSite::Net(net) => batch.stem[net.index()].add(slot, fault.stuck),
+                FaultSite::Net(net) => {
+                    batch.stem[net.index()].add(slot, fault.stuck);
+                    batch.stem_active[net.index()] = true;
+                }
                 FaultSite::GateInput { gate, pin } => {
                     assert!(
                         pin < circuit.gate(gate).inputs().len(),
@@ -155,39 +228,49 @@ impl FaultBatch {
     }
 
     /// Mask with one bit per occupied slot.
-    pub fn valid_mask(&self) -> u64 {
-        if self.width == SCREEN_LANES {
-            u64::MAX
-        } else {
-            (1u64 << self.width) - 1
-        }
+    pub fn valid_mask(&self) -> W {
+        W::low_mask(self.width)
     }
 
     /// The branch mask for a pin, if any (slow path behind `has_branch`).
     #[inline]
-    fn branch_mask(&self, gate: usize, pin: usize) -> Option<StuckMask> {
+    fn branch_mask(&self, gate: usize, pin: usize) -> Option<StuckMask<W>> {
         self.branches
             .iter()
             .find(|b| b.gate == gate && b.pin == pin)
             .map(|b| b.mask)
     }
 
-    /// Evaluates one time frame with every slot's own fault injected.
+    /// Applies the stem mask of `net` to a freshly computed value —
+    /// a one-byte guard load on the (overwhelmingly common) unfaulted nets.
+    #[inline]
+    fn stem_filter(&self, net: usize, v: PackedV3<W>) -> PackedV3<W> {
+        if self.stem_active[net] {
+            self.stem[net].apply(v)
+        } else {
+            v
+        }
+    }
+
+    /// Evaluates one time frame with every lane's own fault injected, into a
+    /// caller-owned scratch frame (reset here — callers only provide the
+    /// allocation).
     ///
     /// Mirrors [`run_packed3_frame`](crate::run_packed3_frame) /
     /// [`compute_frame`](crate::compute_frame): primary inputs are broadcast
-    /// from `pattern`, present state comes from `present_state` per slot, and
+    /// from `pattern`, present state comes from `present_state` per lane, and
     /// every net write passes through that net's stem mask.
     ///
     /// # Panics
     ///
     /// Panics if `pattern` or `present_state` have the wrong length.
-    pub fn run_frame(
+    pub fn run_frame_into(
         &self,
         circuit: &Circuit,
         pattern: &[V3],
-        present_state: &[Packed3],
-    ) -> Packed3Values {
+        present_state: &[PackedV3<W>],
+        values: &mut PackedV3Values<W>,
+    ) {
         assert_eq!(pattern.len(), circuit.num_inputs(), "pattern length");
         assert_eq!(
             present_state.len(),
@@ -195,21 +278,21 @@ impl FaultBatch {
             "present-state length"
         );
 
-        let mut values = Packed3Values::new(circuit);
+        values.reset(circuit);
         for (i, &net) in circuit.inputs().iter().enumerate() {
             values.set(
                 net,
-                self.stem[net.index()].apply(Packed3::broadcast(pattern[i])),
+                self.stem_filter(net.index(), PackedV3::broadcast(pattern[i])),
             );
         }
         for (i, ff) in circuit.flip_flops().iter().enumerate() {
-            values.set(ff.q(), self.stem[ff.q().index()].apply(present_state[i]));
+            values.set(ff.q(), self.stem_filter(ff.q().index(), present_state[i]));
         }
 
         for &gid in circuit.topo_order() {
             let gate = circuit.gate(gid);
             let branched = self.has_branch[gid.index()];
-            let pin = |pin_index: usize| -> Packed3 {
+            let pin = |pin_index: usize| -> PackedV3<W> {
                 let v = values.get(gate.inputs()[pin_index]);
                 if branched {
                     if let Some(mask) = self.branch_mask(gid.index(), pin_index) {
@@ -241,8 +324,22 @@ impl FaultBatch {
             if gate.kind().inverting() {
                 out = out.not();
             }
-            values.set(gate.output(), self.stem[gate.output().index()].apply(out));
+            values.set(
+                gate.output(),
+                self.stem_filter(gate.output().index(), out),
+            );
         }
+    }
+
+    /// Evaluates one time frame, allocating a fresh frame of values.
+    pub fn run_frame(
+        &self,
+        circuit: &Circuit,
+        pattern: &[V3],
+        present_state: &[PackedV3<W>],
+    ) -> PackedV3Values<W> {
+        let mut values = PackedV3Values::new(circuit);
+        self.run_frame_into(circuit, pattern, present_state, &mut values);
         values
     }
 
@@ -250,8 +347,8 @@ impl FaultBatch {
     pub fn next_state_into(
         &self,
         circuit: &Circuit,
-        values: &Packed3Values,
-        state: &mut [Packed3],
+        values: &PackedV3Values<W>,
+        state: &mut [PackedV3<W>],
     ) {
         for (i, ff) in circuit.flip_flops().iter().enumerate() {
             let v = values.get(ff.d());
@@ -270,12 +367,139 @@ pub struct ScreenOutcome {
     /// Per fault (in input order), the earliest conventional detection —
     /// bit-identical to `conventional_detection(good, &simulate(..))`.
     pub detections: Vec<Option<Detection>>,
-    /// Packed gate-word evaluations spent (one per gate per frame per batch).
+    /// Packed gate-word evaluations spent: one per gate per frame per
+    /// *word pass*, regardless of lane width (see
+    /// `moa_core::PerfCounters::gate_evals` for the convention). A wider
+    /// word does the same screening in fewer passes and therefore reports
+    /// proportionally fewer evaluations for the same fault list.
     pub gate_evaluations: u64,
 }
 
+/// Screens one word-sized chunk of faults from the all-`X` initial state,
+/// reusing the caller's scratch buffers across frames.
+fn screen_chunk<W: Word>(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    chunk: &[Fault],
+    state: &mut Vec<PackedV3<W>>,
+    values: &mut PackedV3Values<W>,
+    gate_evaluations: &mut u64,
+) -> Vec<Option<Detection>> {
+    let batch = FaultBatch::<W>::new(circuit, chunk);
+    let valid = batch.valid_mask();
+    let mut detections: Vec<Option<Detection>> = vec![None; chunk.len()];
+    let mut resolved = W::ZERO;
+    state.clear();
+    state.resize(circuit.num_flip_flops(), PackedV3::ALL_X);
+    for u in 0..seq.len() {
+        if resolved == valid {
+            break;
+        }
+        batch.run_frame_into(circuit, seq.pattern(u), state, values);
+        *gate_evaluations += circuit.num_gates() as u64;
+        // Scan outputs in ascending order so each lane records the same
+        // earliest (time, output) conflict as the scalar path.
+        for (o, &net) in circuit.outputs().iter().enumerate() {
+            let out = values.get(net);
+            let mismatch = match good.outputs[u][o].to_bool() {
+                Some(true) => out.zeros,
+                Some(false) => out.ones,
+                None => W::ZERO,
+            };
+            let newly = mismatch.and(valid).and_not(resolved);
+            resolved = resolved.or(newly);
+            newly.for_each_set_lane(|slot| {
+                detections[slot] = Some(Detection { time: u, output: o });
+            });
+        }
+        batch.next_state_into(circuit, values, state);
+    }
+    detections
+}
+
+/// Conventionally screens `faults` a word at a time from the all-`X` initial
+/// state, returning each fault's earliest conventional [`Detection`] —
+/// generic driver shared by every lane width.
+fn screen_faults_generic<W: Word>(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    faults: &[Fault],
+    threads: usize,
+) -> ScreenOutcome {
+    assert_eq!(good.outputs.len(), seq.len(), "good trace length");
+    let chunks: Vec<&[Fault]> = faults.chunks(W::LANES).collect();
+    // Spawning a scoped worker costs more than screening a word-sized batch
+    // on a small circuit, so never hand a worker fewer than two chunks —
+    // short fault lists stay on the calling thread. Verdicts are unaffected:
+    // the partition never changes what any chunk computes.
+    let threads = threads.max(1).min((chunks.len() / 2).max(1));
+    let mut outcome = ScreenOutcome {
+        detections: Vec::with_capacity(faults.len()),
+        gate_evaluations: 0,
+    };
+    if threads <= 1 {
+        let mut state = Vec::new();
+        let mut values = PackedV3Values::<W>::new(circuit);
+        for chunk in chunks {
+            let detections = screen_chunk(
+                circuit,
+                seq,
+                good,
+                chunk,
+                &mut state,
+                &mut values,
+                &mut outcome.gate_evaluations,
+            );
+            outcome.detections.extend(detections);
+        }
+        return outcome;
+    }
+
+    // Thread axis: contiguous ranges of chunks per worker, each worker
+    // reusing its own scratch across its chunks. Chunk membership is a pure
+    // function of fault order and lane width — the partition never affects
+    // what any chunk computes — and the results are merged back positionally
+    // (chunk-major, then lane order), so the outcome is bit-identical to the
+    // single-threaded pass for every thread count.
+    let per_worker = chunks.len().div_ceil(threads);
+    let parts: Vec<(usize, Vec<Option<Detection>>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .chunks(per_worker)
+            .enumerate()
+            .map(|(part, mine)| {
+                scope.spawn(move || {
+                    let mut state = Vec::new();
+                    let mut values = PackedV3Values::<W>::new(circuit);
+                    let mut evals = 0u64;
+                    let mut detections = Vec::new();
+                    for chunk in mine {
+                        detections.extend(screen_chunk(
+                            circuit, seq, good, chunk, &mut state, &mut values, &mut evals,
+                        ));
+                    }
+                    (part, detections, evals)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("screening worker panicked"))
+            .collect()
+    });
+    let mut parts = parts;
+    parts.sort_by_key(|&(part, _, _)| part);
+    for (_, detections, evals) in parts {
+        outcome.detections.extend(detections);
+        outcome.gate_evaluations += evals;
+    }
+    outcome
+}
+
 /// Conventionally screens `faults` 64 at a time from the all-`X` initial
-/// state, returning each fault's earliest conventional [`Detection`].
+/// state, returning each fault's earliest conventional [`Detection`] — the
+/// original single-threaded `u64` kernel.
 ///
 /// `good` must be the fault-free trace of `seq` (`simulate(circuit, seq,
 /// None)`). A batch stops early once every slot has resolved; verdicts are
@@ -290,46 +514,38 @@ pub fn screen_faults(
     good: &SimTrace,
     faults: &[Fault],
 ) -> ScreenOutcome {
-    assert_eq!(good.outputs.len(), seq.len(), "good trace length");
-    let mut outcome = ScreenOutcome {
-        detections: Vec::with_capacity(faults.len()),
-        gate_evaluations: 0,
-    };
-    let mut state = vec![Packed3::ALL_X; circuit.num_flip_flops()];
-    for chunk in faults.chunks(SCREEN_LANES) {
-        let batch = FaultBatch::new(circuit, chunk);
-        let valid = batch.valid_mask();
-        let mut detections: Vec<Option<Detection>> = vec![None; chunk.len()];
-        let mut resolved = 0u64;
-        state.fill(Packed3::ALL_X);
-        for u in 0..seq.len() {
-            if resolved == valid {
-                break;
-            }
-            let values = batch.run_frame(circuit, seq.pattern(u), &state);
-            outcome.gate_evaluations += circuit.num_gates() as u64;
-            // Scan outputs in ascending order so each slot records the same
-            // earliest (time, output) conflict as the scalar path.
-            for (o, &net) in circuit.outputs().iter().enumerate() {
-                let out = values.get(net);
-                let mismatch = match good.outputs[u][o].to_bool() {
-                    Some(true) => out.zeros,
-                    Some(false) => out.ones,
-                    None => 0,
-                };
-                let mut newly = mismatch & valid & !resolved;
-                resolved |= newly;
-                while newly != 0 {
-                    let slot = newly.trailing_zeros() as usize;
-                    newly &= newly - 1;
-                    detections[slot] = Some(Detection { time: u, output: o });
-                }
-            }
-            batch.next_state_into(circuit, &values, &mut state);
+    screen_faults_generic::<u64>(circuit, seq, good, faults, 1)
+}
+
+/// Conventionally screens `faults` with the kernel instantiated at `lanes`
+/// faults per word, partitioning the word-sized batches across `threads`
+/// worker threads (`0` or `1` runs on the calling thread; the count is
+/// capped at the number of batches).
+///
+/// The outcome is bit-identical to [`screen_faults`] — and therefore to the
+/// scalar conventional simulation — for every `(lanes, threads)` pair; only
+/// the wall time differs. See the module docs for why.
+///
+/// # Panics
+///
+/// Panics if `good` does not have one output frame per pattern of `seq`.
+pub fn screen_faults_wide(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    faults: &[Fault],
+    lanes: ScreenLanes,
+    threads: usize,
+) -> ScreenOutcome {
+    match lanes {
+        ScreenLanes::L64 => screen_faults_generic::<u64>(circuit, seq, good, faults, threads),
+        ScreenLanes::L128 => {
+            screen_faults_generic::<[u64; 2]>(circuit, seq, good, faults, threads)
         }
-        outcome.detections.append(&mut detections);
+        ScreenLanes::L256 => {
+            screen_faults_generic::<[u64; 4]>(circuit, seq, good, faults, threads)
+        }
     }
-    outcome
 }
 
 #[cfg(test)]
@@ -433,5 +649,98 @@ mod tests {
             let faulty = simulate(&c, &seq, Some(fault));
             assert_eq!(*packed, conventional_detection(&good, &faulty));
         }
+    }
+
+    /// Every wide instantiation, at several thread counts, reports verdicts
+    /// bit-identical to the 64-lane single-threaded kernel — on a fault list
+    /// large enough (5x duplication) to occupy upper lanes of every width.
+    #[test]
+    fn wide_kernels_match_the_64_lane_kernel() {
+        let c = c1();
+        let seq = TestSequence::from_words(&["10", "01", "11", "00", "1X", "X1"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let base = full_fault_list(&c);
+        let mut faults = Vec::new();
+        for _ in 0..20 {
+            faults.extend(base.iter().copied());
+        }
+        assert!(faults.len() > 256, "need all lanes of the widest word");
+        let reference = screen_faults(&c, &seq, &good, &faults);
+        for lanes in ScreenLanes::ALL {
+            for threads in [1, 2, 3, 8] {
+                let wide = screen_faults_wide(&c, &seq, &good, &faults, lanes, threads);
+                assert_eq!(
+                    wide.detections, reference.detections,
+                    "lanes={lanes} threads={threads}"
+                );
+            }
+        }
+    }
+
+    /// Gate-eval accounting is lane-invariant per word pass: a fault list
+    /// fitting one word of every width runs the same frames and charges the
+    /// same evaluations at 64, 128 and 256 lanes; a list needing four 64-lane
+    /// words never charges the 256-lane kernel more than the 64-lane one.
+    #[test]
+    fn gate_evals_charge_one_per_word_pass_regardless_of_lane_width() {
+        let c = c1();
+        let seq = TestSequence::from_words(&["10", "01", "11", "00"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let base = full_fault_list(&c);
+        let small: Vec<Fault> = base.iter().copied().take(14).collect();
+        let narrow = screen_faults_wide(&c, &seq, &good, &small, ScreenLanes::L64, 1);
+        for lanes in [ScreenLanes::L128, ScreenLanes::L256] {
+            let wide = screen_faults_wide(&c, &seq, &good, &small, lanes, 1);
+            assert_eq!(
+                wide.gate_evaluations, narrow.gate_evaluations,
+                "one word pass must cost the same at {lanes} lanes"
+            );
+        }
+        let mut big = Vec::new();
+        for _ in 0..20 {
+            big.extend(base.iter().copied());
+        }
+        let narrow = screen_faults_wide(&c, &seq, &good, &big, ScreenLanes::L64, 1);
+        let wide = screen_faults_wide(&c, &seq, &good, &big, ScreenLanes::L256, 1);
+        assert!(
+            wide.gate_evaluations <= narrow.gate_evaluations,
+            "wider words take fewer passes: {} vs {}",
+            wide.gate_evaluations,
+            narrow.gate_evaluations
+        );
+    }
+
+    /// The thread axis never changes the evaluation count — work moves
+    /// between workers, it is not duplicated or dropped.
+    #[test]
+    fn gate_evals_are_thread_invariant() {
+        let c = c1();
+        let seq = TestSequence::from_words(&["10", "01", "11"]).unwrap();
+        let good = simulate(&c, &seq, None);
+        let base = full_fault_list(&c);
+        let mut faults = Vec::new();
+        for _ in 0..20 {
+            faults.extend(base.iter().copied());
+        }
+        let one = screen_faults_wide(&c, &seq, &good, &faults, ScreenLanes::L64, 1);
+        for threads in [2, 4, 16] {
+            let many = screen_faults_wide(&c, &seq, &good, &faults, ScreenLanes::L64, threads);
+            assert_eq!(many.gate_evaluations, one.gate_evaluations);
+            assert_eq!(many.detections, one.detections);
+        }
+    }
+
+    /// `ScreenLanes` round-trips through its numeric width and rejects
+    /// anything that is not an instantiated kernel.
+    #[test]
+    fn screen_lanes_round_trip() {
+        for lanes in ScreenLanes::ALL {
+            assert_eq!(ScreenLanes::from_lanes(lanes.lanes()), Some(lanes));
+        }
+        for n in [0, 1, 32, 63, 65, 127, 192, 512] {
+            assert_eq!(ScreenLanes::from_lanes(n), None, "{n}");
+        }
+        assert_eq!(ScreenLanes::default(), ScreenLanes::L64);
+        assert_eq!(ScreenLanes::L256.to_string(), "256");
     }
 }

@@ -1,0 +1,303 @@
+//! The machine-word abstraction under every packed kernel.
+//!
+//! The bit-parallel simulators carry one scenario (or one fault) per bit
+//! *lane* of a word. [`Word`] abstracts the word itself so the same kernel
+//! source instantiates at 64 lanes (`u64`), 128 lanes (`[u64; 2]`) or 256
+//! lanes (`[u64; 4]`): every operation a kernel needs — the bitwise algebra
+//! of the dual-rail encoding, single-lane access, lane masks and set-lane
+//! iteration — is expressed here once, lane-for-lane identical to the `u64`
+//! original. Block words are plain fixed-size arrays evaluated element-wise;
+//! the compiler auto-vectorizes the loops (SSE2 folds `[u64; 2]` into one
+//! 128-bit operation, AVX2 folds `[u64; 4]`), so widening the word amortizes
+//! the per-gate bookkeeping of a kernel pass over more lanes without any
+//! platform-specific code.
+//!
+//! Lane numbering is global and little-endian: lane `k` of a block word
+//! lives in block `k / 64`, bit `k % 64`, so lane `k`'s scenario is the same
+//! scenario the `u64` kernel would place at bit `k` of word `k / 64` — the
+//! property that makes wide and narrow kernels bit-identical per lane.
+
+/// A fixed-width machine word of [`LANES`](Word::LANES) independent bit
+/// lanes.
+///
+/// All operations are lane-wise and lanes never interact, which is the
+/// invariant every packed kernel relies on: lane `k` of a wide simulation is
+/// exactly the scalar simulation of scenario `k`.
+pub trait Word:
+    Copy + Clone + PartialEq + Eq + Default + Send + Sync + std::fmt::Debug + 'static
+{
+    /// Number of bit lanes (64 × blocks).
+    const LANES: usize;
+    /// All lanes clear.
+    const ZERO: Self;
+    /// All lanes set.
+    const ONES: Self;
+
+    /// Broadcasts one bit to every lane.
+    #[inline]
+    fn splat(bit: bool) -> Self {
+        if bit {
+            Self::ONES
+        } else {
+            Self::ZERO
+        }
+    }
+
+    /// Lane-wise AND.
+    #[must_use]
+    fn and(self, rhs: Self) -> Self;
+    /// Lane-wise OR.
+    #[must_use]
+    fn or(self, rhs: Self) -> Self;
+    /// Lane-wise XOR.
+    #[must_use]
+    fn xor(self, rhs: Self) -> Self;
+    /// Lane-wise NOT.
+    #[must_use]
+    fn not(self) -> Self;
+    /// `self & !mask` — clears the lanes set in `mask`.
+    #[inline]
+    #[must_use]
+    fn and_not(self, mask: Self) -> Self {
+        self.and(mask.not())
+    }
+    /// `true` when no lane is set.
+    fn is_zero(self) -> bool;
+
+    /// The word with only lane `lane` set.
+    fn lane_bit(lane: usize) -> Self;
+    /// Reads lane `lane`.
+    fn test_lane(self, lane: usize) -> bool;
+    /// Sets lane `lane`.
+    fn set_lane(&mut self, lane: usize);
+    /// The word with the `n` lowest lanes set (`n <= LANES`).
+    fn low_mask(n: usize) -> Self;
+    /// Calls `f` with the index of every set lane, in ascending order.
+    fn for_each_set_lane(self, f: impl FnMut(usize));
+}
+
+impl Word for u64 {
+    const LANES: usize = 64;
+    const ZERO: Self = 0;
+    const ONES: Self = u64::MAX;
+
+    #[inline]
+    fn and(self, rhs: Self) -> Self {
+        self & rhs
+    }
+    #[inline]
+    fn or(self, rhs: Self) -> Self {
+        self | rhs
+    }
+    #[inline]
+    fn xor(self, rhs: Self) -> Self {
+        self ^ rhs
+    }
+    #[inline]
+    fn not(self) -> Self {
+        !self
+    }
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    #[inline]
+    fn lane_bit(lane: usize) -> Self {
+        1u64 << lane
+    }
+    #[inline]
+    fn test_lane(self, lane: usize) -> bool {
+        self >> lane & 1 == 1
+    }
+    #[inline]
+    fn set_lane(&mut self, lane: usize) {
+        *self |= 1u64 << lane;
+    }
+    #[inline]
+    fn low_mask(n: usize) -> Self {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+    #[inline]
+    fn for_each_set_lane(self, mut f: impl FnMut(usize)) {
+        let mut bits = self;
+        while bits != 0 {
+            f(bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Implements [`Word`] for `[u64; N]` block words. Plain element-wise loops
+/// over fixed-size arrays: the compiler unrolls and vectorizes them.
+macro_rules! impl_word_for_blocks {
+    ($blocks:literal) => {
+        impl Word for [u64; $blocks] {
+            const LANES: usize = 64 * $blocks;
+            const ZERO: Self = [0; $blocks];
+            const ONES: Self = [u64::MAX; $blocks];
+
+            #[inline]
+            fn and(self, rhs: Self) -> Self {
+                let mut out = [0u64; $blocks];
+                for i in 0..$blocks {
+                    out[i] = self[i] & rhs[i];
+                }
+                out
+            }
+            #[inline]
+            fn or(self, rhs: Self) -> Self {
+                let mut out = [0u64; $blocks];
+                for i in 0..$blocks {
+                    out[i] = self[i] | rhs[i];
+                }
+                out
+            }
+            #[inline]
+            fn xor(self, rhs: Self) -> Self {
+                let mut out = [0u64; $blocks];
+                for i in 0..$blocks {
+                    out[i] = self[i] ^ rhs[i];
+                }
+                out
+            }
+            #[inline]
+            fn not(self) -> Self {
+                let mut out = [0u64; $blocks];
+                for i in 0..$blocks {
+                    out[i] = !self[i];
+                }
+                out
+            }
+            #[inline]
+            fn is_zero(self) -> bool {
+                let mut any = 0u64;
+                for i in 0..$blocks {
+                    any |= self[i];
+                }
+                any == 0
+            }
+            #[inline]
+            fn lane_bit(lane: usize) -> Self {
+                let mut out = [0u64; $blocks];
+                out[lane / 64] = 1u64 << (lane % 64);
+                out
+            }
+            #[inline]
+            fn test_lane(self, lane: usize) -> bool {
+                self[lane / 64] >> (lane % 64) & 1 == 1
+            }
+            #[inline]
+            fn set_lane(&mut self, lane: usize) {
+                self[lane / 64] |= 1u64 << (lane % 64);
+            }
+            #[inline]
+            fn low_mask(n: usize) -> Self {
+                debug_assert!(n <= Self::LANES);
+                let mut out = [0u64; $blocks];
+                for (i, block) in out.iter_mut().enumerate() {
+                    let filled = n.saturating_sub(i * 64).min(64);
+                    *block = <u64 as Word>::low_mask(filled);
+                }
+                out
+            }
+            #[inline]
+            fn for_each_set_lane(self, mut f: impl FnMut(usize)) {
+                for (i, &block) in self.iter().enumerate() {
+                    block.for_each_set_lane(|lane| f(i * 64 + lane));
+                }
+            }
+        }
+    };
+}
+
+impl_word_for_blocks!(2);
+impl_word_for_blocks!(4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<W: Word>() {
+        // Lane accessors agree with lane_bit across the whole width.
+        for lane in 0..W::LANES {
+            let bit = W::lane_bit(lane);
+            assert!(bit.test_lane(lane));
+            assert!(!bit.is_zero());
+            let mut w = W::ZERO;
+            w.set_lane(lane);
+            assert_eq!(w, bit);
+            for other in 0..W::LANES {
+                assert_eq!(bit.test_lane(other), other == lane);
+            }
+            let mut seen = Vec::new();
+            bit.for_each_set_lane(|k| seen.push(k));
+            assert_eq!(seen, vec![lane]);
+        }
+        // low_mask(n) sets exactly the n lowest lanes.
+        for n in [0, 1, 63, 64, W::LANES - 1, W::LANES] {
+            let mask = W::low_mask(n);
+            for lane in 0..W::LANES {
+                assert_eq!(mask.test_lane(lane), lane < n, "n={n} lane={lane}");
+            }
+        }
+        assert_eq!(W::low_mask(W::LANES), W::ONES);
+        assert_eq!(W::low_mask(0), W::ZERO);
+        // The algebra matches u64 lane-for-lane on a pseudo-random pattern.
+        let mut a = W::ZERO;
+        let mut b = W::ZERO;
+        for lane in 0..W::LANES {
+            if lane % 3 == 0 {
+                a.set_lane(lane);
+            }
+            if lane % 5 != 1 {
+                b.set_lane(lane);
+            }
+        }
+        for lane in 0..W::LANES {
+            let (x, y) = (a.test_lane(lane), b.test_lane(lane));
+            assert_eq!(a.and(b).test_lane(lane), x & y);
+            assert_eq!(a.or(b).test_lane(lane), x | y);
+            assert_eq!(a.xor(b).test_lane(lane), x ^ y);
+            assert_eq!(a.not().test_lane(lane), !x);
+            assert_eq!(a.and_not(b).test_lane(lane), x && !y);
+        }
+        assert!(W::ZERO.is_zero());
+        assert!(!W::ONES.is_zero());
+        assert_eq!(W::splat(true), W::ONES);
+        assert_eq!(W::splat(false), W::ZERO);
+    }
+
+    #[test]
+    fn u64_word() {
+        roundtrip::<u64>();
+    }
+
+    #[test]
+    fn two_block_word() {
+        roundtrip::<[u64; 2]>();
+    }
+
+    #[test]
+    fn four_block_word() {
+        roundtrip::<[u64; 4]>();
+    }
+
+    /// Set lanes enumerate in ascending global order across block
+    /// boundaries — the order the screening kernel relies on when recording
+    /// earliest detections.
+    #[test]
+    fn set_lane_iteration_is_ascending_across_blocks() {
+        let mut w = <[u64; 4]>::ZERO;
+        for lane in [0, 63, 64, 127, 128, 200, 255] {
+            w.set_lane(lane);
+        }
+        let mut seen = Vec::new();
+        w.for_each_set_lane(|k| seen.push(k));
+        assert_eq!(seen, vec![0, 63, 64, 127, 128, 200, 255]);
+    }
+}

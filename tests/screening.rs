@@ -18,7 +18,7 @@ use moa_repro::core::{
     read_checkpoint, run_campaign, CampaignAudit, CampaignOptions, CheckpointHeader,
 };
 use moa_repro::netlist::{collapse_faults, full_fault_list, Fault};
-use moa_repro::sim::{run_conventional, screen_faults, simulate};
+use moa_repro::sim::{run_conventional, screen_faults, screen_faults_wide, simulate, ScreenLanes};
 use moa_repro::tpg::random_sequence;
 
 /// The ISSUE's headline equivalence: for every representative fault of every
@@ -173,6 +173,89 @@ fn screened_audited_campaign_resumes_identically_after_interruption() {
     assert_eq!(reference, resumed);
 }
 
+/// The wide kernels and the thread axis are pure execution knobs: for every
+/// suite circuit, every lane width at several thread counts reports
+/// detections bit-identical to the 64-lane single-threaded reference (and
+/// therefore, by the test above, to scalar conventional simulation).
+#[test]
+fn wide_and_threaded_screens_match_the_64_lane_kernel_across_suite() {
+    for e in suite() {
+        let circuit = e.build();
+        let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
+        let good = simulate(&circuit, &seq, None);
+        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+            .representatives()
+            .to_vec();
+        let reference = screen_faults(&circuit, &seq, &good, &faults);
+        for lanes in ScreenLanes::ALL {
+            for threads in [1, 4] {
+                let wide = screen_faults_wide(&circuit, &seq, &good, &faults, lanes, threads);
+                assert_eq!(
+                    wide.detections, reference.detections,
+                    "{}: lanes={lanes} threads={threads}",
+                    e.name
+                );
+            }
+        }
+    }
+}
+
+/// A campaign interrupted mid-run and resumed with *different* screening
+/// knobs (wider lanes, more threads) still aggregates bit-identically: the
+/// screen is an accelerator, so the resumed half may run on any
+/// configuration.
+#[test]
+fn resume_with_different_screen_knobs_is_bit_identical() {
+    let entries = suite();
+    let e = &entries[0];
+    let circuit = e.build();
+    let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
+    let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+        .representatives()
+        .to_vec();
+    let dir = std::env::temp_dir().join("moa-screening-wide-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wide.checkpoint");
+    let _ = std::fs::remove_file(&path);
+
+    let reference = run_campaign(&circuit, &seq, &faults, &CampaignOptions::new());
+
+    let killer = faults.len() / 2;
+    let interrupted = catch_unwind(AssertUnwindSafe(|| {
+        run_campaign(
+            &circuit,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 8,
+                threads: 1,
+                isolate_panics: false,
+                fault_hook: Some(Arc::new(move |index, _fault: &Fault| {
+                    assert!(index != killer, "simulated crash");
+                })),
+                ..Default::default()
+            },
+        )
+    }));
+    assert!(interrupted.is_err(), "the campaign must have been interrupted");
+
+    let resumed = run_campaign(
+        &circuit,
+        &seq,
+        &faults,
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 8,
+            resume: true,
+            screen_lanes: ScreenLanes::L256,
+            screen_threads: 4,
+            ..Default::default()
+        },
+    );
+    assert_eq!(reference, resumed, "wide resume diverged from the 64-lane run");
+}
+
 fn arb_spec() -> impl Strategy<Value = SynthSpec> {
     (1usize..5, 1usize..4, 1usize..7, 10usize..60, any::<u64>()).prop_map(
         |(inputs, outputs, ffs, extra_gates, seed)| {
@@ -228,5 +311,68 @@ proptest! {
             &CampaignOptions { screen: false, ..Default::default() },
         );
         prop_assert_eq!(screened, unscreened);
+    }
+
+    /// The full execution-knob sweep: on random circuits, a randomly drawn
+    /// lane width and thread count report screen verdicts bit-identical to
+    /// both the scalar conventional simulation and the 64-lane reference
+    /// kernel.
+    #[test]
+    fn wide_screen_matches_scalar_and_narrow_on_random_circuits(
+        spec in arb_spec(),
+        len in 1usize..40,
+        seq_seed in any::<u64>(),
+        lane_pick in 0usize..3,
+        threads in 1usize..5,
+    ) {
+        let circuit = generate(&spec);
+        let seq = random_sequence(&circuit, len, seq_seed);
+        let good = simulate(&circuit, &seq, None);
+        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+            .representatives()
+            .to_vec();
+        let lanes = ScreenLanes::ALL[lane_pick];
+        let narrow = screen_faults(&circuit, &seq, &good, &faults);
+        let wide = screen_faults_wide(&circuit, &seq, &good, &faults, lanes, threads);
+        prop_assert_eq!(&wide.detections, &narrow.detections,
+            "lanes={} threads={}", lanes, threads);
+        for (fault, screened) in faults.iter().zip(&wide.detections) {
+            let (scalar, _) = run_conventional(&circuit, &seq, &good, fault);
+            prop_assert_eq!(*screened, scalar, "disagreement on {}", fault);
+        }
+    }
+
+    /// Lane width and thread count stay verdict-neutral under a work-limit
+    /// budget: the limit bounds the per-fault MOA stages, whose inputs (which
+    /// faults the screen resolved, and how) are bit-identical at every
+    /// screening configuration — so whole campaigns agree status for status.
+    #[test]
+    fn campaigns_agree_across_lanes_threads_and_work_limits(
+        spec in arb_spec(),
+        lane_pick in 0usize..3,
+        threads in 1usize..5,
+        work_limit in 0u64..50, // 0 = unlimited
+
+    ) {
+        let circuit = generate(&spec);
+        let seq = random_sequence(&circuit, 24, spec.seed ^ 0x5eed);
+        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
+            .representatives()
+            .to_vec();
+        let mut budget = moa_repro::core::FaultBudget::none();
+        if work_limit > 0 {
+            budget = budget.with_work_limit(work_limit);
+        }
+        let narrow = run_campaign(&circuit, &seq, &faults, &CampaignOptions {
+            budget: budget.clone(),
+            ..Default::default()
+        });
+        let wide = run_campaign(&circuit, &seq, &faults, &CampaignOptions {
+            budget,
+            screen_lanes: ScreenLanes::ALL[lane_pick],
+            screen_threads: threads,
+            ..Default::default()
+        });
+        prop_assert_eq!(narrow, wide);
     }
 }
