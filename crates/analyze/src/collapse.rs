@@ -1,0 +1,353 @@
+//! Fault-list collapsing analysis: equivalence classes, dominance pairs, and
+//! per-member collapse certificates.
+//!
+//! This layers an index-based view over the structural engines in
+//! `moa-netlist` ([`collapse_faults`](moa_netlist::collapse_faults) and
+//! [`dominance_relations`](moa_netlist::dominance_relations)), tailored to
+//! what a campaign over a concrete fault *list* needs:
+//!
+//! - every fault index is assigned to exactly one [`FaultClass`] whose
+//!   representative is the **lowest-indexed member present in the list** —
+//!   a choice that depends only on the list, never on execution order;
+//! - the dominance relation is exposed as index pairs for *reporting and
+//!   ordering only*. Classic dominance collapsing (dropping the dominator)
+//!   is justified for combinational single-observation detection; under the
+//!   multiple observation time approach a fault's status carries more than
+//!   "detected by some test" (observation times, expansion payloads), so a
+//!   dominator's status cannot be reconstructed from the dominated fault's.
+//!   Dominated faults are therefore never silently dropped here.
+//! - each non-representative member gets a [`CollapseCertificate`] recording
+//!   its provenance; the certificate can be structurally re-validated, and a
+//!   campaign additionally replays the representative's detection
+//!   certificate against the member fault through the concrete audit gate.
+
+use std::collections::HashMap;
+
+use moa_netlist::{collapse_faults, dominance_relations, Circuit, Fault};
+
+/// One equivalence class over a fault list, by list index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultClass {
+    /// Index of the class representative: the lowest member index.
+    pub representative: usize,
+    /// All member indices, ascending; `members[0] == representative`.
+    pub members: Vec<usize>,
+}
+
+/// A proof obligation for one collapsed verdict: `member` inherited its
+/// status from `representative` because the two faults are structurally
+/// equivalent (identical faulty behavior on every net, at every time unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollapseCertificate {
+    /// The fault that was actually simulated.
+    pub representative: Fault,
+    /// The fault that inherited the verdict.
+    pub member: Fault,
+}
+
+impl CollapseCertificate {
+    /// Structurally re-validates the certificate: re-runs the equivalence
+    /// closure over the circuit's full fault list and checks that both
+    /// faults still land in the same class. Independent of the analysis
+    /// that issued the certificate, so a buggy collapse cannot vouch for
+    /// itself.
+    pub fn validate(&self, circuit: &Circuit) -> bool {
+        let full = moa_netlist::full_fault_list(circuit);
+        let collapsed = collapse_faults(circuit, &full);
+        match (
+            collapsed.representative_of(self.representative),
+            collapsed.representative_of(self.member),
+        ) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Human-readable provenance line, e.g.
+    /// `"G10 stuck-at-0 inherited from G11 stuck-at-1"`.
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        format!(
+            "{} inherited from {}",
+            self.member.describe(circuit),
+            self.representative.describe(circuit)
+        )
+    }
+}
+
+/// Equivalence classes and dominance pairs over one concrete fault list.
+///
+/// # Example
+///
+/// ```
+/// use moa_analyze::CollapseAnalysis;
+/// use moa_netlist::{full_fault_list, parse_bench};
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n")?;
+/// let faults = full_fault_list(&c);
+/// let analysis = CollapseAnalysis::of(&c, &faults);
+/// // 6 faults collapse to 4 classes: {a/0, b/0, z/0} merge.
+/// assert_eq!(analysis.total(), 6);
+/// assert_eq!(analysis.classes().len(), 4);
+/// assert_eq!(analysis.collapsed(), 2);
+/// # Ok::<(), moa_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollapseAnalysis {
+    classes: Vec<FaultClass>,
+    representative_of: Vec<usize>,
+    dominance: Vec<(usize, usize)>,
+}
+
+impl CollapseAnalysis {
+    /// Analyzes `faults`: closes the gate-local equivalence rules over the
+    /// list and projects the circuit's dominance relation onto it. Partial
+    /// lists are safe — a rule referring to a fault outside the list simply
+    /// contributes nothing.
+    pub fn of(circuit: &Circuit, faults: &[Fault]) -> Self {
+        let collapsed = collapse_faults(circuit, faults);
+        let index_of: HashMap<Fault, usize> = faults
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i))
+            .collect();
+        let representative_of: Vec<usize> = faults
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                collapsed
+                    .class_of(f)
+                    .and_then(|members| {
+                        members.iter().filter_map(|m| index_of.get(m).copied()).min()
+                    })
+                    .unwrap_or(i)
+            })
+            .collect();
+        let mut by_rep: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, &rep) in representative_of.iter().enumerate() {
+            by_rep.entry(rep).or_default().push(i);
+        }
+        let mut classes: Vec<FaultClass> = by_rep
+            .into_iter()
+            .map(|(representative, mut members)| {
+                members.sort_unstable();
+                FaultClass {
+                    representative,
+                    members,
+                }
+            })
+            .collect();
+        classes.sort_unstable_by_key(|c| c.representative);
+        let dominance = dominance_relations(circuit)
+            .into_iter()
+            .filter_map(|d| {
+                let dominator = index_of.get(&d.dominator).copied()?;
+                let dominated = index_of.get(&d.dominated).copied()?;
+                Some((dominator, dominated))
+            })
+            .collect();
+        CollapseAnalysis {
+            classes,
+            representative_of,
+            dominance,
+        }
+    }
+
+    /// The equivalence classes, ordered by representative index.
+    pub fn classes(&self) -> &[FaultClass] {
+        &self.classes
+    }
+
+    /// Number of faults analyzed.
+    pub fn total(&self) -> usize {
+        self.representative_of.len()
+    }
+
+    /// The representative index of the fault at `index`.
+    pub fn representative_of(&self, index: usize) -> usize {
+        self.representative_of[index]
+    }
+
+    /// Per-fault provenance: `representative_map()[i]` is the index whose
+    /// verdict fault `i` may inherit (itself for representatives).
+    pub fn representative_map(&self) -> &[usize] {
+        &self.representative_of
+    }
+
+    /// Faults removed by collapsing: `total - classes`.
+    pub fn collapsed(&self) -> usize {
+        self.total() - self.classes.len()
+    }
+
+    /// Fraction of the list removed by collapsing; `0.0` for an empty list.
+    pub fn ratio(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.collapsed() as f64 / self.total() as f64
+    }
+
+    /// Dominance pairs `(dominator, dominated)` projected onto the list:
+    /// every test detecting the dominated fault also detects the dominator.
+    /// Exposed for ordering and cross-checks only — see the module docs for
+    /// why dominance never drops a fault under MOA.
+    pub fn dominance(&self) -> &[(usize, usize)] {
+        &self.dominance
+    }
+
+    /// The collapse certificate for a non-representative member, `None` for
+    /// representatives (they prove themselves by simulation).
+    pub fn certificate(&self, faults: &[Fault], index: usize) -> Option<CollapseCertificate> {
+        let rep = self.representative_of[index];
+        (rep != index).then(|| CollapseCertificate {
+            representative: faults[rep],
+            member: faults[index],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_logic::GateKind;
+    use moa_netlist::{full_fault_list, parse_bench, CircuitBuilder};
+
+    fn and_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate(GateKind::And, "z", &["a", "b"]).unwrap();
+        b.add_output("z");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn and_gate_classes_and_representatives() {
+        let c = and_circuit();
+        let faults = full_fault_list(&c);
+        let analysis = CollapseAnalysis::of(&c, &faults);
+        assert_eq!(analysis.total(), 6);
+        assert_eq!(analysis.classes().len(), 4);
+        assert_eq!(analysis.collapsed(), 2);
+        assert!((analysis.ratio() - 2.0 / 6.0).abs() < 1e-12);
+        // The merged class {a/0, b/0, z/0} is represented by its lowest
+        // index, and every member maps to it.
+        let (a, b, z) = (
+            c.find_net("a").unwrap(),
+            c.find_net("b").unwrap(),
+            c.find_net("z").unwrap(),
+        );
+        let idx = |f: Fault| faults.iter().position(|&g| g == f).unwrap();
+        let members = [
+            idx(Fault::stem(a, false)),
+            idx(Fault::stem(b, false)),
+            idx(Fault::stem(z, false)),
+        ];
+        let rep = *members.iter().min().unwrap();
+        for &m in &members {
+            assert_eq!(analysis.representative_of(m), rep);
+        }
+        let class = analysis
+            .classes()
+            .iter()
+            .find(|cl| cl.representative == rep)
+            .unwrap();
+        let mut expected = members.to_vec();
+        expected.sort_unstable();
+        assert_eq!(class.members, expected);
+    }
+
+    #[test]
+    fn classes_partition_the_list() {
+        let c = and_circuit();
+        let faults = full_fault_list(&c);
+        let analysis = CollapseAnalysis::of(&c, &faults);
+        let mut seen = vec![false; faults.len()];
+        for class in analysis.classes() {
+            assert_eq!(class.members[0], class.representative);
+            for &m in &class.members {
+                assert!(!seen[m], "fault {m} appears in two classes");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partial_list_is_safe_and_self_representative() {
+        // Only z/0 present: its equivalence partners are missing from the
+        // list, so it must represent itself instead of pointing outside.
+        let c = and_circuit();
+        let z = c.find_net("z").unwrap();
+        let faults = [Fault::stem(z, false), Fault::stem(z, true)];
+        let analysis = CollapseAnalysis::of(&c, &faults);
+        assert_eq!(analysis.classes().len(), 2);
+        assert_eq!(analysis.collapsed(), 0);
+        assert_eq!(analysis.representative_of(0), 0);
+        assert_eq!(analysis.representative_of(1), 1);
+    }
+
+    #[test]
+    fn dominance_pairs_are_projected_onto_the_list() {
+        let c = and_circuit();
+        let faults = full_fault_list(&c);
+        let analysis = CollapseAnalysis::of(&c, &faults);
+        // z/sa1 dominates a/sa1 and b/sa1.
+        assert_eq!(analysis.dominance().len(), 2);
+        let z1 = faults
+            .iter()
+            .position(|&f| f == Fault::stem(c.find_net("z").unwrap(), true))
+            .unwrap();
+        assert!(analysis.dominance().iter().all(|&(dom, _)| dom == z1));
+        // Restricting the list drops pairs whose ends are missing.
+        let partial = [Fault::stem(c.find_net("z").unwrap(), true)];
+        let analysis = CollapseAnalysis::of(&c, &partial);
+        assert!(analysis.dominance().is_empty());
+    }
+
+    #[test]
+    fn certificates_validate_structurally() {
+        let c = and_circuit();
+        let faults = full_fault_list(&c);
+        let analysis = CollapseAnalysis::of(&c, &faults);
+        let mut validated = 0;
+        for i in 0..faults.len() {
+            if let Some(cert) = analysis.certificate(&faults, i) {
+                assert!(cert.validate(&c), "{}", cert.describe(&c));
+                validated += 1;
+            }
+        }
+        assert_eq!(validated, analysis.collapsed());
+        // A forged certificate pairing inequivalent faults is rejected.
+        let z = c.find_net("z").unwrap();
+        let forged = CollapseCertificate {
+            representative: Fault::stem(z, false),
+            member: Fault::stem(z, true),
+        };
+        assert!(!forged.validate(&c));
+    }
+
+    #[test]
+    fn inverter_chain_collapses_transitively() {
+        // a -> NOT -> NOT -> z, fanout-free: a/0 ~ m/1 ~ z/0 and a/1 ~ m/0
+        // ~ z/1, 8 faults in 4 classes (2 per polarity chain + endpoints
+        // merged). The closure over the chain is what the union-find adds
+        // over single-gate rules.
+        let c = parse_bench("INPUT(a)\nOUTPUT(z)\nm = NOT(a)\nz = NOT(m)\n").unwrap();
+        let faults = full_fault_list(&c);
+        let analysis = CollapseAnalysis::of(&c, &faults);
+        assert_eq!(analysis.total(), 6);
+        assert_eq!(analysis.classes().len(), 2);
+        let a = c.find_net("a").unwrap();
+        let m = c.find_net("m").unwrap();
+        let z = c.find_net("z").unwrap();
+        let idx = |f: Fault| faults.iter().position(|&g| g == f).unwrap();
+        assert_eq!(
+            analysis.representative_of(idx(Fault::stem(z, false))),
+            analysis.representative_of(idx(Fault::stem(a, false)))
+        );
+        assert_eq!(
+            analysis.representative_of(idx(Fault::stem(m, true))),
+            analysis.representative_of(idx(Fault::stem(a, false)))
+        );
+    }
+}

@@ -55,7 +55,8 @@ impl Diagnostic {
 /// The combined outcome of running a set of passes.
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisReport {
-    /// All diagnostics in pass order.
+    /// All diagnostics, in the canonical (severity, net, pass) order
+    /// established by [`run_passes`](crate::run_passes).
     pub diagnostics: Vec<Diagnostic>,
 }
 

@@ -17,6 +17,13 @@
 //!   marking stuck-at faults that no test can ever detect — unobservable
 //!   fault sites and constant lines stuck at their constant — so fault
 //!   campaigns can skip them with zero simulation work.
+//! - **Fault collapsing** ([`collapse`]): equivalence classes and dominance
+//!   pairs over a concrete fault list ([`CollapseAnalysis`]), each collapsed
+//!   member backed by a re-validatable [`CollapseCertificate`], so campaigns
+//!   can simulate one representative per class and expand the verdict.
+//! - **Testability estimates** ([`scoap`]): SCOAP-style controllability and
+//!   observability measures ([`Testability`]) used to order campaign fault
+//!   lists hardest-first or cheapest-first.
 //!
 //! # Example
 //!
@@ -40,14 +47,18 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod collapse;
 mod diagnostic;
 #[cfg(feature = "failpoints")]
 pub mod failpoint;
 pub mod learn;
 pub mod passes;
+pub mod scoap;
 pub mod untestable;
 
+pub use collapse::{CollapseAnalysis, CollapseCertificate, FaultClass};
 pub use diagnostic::{AnalysisReport, Diagnostic, Severity};
 pub use learn::ImplicationDb;
 pub use passes::{analyze_circuit, default_passes, run_passes, AnalysisContext, Pass};
+pub use scoap::Testability;
 pub use untestable::{UntestableProof, UntestableScreen};

@@ -76,6 +76,11 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
 }
 
 /// Runs `passes` over `circuit` with one shared context.
+///
+/// The returned diagnostics are in a canonical order — most severe first,
+/// then by the first located net, then by pass name — independent of the
+/// order the passes ran in, so two invocations (or two pass lists covering
+/// the same findings) render byte-identical reports.
 pub fn run_passes(circuit: &Circuit, passes: &[Box<dyn Pass>]) -> AnalysisReport {
     let ctx = AnalysisContext::new(circuit);
     let mut report = AnalysisReport::default();
@@ -84,6 +89,13 @@ pub fn run_passes(circuit: &Circuit, passes: &[Box<dyn Pass>]) -> AnalysisReport
         crate::failpoint::pass_hook_hit();
         report.diagnostics.extend(pass.run(&ctx));
     }
+    // Stable sort: diagnostics equal in every key keep their emission order.
+    report.diagnostics.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.nets.first().cmp(&b.nets.first()))
+            .then_with(|| a.pass.cmp(b.pass))
+    });
     report
 }
 
@@ -518,5 +530,31 @@ mod tests {
     fn undriven_pass_is_silent_on_valid_circuits() {
         let report = run_passes(&clean_circuit(), &[Box::new(UndrivenNets)]);
         assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn report_order_is_canonical_regardless_of_pass_order() {
+        // A circuit with findings from several passes: a dangling net, dead
+        // (unobservable) logic behind it, and a redundant buffer chain.
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "w", &["a"]).unwrap();
+        b.add_gate(GateKind::Buf, "b1", &["a"]).unwrap();
+        b.add_gate(GateKind::Buf, "b2", &["b1"]).unwrap();
+        b.add_output("b2");
+        let c = b.finish().unwrap();
+        let forward = run_passes(&c, &default_passes());
+        assert!(forward.diagnostics.len() >= 2, "{:?}", forward.diagnostics);
+        let mut reversed_passes = default_passes();
+        reversed_passes.reverse();
+        let reversed = run_passes(&c, &reversed_passes);
+        assert_eq!(
+            forward.diagnostics, reversed.diagnostics,
+            "report order must not depend on pass execution order"
+        );
+        // Canonical order: severities never increase down the report.
+        for pair in forward.diagnostics.windows(2) {
+            assert!(pair[0].severity >= pair[1].severity, "{pair:?}");
+        }
     }
 }

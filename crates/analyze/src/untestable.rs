@@ -150,6 +150,54 @@ mod tests {
     }
 
     #[test]
+    fn unobservable_wins_over_constant_on_a_doubly_proven_net() {
+        // `x` is both statically constant 0 *and* unobservable (it feeds
+        // nothing): the screen tests observability first, so x stuck-at-0 —
+        // provable either way — reports the unobservability proof. The
+        // precedence matters downstream: checkpoints persist the tag.
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "na", &["a"]).unwrap();
+        b.add_gate(GateKind::And, "x", &["a", "na"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let db = ImplicationDb::build(&c);
+        assert_eq!(db.constant(c.find_net("x").unwrap()), Some(false), "x is constant");
+        let screen = UntestableScreen::new(&c, &db);
+        let x = c.find_net("x").unwrap();
+        assert_eq!(
+            screen.check(&c, &Fault::stem(x, false)),
+            Some(UntestableProof::Unobservable),
+            "observability is checked before the constant rule"
+        );
+        // The sa-1 fault (not covered by the constant rule) is still proven.
+        assert_eq!(
+            screen.check(&c, &Fault::stem(x, true)),
+            Some(UntestableProof::Unobservable)
+        );
+    }
+
+    #[test]
+    fn single_gate_circuit_has_no_untestable_faults() {
+        // The smallest legal circuit: one gate, straight to the output.
+        // Everything is observable and nothing is constant, so the screen
+        // must stay silent on every fault in the full list.
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate(GateKind::Not, "z", &["a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let db = ImplicationDb::build(&c);
+        let screen = UntestableScreen::new(&c, &db);
+        let faults = moa_netlist::full_fault_list(&c);
+        assert!(!faults.is_empty());
+        for fault in &faults {
+            assert_eq!(screen.check(&c, fault), None, "{fault:?}");
+        }
+    }
+
+    #[test]
     fn flip_flop_input_fault_uses_q_observability() {
         // The flip-flop's q net only feeds a dead gate: a fault on its data
         // input can never be observed.

@@ -4,11 +4,23 @@
 use std::fmt::Write as _;
 use std::io::Write;
 
-use moa_analyze::{analyze_circuit, AnalysisReport, ImplicationDb, Severity, UntestableScreen};
+use moa_analyze::{
+    analyze_circuit, AnalysisReport, CollapseAnalysis, ImplicationDb, Severity, Testability,
+    UntestableScreen,
+};
 use moa_circuits::suite::suite;
 use moa_netlist::{full_fault_list, Circuit};
 
 use crate::{load_circuit, ArgParser, CliError};
+
+/// Version of the `--json` report schema. Bump whenever a key is added,
+/// removed or changes meaning; consumers should check it before parsing.
+/// Documented in the README's "analyze JSON schema" section.
+///
+/// - 1: diagnostics, implications, untestable, faults
+/// - 2: adds `schema_version` itself, `collapse` (equivalence classes and
+///   dominance pairs) and `scoap` (testability cost summary)
+const SCHEMA_VERSION: u32 = 2;
 
 const USAGE: &str = "usage: moa analyze <bench-file>... [--json]
        moa analyze --suite [NAME...] [--json]";
@@ -65,6 +77,11 @@ struct Analysis<'a> {
     total_faults: usize,
     unobservable: usize,
     constant: usize,
+    classes: usize,
+    dominance_pairs: usize,
+    scoap_mean: f64,
+    scoap_max: u64,
+    scoap_unreachable: usize,
 }
 
 impl<'a> Analysis<'a> {
@@ -82,6 +99,30 @@ impl<'a> Analysis<'a> {
                 None => {}
             }
         }
+        // Static collapse structure and SCOAP testability over the full
+        // fault list. Unreachable costs (dead or constant sites) are counted
+        // separately so they don't drown the mean.
+        let collapse = CollapseAnalysis::of(circuit, &faults);
+        let testability = Testability::build(circuit);
+        let mut scoap_unreachable = 0usize;
+        let mut scoap_max = 0u64;
+        let mut scoap_sum = 0u128;
+        let mut scoap_reachable = 0usize;
+        for fault in &faults {
+            let cost = testability.fault_cost(circuit, fault);
+            if cost >= Testability::UNREACHABLE {
+                scoap_unreachable += 1;
+            } else {
+                scoap_max = scoap_max.max(cost);
+                scoap_sum += u128::from(cost);
+                scoap_reachable += 1;
+            }
+        }
+        let scoap_mean = if scoap_reachable > 0 {
+            scoap_sum as f64 / scoap_reachable as f64
+        } else {
+            0.0
+        };
         Analysis {
             circuit,
             report,
@@ -89,11 +130,28 @@ impl<'a> Analysis<'a> {
             total_faults: faults.len(),
             unobservable,
             constant,
+            classes: collapse.classes().len(),
+            dominance_pairs: collapse.dominance().len(),
+            scoap_mean,
+            scoap_max,
+            scoap_unreachable,
         }
     }
 
     fn untestable(&self) -> usize {
         self.unobservable + self.constant
+    }
+
+    fn collapsed(&self) -> usize {
+        self.total_faults - self.classes
+    }
+
+    fn collapse_ratio(&self) -> f64 {
+        if self.total_faults > 0 {
+            self.collapsed() as f64 / self.total_faults as f64
+        } else {
+            0.0
+        }
     }
 
     fn render_human(&self, out: &mut dyn Write) -> Result<(), CliError> {
@@ -122,6 +180,21 @@ impl<'a> Analysis<'a> {
             self.unobservable,
             self.constant,
         )?;
+        writeln!(
+            out,
+            "collapse    : {} classes over {} faults ({} collapsed, {:.1}%), \
+             {} dominance pair(s)",
+            self.classes,
+            self.total_faults,
+            self.collapsed(),
+            self.collapse_ratio() * 100.0,
+            self.dominance_pairs,
+        )?;
+        writeln!(
+            out,
+            "testability : SCOAP fault cost mean {:.1}, max {}, {} unreachable",
+            self.scoap_mean, self.scoap_max, self.scoap_unreachable,
+        )?;
         Ok(())
     }
 }
@@ -134,7 +207,11 @@ fn render_json(analyses: &[Analysis<'_>]) -> String {
         if i > 0 {
             s.push(',');
         }
-        let _ = write!(s, "{{\"circuit\":{}", json_string(a.circuit.name()));
+        let _ = write!(
+            s,
+            "{{\"schema_version\":{SCHEMA_VERSION},\"circuit\":{}",
+            json_string(a.circuit.name())
+        );
         s.push_str(",\"diagnostics\":[");
         for (j, d) in a.report.diagnostics.iter().enumerate() {
             if j > 0 {
@@ -170,11 +247,24 @@ fn render_json(analyses: &[Analysis<'_>]) -> String {
         );
         let _ = write!(
             s,
-            ",\"untestable\":{{\"total\":{},\"unobservable\":{},\"constant\":{}}},\"faults\":{}}}",
+            ",\"untestable\":{{\"total\":{},\"unobservable\":{},\"constant\":{}}}",
             a.untestable(),
             a.unobservable,
             a.constant,
-            a.total_faults
+        );
+        let _ = write!(
+            s,
+            ",\"collapse\":{{\"classes\":{},\"collapsed\":{},\"ratio\":{:.4},\
+             \"dominance_pairs\":{}}}",
+            a.classes,
+            a.collapsed(),
+            a.collapse_ratio(),
+            a.dominance_pairs
+        );
+        let _ = write!(
+            s,
+            ",\"scoap\":{{\"mean_cost\":{:.2},\"max_cost\":{},\"unreachable\":{}}},\"faults\":{}}}",
+            a.scoap_mean, a.scoap_max, a.scoap_unreachable, a.total_faults
         );
     }
     s.push(']');
@@ -264,6 +354,46 @@ mod tests {
         assert!(text.contains("\"circuit\":\"s208\""), "{text}");
         // The s208 stand-in is known to carry statically unobservable logic.
         assert!(text.contains("\"unobservable\":"), "{text}");
+    }
+
+    #[test]
+    fn json_reports_schema_version_collapse_and_scoap() {
+        let mut out = Vec::new();
+        run(&["--suite".into(), "s208".into(), "--json".into()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"schema_version\":2"), "{text}");
+        assert!(text.contains("\"collapse\":{\"classes\":357,\"collapsed\":227"), "{text}");
+        assert!(text.contains("\"dominance_pairs\":"), "{text}");
+        assert!(text.contains("\"scoap\":{\"mean_cost\":"), "{text}");
+        assert!(text.contains("\"unreachable\":"), "{text}");
+    }
+
+    #[test]
+    fn human_report_prints_collapse_and_testability_lines() {
+        let mut out = Vec::new();
+        run(&["--suite".into(), "s208".into()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("collapse    : 357 classes over 584 faults"), "{text}");
+        assert!(text.contains("testability : SCOAP fault cost mean"), "{text}");
+    }
+
+    #[test]
+    fn json_output_is_byte_identical_across_runs() {
+        // The determinism contract: same inputs, byte-identical report —
+        // diagnostics are canonically ordered, nothing depends on hash-map
+        // iteration or scheduling.
+        let args: Vec<String> = vec![
+            "--suite".into(),
+            "s208".into(),
+            "s298".into(),
+            "--json".into(),
+        ];
+        let mut first = Vec::new();
+        run(&args, &mut first).unwrap();
+        let mut second = Vec::new();
+        run(&args, &mut second).unwrap();
+        assert!(!first.is_empty());
+        assert_eq!(first, second, "analyze --json must be byte-identical across runs");
     }
 
     #[test]

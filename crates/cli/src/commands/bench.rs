@@ -62,6 +62,10 @@ struct BenchRow {
     partial: usize,
     coverage_lower_bound: f64,
     audit_failed: Option<usize>,
+    collapse_total: usize,
+    collapse_classes: usize,
+    collapse_inherited: Option<usize>,
+    collapse_audited: Option<usize>,
     screen_lanes: usize,
     screen_threads: usize,
     screen_base_ms: f64,
@@ -90,6 +94,14 @@ impl BenchRow {
             self.screen_base_ms / self.screen_wide_ms
         } else {
             f64::INFINITY
+        }
+    }
+
+    fn collapse_ratio(&self) -> f64 {
+        if self.collapse_total > 0 {
+            (self.collapse_total - self.collapse_classes) as f64 / self.collapse_total as f64
+        } else {
+            0.0
         }
     }
 }
@@ -157,9 +169,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     for e in entries {
         let circuit = e.build();
         let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
-        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
-            .representatives()
-            .to_vec();
+        let full = full_fault_list(&circuit);
+        let faults = collapse_faults(&circuit, &full).representatives().to_vec();
+        // Static collapse statistics over the *full* list: what the timed
+        // runs below get to skip by simulating representatives only.
+        let analysis = moa_core::CollapseAnalysis::of(&circuit, &full);
 
         let screened_opts = CampaignOptions {
             threads,
@@ -198,12 +212,17 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             )));
         }
 
-        let audit_failed = if audit {
+        // The untimed verification run audits the *collapsed full-list*
+        // campaign: every inherited detection's certificate is replayed
+        // against the member fault, so a wrong equivalence class would fail
+        // the bench, and its CollapseReport feeds the stats below.
+        let (audit_failed, collapse_inherited, collapse_audited) = if audit {
             let audited_opts = CampaignOptions {
                 audit: Some(CampaignAudit::default()),
+                collapse: true,
                 ..screened_opts
             };
-            let audited = try_run_campaign(&circuit, &seq, &faults, &audited_opts)
+            let audited = try_run_campaign(&circuit, &seq, &full, &audited_opts)
                 .map_err(|err| CliError::Failed(err.to_string()))?;
             if audited.audit_failed > 0 {
                 return Err(CliError::Failed(format!(
@@ -211,9 +230,17 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     e.name, audited.audit_failed
                 )));
             }
-            Some(audited.audit_failed)
+            let report = audited
+                .collapse
+                .as_ref()
+                .ok_or_else(|| CliError::Failed(format!("{}: no collapse report", e.name)))?;
+            (
+                Some(audited.audit_failed),
+                Some(report.inherited),
+                Some(report.audited),
+            )
         } else {
-            None
+            (None, None, None)
         };
 
         // Screening-kernel micro-benchmark: the same full fault list through
@@ -257,6 +284,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             partial: screened.partial_summary().partial,
             coverage_lower_bound: screened.coverage_lower_bound(),
             audit_failed,
+            collapse_total: analysis.total(),
+            collapse_classes: analysis.classes().len(),
+            collapse_inherited,
+            collapse_audited,
             screen_lanes: screen_lanes.lanes(),
             screen_threads,
             screen_base_ms,
@@ -320,6 +351,30 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
          ({base_total_ms:.1} ms base vs {wide_total_ms:.1} ms wide)"
     )?;
 
+    // Collapse statistics: the static class structure, plus (when the audit
+    // run is on) how many members inherited their representative's verdict
+    // and how many inherited certificates were replayed.
+    writeln!(out, "\nfault collapsing (one representative per equivalence class):")?;
+    writeln!(
+        out,
+        "{:<10} {:>9} {:>9} {:>10} {:>7} {:>10} {:>8}",
+        "circuit", "faults", "classes", "collapsed", "ratio", "inherited", "audited"
+    )?;
+    for r in &rows {
+        let opt = |v: Option<usize>| v.map_or_else(|| "-".to_owned(), |n| n.to_string());
+        writeln!(
+            out,
+            "{:<10} {:>9} {:>9} {:>10} {:>6.1}% {:>10} {:>8}",
+            r.name,
+            r.collapse_total,
+            r.collapse_classes,
+            r.collapse_total - r.collapse_classes,
+            r.collapse_ratio() * 100.0,
+            opt(r.collapse_inherited),
+            opt(r.collapse_audited)
+        )?;
+    }
+
     if let Some(path) = parser.flag("out") {
         std::fs::write(path, render_json(&rows, quick))
             .map_err(|err| CliError::Failed(format!("cannot write `{path}`: {err}")))?;
@@ -339,7 +394,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 fn render_json(rows: &[BenchRow], quick: bool) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"version\": 1,\n");
+    s.push_str("  \"version\": 2,\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str("  \"circuits\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -373,6 +428,19 @@ fn render_json(rows: &[BenchRow], quick: bool) -> String {
             r.kernel_speedup()
         ));
         s.push_str(&format!("      \"speedup\": {:.2},\n", r.speedup()));
+        // Key names avoid the `"faults_per_sec"` literal on purpose (see the
+        // kernel-key comment above).
+        let opt = |v: Option<usize>| v.map_or_else(|| "null".to_owned(), |n| n.to_string());
+        s.push_str(&format!(
+            "      \"collapse\": {{\"total\": {}, \"classes\": {}, \"collapsed\": {}, \
+             \"ratio\": {:.4}, \"inherited\": {}, \"audited\": {}}},\n",
+            r.collapse_total,
+            r.collapse_classes,
+            r.collapse_total - r.collapse_classes,
+            r.collapse_ratio(),
+            opt(r.collapse_inherited),
+            opt(r.collapse_audited)
+        ));
         s.push_str(&format!("      \"detected_total\": {},\n", r.detected_total));
         s.push_str(&format!("      \"partial\": {},\n", r.partial));
         s.push_str(&format!(
@@ -486,10 +554,31 @@ mod tests {
         assert!(report.contains("\"faults_per_sec\""), "{report}");
         assert!(report.contains("\"partial\": 0"), "{report}");
         assert!(report.contains("\"coverage_lower_bound\": "), "{report}");
+        // Collapse stats: static classes always; inherited/audited need the
+        // audit run, which --no-audit skipped.
+        assert!(text.contains("fault collapsing"), "{text}");
+        assert!(report.contains("\"collapse\": {\"total\": 584, \"classes\": 357"), "{report}");
+        assert!(report.contains("\"inherited\": null"), "{report}");
         let pairs = parse_baseline(&report);
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].0, "s208");
         assert!(pairs[0].1 > 0.0);
+    }
+
+    #[test]
+    fn audited_bench_reports_inherited_and_audited_collapse_counts() {
+        let dir = std::env::temp_dir().join("moa-cli-bench-collapse-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("collapse.json").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        run(&["s208".into(), "--out".into(), json.clone()], &mut out).unwrap();
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"audit_failed\": 0"), "{report}");
+        assert!(!report.contains("\"inherited\": null"), "{report}");
+        assert!(!report.contains("\"audited\": null"), "{report}");
+        // The scanner must still pair the circuit with its screened fps.
+        let pairs = parse_baseline(&report);
+        assert_eq!(pairs.len(), 1, "{report}");
     }
 
     #[test]

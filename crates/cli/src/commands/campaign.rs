@@ -7,15 +7,16 @@ use std::time::{Duration, Instant};
 
 use moa_core::{
     merge_shards, run_shard, run_sharded, shard_path, try_run_campaign, verdict_digest,
-    CampaignAudit, CampaignOptions, CampaignResult, FaultBudget, MoaOptions, ShardOptions,
+    CampaignAudit, CampaignOptions, CampaignResult, FaultBudget, FaultOrder, MoaOptions,
+    ShardOptions,
 };
 use moa_netlist::{collapse_faults, full_fault_list, Circuit};
 use moa_sim::TestSequence;
 
 use crate::commands::{
-    audit_peeled, fault_budget_from_args, moa_options_from_args, screen_lanes_from_args,
-    screen_threads_from_args, sequence_from_args, shard_retries_from_args,
-    shard_timeout_from_args,
+    audit_peeled, fault_budget_from_args, fault_order_from_args, moa_options_from_args,
+    screen_lanes_from_args, screen_threads_from_args, sequence_from_args,
+    shard_retries_from_args, shard_timeout_from_args,
 };
 use crate::{load_circuit, signals, ArgParser, CliError};
 
@@ -24,7 +25,8 @@ const USAGE: &str = "usage: moa campaign <bench-file> [--words p,... | --random 
 [--threads T] [--deadline-ms MS] [--work-limit W] [--max-frontier N] [--degrade] \
 [--degrade-adaptive] [--checkpoint FILE [--checkpoint-every N] [--resume]] \
 [--shards N [--shard-id K | --merge] [--shard-dir DIR] [--shard-retries R] \
-[--shard-timeout-ms MS]] [--audit[=N]] [--chaos-seed S] [--no-collapse] [--packed] \
+[--shard-timeout-ms MS]] [--audit[=N]] [--chaos-seed S] [--collapse | --no-collapse] \
+[--order natural|scoap-hard-first|scoap-cheap-first|cone-cluster] [--packed] \
 [--differential] [--no-screen] [--screen-lanes 64|128|256] [--screen-threads T] [--learn] \
 [--prune-untestable] [--verbose]";
 
@@ -39,19 +41,32 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "words", "random", "seed", "seq-file", "n-states", "depth", "rounds", "budget",
             "threads", "deadline-ms", "work-limit", "max-frontier", "checkpoint",
             "checkpoint-every", "chaos-seed", "shards", "shard-id", "shard-dir", "shard-retries",
-            "shard-timeout-ms", "screen-lanes", "screen-threads",
+            "shard-timeout-ms", "screen-lanes", "screen-threads", "order",
         ],
         &[
-            "baseline", "proposed", "both", "no-collapse", "packed", "differential", "no-screen",
-            "learn", "prune-untestable", "verbose", "resume", "degrade", "degrade-adaptive",
-            "merge",
+            "baseline", "proposed", "both", "collapse", "no-collapse", "packed", "differential",
+            "no-screen", "learn", "prune-untestable", "verbose", "resume", "degrade",
+            "degrade-adaptive", "merge",
         ],
     )?;
     let circuit = load_circuit(parser.required(0, "bench file")?)?;
     let seq = sequence_from_args(&parser, &circuit, 64)?;
 
+    // Three collapse regimes: the default pre-collapses the fault list up
+    // front (only representatives are ever handed to the campaign, one
+    // record each); `--no-collapse` simulates the full list; `--collapse`
+    // also takes the full list but lets the campaign itself collapse —
+    // simulating representatives, expanding class verdicts where bit-exact,
+    // and reporting one per-original-fault record with provenance.
+    let collapse = parser.switch("collapse");
+    if collapse && parser.switch("no-collapse") {
+        return Err(CliError::Usage(format!(
+            "--collapse and --no-collapse contradict each other: pick one\n\n{USAGE}"
+        )));
+    }
+    let order = fault_order_from_args(&parser)?;
     let full = full_fault_list(&circuit);
-    let faults = if parser.switch("no-collapse") {
+    let faults = if parser.switch("no-collapse") || collapse {
         full
     } else {
         collapse_faults(&circuit, &full).representatives().to_vec()
@@ -143,6 +158,14 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             a.sample_rate
         )?;
     }
+    if collapse {
+        writeln!(
+            out,
+            "collapsing in-campaign: one representative per proven class, \
+             expanded to {} per-fault record(s)",
+            faults.len()
+        )?;
+    }
 
     let run_baseline = parser.switch("baseline") || parser.switch("both") || !parser.switch("proposed");
     let run_proposed = parser.switch("proposed") || parser.switch("both") || !parser.switch("baseline");
@@ -188,6 +211,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             screen_lanes,
             screen_threads,
             prune_untestable,
+            collapse,
+            order,
             budget: fault_budget,
             checkpoint_every,
             audit,
@@ -218,6 +243,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 screen_lanes,
                 screen_threads,
                 prune_untestable,
+                collapse,
+                order,
                 fault_budget,
                 checkpoint,
                 checkpoint_every,
@@ -249,6 +276,8 @@ struct PlainArgs {
     screen_lanes: moa_core::ScreenLanes,
     screen_threads: usize,
     prune_untestable: bool,
+    collapse: bool,
+    order: FaultOrder,
     fault_budget: FaultBudget,
     checkpoint: Option<PathBuf>,
     checkpoint_every: usize,
@@ -275,6 +304,8 @@ fn run_plain_campaigns(
         screen_lanes,
         screen_threads,
         prune_untestable,
+        collapse,
+        order,
         fault_budget,
         checkpoint,
         checkpoint_every,
@@ -295,6 +326,8 @@ fn run_plain_campaigns(
             screen_lanes,
             screen_threads,
             prune_untestable,
+            collapse,
+            order,
             budget: fault_budget.clone(),
             checkpoint: checkpoint.clone(),
             checkpoint_every,
@@ -314,6 +347,8 @@ fn run_plain_campaigns(
             screen_lanes,
             screen_threads,
             prune_untestable,
+            collapse,
+            order,
             budget: fault_budget,
             checkpoint,
             checkpoint_every,
@@ -560,6 +595,32 @@ fn print_summary(out: &mut dyn Write, r: &CampaignResult) -> Result<(), CliError
     }
     if r.audit_failed > 0 {
         writeln!(out, "  AUDIT FAILED        : {} (quarantined)", r.audit_failed)?;
+    }
+    // Collapse provenance. Every line carries parentheses on purpose: the
+    // verdict-comparison filters (CI smokes, the shard tests) drop
+    // parenthesised lines, and these describe the schedule, not the verdicts.
+    if let Some(c) = &r.collapse {
+        writeln!(
+            out,
+            "  collapse            : {} class(es) over {} fault(s)",
+            c.classes, c.total
+        )?;
+        writeln!(
+            out,
+            "    collapsed         : {} ({:.1}% of the fault list)",
+            c.collapsed(),
+            c.ratio() * 100.0
+        )?;
+        writeln!(
+            out,
+            "    inherited         : {} (individually simulated fallback: {})",
+            c.inherited, c.fallback
+        )?;
+        writeln!(
+            out,
+            "    certificates      : {} audited (inherited detections replayed)",
+            c.audited
+        )?;
     }
     if r.perf.worker_respawns > 0 {
         writeln!(out, "  worker respawns     : {}", r.perf.worker_respawns)?;
@@ -1118,6 +1179,155 @@ mod tests {
             let err = run(&args, &mut out).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{args:?}: {err}");
         }
+    }
+
+    #[test]
+    fn collapse_and_order_never_move_the_verdict_digest() {
+        let digest = |extra: &[&str]| -> String {
+            let mut v = vec![
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--no-collapse".into(),
+            ];
+            v.extend(extra.iter().map(std::string::ToString::to_string));
+            let mut out = Vec::new();
+            run(&v, &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            text.lines()
+                .find(|l| l.contains("verdict digest"))
+                .unwrap()
+                .split(':')
+                .nth(1)
+                .unwrap()
+                .trim()
+                .to_string()
+        };
+        // `--no-collapse` and `--collapse` both run the full fault list;
+        // in-campaign collapsing and every ordering heuristic must land on
+        // the same per-fault digest.
+        let base = digest(&[]);
+        let collapsed = |extra: &[&str]| -> String {
+            let mut v = vec![
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+            ];
+            v.extend(extra.iter().map(std::string::ToString::to_string));
+            let mut out = Vec::new();
+            run(&v, &mut out).unwrap();
+            String::from_utf8(out)
+                .unwrap()
+                .lines()
+                .find(|l| l.contains("verdict digest"))
+                .unwrap()
+                .split(':')
+                .nth(1)
+                .unwrap()
+                .trim()
+                .to_string()
+        };
+        for extra in [
+            &["--collapse"][..],
+            &["--collapse", "--audit"],
+            &["--collapse", "--order", "scoap-hard-first"],
+        ] {
+            assert_eq!(base, collapsed(extra), "{extra:?} moved the digest");
+        }
+        for order in ["natural", "scoap-hard-first", "scoap-cheap-first", "cone-cluster"] {
+            assert_eq!(base, digest(&["--order", order]), "--order {order} moved the digest");
+        }
+    }
+
+    #[test]
+    fn collapse_summary_reports_classes_and_clean_audit() {
+        let mut out = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--collapse".into(),
+                "--audit".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("collapsing in-campaign"), "{text}");
+        assert!(text.contains("  collapse            : "), "{text}");
+        assert!(text.contains("% of the fault list"), "{text}");
+        assert!(text.contains("certificates      : "), "{text}");
+        assert!(!text.contains("AUDIT FAILED"), "{text}");
+        for line in text.lines().filter(|l| {
+            l.contains("collapse ") || l.contains("collapsed") || l.contains("certificates")
+        }) {
+            assert!(line.contains('('), "collapse lines must carry parens: {line}");
+        }
+    }
+
+    #[test]
+    fn collapse_flag_conflicts_and_bad_order_are_usage_errors() {
+        for extra in [
+            &["--collapse", "--no-collapse"][..],
+            &["--order", "fastest-first"],
+            &["--order", ""],
+        ] {
+            let mut args = vec![toggle_path(), "--words".into(), "0,0,0".into(), "--proposed".into()];
+            args.extend(extra.iter().map(std::string::ToString::to_string));
+            let mut out = Vec::new();
+            let err = run(&args, &mut out).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{extra:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn collapsed_sharded_campaign_merges_to_the_full_list_verdicts() {
+        let dir = shard_dir("collapse");
+        let mut plain = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--no-collapse".into(),
+            ],
+            &mut plain,
+        )
+        .unwrap();
+        let mut sharded = Vec::new();
+        run(
+            &[
+                toggle_path(),
+                "--words".into(),
+                "0,0,0".into(),
+                "--proposed".into(),
+                "--collapse".into(),
+                "--shards".into(),
+                "3".into(),
+                "--shard-dir".into(),
+                dir.to_string_lossy().into_owned(),
+            ],
+            &mut sharded,
+        )
+        .unwrap();
+        // The collapsed+sharded merge must reproduce the full-list verdicts
+        // (the announce lines differ; compare from the first summary on).
+        let digest = |bytes: &[u8]| {
+            String::from_utf8(bytes.to_vec())
+                .unwrap()
+                .lines()
+                .find(|l| l.contains("verdict digest"))
+                .unwrap()
+                .trim()
+                .to_string()
+        };
+        assert_eq!(digest(&plain), digest(&sharded));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod tpg;
 
 use std::time::Duration;
 
-use moa_core::{CampaignAudit, FaultBudget, MoaOptions, ScreenLanes};
+use moa_core::{CampaignAudit, FaultBudget, FaultOrder, MoaOptions, ScreenLanes};
 use moa_netlist::Circuit;
 use moa_sim::TestSequence;
 
@@ -198,6 +198,20 @@ pub(crate) fn screen_threads_from_args(parser: &ArgParser) -> Result<usize, CliE
         ));
     }
     Ok(threads)
+}
+
+/// `--order ORDER`, naming the schedule heuristic. Omitting the flag is
+/// natural (fault-list) order; verdicts never depend on the choice.
+pub(crate) fn fault_order_from_args(parser: &ArgParser) -> Result<FaultOrder, CliError> {
+    match parser.flag("order") {
+        None => Ok(FaultOrder::Natural),
+        Some(s) => FaultOrder::parse(s).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--order expects natural, scoap-hard-first, scoap-cheap-first or \
+                 cone-cluster, got `{s}`"
+            ))
+        }),
+    }
 }
 
 /// `--shard-timeout-ms`, rejecting 0: a zero timeout would kill every

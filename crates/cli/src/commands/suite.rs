@@ -8,18 +8,19 @@ use moa_core::{run_campaign, CampaignAudit, CampaignOptions, FaultBudget, MoaOpt
 use moa_netlist::{collapse_faults, full_fault_list};
 use moa_tpg::random_sequence;
 
-use crate::commands::{screen_lanes_from_args, screen_threads_from_args};
+use crate::commands::{fault_order_from_args, screen_lanes_from_args, screen_threads_from_args};
 use crate::{ArgParser, CliError};
 
 const USAGE: &str = "usage: moa suite [NAME...] [--baseline-too] [--audit] [--degrade] \
+[--collapse] [--order natural|scoap-hard-first|scoap-cheap-first|cone-cluster] \
 [--work-limit W] [--screen-lanes 64|128|256] [--screen-threads T]";
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let parser = ArgParser::parse(
         args,
         USAGE,
-        &["work-limit", "screen-lanes", "screen-threads"],
-        &["baseline-too", "audit", "degrade"],
+        &["work-limit", "screen-lanes", "screen-threads", "order"],
+        &["baseline-too", "audit", "degrade", "collapse"],
     )?;
     let filter = parser.positional();
     let entries: Vec<_> = suite()
@@ -34,6 +35,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
     let audit = parser.switch("audit");
     let degrade = parser.switch("degrade");
+    let collapse = parser.switch("collapse");
+    let order = fault_order_from_args(&parser)?;
     let screen_lanes = screen_lanes_from_args(&parser)?;
     let screen_threads = screen_threads_from_args(&parser)?;
     let work_limit = parser
@@ -53,9 +56,15 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     for e in entries {
         let circuit = e.build();
         let seq = random_sequence(&circuit, e.sequence_length, e.spec.seed);
-        let faults = collapse_faults(&circuit, &full_fault_list(&circuit))
-            .representatives()
-            .to_vec();
+        // `--collapse` hands the campaign the full list and lets it collapse
+        // in-flight (one record per original fault); the default pre-collapses
+        // to representatives as the paper's tables do.
+        let full = full_fault_list(&circuit);
+        let faults = if collapse {
+            full
+        } else {
+            collapse_faults(&circuit, &full).representatives().to_vec()
+        };
         let start = Instant::now();
         let mut budget = FaultBudget::none();
         if let Some(limit) = work_limit {
@@ -67,6 +76,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             audit: audit.then(CampaignAudit::default),
             screen_lanes,
             screen_threads,
+            collapse,
+            order,
             ..CampaignOptions::new()
         };
         let proposed = run_campaign(&circuit, &seq, &faults, &options);
@@ -88,6 +99,14 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let partial = proposed.partial_summary();
             line.push_str(&format!("  partial: {}", partial.partial));
             any_partial += partial.partial;
+        }
+        if let Some(report) = &proposed.collapse {
+            line.push_str(&format!(
+                "  collapse: {}/{} ({:.0}%)",
+                report.collapsed(),
+                report.total,
+                report.ratio() * 100.0
+            ));
         }
         proven_detected += proposed.detected_total();
         total_faults += proposed.total_faults;
@@ -194,6 +213,41 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip_timing(&plain), strip_timing(&wide));
+    }
+
+    #[test]
+    fn collapsed_entry_reports_the_ratio_and_audits_clean() {
+        let mut out = Vec::new();
+        run(&["s208".into(), "--collapse".into(), "--audit".into()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("collapse: "), "{text}");
+        assert!(text.contains("audit-failed: 0"), "{text}");
+        // The full fault list is in play under --collapse, not the
+        // pre-collapsed representatives.
+        assert!(text.contains(" 584 "), "full s208 fault list: {text}");
+    }
+
+    #[test]
+    fn order_heuristics_keep_the_verdict_columns() {
+        let columns = |args: &[&str]| -> String {
+            let mut v: Vec<String> = vec!["s208".into()];
+            v.extend(args.iter().map(std::string::ToString::to_string));
+            let mut out = Vec::new();
+            run(&v, &mut out).unwrap();
+            String::from_utf8(out)
+                .unwrap()
+                .lines()
+                .map(|l| l.split("  (").next().unwrap().to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let base = columns(&[]);
+        for order in ["scoap-hard-first", "scoap-cheap-first", "cone-cluster"] {
+            assert_eq!(base, columns(&["--order", order]), "--order {order}");
+        }
+        let mut out = Vec::new();
+        let err = run(&["s208".into(), "--order".into(), "bogus".into()], &mut out).unwrap_err();
+        assert!(err.to_string().contains("--order expects"), "{err}");
     }
 
     #[test]

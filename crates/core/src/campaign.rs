@@ -26,7 +26,7 @@ use crate::checkpoint::{
     read_checkpoint, read_checkpoint_sharded, write_checkpoint, write_checkpoint_v2,
     CheckpointHeader, CheckpointSkip, ShardInfo,
 };
-use crate::cones::ConeCache;
+use crate::cones::{ConeCache, StateOverlap};
 use crate::counters::{CounterAverages, Counters, PerfCounters};
 use crate::error::Error;
 use crate::procedure::{
@@ -73,6 +73,101 @@ impl Default for CampaignAudit {
     }
 }
 
+/// Static fault-ordering strategies ([`CampaignOptions::order`]).
+///
+/// Ordering is a pure execution knob: results are stored by fault-list
+/// index, so every order produces bit-identical verdicts (and an identical
+/// request hash — see `canon`). What changes is the processing schedule:
+/// which faults hit the budget early, how checkpoint batches are composed,
+/// and how much locality consecutive faults share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultOrder {
+    /// Fault-list order (the default).
+    #[default]
+    Natural,
+    /// Highest SCOAP detection cost first
+    /// ([`moa_analyze::Testability::fault_cost`]): front-load the faults
+    /// most likely to need the expensive expansion machinery.
+    ScoapHardFirst,
+    /// Lowest SCOAP detection cost first: bank the easy conventional
+    /// detections before spending budget on hard faults.
+    ScoapCheapFirst,
+    /// Group faults by state-variable cone cluster
+    /// ([`StateOverlap`]): consecutive faults touch overlapping logic, the
+    /// grouping the ERASER-style prefix-sharing work consumes.
+    ConeCluster,
+}
+
+impl FaultOrder {
+    /// Parses the CLI spelling (`natural`, `scoap-hard-first`,
+    /// `scoap-cheap-first`, `cone-cluster`).
+    pub fn parse(s: &str) -> Option<FaultOrder> {
+        match s {
+            "natural" => Some(FaultOrder::Natural),
+            "scoap-hard-first" => Some(FaultOrder::ScoapHardFirst),
+            "scoap-cheap-first" => Some(FaultOrder::ScoapCheapFirst),
+            "cone-cluster" => Some(FaultOrder::ConeCluster),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOrder::Natural => "natural",
+            FaultOrder::ScoapHardFirst => "scoap-hard-first",
+            FaultOrder::ScoapCheapFirst => "scoap-cheap-first",
+            FaultOrder::ConeCluster => "cone-cluster",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Statistics and provenance of a collapsed campaign
+/// ([`CampaignOptions::collapse`]), reported on
+/// [`CampaignResult::collapse`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CollapseReport {
+    /// Faults in the campaign's list.
+    pub total: usize,
+    /// Equivalence classes found over the list.
+    pub classes: usize,
+    /// Member verdicts expanded from their class representative with zero
+    /// simulation work.
+    pub inherited: usize,
+    /// Members whose representative verdict was not inheritable (the status
+    /// carries member-specific payload) and were simulated individually.
+    pub fallback: usize,
+    /// Inherited detections re-validated by replaying the representative's
+    /// detection certificate against the member fault (only under
+    /// [`CampaignOptions::audit`], at its sample rate).
+    pub audited: usize,
+    /// Per-fault provenance: `representative[i]` is the fault-list index
+    /// whose verdict fault `i` inherited (or could have); `i` itself for
+    /// representatives and unclassified faults.
+    pub representative: Vec<usize>,
+}
+
+impl CollapseReport {
+    /// Faults removed from the simulation frontier: `total - classes`.
+    pub fn collapsed(&self) -> usize {
+        self.total - self.classes
+    }
+
+    /// Fraction of the list collapsed away; `0.0` for an empty list.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.collapsed() as f64 / self.total as f64
+    }
+}
+
 /// Options for [`run_campaign`].
 #[derive(Clone)]
 pub struct CampaignOptions {
@@ -114,6 +209,18 @@ pub struct CampaignOptions {
     /// pruning never changes the verdict of a testable fault. Off by default
     /// so plain campaigns report the paper's raw statuses.
     pub prune_untestable: bool,
+    /// Simulate one representative per proven equivalence class and expand
+    /// its verdict to the other members. Inheritance is restricted to the
+    /// two status variants that are provably member-invariant (conventional
+    /// detections and condition-C skips — equivalent faults have identical
+    /// faulty traces); every other member falls back to individual
+    /// simulation, so per-fault statuses are **bit-identical** to the
+    /// uncollapsed run. Provenance and statistics land in
+    /// [`CampaignResult::collapse`]. Off by default.
+    pub collapse: bool,
+    /// Static processing order of the fault list ([`FaultOrder`]). Results
+    /// are stored by fault-list index, so ordering never changes a verdict.
+    pub order: FaultOrder,
     /// Per-fault resource budget (wall-clock deadline and/or work-unit
     /// ceiling). A fault exceeding it is abandoned with
     /// [`FaultStatus::BudgetExceeded`] — the campaign keeps going.
@@ -173,6 +280,8 @@ impl std::fmt::Debug for CampaignOptions {
             .field("screen_lanes", &self.screen_lanes)
             .field("screen_threads", &self.screen_threads)
             .field("prune_untestable", &self.prune_untestable)
+            .field("collapse", &self.collapse)
+            .field("order", &self.order)
             .field("budget", &self.budget)
             .field("isolate_panics", &self.isolate_panics)
             .field("worker_retries", &self.worker_retries)
@@ -200,6 +309,8 @@ impl Default for CampaignOptions {
             screen_lanes: ScreenLanes::L64,
             screen_threads: 1,
             prune_untestable: false,
+            collapse: false,
+            order: FaultOrder::Natural,
             budget: FaultBudget::none(),
             isolate_panics: true,
             worker_retries: 2,
@@ -288,12 +399,20 @@ pub struct CampaignResult {
     /// [`CampaignOptions::resume`]. Excluded from equality alongside
     /// [`perf`](Self::perf): skips describe the journey, not the verdicts.
     pub resume_skipped: Vec<CheckpointSkip>,
+    /// Collapse statistics and per-fault provenance; `Some` only for a run
+    /// with [`CampaignOptions::collapse`]. Excluded from equality alongside
+    /// [`perf`](Self::perf): collapsing is an execution strategy, and a
+    /// collapsed run's *verdicts* must compare equal to the uncollapsed
+    /// run's.
+    pub collapse: Option<CollapseReport>,
 }
 
 /// Equality by verdicts: every field except the wall-clock-dependent
-/// [`perf`](CampaignResult::perf) instrumentation and the
+/// [`perf`](CampaignResult::perf) instrumentation, the
 /// [`resume_skipped`](CampaignResult::resume_skipped) warnings (a resumed
-/// run that healed a corrupt record still computes identical verdicts).
+/// run that healed a corrupt record still computes identical verdicts), and
+/// the [`collapse`](CampaignResult::collapse) sidecar (a collapsed run must
+/// compare equal to the uncollapsed run it is bit-identical to).
 impl PartialEq for CampaignResult {
     fn eq(&self, other: &Self) -> bool {
         self.circuit == other.circuit
@@ -485,7 +604,7 @@ pub fn try_run_campaign(
         };
 
     let mut perf = PerfCounters::new();
-    run_all(
+    let collapse = run_all(
         circuit,
         seq,
         &good,
@@ -508,6 +627,7 @@ pub fn try_run_campaign(
     let mut result = aggregate(circuit, faults.len(), results);
     result.perf = perf;
     result.resume_skipped = resume_skipped;
+    result.collapse = collapse;
     Ok(result)
 }
 
@@ -534,6 +654,7 @@ pub(crate) fn aggregate(
         expansion_counters: Vec::new(),
         perf: PerfCounters::new(),
         resume_skipped: Vec::new(),
+        collapse: None,
     };
     for r in results {
         match &r.status {
@@ -572,7 +693,8 @@ pub(crate) fn aggregate(
 }
 
 /// Simulates every fault whose slot is still `None`, in batches, writing a
-/// checkpoint after each batch when configured.
+/// checkpoint after each batch when configured. Returns the collapse report
+/// when [`CampaignOptions::collapse`] ran.
 #[allow(clippy::too_many_arguments)]
 fn run_all(
     circuit: &Circuit,
@@ -584,7 +706,7 @@ fn run_all(
     header: &CheckpointHeader,
     slots: &mut [Option<FaultResult>],
     perf: &mut PerfCounters,
-) -> Result<(), Error> {
+) -> Result<Option<CollapseReport>, Error> {
     // Implication regions and fan-out cones are a property of the circuit
     // alone: build them once and share across faults and worker threads.
     let cones = ConeCache::new(circuit);
@@ -606,17 +728,12 @@ fn run_all(
             }
         }
     }
-    let pending: Vec<usize> = slots
+    let mut pending: Vec<usize> = slots
         .iter()
         .enumerate()
         .filter_map(|(i, slot)| slot.is_none().then_some(i))
         .collect();
-    let screened = screen_pending(circuit, seq, good, faults, options, &pending, perf);
-    let batch_size = if options.checkpoint.is_some() {
-        options.checkpoint_every.max(1)
-    } else {
-        pending.len().max(1)
-    };
+    order_pending(circuit, &cones, faults, options.order, &mut pending);
 
     // Rung-cost statistics for adaptive degradation are campaign-wide: one
     // accumulator shared by every fault's meter, so late faults can skip a
@@ -624,6 +741,165 @@ fn run_all(
     let ladder = (options.moa.degrade && options.moa.degrade_adaptive)
         .then(|| Arc::new(LadderStats::new()));
 
+    let flush = |slots: &[Option<FaultResult>]| -> Result<(), Error> {
+        if let Some(path) = &options.checkpoint {
+            match &options.shard {
+                Some(info) => write_checkpoint_v2(path, header, Some(info), slots)?,
+                None => write_checkpoint(path, header, slots)?,
+            }
+        }
+        Ok(())
+    };
+
+    if !options.collapse {
+        run_stage(
+            circuit, seq, good, faults, options, frames, header, &cones,
+            ladder.as_ref(), &pending, slots, perf,
+        )?;
+        // With nothing pending (a fully-resumed or fully-pruned campaign, or
+        // an empty shard) the stage never flushed; a shard must still publish
+        // its file so the merge sees every member of the partition.
+        if pending.is_empty() {
+            flush(slots)?;
+        }
+        return Ok(None);
+    }
+
+    // Collapsed campaign: stage one simulates one representative per proven
+    // equivalence class; stage two expands each class verdict to the other
+    // members where that is bit-exact, and simulates the rest individually.
+    let analysis = moa_analyze::CollapseAnalysis::of(circuit, faults);
+    let rep_of = analysis.representative_map();
+    let mut report = CollapseReport {
+        total: faults.len(),
+        classes: analysis.classes().len(),
+        inherited: 0,
+        fallback: 0,
+        audited: 0,
+        representative: rep_of.to_vec(),
+    };
+    let reps: Vec<usize> = pending
+        .iter()
+        .copied()
+        .filter(|&i| rep_of[i] == i)
+        .collect();
+    run_stage(
+        circuit, seq, good, faults, options, frames, header, &cones,
+        ladder.as_ref(), &reps, slots, perf,
+    )?;
+
+    // Expansion: a member inherits its representative's status only when the
+    // status is provably member-invariant. Equivalent faults have identical
+    // faulty traces on every net at every time unit, so the conventional
+    // detection (earliest output mismatch) and the condition-C profile
+    // (derived from the trace alone) are the same for every member. Every
+    // other variant carries member-specific payload (fault-site pair keys,
+    // expansion sequences, budget work, panic messages) and must be
+    // simulated individually to stay bit-identical to the uncollapsed run.
+    let mut fallback = Vec::new();
+    for &i in pending.iter().filter(|&&i| rep_of[i] != i) {
+        let inherited = slots[rep_of[i]].as_ref().and_then(|r| match &r.status {
+            st @ (FaultStatus::DetectedConventional(_) | FaultStatus::SkippedConditionC) => {
+                Some(st.clone())
+            }
+            _ => None,
+        });
+        let Some(status) = inherited else {
+            fallback.push(i);
+            continue;
+        };
+        let mut result = FaultResult {
+            status,
+            counters: Counters::new(),
+            runs: 0,
+        };
+        // Inherited detections face the same deterministic audit sampling as
+        // simulated ones: the representative's conventional certificate is
+        // replayed against the *member* fault through the concrete audit
+        // gate, so a wrong collapse is quarantined, never trusted.
+        if let Some(audit) = options
+            .audit
+            .as_ref()
+            .filter(|a| i.is_multiple_of(a.sample_rate.max(1)))
+        {
+            if let FaultStatus::DetectedConventional(det) = &result.status {
+                let cert = DetectionCertificate::conventional(det, good);
+                apply_audit(circuit, seq, good, &faults[i], &mut result, Some(&cert), audit);
+                report.audited += 1;
+            }
+        }
+        slots[i] = Some(result);
+        report.inherited += 1;
+    }
+    report.fallback = fallback.len();
+    // The inherited fills are not covered by either stage's flushes: write
+    // them out before stage two so a kill during the fallback runs resumes
+    // with the expansion intact (and so an all-inherited shard still
+    // publishes its file).
+    flush(slots)?;
+    run_stage(
+        circuit, seq, good, faults, options, frames, header, &cones,
+        ladder.as_ref(), &fallback, slots, perf,
+    )?;
+    Ok(Some(report))
+}
+
+/// Permutes `pending` according to the configured [`FaultOrder`]. Every
+/// ordering ends with the original index as the tie-break, so the schedule
+/// is deterministic; verdicts are unaffected either way (results are stored
+/// by index).
+fn order_pending(
+    circuit: &Circuit,
+    cones: &ConeCache<'_>,
+    faults: &[Fault],
+    order: FaultOrder,
+    pending: &mut [usize],
+) {
+    match order {
+        FaultOrder::Natural => {}
+        FaultOrder::ScoapHardFirst | FaultOrder::ScoapCheapFirst => {
+            let t = moa_analyze::Testability::build(circuit);
+            let cost: Vec<u64> = faults
+                .iter()
+                .map(|f| t.fault_cost(circuit, f))
+                .collect();
+            if order == FaultOrder::ScoapHardFirst {
+                pending.sort_by_key(|&i| (std::cmp::Reverse(cost[i]), i));
+            } else {
+                pending.sort_by_key(|&i| (cost[i], i));
+            }
+        }
+        FaultOrder::ConeCluster => {
+            let overlap = StateOverlap::build(cones);
+            pending.sort_by_key(|&i| (overlap.fault_cluster(circuit, &faults[i]), i));
+        }
+    }
+}
+
+/// Runs one stage of a campaign: screens `pending`, simulates it in
+/// checkpoint-sized batches, flushes after every batch and observes
+/// cancellation at batch boundaries.
+#[allow(clippy::too_many_arguments)]
+fn run_stage(
+    circuit: &Circuit,
+    seq: &TestSequence,
+    good: &SimTrace,
+    faults: &[Fault],
+    options: &CampaignOptions,
+    frames: Option<&GoodFrames>,
+    header: &CheckpointHeader,
+    cones: &ConeCache<'_>,
+    ladder: Option<&Arc<LadderStats>>,
+    pending: &[usize],
+    slots: &mut [Option<FaultResult>],
+    perf: &mut PerfCounters,
+) -> Result<(), Error> {
+    let screened = screen_pending(circuit, seq, good, faults, options, pending, perf);
+    let batch_size = if options.checkpoint.is_some() {
+        options.checkpoint_every.max(1)
+    } else {
+        pending.len().max(1)
+    };
     let flush = |slots: &[Option<FaultResult>]| -> Result<(), Error> {
         if let Some(path) = &options.checkpoint {
             match &options.shard {
@@ -653,18 +929,12 @@ fn run_all(
             options,
             frames,
             &screened,
-            &cones,
-            ladder.as_ref(),
+            cones,
+            ladder,
             batch,
             slots,
             perf,
         );
-        flush(slots)?;
-    }
-    // With nothing pending (a fully-resumed or fully-pruned campaign, or an
-    // empty shard) the loop above never runs; a shard must still publish its
-    // file so the merge sees every member of the partition.
-    if pending.is_empty() {
         flush(slots)?;
     }
     Ok(())
@@ -1730,5 +2000,325 @@ mod tests {
         assert_eq!(clean, chaotic, "worker deaths must not change any verdict");
         assert!(chaotic.perf.worker_respawns >= 4, "{:?}", chaotic.perf);
         assert_eq!(combos.len(), 2, "{combos:?}");
+    }
+
+    #[test]
+    fn collapsed_campaign_matches_plain_run_bit_identically() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let plain = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let collapsed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                collapse: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plain, collapsed, "collapse must not change any verdict");
+        assert_eq!(
+            crate::canon::verdict_digest(&plain),
+            crate::canon::verdict_digest(&collapsed),
+        );
+        assert!(plain.collapse.is_none(), "plain runs carry no report");
+        let report = collapsed.collapse.as_ref().expect("collapse report");
+        assert_eq!(report.total, faults.len());
+        assert!(report.classes < report.total, "{report:?}");
+        assert_eq!(report.collapsed(), report.total - report.classes);
+        assert_eq!(
+            report.inherited + report.fallback,
+            report.collapsed(),
+            "every non-representative either inherits or falls back: {report:?}"
+        );
+        assert!(report.inherited >= 1, "{report:?}");
+        assert_eq!(report.representative.len(), faults.len());
+        for (i, &rep) in report.representative.iter().enumerate() {
+            assert!(rep <= i, "representatives are lowest-index members");
+            assert_eq!(report.representative[rep], rep, "rep is its own rep");
+        }
+        // The provenance sidecar never participates in result equality.
+        let mut stripped = collapsed.clone();
+        stripped.collapse = None;
+        assert_eq!(collapsed, stripped);
+    }
+
+    #[test]
+    fn collapsed_campaign_agrees_across_thread_counts() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let serial = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                collapse: true,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                collapse: true,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.collapse, parallel.collapse, "the report is schedule-free");
+    }
+
+    #[test]
+    fn collapsed_audited_campaign_replays_member_certificates() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let plain = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let audited = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                collapse: true,
+                audit: Some(CampaignAudit::default()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(audited.audit_failed, 0, "inherited detections audit clean");
+        assert_eq!(plain, audited, "a clean audit must not change any result");
+        let report = audited.collapse.as_ref().expect("collapse report");
+        assert!(
+            report.audited > 0,
+            "inherited conventional detections must be replayed: {report:?}"
+        );
+    }
+
+    #[test]
+    fn collapsed_checkpointed_run_resumes_identically() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let dir = std::env::temp_dir().join("moa-campaign-collapse-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("collapsed.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let plain = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let options = CampaignOptions {
+            collapse: true,
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let first = run_campaign(&c, &seq, &faults, &options);
+        assert_eq!(plain, first, "checkpointed collapse stays bit-identical");
+
+        // The finished checkpoint is complete: a resume re-simulates nothing
+        // and still rebuilds the (static) collapse report.
+        let resumed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                resume: true,
+                fault_hook: Some(Arc::new(|index, _fault: &Fault| {
+                    panic!("fault {index} re-simulated after a complete checkpoint");
+                })),
+                isolate_panics: false,
+                ..options
+            },
+        );
+        assert_eq!(plain, resumed);
+        let report = resumed.collapse.as_ref().expect("report survives resume");
+        assert_eq!(report.total, faults.len());
+    }
+
+    #[test]
+    fn cancelled_collapsed_campaign_resumes_to_identical_result() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let dir = std::env::temp_dir().join("moa-campaign-collapse-cancel-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("collapsed-cancel.checkpoint");
+        let _ = std::fs::remove_file(&path);
+
+        let plain = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let polls = Arc::new(AtomicUsize::new(0));
+        let probe_polls = Arc::clone(&polls);
+        let err = try_run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                collapse: true,
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 2,
+                threads: 1,
+                cancel: Some(Arc::new(move || {
+                    probe_polls.fetch_add(1, Ordering::SeqCst) >= 1
+                })),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Interrupted { .. }), "{err}");
+
+        // The resume inherits from *restored* representative slots where the
+        // first attempt got far enough, and re-simulates the rest.
+        let resumed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                collapse: true,
+                checkpoint: Some(path.clone()),
+                resume: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plain, resumed, "interrupted collapse resumes bit-identically");
+    }
+
+    #[test]
+    fn fault_order_variants_never_move_the_verdicts() {
+        let (c, seq) = toggle();
+        let faults = full_fault_list(&c);
+        let reference = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        for order in [
+            FaultOrder::Natural,
+            FaultOrder::ScoapHardFirst,
+            FaultOrder::ScoapCheapFirst,
+            FaultOrder::ConeCluster,
+        ] {
+            for collapse in [false, true] {
+                let ordered = run_campaign(
+                    &c,
+                    &seq,
+                    &faults,
+                    &CampaignOptions {
+                        collapse,
+                        order,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    reference, ordered,
+                    "{order} (collapse={collapse}) must not change results"
+                );
+                assert_eq!(
+                    crate::canon::verdict_digest(&reference),
+                    crate::canon::verdict_digest(&ordered),
+                    "{order} (collapse={collapse})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_order_parses_its_own_names() {
+        for order in [
+            FaultOrder::Natural,
+            FaultOrder::ScoapHardFirst,
+            FaultOrder::ScoapCheapFirst,
+            FaultOrder::ConeCluster,
+        ] {
+            assert_eq!(FaultOrder::parse(order.name()), Some(order));
+            assert_eq!(order.to_string(), order.name());
+        }
+        assert_eq!(FaultOrder::parse("bogus"), None);
+        assert_eq!(FaultOrder::default(), FaultOrder::Natural);
+    }
+
+    #[test]
+    fn fully_untestable_fault_list_finishes_with_zero_gate_evals() {
+        // Both proof kinds in one netlist: `w` is a dead cone (unobservable)
+        // and `x` is statically constant 0 but observable through `z`. A
+        // fault list holding only proven faults must finish without a single
+        // gate evaluation — no screening, no good-trace frames, no per-fault
+        // simulation — under both the plain and the collapsed campaign.
+        let mut b = CircuitBuilder::new("allproven");
+        b.add_input("a").unwrap();
+        b.add_input("r").unwrap();
+        b.add_gate(GateKind::Not, "na", &["a"]).unwrap();
+        b.add_gate(GateKind::And, "x", &["a", "na"]).unwrap();
+        b.add_gate(GateKind::Not, "w", &["a"]).unwrap();
+        b.add_gate(GateKind::Or, "z", &["r", "x"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["00", "10", "01"]).unwrap();
+        let w = c.find_net("w").unwrap();
+        let x = c.find_net("x").unwrap();
+        let faults = vec![
+            Fault::stem(w, false),
+            Fault::stem(w, true),
+            Fault::stem(x, false),
+        ];
+        for collapse in [false, true] {
+            let result = run_campaign(
+                &c,
+                &seq,
+                &faults,
+                &CampaignOptions {
+                    prune_untestable: true,
+                    collapse,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(result.untestable, faults.len(), "collapse={collapse}");
+            assert_eq!(result.detected_total(), 0, "collapse={collapse}");
+            assert_eq!(
+                result.perf.gate_evals, 0,
+                "collapse={collapse}: {:?}",
+                result.perf
+            );
+            let tags: Vec<String> = result
+                .statuses
+                .iter()
+                .map(|s| match s {
+                    FaultStatus::Untestable { proof } => proof.tag(),
+                    other => panic!("expected Untestable, got {other:?}"),
+                })
+                .collect();
+            assert_eq!(tags, ["unobservable", "unobservable", "constant-0"]);
+        }
+    }
+
+    #[test]
+    fn collapsed_pruned_campaign_never_inherits_untestable_proofs() {
+        // Untestable proofs carry member-specific payload (the constant
+        // value, the proof tag); pruning runs per-fault before collapse and
+        // the expansion stage must leave pruned slots alone.
+        let mut b = CircuitBuilder::new("deadend");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate(GateKind::And, "m", &["a", "b"]).unwrap();
+        b.add_gate(GateKind::Buf, "dead", &["m"]).unwrap();
+        b.add_gate(GateKind::Buf, "z", &["a"]).unwrap();
+        b.add_output("z");
+        let c = b.finish().unwrap();
+        let seq = TestSequence::from_words(&["00", "11", "10"]).unwrap();
+        let faults = full_fault_list(&c);
+        let plain = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                prune_untestable: true,
+                ..Default::default()
+            },
+        );
+        let collapsed = run_campaign(
+            &c,
+            &seq,
+            &faults,
+            &CampaignOptions {
+                prune_untestable: true,
+                collapse: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plain, collapsed);
+        assert!(plain.untestable > 0, "the dead cone must be pruned");
     }
 }

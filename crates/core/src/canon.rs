@@ -363,6 +363,11 @@ mod tests {
         neutral.screen_threads = 4;
         neutral.moa.packed_resimulation = true;
         neutral.moa.cone_bounded = false;
+        // Collapse and ordering change the schedule, never the verdicts:
+        // both stay out of the request hash so a collapsed or reordered
+        // campaign can reuse (and be deduped against) the plain one.
+        neutral.collapse = true;
+        neutral.order = crate::campaign::FaultOrder::ScoapHardFirst;
         assert_eq!(base, request_hash(&c, &seq(), &faults, &neutral));
 
         let mut semantic = CampaignOptions::new();

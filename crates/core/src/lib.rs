@@ -143,7 +143,7 @@ pub use audit::{audit_certificate, AuditOptions, AuditStatus};
 pub use budget::{BudgetMeter, BudgetStage, FaultBudget};
 pub use campaign::{
     run_campaign, try_run_campaign, CampaignAudit, CampaignOptions, CampaignResult, CancelFlag,
-    FaultHook, PartialSummary,
+    CollapseReport, FaultHook, FaultOrder, PartialSummary,
 };
 pub use moa_sim::ScreenLanes;
 pub use canon::{
@@ -160,7 +160,7 @@ pub use collect::{
     collect_pairs, collect_pairs_metered, Collection, PairInfo, PairKey, SideEvidence,
 };
 pub use condition::{condition_c_holds, n_out_profile, n_sv_profile};
-pub use cones::ConeCache;
+pub use cones::{ConeCache, StateOverlap};
 pub use counters::{CounterAverages, Counters, PerfCounters};
 pub use detect::detection_from_collection;
 pub use error::Error;
@@ -185,4 +185,7 @@ pub use stateseq::StateSequence;
 // The static analyses consumed by the procedure (learned implications) and
 // the campaign (untestability pruning) live in `moa_analyze`; re-export the
 // types that appear in this crate's public API.
-pub use moa_analyze::{ImplicationDb, UntestableProof, UntestableScreen};
+pub use moa_analyze::{
+    CollapseAnalysis, CollapseCertificate, ImplicationDb, Testability, UntestableProof,
+    UntestableScreen,
+};

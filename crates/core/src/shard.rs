@@ -835,6 +835,34 @@ mod tests {
     }
 
     #[test]
+    fn collapsed_sharded_run_merges_bit_identical_to_plain_unsharded() {
+        let c = toggle();
+        let seq = TestSequence::from_words(&["0", "0", "0"]).expect("valid sequence");
+        let faults = full_fault_list(&c);
+        // Reference: no collapse, no shards. Each shard collapses its own
+        // slice of the fault list (the partial-list-safe case), so the merge
+        // must still reproduce the plain campaign bit-identically, with
+        // exactly one record per original fault.
+        let plain = run_campaign(&c, &seq, &faults, &CampaignOptions::new());
+        let base = CampaignOptions {
+            collapse: true,
+            audit: Some(CampaignAudit::default()),
+            ..CampaignOptions::new()
+        };
+        for shards in [1usize, 3] {
+            let dir = temp_dir(&format!("collapse-{shards}"));
+            let options = ShardOptions::new(shards, &dir);
+            let run = run_sharded(&c, &seq, &faults, &base, &options).expect("supervise");
+            assert!(run.quarantined.is_empty(), "{:?}", run.quarantined);
+            let merged = merge_shards(&c, &seq, &faults, &base, &run.files).expect("merge");
+            assert_eq!(merged.result, plain, "{shards} shard(s)");
+            assert_eq!(merged.records, faults.len(), "one record per original fault");
+            assert_eq!(merged.result.audit_failed, 0);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
     fn single_shard_runs_resume_and_merge() {
         let c = toggle();
         let seq = TestSequence::from_words(&["0", "0", "0"]).expect("valid sequence");

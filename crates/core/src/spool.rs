@@ -142,6 +142,8 @@ impl JobSpec {
         out.push_str(&format!("opt differential {}\n", o.differential));
         out.push_str(&format!("opt screen {}\n", o.screen));
         out.push_str(&format!("opt prune_untestable {}\n", o.prune_untestable));
+        out.push_str(&format!("opt collapse {}\n", o.collapse));
+        out.push_str(&format!("opt order {}\n", o.order.name()));
         out.push_str(&format!("opt isolate_panics {}\n", o.isolate_panics));
         out.push_str(&format!("opt worker_retries {}\n", o.worker_retries));
         out.push_str(&format!("opt checkpoint_every {}\n", o.checkpoint_every));
@@ -250,6 +252,11 @@ fn apply_option(options: &mut CampaignOptions, key: &str, value: &str) -> Result
         "differential" => options.differential = flag(key, value)?,
         "screen" => options.screen = flag(key, value)?,
         "prune_untestable" => options.prune_untestable = flag(key, value)?,
+        "collapse" => options.collapse = flag(key, value)?,
+        "order" => {
+            options.order = crate::campaign::FaultOrder::parse(value)
+                .ok_or_else(|| format!("unknown fault order `{value}`"))?;
+        }
         "isolate_panics" => options.isolate_panics = flag(key, value)?,
         "worker_retries" => options.worker_retries = num(key, value)?,
         "checkpoint_every" => options.checkpoint_every = num(key, value)?,
