@@ -13,6 +13,7 @@ pub mod sim;
 pub mod stats;
 pub mod suite;
 pub mod tpg;
+pub mod work;
 
 use std::time::Duration;
 

@@ -25,19 +25,40 @@
 //! <- {"ok":true,"event":"done","job":"…","digest":"…"}
 //! ```
 //!
+//! With `--dispatch`, four more ops serve `moa work` processes (shard
+//! payloads ride as lowercase hex inside JSON strings):
+//!
+//! ```text
+//! -> {"op":"lease","worker":"w1"}
+//! <- {"ok":true,"outcome":"assigned","job":"…","shard":0,"shards":2,
+//!     "attempt":1,"lease_ms":10000,"heartbeat_ms":2000,"spec":"…"}
+//! <- {"ok":true,"outcome":"idle","retry_after_ms":500} | {"outcome":"draining"}
+//! -> {"op":"heartbeat","worker":"w1","job":"…","shard":0}
+//! <- {"ok":true,"lease":"held"} | {"ok":true,"lease":"lost"}
+//! -> {"op":"complete","worker":"w1","job":"…","shard":0,"data":"<hex>"}
+//! <- {"ok":true,"outcome":"accepted"|"duplicate"|"rejected","reason":…}
+//! -> {"op":"fail","worker":"w1","job":"…","shard":0,"error":"…"}
+//! <- {"ok":true}
+//! ```
+//!
 //! Submissions reuse the spool's [`JobSpec`] text as their wire payload, so
 //! the daemon validates them with exactly the parser that guards the spool,
 //! and client and server compute the same canonical job hash.
+//!
+//! Connections are hardened against stalled and hostile peers: every socket
+//! carries read/write timeouts, and request lines are length-bounded — an
+//! oversized line answers a structured error and drops the connection
+//! (framing past the bound is unrecoverable).
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 use moa_core::{
-    verdict_digest, CampaignOptions, CanonHash, Event, JobSpec, JobStatus, ServeOptions, Server,
-    Submit,
+    verdict_digest, CampaignOptions, CanonHash, Completion, DispatchOptions, Dispatcher, Event,
+    Heartbeat, JobSpec, JobStatus, Lease, ServeOptions, Server, Submit,
 };
 use moa_netlist::write_bench;
 
@@ -45,12 +66,12 @@ use crate::commands::{
     audit_peeled, fault_budget_from_args, moa_options_from_args, sequence_from_args,
     shard_retries_from_args, shard_timeout_from_args,
 };
-use crate::jsonx::Json;
+use crate::jsonx::{hex_decode, Json};
 use crate::{load_circuit, signals, ArgParser, CliError};
 
 const SERVE_USAGE: &str = "usage: moa serve --spool DIR [--addr HOST:PORT] [--workers N] \
 [--queue-depth N] [--job-attempts N] [--shards N] [--shard-retries R] [--shard-timeout-ms MS] \
-[--retry-after-ms MS]";
+[--retry-after-ms MS] [--dispatch [--lease-ms MS] [--heartbeat-ms MS] [--dispatch-attempts N]]";
 
 const SUBMIT_USAGE: &str = "usage: moa submit <bench-file> [--addr HOST:PORT | --spool DIR] \
 [--words p,... | --random L [--seed S] | --seq-file F] [--wait] [--n-states N] [--depth K] \
@@ -60,7 +81,7 @@ const SUBMIT_USAGE: &str = "usage: moa submit <bench-file> [--addr HOST:PORT | -
 const STATUS_USAGE: &str = "usage: moa status [--addr HOST:PORT | --spool DIR] [--job HASH]";
 
 /// The name of the address-discovery file the daemon drops into its spool.
-const ADDR_FILE: &str = "daemon.addr";
+pub(crate) const ADDR_FILE: &str = "daemon.addr";
 
 // ---------------------------------------------------------------------------
 // moa serve
@@ -80,8 +101,11 @@ pub fn run_serve(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
             "shard-retries",
             "shard-timeout-ms",
             "retry-after-ms",
+            "lease-ms",
+            "heartbeat-ms",
+            "dispatch-attempts",
         ],
-        &[],
+        &["dispatch"],
     )?;
     let spool_dir = parser.flag("spool").ok_or_else(|| {
         CliError::Usage(format!("--spool DIR is required\n\n{SERVE_USAGE}"))
@@ -94,6 +118,7 @@ pub fn run_serve(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
     options.shard_retries = shard_retries_from_args(&parser, options.shard_retries)?;
     options.shard_timeout = shard_timeout_from_args(&parser)?;
     options.retry_after_ms = parser.num("retry-after-ms", options.retry_after_ms)?;
+    options.dispatch = dispatch_options_from_args(&parser)?;
     let bind_addr = parser.flag("addr").unwrap_or("127.0.0.1:0").to_owned();
 
     let failed = |e: moa_core::Error| CliError::Failed(e.to_string());
@@ -135,6 +160,16 @@ pub fn run_serve(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
         .map_err(|e| CliError::Failed(format!("cannot write `{}`: {e}", addr_file.display())))?;
 
     writeln!(out, "listening on {local}")?;
+    if let Some(dispatcher) = server.dispatcher() {
+        let policy = dispatcher.options();
+        writeln!(
+            out,
+            "dispatch mode: leases of {} ms, heartbeats every {} ms, {} attempt(s) per shard",
+            policy.lease.as_millis(),
+            policy.heartbeat.as_millis(),
+            policy.attempts,
+        )?;
+    }
     out.flush()?;
 
     signals::install();
@@ -148,7 +183,7 @@ pub fn run_serve(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
                 // exits; in-flight responses get best-effort completion).
                 let _ = std::thread::Builder::new()
                     .name("moa-serve-conn".into())
-                    .spawn(move || handle_connection(&server, stream));
+                    .spawn(move || handle_connection(&server, stream, ConnLimits::default()));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(25));
@@ -169,16 +204,129 @@ pub fn run_serve(args: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
     Ok(())
 }
 
+/// Parses `--dispatch` and its knobs. The knobs are rejected without the
+/// switch so a typo'd invocation cannot silently run in the wrong mode.
+fn dispatch_options_from_args(parser: &ArgParser) -> Result<Option<DispatchOptions>, CliError> {
+    let knobs = ["lease-ms", "heartbeat-ms", "dispatch-attempts"];
+    if !parser.switch("dispatch") {
+        if let Some(knob) = knobs.iter().find(|k| parser.flag(k).is_some()) {
+            return Err(CliError::Usage(format!(
+                "--{knob} requires --dispatch\n\n{SERVE_USAGE}"
+            )));
+        }
+        return Ok(None);
+    }
+    let defaults = DispatchOptions::default();
+    let lease =
+        Duration::from_millis(parser.num("lease-ms", defaults.lease.as_millis() as u64)?);
+    let heartbeat =
+        Duration::from_millis(parser.num("heartbeat-ms", defaults.heartbeat.as_millis() as u64)?);
+    let attempts = parser.num("dispatch-attempts", defaults.attempts)?;
+    if attempts == 0 {
+        return Err(CliError::Usage(format!(
+            "--dispatch-attempts must be at least 1\n\n{SERVE_USAGE}"
+        )));
+    }
+    if heartbeat.is_zero() || lease < heartbeat.saturating_mul(2) {
+        return Err(CliError::Usage(format!(
+            "--lease-ms must be at least twice --heartbeat-ms (and both nonzero), got lease {} ms \
+             and heartbeat {} ms\n\n{SERVE_USAGE}",
+            lease.as_millis(),
+            heartbeat.as_millis()
+        )));
+    }
+    Ok(Some(DispatchOptions {
+        lease,
+        heartbeat,
+        attempts,
+        ..defaults
+    }))
+}
+
+/// Per-connection safety limits. The read timeout bounds how long an idle
+/// or stalled peer may pin a handler thread; the line bound caps memory a
+/// single request can make the daemon buffer.
+#[derive(Clone, Copy)]
+struct ConnLimits {
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_line: usize,
+}
+
+impl Default for ConnLimits {
+    fn default() -> ConnLimits {
+        ConnLimits {
+            read_timeout: Duration::from_mins(2),
+            write_timeout: Duration::from_secs(30),
+            // Job specs embed whole bench files and shard uploads ride as
+            // hex, so lines are large but bounded: 64 MiB covers any
+            // realistic shard at 2x headroom.
+            max_line: 64 << 20,
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. `Ok(None)` is a
+/// clean EOF. An oversized line is an `InvalidData` error: the framing past
+/// the bound is unrecoverable, so the caller must drop the connection.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+) -> std::io::Result<Option<String>> {
+    #[cfg(feature = "failpoints")]
+    if let Some(e) = moa_core::failpoint::io_error("fp/serve.recv") {
+        return Err(e);
+    }
+    let mut buf = Vec::new();
+    let n = reader.by_ref().take(max as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.len() > max {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("request line exceeds the {max}-byte limit"),
+        ));
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    String::from_utf8(buf).map(Some).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request line is not UTF-8",
+        )
+    })
+}
+
 /// Serves one client connection: one JSON request per line, one (or for
 /// `watch`, many) JSON response line(s) each.
-fn handle_connection(server: &Server, stream: TcpStream) {
+fn handle_connection(server: &Server, stream: TcpStream, limits: ConnLimits) {
+    let _ = stream.set_read_timeout(Some(limits.read_timeout));
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let line = match read_bounded_line(&mut reader, limits.max_line) {
+            Ok(Some(line)) => line,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Tell the peer why before hanging up; the stream cannot be
+                // re-framed after an oversized or non-UTF-8 line.
+                let _ = send(
+                    &mut writer,
+                    &Json::obj(vec![
+                        ("ok", Json::Bool(false)),
+                        ("error", Json::str(e.to_string())),
+                    ]),
+                );
+                return;
+            }
+            // Clean EOF, timeout, or connection error: nothing to say.
+            Ok(None) | Err(_) => return,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -194,12 +342,16 @@ fn handle_connection(server: &Server, stream: TcpStream) {
             ),
         };
         if outcome.is_err() {
-            break; // client went away
+            return; // client went away
         }
     }
 }
 
 fn send(writer: &mut TcpStream, value: &Json) -> std::io::Result<()> {
+    #[cfg(feature = "failpoints")]
+    if let Some(e) = moa_core::failpoint::io_error("fp/serve.send") {
+        return Err(e);
+    }
     let mut line = value.render();
     line.push('\n');
     writer.write_all(line.as_bytes())?;
@@ -227,13 +379,24 @@ fn dispatch(server: &Server, line: &str, writer: &mut TcpStream) -> Result<Optio
         "status" => match request.get("job") {
             None => {
                 let stats = server.stats().map_err(|e| e.to_string())?;
-                Ok(Some(Json::obj(vec![
+                let mut pairs = vec![
                     ("ok", Json::Bool(true)),
                     ("queued", Json::num(stats.queued as u64)),
                     ("running", Json::num(stats.running as u64)),
                     ("done", Json::num(stats.done as u64)),
                     ("poisoned", Json::num(stats.poisoned as u64)),
-                ])))
+                ];
+                if let Some(dispatcher) = server.dispatcher() {
+                    let shards = dispatcher.stats().map_err(|e| e.to_string())?;
+                    pairs.push(("shards_pending", Json::num(shards.pending as u64)));
+                    pairs.push(("shards_leased", Json::num(shards.leased as u64)));
+                    pairs.push(("shards_completed", Json::num(shards.completed as u64)));
+                    pairs.push((
+                        "shards_quarantined",
+                        Json::num(shards.quarantined as u64),
+                    ));
+                }
+                Ok(Some(Json::obj(pairs)))
             }
             Some(job) => {
                 let hash = parse_hash(job)?;
@@ -250,8 +413,125 @@ fn dispatch(server: &Server, line: &str, writer: &mut TcpStream) -> Result<Optio
             watch(server, hash, writer)?;
             Ok(None)
         }
+        "lease" => {
+            let d = dispatcher(server)?;
+            let worker = str_field(&request, "worker", "lease")?;
+            let reply = match d.lease(worker).map_err(|e| e.to_string())? {
+                Lease::Assigned(a) => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("outcome", Json::str("assigned")),
+                    ("job", Json::str(a.job.to_string())),
+                    ("shard", Json::num(a.shard as u64)),
+                    ("shards", Json::num(a.shards as u64)),
+                    ("attempt", Json::num(u64::from(a.attempt))),
+                    ("lease_ms", Json::num(a.lease_ms)),
+                    ("heartbeat_ms", Json::num(a.heartbeat_ms)),
+                    ("spec", Json::str(a.spec)),
+                ]),
+                Lease::Idle { retry_after_ms } => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("outcome", Json::str("idle")),
+                    ("retry_after_ms", Json::num(retry_after_ms)),
+                ]),
+                Lease::Draining => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("outcome", Json::str("draining")),
+                ]),
+            };
+            Ok(Some(reply))
+        }
+        "heartbeat" => {
+            let d = dispatcher(server)?;
+            let worker = str_field(&request, "worker", "heartbeat")?;
+            let job = parse_hash(
+                request
+                    .get("job")
+                    .ok_or_else(|| "heartbeat needs a `job` hash".to_owned())?,
+            )?;
+            let shard = shard_field(&request, "heartbeat")?;
+            let ack = d
+                .heartbeat(worker, job, shard)
+                .map_err(|e| e.to_string())?;
+            Ok(Some(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                (
+                    "lease",
+                    Json::str(match ack {
+                        Heartbeat::Held => "held",
+                        Heartbeat::Lost => "lost",
+                    }),
+                ),
+            ])))
+        }
+        "complete" => {
+            let d = dispatcher(server)?;
+            let worker = str_field(&request, "worker", "complete")?;
+            let job = parse_hash(
+                request
+                    .get("job")
+                    .ok_or_else(|| "complete needs a `job` hash".to_owned())?,
+            )?;
+            let shard = shard_field(&request, "complete")?;
+            let data = str_field(&request, "data", "complete")?;
+            let bytes =
+                hex_decode(data).map_err(|e| format!("complete has bad `data` hex: {e}"))?;
+            let reply = match d
+                .complete(worker, job, shard, &bytes)
+                .map_err(|e| e.to_string())?
+            {
+                Completion::Accepted => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("outcome", Json::str("accepted")),
+                ]),
+                Completion::Duplicate => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("outcome", Json::str("duplicate")),
+                ]),
+                Completion::Rejected { reason } => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("outcome", Json::str("rejected")),
+                    ("reason", Json::str(reason)),
+                ]),
+            };
+            Ok(Some(reply))
+        }
+        "fail" => {
+            let d = dispatcher(server)?;
+            let worker = str_field(&request, "worker", "fail")?;
+            let job = parse_hash(
+                request
+                    .get("job")
+                    .ok_or_else(|| "fail needs a `job` hash".to_owned())?,
+            )?;
+            let shard = shard_field(&request, "fail")?;
+            let error = str_field(&request, "error", "fail")?;
+            d.fail(worker, job, shard, error).map_err(|e| e.to_string())?;
+            Ok(Some(Json::obj(vec![("ok", Json::Bool(true))])))
+        }
         other => Err(format!("unknown op `{other}`")),
     }
+}
+
+/// The dispatch ops are only meaningful when the daemon runs `--dispatch`.
+fn dispatcher(server: &Server) -> Result<&Arc<Dispatcher>, String> {
+    server
+        .dispatcher()
+        .ok_or_else(|| "the daemon is not in dispatch mode (start it with --dispatch)".to_owned())
+}
+
+fn str_field<'a>(request: &'a Json, key: &str, op: &str) -> Result<&'a str, String> {
+    request
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{op} needs a `{key}` string"))
+}
+
+fn shard_field(request: &Json, op: &str) -> Result<usize, String> {
+    request
+        .get("shard")
+        .and_then(Json::as_u64)
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| format!("{op} needs a `shard` number"))
 }
 
 fn parse_hash(value: &Json) -> Result<CanonHash, String> {
@@ -404,13 +684,13 @@ fn event_parts(event: &Event) -> (&'static str, CanonHash) {
 // ---------------------------------------------------------------------------
 
 /// One client connection speaking the newline-JSON protocol.
-struct Connection {
+pub(crate) struct Connection {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl Connection {
-    fn open(addr: &str) -> Result<Connection, CliError> {
+    pub(crate) fn open(addr: &str) -> Result<Connection, CliError> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| CliError::Failed(format!("cannot connect to the daemon at `{addr}`: {e}")))?;
         let read_half = stream
@@ -422,7 +702,23 @@ impl Connection {
         })
     }
 
-    fn send(&mut self, value: &Json) -> Result<(), CliError> {
+    /// Like [`open`](Self::open), but with socket timeouts: a worker must
+    /// never hang forever on a daemon that died mid-reply — a timeout error
+    /// surfaces and the worker's reconnect loop takes over.
+    pub(crate) fn open_with_timeouts(
+        addr: &str,
+        read: Duration,
+        write: Duration,
+    ) -> Result<Connection, CliError> {
+        let conn = Connection::open(addr)?;
+        conn.writer
+            .set_read_timeout(Some(read))
+            .and_then(|()| conn.writer.set_write_timeout(Some(write)))
+            .map_err(|e| CliError::Failed(format!("cannot set socket timeouts: {e}")))?;
+        Ok(conn)
+    }
+
+    pub(crate) fn send(&mut self, value: &Json) -> Result<(), CliError> {
         let mut line = value.render();
         line.push('\n');
         self.writer
@@ -431,7 +727,7 @@ impl Connection {
             .map_err(|e| CliError::Failed(format!("cannot send to the daemon: {e}")))
     }
 
-    fn read_reply(&mut self) -> Result<Json, CliError> {
+    pub(crate) fn read_reply(&mut self) -> Result<Json, CliError> {
         let mut line = String::new();
         let n = self
             .reader
@@ -454,7 +750,7 @@ impl Connection {
         Ok(reply)
     }
 
-    fn request(&mut self, value: &Json) -> Result<Json, CliError> {
+    pub(crate) fn request(&mut self, value: &Json) -> Result<Json, CliError> {
         self.send(value)?;
         self.read_reply()
     }
@@ -462,7 +758,7 @@ impl Connection {
 
 /// `--addr HOST:PORT` wins; otherwise `--spool DIR` reads the daemon's
 /// discovery file.
-fn resolve_addr(parser: &ArgParser, usage: &'static str) -> Result<String, CliError> {
+pub(crate) fn resolve_addr(parser: &ArgParser, usage: &'static str) -> Result<String, CliError> {
     if let Some(addr) = parser.flag("addr") {
         return Ok(addr.to_owned());
     }
@@ -481,7 +777,7 @@ fn resolve_addr(parser: &ArgParser, usage: &'static str) -> Result<String, CliEr
     )))
 }
 
-fn field<'a>(reply: &'a Json, key: &str) -> &'a str {
+pub(crate) fn field<'a>(reply: &'a Json, key: &str) -> &'a str {
     reply.get(key).and_then(Json::as_str).unwrap_or("?")
 }
 
@@ -638,6 +934,16 @@ pub fn run_status(args: &[String], out: &mut dyn std::io::Write) -> Result<(), C
                 count("done"),
                 count("poisoned"),
             )?;
+            if reply.get("shards_pending").is_some() {
+                writeln!(
+                    out,
+                    "dispatch shards: pending {} / leased {} / completed {} / quarantined {}",
+                    count("shards_pending"),
+                    count("shards_leased"),
+                    count("shards_completed"),
+                    count("shards_quarantined"),
+                )?;
+            }
         }
         Some(job) => {
             let reply = conn.request(&Json::obj(vec![
@@ -696,7 +1002,7 @@ mod tests {
             let server = Arc::clone(&server);
             std::thread::spawn(move || {
                 let (stream, _) = listener.accept().expect("accept");
-                handle_connection(&server, stream);
+                handle_connection(&server, stream, ConnLimits::default());
             })
         };
 
@@ -777,6 +1083,292 @@ mod tests {
         drop(conn);
         handler.join().expect("handler");
         assert_eq!(server.drain().expect("drain"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Spawns a handler thread serving exactly one accepted connection.
+    fn one_shot_handler(
+        server: &Arc<Server>,
+        limits: ConnLimits,
+    ) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = Arc::clone(server);
+        let handler = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            handle_connection(&server, stream, limits);
+        });
+        (addr, handler)
+    }
+
+    /// An oversized request line answers a structured error and then the
+    /// daemon hangs up — the framing past the bound is unrecoverable, so
+    /// the connection must not limp along misinterpreting the remainder.
+    #[test]
+    fn oversized_request_lines_answer_an_error_then_disconnect() {
+        let dir = temp_spool("maxline");
+        let server = Arc::new(Server::start(ServeOptions::new(&dir)).expect("start"));
+        let limits = ConnLimits {
+            max_line: 128,
+            ..ConnLimits::default()
+        };
+        let (addr, handler) = one_shot_handler(&server, limits);
+
+        let mut conn = Connection::open(&addr).expect("connect");
+        let huge = Json::obj(vec![
+            ("op", Json::str("status")),
+            ("job", Json::str("x".repeat(256))),
+        ]);
+        let err = conn.request(&huge).expect_err("oversized line");
+        assert!(err.to_string().contains("128-byte limit"), "{err}");
+        let err = conn
+            .request(&Json::obj(vec![("op", Json::str("status"))]))
+            .expect_err("connection is gone");
+        assert!(err.to_string().contains("closed the connection"), "{err}");
+
+        handler.join().expect("handler");
+        assert_eq!(server.drain().expect("drain"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A worker-free daemon in dispatch mode serves the lease / heartbeat /
+    /// complete ops over the wire: this test plays the worker by hand and
+    /// drives one job to completion shard by shard.
+    #[test]
+    fn dispatch_ops_drive_a_job_over_the_wire() {
+        let dir = temp_spool("dispatch-ops");
+        let options = ServeOptions {
+            shards: 2,
+            dispatch: Some(DispatchOptions::default()),
+            ..ServeOptions::new(&dir)
+        };
+        let server = Arc::new(Server::start(options).expect("start"));
+        let (addr, handler) = one_shot_handler(&server, ConnLimits::default());
+        let mut conn = Connection::open(&addr).expect("connect");
+
+        let spec = s27_spec();
+        let hash = spec.hash();
+        let reply = conn
+            .request(&Json::obj(vec![
+                ("op", Json::str("submit")),
+                ("spec", Json::str(spec.to_text())),
+            ]))
+            .expect("submit");
+        assert_eq!(field(&reply, "outcome"), "accepted");
+
+        let scratch = temp_spool("dispatch-ops-scratch");
+        let mut done = 0usize;
+        while done < 2 {
+            let reply = conn
+                .request(&Json::obj(vec![
+                    ("op", Json::str("lease")),
+                    ("worker", Json::str("wire-worker")),
+                ]))
+                .expect("lease");
+            match field(&reply, "outcome") {
+                "idle" => {
+                    assert!(reply.get("retry_after_ms").and_then(Json::as_u64).is_some());
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                "assigned" => {
+                    assert_eq!(field(&reply, "job"), hash.to_string());
+                    let shard =
+                        reply.get("shard").and_then(Json::as_u64).expect("shard") as usize;
+                    let shards =
+                        reply.get("shards").and_then(Json::as_u64).expect("shards") as usize;
+                    assert_eq!(shards, 2);
+                    let job_spec =
+                        JobSpec::parse(field(&reply, "spec")).expect("spec round-trips");
+                    assert_eq!(job_spec.hash(), hash, "spec matches its content address");
+
+                    // Mid-shard, the lease answers to a heartbeat.
+                    let beat = conn
+                        .request(&Json::obj(vec![
+                            ("op", Json::str("heartbeat")),
+                            ("worker", Json::str("wire-worker")),
+                            ("job", Json::str(hash.to_string())),
+                            ("shard", Json::num(shard as u64)),
+                        ]))
+                        .expect("heartbeat");
+                    assert_eq!(field(&beat, "lease"), "held");
+
+                    let faults = moa_netlist::full_fault_list(&job_spec.circuit);
+                    moa_core::run_shard(
+                        &job_spec.circuit,
+                        &job_spec.seq,
+                        &faults,
+                        &job_spec.options,
+                        shards,
+                        shard,
+                        &scratch,
+                    )
+                    .expect("shard runs");
+                    let bytes =
+                        std::fs::read(moa_core::shard_path(&scratch, shard)).expect("bytes");
+                    let upload = conn
+                        .request(&Json::obj(vec![
+                            ("op", Json::str("complete")),
+                            ("worker", Json::str("wire-worker")),
+                            ("job", Json::str(hash.to_string())),
+                            ("shard", Json::num(shard as u64)),
+                            ("data", Json::str(crate::jsonx::hex_encode(&bytes))),
+                        ]))
+                        .expect("complete");
+                    assert_eq!(field(&upload, "outcome"), "accepted");
+                    done += 1;
+                }
+                other => panic!("unexpected lease outcome `{other}`"),
+            }
+        }
+
+        // Both shards are in: the daemon's job thread merges and finishes.
+        conn.send(&Json::obj(vec![
+            ("op", Json::str("watch")),
+            ("job", Json::str(hash.to_string())),
+        ]))
+        .expect("watch");
+        loop {
+            let event = conn.read_reply().expect("event");
+            match field(&event, "event") {
+                "done" => break,
+                "poisoned" => panic!("job must not poison: {event:?}"),
+                _ => {}
+            }
+        }
+
+        // Daemon-wide status now carries dispatch shard counters.
+        let reply = conn
+            .request(&Json::obj(vec![("op", Json::str("status"))]))
+            .expect("stats");
+        assert!(reply.get("shards_pending").and_then(Json::as_u64).is_some());
+
+        drop(conn);
+        handler.join().expect("handler");
+        assert_eq!(server.drain().expect("drain"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+
+    /// The dispatch ops are a hard error on a daemon not running
+    /// `--dispatch`: a misconfigured worker learns immediately instead of
+    /// spinning on idle replies forever.
+    #[test]
+    fn dispatch_ops_require_dispatch_mode() {
+        let dir = temp_spool("nodispatch");
+        let server = Arc::new(Server::start(ServeOptions::new(&dir)).expect("start"));
+        let (addr, handler) = one_shot_handler(&server, ConnLimits::default());
+        let mut conn = Connection::open(&addr).expect("connect");
+        let err = conn
+            .request(&Json::obj(vec![
+                ("op", Json::str("lease")),
+                ("worker", Json::str("w1")),
+            ]))
+            .expect_err("lease must fail");
+        assert!(err.to_string().contains("not in dispatch mode"), "{err}");
+        drop(conn);
+        handler.join().expect("handler");
+        assert_eq!(server.drain().expect("drain"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Armed `fp/serve.send` / `fp/serve.recv` failpoints sever individual
+    /// connections — but only those: the daemon itself survives, and a
+    /// fresh connection works once the schedule is exhausted. This is the
+    /// transport half of the chaos breadth contract (the lease-path site is
+    /// soaked in `moa_core::dispatch`).
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn serve_failpoints_sever_connections_but_spare_the_daemon() {
+        use moa_core::failpoint::{self, ChaosSchedule, FailAction, SitePlan};
+        let _guard = failpoint::test_lock();
+        failpoint::clear();
+
+        let dir = temp_spool("fp-serve");
+        let server = Arc::new(Server::start(ServeOptions::new(&dir)).expect("start"));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let handler = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                for _ in 0..3 {
+                    let (stream, _) = listener.accept().expect("accept");
+                    handle_connection(&server, stream, ConnLimits::default());
+                }
+            })
+        };
+
+        failpoint::install(
+            ChaosSchedule::empty(7)
+                .with_site(
+                    "fp/serve.recv",
+                    SitePlan::new(1.0, vec![FailAction::Error]).with_max_fires(1),
+                )
+                .with_site(
+                    "fp/serve.send",
+                    SitePlan::new(1.0, vec![FailAction::Error]).with_max_fires(1),
+                ),
+        );
+
+        let status_op = Json::obj(vec![("op", Json::str("status"))]);
+        // Connection 1 dies to the injected recv error, connection 2 to the
+        // injected send error; neither takes the daemon down.
+        for round in 0..2 {
+            let mut conn = Connection::open(&addr).expect("connect");
+            let err = conn.request(&status_op).expect_err("injected failure");
+            // The drop shows as a clean EOF or a reset depending on timing —
+            // either way it is a transport failure, not a structured reply.
+            assert!(
+                !err.to_string().contains("daemon error"),
+                "round {round}: {err}"
+            );
+        }
+        // Both plans exhausted: a fresh connection serves normally.
+        let mut conn = Connection::open(&addr).expect("connect");
+        let reply = conn.request(&status_op).expect("healthy after chaos");
+        assert_eq!(reply.get("queued").and_then(Json::as_u64), Some(0));
+
+        let fired: Vec<String> = failpoint::fired_combos()
+            .into_iter()
+            .map(|((site, kind), _)| format!("{site}/{kind}"))
+            .collect();
+        failpoint::clear();
+        assert!(fired.contains(&"fp/serve.recv/error".to_owned()), "{fired:?}");
+        assert!(fired.contains(&"fp/serve.send/error".to_owned()), "{fired:?}");
+
+        drop(conn);
+        handler.join().expect("handler");
+        assert_eq!(server.drain().expect("drain"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dispatch_knobs_require_the_dispatch_switch() {
+        let dir = temp_spool("knobs");
+        let args: Vec<String> = vec![
+            "--spool".into(),
+            dir.to_string_lossy().into_owned(),
+            "--lease-ms".into(),
+            "5000".into(),
+        ];
+        let mut out = Vec::new();
+        let err = run_serve(&args, &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("requires --dispatch"), "{err}");
+
+        // And an unsafe lease/heartbeat ratio is refused up front.
+        let args: Vec<String> = vec![
+            "--spool".into(),
+            dir.to_string_lossy().into_owned(),
+            "--dispatch".into(),
+            "--lease-ms".into(),
+            "1000".into(),
+            "--heartbeat-ms".into(),
+            "900".into(),
+        ];
+        let mut out = Vec::new();
+        let err = run_serve(&args, &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("at least twice"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -142,6 +142,41 @@ impl Json {
     }
 }
 
+/// Lowercase-hex encodes binary payloads for the protocol (shard files
+/// ride inside JSON strings; hex keeps the framing trivially line-safe).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Decodes [`hex_encode`]'s output (either case accepted).
+///
+/// # Errors
+///
+/// A message naming the offending byte offset, or the odd length.
+pub fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(format!("hex payload has odd length {}", bytes.len()));
+    }
+    let nibble = |b: u8, at: usize| -> Result<u8, String> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(format!("bad hex digit `{}` at byte {at}", char::from(b))),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        out.push((nibble(pair[0], 2 * i)? << 4) | nibble(pair[1], 2 * i + 1)?);
+    }
+    Ok(out)
+}
+
 fn render_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -423,6 +458,19 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        for bytes in [&b""[..], &b"\x00\xff\x10moa"[..], &[0u8; 300][..]] {
+            let text = hex_encode(bytes);
+            assert!(text.bytes().all(|b| b.is_ascii_hexdigit()));
+            assert_eq!(hex_decode(&text).unwrap(), bytes);
+        }
+        assert_eq!(hex_decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert!(hex_decode("abc").unwrap_err().contains("odd length"));
+        assert!(hex_decode("zz").unwrap_err().contains("bad hex digit"));
+        assert!(hex_decode("0g").unwrap_err().contains("at byte 1"));
     }
 
     #[test]

@@ -99,8 +99,15 @@ COMMANDS:          (<bench> is a .bench file path, or suite:NAME for an embedded
     gen       --inputs N --outputs N --ffs N --gates N [--seed S] [-o FILE]
     serve     --spool DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
               [--job-attempts N] [--shards N] [--shard-retries R] [--shard-timeout-ms MS]
+              [--dispatch [--lease-ms MS] [--heartbeat-ms MS] [--dispatch-attempts N]]
               campaign daemon: bounded admission, dedupe cache, poison quarantine,
-              crash recovery from the spool; first SIGINT/SIGTERM drains gracefully
+              crash recovery from the spool; first SIGINT/SIGTERM drains gracefully;
+              with --dispatch, shards run on remote `moa work` processes under
+              lease-based at-least-once delivery
+    work      --connect HOST:PORT | --addr HOST:PORT | --spool DIR
+              [--scratch DIR] [--worker-id ID] [--max-idle-ms MS]
+              shard worker: leases shards from a --dispatch daemon, heartbeats,
+              streams finished shard checkpoints back, reconnects with backoff
     submit    <bench> [--addr HOST:PORT | --spool DIR] [--random L [--seed S] |
               --seq-file F | --words p,...] [--wait] [campaign tuning flags]
               submit a campaign job to a daemon (prints the job's canonical hash)
@@ -139,6 +146,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "serve" => commands::serve::run_serve(rest, out),
         "submit" => commands::serve::run_submit(rest, out),
         "status" => commands::serve::run_status(rest, out),
+        "work" => commands::work::run(rest, out),
         "suite" => commands::suite::run(rest, out),
         "bench" => commands::bench::run(rest, out),
         "help" | "--help" | "-h" => {

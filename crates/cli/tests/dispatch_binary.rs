@@ -1,0 +1,317 @@
+//! Process-level chaos tests of the distributed dispatch path: a `moa serve
+//! --dispatch` daemon with real `moa work` processes, killed with SIGKILL at
+//! the worst moments. The lease engine's unit tests live in
+//! `moa_core::dispatch` and the protocol tests in `commands::serve`; these
+//! tests prove the end-to-end contract across process boundaries:
+//! at-least-once dispatch plus strict merge equals exactly-once results,
+//! bit-identical to a single-process `moa campaign` run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn moa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_moa"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moa-dispatch-bin-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_default()
+}
+
+fn wait_for(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn start_daemon(spool: &Path, log: &Path, extra: &[&str]) -> Child {
+    let addr_file = spool.join("daemon.addr");
+    let _ = std::fs::remove_file(&addr_file);
+    let logf = std::fs::File::create(log).unwrap();
+    let errf = logf.try_clone().unwrap();
+    let child = moa()
+        .arg("serve")
+        .arg("--spool")
+        .arg(spool)
+        .args(extra)
+        .stdout(Stdio::from(logf))
+        .stderr(Stdio::from(errf))
+        .spawn()
+        .unwrap();
+    wait_for("daemon startup", Duration::from_secs(30), || {
+        addr_file.exists() && read(log).contains("listening on")
+    });
+    child
+}
+
+/// Starts a worker discovering the daemon through the spool (so it follows
+/// a restarted daemon to its new port), with its own scratch directory.
+fn start_worker(spool: &Path, dir: &Path, id: &str) -> Child {
+    let log = dir.join(format!("{id}.log"));
+    let logf = std::fs::File::create(&log).unwrap();
+    let errf = logf.try_clone().unwrap();
+    moa()
+        .arg("work")
+        .arg("--spool")
+        .arg(spool)
+        .args(["--worker-id", id])
+        .arg("--scratch")
+        .arg(dir.join(id))
+        .stdout(Stdio::from(logf))
+        .stderr(Stdio::from(errf))
+        .spawn()
+        .unwrap()
+}
+
+fn send_signal(child: &Child, sig: &str) {
+    let status = Command::new("kill")
+        .arg(sig)
+        .arg(child.id().to_string())
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill {sig} failed");
+}
+
+/// Big enough that SIGKILLs a few hundred ms after admission land
+/// mid-shard (s298's full fault list over 2048 vectors runs for seconds).
+const JOB: [&str; 5] = ["suite:s298", "--random", "2048", "--seed", "7"];
+
+fn submit(spool: &Path, job: &[&str]) -> std::process::Output {
+    moa()
+        .arg("submit")
+        .args(job)
+        .arg("--spool")
+        .arg(spool)
+        .output()
+        .unwrap()
+}
+
+fn job_hash(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("accepted: job "))
+        .unwrap_or_else(|| panic!("no acceptance line in: {text}"));
+    let hash = line.trim_start_matches("accepted: job ").trim().to_owned();
+    assert_eq!(hash.len(), 32, "{line}");
+    hash
+}
+
+fn summary_digest(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    let line = text
+        .lines()
+        .find(|l| l.contains("verdict digest"))
+        .unwrap_or_else(|| panic!("no digest line in: {text}"));
+    line.split(':').nth(1).unwrap().trim().to_owned()
+}
+
+fn job_status(spool: &Path, hash: &str) -> String {
+    let out = moa()
+        .arg("status")
+        .arg("--spool")
+        .arg(spool)
+        .args(["--job", hash])
+        .output()
+        .unwrap();
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The tentpole acceptance soak: a dispatch daemon feeding two worker
+/// processes is SIGKILLed together with one of the workers mid-campaign. A
+/// fresh daemon re-adopts the job, the surviving worker re-discovers it
+/// through the spool, a replacement worker joins, and the campaign
+/// completes with a verdict digest bit-identical to a direct single-process
+/// `moa campaign` run — at-least-once dispatch, exactly-once results.
+#[test]
+fn dispatch_survives_sigkill_of_worker_and_daemon_bit_identically() {
+    let dir = scratch("chaos");
+    let spool = dir.join("spool");
+    let dispatch_flags = [
+        "--dispatch",
+        "--shards",
+        "4",
+        "--lease-ms",
+        "2000",
+        "--heartbeat-ms",
+        "500",
+        "--dispatch-attempts",
+        "10",
+    ];
+
+    let log1 = dir.join("daemon-1.log");
+    let daemon1 = start_daemon(&spool, &log1, &dispatch_flags);
+    assert!(
+        read(&log1).contains("dispatch mode"),
+        "daemon must announce dispatch mode: {}",
+        read(&log1)
+    );
+
+    let doomed = start_worker(&spool, &dir, "doomed");
+    let survivor = start_worker(&spool, &dir, "survivor");
+
+    let accepted = submit(&spool, &JOB);
+    assert!(
+        accepted.status.success(),
+        "{}",
+        String::from_utf8_lossy(&accepted.stderr)
+    );
+    let hash = job_hash(&accepted.stdout);
+
+    // Let both workers lease into the simulation, then kill one worker AND
+    // the daemon — the worst compound failure short of losing the spool.
+    wait_for("workers to lease shards", Duration::from_secs(30), || {
+        read(&dir.join("doomed.log")).contains("leased shard")
+            && read(&dir.join("survivor.log")).contains("leased shard")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    send_signal(&doomed, "-KILL");
+    let mut doomed = doomed;
+    doomed.wait().unwrap();
+    let mut daemon1 = daemon1;
+    daemon1.kill().unwrap();
+    daemon1.wait().unwrap();
+
+    // Restart the daemon on the same spool: it re-adopts the job and
+    // re-validates whatever complete shard files made it to disk. The
+    // surviving worker follows the discovery file to the new port, and a
+    // replacement worker joins the fleet.
+    let log2 = dir.join("daemon-2.log");
+    let daemon2 = start_daemon(&spool, &log2, &dispatch_flags);
+    assert!(
+        read(&log2).contains(&format!("re-adopted job {hash}")),
+        "recovery must announce the adoption: {}",
+        read(&log2)
+    );
+    let replacement = start_worker(&spool, &dir, "replacement");
+
+    let mut digest = String::new();
+    wait_for("the dispatched job to finish", Duration::from_mins(3), || {
+        let text = job_status(&spool, &hash);
+        assert!(
+            !text.contains("poisoned"),
+            "the job must not be quarantined: {text}"
+        );
+        if let Some(rest) = text.split("done, verdict digest ").nth(1) {
+            digest = rest.trim().to_owned();
+            true
+        } else {
+            false
+        }
+    });
+    assert_eq!(digest.len(), 32, "{digest}");
+
+    // Exactly-once: the distributed result is bit-identical to a direct,
+    // single-process, unsharded campaign of the same request.
+    let direct = moa()
+        .arg("campaign")
+        .args(JOB)
+        .args(["--proposed", "--no-collapse"])
+        .output()
+        .unwrap();
+    assert!(
+        direct.status.success(),
+        "{}",
+        String::from_utf8_lossy(&direct.stderr)
+    );
+    assert_eq!(
+        summary_digest(&direct.stdout),
+        digest,
+        "chaos-soaked dispatch must be bit-identical to a direct run"
+    );
+    assert!(
+        !read(&log2).contains("AuditFailed"),
+        "no audit failures: {}",
+        read(&log2)
+    );
+
+    // Drain the daemon cleanly; the workers are then torn down hard (their
+    // graceful draining exit is covered by the lease-engine tests).
+    send_signal(&daemon2, "-TERM");
+    let mut daemon2 = daemon2;
+    assert_eq!(daemon2.wait().unwrap().code(), Some(0), "{}", read(&log2));
+    let mut survivor = survivor;
+    let mut replacement = replacement;
+    let _ = survivor.kill();
+    let _ = replacement.kill();
+    let _ = survivor.wait();
+    let _ = replacement.wait();
+}
+
+/// Attempt budgets keep crash-looping shards from cycling forever: with a
+/// budget of one attempt, a worker SIGKILLed mid-shard quarantines its
+/// shard on lease expiry, and the job poisons with a report naming the
+/// failed shard — reported, never dropped or silently retried.
+#[test]
+fn exhausted_attempt_budget_quarantines_and_reports_the_shard() {
+    let dir = scratch("budget");
+    let spool = dir.join("spool");
+    let log = dir.join("daemon.log");
+    let daemon = start_daemon(
+        &spool,
+        &log,
+        &[
+            "--dispatch",
+            "--shards",
+            "2",
+            "--lease-ms",
+            "1000",
+            "--heartbeat-ms",
+            "300",
+            "--dispatch-attempts",
+            "1",
+            "--job-attempts",
+            "1",
+        ],
+    );
+
+    let victim = start_worker(&spool, &dir, "victim");
+    let survivor = start_worker(&spool, &dir, "survivor");
+
+    let accepted = submit(&spool, &JOB);
+    assert!(
+        accepted.status.success(),
+        "{}",
+        String::from_utf8_lossy(&accepted.stderr)
+    );
+    let hash = job_hash(&accepted.stdout);
+
+    // Both workers lease (two shards, one each); kill one mid-shard. Its
+    // lease expires against an exhausted budget of one attempt, so the
+    // shard quarantines instead of re-dispatching to the survivor.
+    wait_for("workers to lease shards", Duration::from_secs(30), || {
+        read(&dir.join("victim.log")).contains("leased shard")
+            && read(&dir.join("survivor.log")).contains("leased shard")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    send_signal(&victim, "-KILL");
+    let mut victim = victim;
+    victim.wait().unwrap();
+
+    wait_for("the job to poison", Duration::from_mins(3), || {
+        job_status(&spool, &hash).contains("poisoned")
+    });
+    let text = job_status(&spool, &hash);
+    assert!(text.contains("quarantined"), "{text}");
+    assert!(text.contains("lease expired on worker"), "{text}");
+    assert!(
+        text.contains("budget of 1 attempt(s) is exhausted"),
+        "{text}"
+    );
+
+    send_signal(&daemon, "-TERM");
+    let mut daemon = daemon;
+    assert_eq!(daemon.wait().unwrap().code(), Some(0), "{}", read(&log));
+    let mut survivor = survivor;
+    let _ = survivor.kill();
+    let _ = survivor.wait();
+}

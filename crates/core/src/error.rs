@@ -88,6 +88,12 @@ pub enum Error {
         /// What went wrong.
         message: String,
     },
+    /// A shard-dispatch failure (invalid dispatch policy, a bad worker id,
+    /// an unpublishable shard upload, or a poisoned dispatch table).
+    Dispatch {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -119,6 +125,7 @@ impl fmt::Display for Error {
             ),
             Error::Spool { path, message } => write!(f, "spool {path}: {message}"),
             Error::Serve { message } => write!(f, "serve: {message}"),
+            Error::Dispatch { message } => write!(f, "dispatch: {message}"),
         }
     }
 }
@@ -171,5 +178,7 @@ mod tests {
         assert_eq!(e.to_string(), "spool spool/job-ab: spec line 2: unknown key");
         let e = Error::Serve { message: "queue full".into() };
         assert_eq!(e.to_string(), "serve: queue full");
+        let e = Error::Dispatch { message: "lease expired".into() };
+        assert_eq!(e.to_string(), "dispatch: lease expired");
     }
 }

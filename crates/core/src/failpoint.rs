@@ -34,6 +34,9 @@
 //! | `fp/shard.write` | v2 shard-file serialization + fsync | error, panic, delay |
 //! | `fp/shard.read` | strict shard reading during merge | error, panic, delay |
 //! | `fp/shard.run` | shard-worker entry, under the supervisor | panic, delay |
+//! | `fp/serve.send` | daemon/worker protocol line writes (CLI) | error, panic, delay |
+//! | `fp/serve.recv` | daemon/worker protocol line reads (CLI) | error, panic, delay |
+//! | `fp/dispatch.lease` | dispatch-table lease grants | error, panic, delay |
 //!
 //! The `fp/bench.parse` and `fp/analyze.pass` sites live in crates that
 //! cannot depend on this one; [`install`]/[`clear`] wire them up through
@@ -79,6 +82,9 @@ pub const SITES: &[&str] = &[
     "fp/serve.submit",
     "fp/serve.worker",
     "fp/serve.recover",
+    "fp/serve.send",
+    "fp/serve.recv",
+    "fp/dispatch.lease",
 ];
 
 /// What a firing failpoint does to its call site.
@@ -283,6 +289,26 @@ impl ChaosSchedule {
             .with_site(
                 "fp/serve.recover",
                 SitePlan::new(0.2, vec![FailAction::Delay(ms(1))]).with_max_fires(2),
+            )
+            // Network-path sites: an injected send/recv error drops one
+            // protocol exchange (the peer reconnects or retries); a lease
+            // refusal is a transient dispatch error the worker backs off
+            // from. None of them may corrupt results — at-least-once
+            // delivery plus the strict merge absorbs every one.
+            .with_site(
+                "fp/serve.send",
+                SitePlan::new(0.1, vec![FailAction::Error, FailAction::Delay(ms(1))])
+                    .with_max_fires(4),
+            )
+            .with_site(
+                "fp/serve.recv",
+                SitePlan::new(0.1, vec![FailAction::Error, FailAction::Delay(ms(1))])
+                    .with_max_fires(4),
+            )
+            .with_site(
+                "fp/dispatch.lease",
+                SitePlan::new(0.2, vec![FailAction::Error, FailAction::Delay(ms(1))])
+                    .with_max_fires(4),
             )
     }
 

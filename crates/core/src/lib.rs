@@ -123,6 +123,7 @@ mod condition;
 mod cones;
 mod counters;
 mod detect;
+pub mod dispatch;
 mod error;
 mod exact;
 mod expand;
@@ -163,6 +164,10 @@ pub use condition::{condition_c_holds, n_out_profile, n_sv_profile};
 pub use cones::{ConeCache, StateOverlap};
 pub use counters::{CounterAverages, Counters, PerfCounters};
 pub use detect::detection_from_collection;
+pub use dispatch::{
+    Assignment, Completion, DispatchOptions, DispatchStats, Dispatcher, Heartbeat, JobOutcome,
+    Lease,
+};
 pub use error::Error;
 pub use exact::{certificate_cross_check, exact_moa_check, CertificateCrossCheck, ExactOutcome};
 pub use expand::{expand, expand_metered, ExpandOutcome};

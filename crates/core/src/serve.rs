@@ -44,6 +44,7 @@ use moa_netlist::full_fault_list;
 
 use crate::campaign::{panic_message, CampaignResult};
 use crate::canon::{verdict_digest, CanonHash};
+use crate::dispatch::{DispatchOptions, Dispatcher, JobOutcome};
 use crate::error::Error;
 use crate::shard::{merge_shards, run_sharded, ShardOptions};
 use crate::spool::{JobSpec, JobState, Spool};
@@ -68,6 +69,10 @@ pub struct ServeOptions {
     pub shard_retries: usize,
     /// The hint returned with a [`Submit::Rejected`].
     pub retry_after_ms: u64,
+    /// When set, jobs are not run in-process: their shards are handed to
+    /// remote `moa work` processes through the [`Dispatcher`], under this
+    /// lease/heartbeat/attempt policy. The merge gate is unchanged.
+    pub dispatch: Option<DispatchOptions>,
 }
 
 impl ServeOptions {
@@ -83,6 +88,7 @@ impl ServeOptions {
             shard_timeout: None,
             shard_retries: 2,
             retry_after_ms: 1000,
+            dispatch: None,
         }
     }
 }
@@ -211,6 +217,10 @@ struct Shared {
     drain: Arc<AtomicBool>,
     spool: Spool,
     options: ServeOptions,
+    /// Present in dispatch mode: the shard lease table remote workers pull
+    /// from. Job workers block in [`Dispatcher::wait_job`] instead of
+    /// running shards themselves.
+    dispatcher: Option<Arc<Dispatcher>>,
 }
 
 /// Broadcasts an event. Dead subscribers are dropped on the next
@@ -253,6 +263,14 @@ impl Server {
             });
         }
         let spool = Spool::open(&options.spool_dir)?;
+        let dispatcher = match &options.dispatch {
+            Some(policy) => Some(Arc::new(Dispatcher::new(
+                spool.clone(),
+                options.shards,
+                policy.clone(),
+            )?)),
+            None => None,
+        };
 
         // Crash recovery: the previous daemon's queue is reconstructed
         // from the spool alone. A job that was *running* when the daemon
@@ -299,6 +317,7 @@ impl Server {
             drain: Arc::new(AtomicBool::new(false)),
             spool,
             options,
+            dispatcher,
         });
         let workers = (0..shared.options.workers)
             .map(|id| {
@@ -326,6 +345,13 @@ impl Server {
     /// The spool this daemon serves from.
     pub fn spool(&self) -> &Spool {
         &self.shared.spool
+    }
+
+    /// The shard dispatcher, when the daemon runs in dispatch mode
+    /// ([`ServeOptions::dispatch`]). The transport layer serves remote
+    /// workers' lease/heartbeat/complete/fail requests through this handle.
+    pub fn dispatcher(&self) -> Option<&Arc<Dispatcher>> {
+        self.shared.dispatcher.as_ref()
     }
 
     /// Handles one submission end-to-end: dedupe against the spool, then
@@ -471,6 +497,11 @@ impl Server {
     /// for the next daemon to adopt.
     pub fn drain(&self) -> Result<usize, Error> {
         self.shared.drain.store(true, Ordering::SeqCst);
+        if let Some(dispatcher) = &self.shared.dispatcher {
+            // Stop handing out leases first: remote workers learn from
+            // their next heartbeat/lease, checkpoint, and disconnect.
+            dispatcher.drain()?;
+        }
         {
             let mut inner = lock_inner(&self.shared)?;
             inner.draining = true;
@@ -592,35 +623,82 @@ fn run_job(shared: &Shared, hash: CanonHash) -> Result<(), Error> {
     fail_hit!("fp/serve.worker");
     let spec = spool.load_spec(hash)?;
     let faults = full_fault_list(&spec.circuit);
-    let drain = Arc::clone(&shared.drain);
-    let mut base = spec.options.clone();
-    base.cancel = Some(Arc::new(move || drain.load(Ordering::Relaxed)));
-    let shard_options = ShardOptions {
-        timeout: shared.options.shard_timeout,
-        retries: shared.options.shard_retries,
-        ..ShardOptions::new(shared.options.shards, spool.shards_dir(hash))
+    let files = if let Some(dispatcher) = &shared.dispatcher {
+        collect_dispatched_shards(shared, dispatcher, hash)?
+    } else {
+        let drain = Arc::clone(&shared.drain);
+        let mut base = spec.options.clone();
+        base.cancel = Some(Arc::new(move || drain.load(Ordering::Relaxed)));
+        let shard_options = ShardOptions {
+            timeout: shared.options.shard_timeout,
+            retries: shared.options.shard_retries,
+            ..ShardOptions::new(shared.options.shards, spool.shards_dir(hash))
+        };
+        let run = run_sharded(&spec.circuit, &spec.seq, &faults, &base, &shard_options)?;
+        if !run.quarantined.is_empty() {
+            return Err(quarantine_error(&run.quarantined));
+        }
+        run.files
     };
-    let run = run_sharded(&spec.circuit, &spec.seq, &faults, &base, &shard_options)?;
-    if !run.quarantined.is_empty() {
-        let worst = &run.quarantined[0];
-        return Err(Error::Serve {
-            message: format!(
-                "{} shard(s) quarantined; shard {} failed {} attempt(s), last: {}",
-                run.quarantined.len(),
-                worst.shard_id,
-                worst.attempts,
-                worst.last_error
-            ),
-        });
-    }
     // Merge with the spec's own options (no cancel probe): the merge is
     // cheap validation + audit replay, and serving a half-merged result
     // would be worse than finishing it.
-    let merged = merge_shards(&spec.circuit, &spec.seq, &faults, &spec.options, &run.files)?;
+    let merged = merge_shards(&spec.circuit, &spec.seq, &faults, &spec.options, &files)?;
     spool.store_result(hash, &spec, &merged.result)?;
     // The shard files are scratch once the result is published; removing
     // them keeps the spool from growing with every completed job. Best
     // effort — a leftover shards dir is harmless.
     let _ = std::fs::remove_dir_all(spool.shards_dir(hash));
     Ok(())
+}
+
+/// One job attempt in dispatch mode: register the job's shards (adopting
+/// any valid canonical files already on disk), then block until remote
+/// workers complete the partition. Quarantine and drain map onto the same
+/// error paths as the in-process runner, so the job-level poison ladder
+/// and the interrupt/re-adopt flow are identical in both modes.
+fn collect_dispatched_shards(
+    shared: &Shared,
+    dispatcher: &Arc<Dispatcher>,
+    hash: CanonHash,
+) -> Result<Vec<PathBuf>, Error> {
+    dispatcher.register_job(hash)?;
+    let drain = Arc::clone(&shared.drain);
+    let outcome = dispatcher.wait_job(hash, move || drain.load(Ordering::Relaxed));
+    match outcome {
+        Ok(JobOutcome::Done(files)) => {
+            dispatcher.forget_job(hash)?;
+            Ok(files)
+        }
+        Ok(JobOutcome::Quarantined(failures)) => {
+            // Completed shards keep their published files: the next job
+            // attempt re-registers and only the quarantined shards are
+            // re-dispatched.
+            dispatcher.forget_job(hash)?;
+            Err(quarantine_error(&failures))
+        }
+        Ok(JobOutcome::Cancelled { completed, total }) => {
+            dispatcher.forget_job(hash)?;
+            Err(Error::Interrupted { completed, total })
+        }
+        Err(e) => {
+            let _ = dispatcher.forget_job(hash);
+            Err(e)
+        }
+    }
+}
+
+/// The shared "shards quarantined" failure message (in-process supervisor
+/// and remote dispatch agree, so operators and tests see one format).
+fn quarantine_error(failures: &[crate::shard::ShardFailure]) -> Error {
+    let worst = &failures[0];
+    Error::Serve {
+        message: format!(
+            "{} shard(s) quarantined; shard {} failed {} attempt(s), last: {}",
+            failures.len(),
+            worst.shard_id,
+            worst.attempts,
+            worst.last_error
+        ),
+    }
 }

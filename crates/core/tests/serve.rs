@@ -286,3 +286,130 @@ fn rejected_options_and_unknown_jobs_answer_cleanly() {
     assert_eq!(server.drain().expect("drain"), 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A minimal in-process stand-in for a `moa work` process: pull leases from
+/// the dispatcher, run the shard in a private scratch directory, upload the
+/// shard-file bytes. `die_after` kills the worker (mid-campaign) after that
+/// many completed shards, like a SIGKILL would.
+fn run_worker(
+    server: &Server,
+    id: &str,
+    die_after: usize,
+) -> std::thread::JoinHandle<usize> {
+    let dispatcher =
+        std::sync::Arc::clone(server.dispatcher().expect("daemon is in dispatch mode"));
+    let id = id.to_owned();
+    let scratch_root = temp_spool(&format!("worker-{id}"));
+    std::thread::spawn(move || {
+        let mut completed = 0usize;
+        loop {
+            if completed >= die_after {
+                return completed;
+            }
+            match dispatcher.lease(&id).expect("lease") {
+                moa_core::Lease::Draining => return completed,
+                moa_core::Lease::Idle { .. } => {
+                    // An idle worker keeps polling only while a job can
+                    // still arrive; tests drain the daemon to stop it.
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                moa_core::Lease::Assigned(a) => {
+                    let spec = JobSpec::parse(&a.spec).expect("spec parses");
+                    assert_eq!(spec.hash(), a.job, "spec matches its content address");
+                    let faults = full_fault_list(&spec.circuit);
+                    let scratch = scratch_root.join(format!("job-{}", a.job));
+                    moa_core::run_shard(
+                        &spec.circuit,
+                        &spec.seq,
+                        &faults,
+                        &spec.options,
+                        a.shards,
+                        a.shard,
+                        &scratch,
+                    )
+                    .expect("shard runs");
+                    let bytes =
+                        std::fs::read(moa_core::shard_path(&scratch, a.shard)).expect("bytes");
+                    let outcome = dispatcher
+                        .complete(&id, a.job, a.shard, &bytes)
+                        .expect("complete");
+                    assert!(
+                        !matches!(outcome, moa_core::Completion::Rejected { .. }),
+                        "a faithful worker's upload must not be rejected: {outcome:?}"
+                    );
+                    completed += 1;
+                }
+            }
+        }
+    })
+}
+
+/// Dispatch mode end-to-end, engine level: remote-style workers pull
+/// leases over the dispatcher API, one dies mid-campaign (its lease
+/// expires and is re-dispatched), and the merged result is bit-identical
+/// to the direct campaign.
+#[test]
+fn dispatched_job_completes_bit_identical_despite_a_dying_worker() {
+    let dir = temp_spool("dispatch");
+    let options = ServeOptions {
+        workers: 1,
+        shards: 4,
+        dispatch: Some(moa_core::DispatchOptions {
+            lease: Duration::from_millis(300),
+            heartbeat: Duration::from_millis(100),
+            backoff: Duration::from_millis(5),
+            attempts: 10,
+            ..moa_core::DispatchOptions::default()
+        }),
+        ..ServeOptions::new(&dir)
+    };
+    let server = Server::start(options).expect("start");
+    let events = server.subscribe().expect("subscribe");
+    let spec = slow_spec();
+    let direct = {
+        let faults = full_fault_list(&spec.circuit);
+        run_campaign(&spec.circuit, &spec.seq, &faults, &spec.options)
+    };
+    let Submit::Accepted { hash } = server.submit(&spec).expect("submit") else {
+        panic!("submission must be accepted");
+    };
+
+    // One worker dies after a single shard; the survivor carries the rest
+    // (including the dead worker's re-dispatched lease).
+    let doomed = run_worker(&server, "doomed", 1);
+    let survivor = run_worker(&server, "survivor", usize::MAX);
+    assert_eq!(doomed.join().expect("doomed worker"), 1);
+
+    wait_for(&events, "dispatched job completion", |e| *e == Event::Finished(hash));
+    let JobStatus::Done { digest } = server.job_status(hash).expect("status") else {
+        panic!("job must be done");
+    };
+    assert_eq!(digest, verdict_digest(&direct), "dispatch merge must be bit-identical");
+
+    server.drain().expect("drain");
+    survivor.join().expect("survivor exits on drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With no workers at all, a drain cancels the dispatched job cleanly: it
+/// stays queued on disk for the next daemon (same as the in-process
+/// interrupt path).
+#[test]
+fn dispatched_job_interrupted_by_drain_stays_queued() {
+    let dir = temp_spool("dispatch-drain");
+    let options = ServeOptions {
+        workers: 1,
+        dispatch: Some(moa_core::DispatchOptions::default()),
+        ..ServeOptions::new(&dir)
+    };
+    let server = Server::start(options).expect("start");
+    let events = server.subscribe().expect("subscribe");
+    let spec = small_spec();
+    let Submit::Accepted { hash } = server.submit(&spec).expect("submit") else {
+        panic!("submission must be accepted");
+    };
+    wait_for(&events, "job start", |e| *e == Event::Started(hash));
+    let leftover = server.drain().expect("drain");
+    assert_eq!(leftover, 1, "the undispatched job stays queued on disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
